@@ -1,0 +1,170 @@
+//! The Banerjee inequality test (§6, Theorem 2: *bounded rational
+//! solution*).
+//!
+//! Dropping integrality, the equation `h(x,y) = 0` can hold inside the
+//! (direction-constrained) region `R` only if the interval
+//! `[min_R Σterms, max_R Σterms]` brackets the right-hand side
+//! `b0 - a0`. Per-term bounds come from [`LoopTerm::bounds`] /
+//! [`UnsharedTerm::bounds`] — exact vertex extrema of each constrained
+//! term, identical to the paper's closed-form `t⁺`/`t⁻` expressions.
+//! Like the GCD test the Banerjee test is necessary but not
+//! sufficient, and runs in `O(n)` for nest depth `n`.
+//!
+//! [`LoopTerm::bounds`]: crate::equation::LoopTerm::bounds
+//! [`UnsharedTerm::bounds`]: crate::equation::UnsharedTerm::bounds
+
+use crate::direction::DirVec;
+use crate::equation::{equation_bounds, DimEquation};
+
+/// Run the Banerjee test for one dimension under a direction vector.
+/// Returns `true` when a dependence is *possible* under the given
+/// constraints, `false` when independence is proven (bounds exclude
+/// the RHS, or the constrained region is empty).
+pub fn banerjee_test_dim(eq: &DimEquation, dv: &DirVec) -> bool {
+    match equation_bounds(eq, dv) {
+        None => false,
+        Some((lo, hi)) => {
+            let rhs = eq.rhs();
+            lo <= rhs && rhs <= hi
+        }
+    }
+}
+
+/// The Banerjee test over every dimension (ANDed, §6).
+pub fn banerjee_test(eqs: &[DimEquation], dv: &DirVec) -> bool {
+    eqs.iter().all(|eq| banerjee_test_dim(eq, dv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direction::Dir;
+    use crate::equation::{LoopTerm, UnsharedTerm};
+
+    fn eq1(size: i64, a: i64, b: i64, a0: i64, b0: i64) -> DimEquation {
+        DimEquation {
+            shared: vec![LoopTerm { size, a, b }],
+            src_only: vec![],
+            snk_only: vec![],
+            a0,
+            b0,
+        }
+    }
+
+    #[test]
+    fn section5_example1_edges() {
+        // §5 example 1, loop i ∈ [1..100]:
+        //   clause 1 writes 3i, clause 2 reads 3(i-1) = 3i - 3.
+        // Dependence of write (source, x) on read (sink, y):
+        //   3x = 3y - 3, i.e. 3x - 3y = -3.
+        let eq = eq1(100, 3, 3, 0, -3);
+        // Under (<): x < y — possible (x = y - 1). The paper's 1→2(<).
+        assert!(banerjee_test_dim(&eq, &DirVec(vec![Dir::Lt])));
+        // Under (=) and (>): impossible.
+        assert!(!banerjee_test_dim(&eq, &DirVec(vec![Dir::Eq])));
+        assert!(!banerjee_test_dim(&eq, &DirVec(vec![Dir::Gt])));
+
+        // clause 1 writes 3i, clause 3 reads 3i: 1→3(=).
+        let eq2 = eq1(100, 3, 3, 0, 0);
+        assert!(banerjee_test_dim(&eq2, &DirVec(vec![Dir::Eq])));
+        assert!(!banerjee_test_dim(&eq2, &DirVec(vec![Dir::Lt])));
+        assert!(!banerjee_test_dim(&eq2, &DirVec(vec![Dir::Gt])));
+    }
+
+    #[test]
+    fn disjoint_ranges_independent() {
+        // write i (i ∈ [1..10]), read i + 100: never equal.
+        let eq = eq1(10, 1, 1, 0, 100);
+        assert!(!banerjee_test_dim(&eq, &DirVec::any(1)));
+    }
+
+    #[test]
+    fn empty_constraint_region() {
+        // (<) inside a single-iteration loop is infeasible.
+        let eq = eq1(1, 1, 1, 0, 0);
+        assert!(!banerjee_test_dim(&eq, &DirVec(vec![Dir::Lt])));
+        assert!(banerjee_test_dim(&eq, &DirVec(vec![Dir::Eq])));
+    }
+
+    #[test]
+    fn banerjee_weaker_than_exact() {
+        // 2x - 2y = 1 is rationally solvable inside bounds (x = y + ½)
+        // so Banerjee says "possible" — the GCD test is needed to kill
+        // it. This is the textbook complementarity of the two tests.
+        let eq = eq1(100, 2, 2, 0, 1);
+        assert!(banerjee_test_dim(&eq, &DirVec::any(1)));
+        assert!(!crate::gcd::gcd_test_dim(&eq, &DirVec::any(1)));
+    }
+
+    #[test]
+    fn unshared_loops_contribute() {
+        // f = x (shared, M=10), g = y' + 50 (sink-only, M=10):
+        // x - y' = 50; bounds of x - y' are [1-10, 10-1] = [-9, 9].
+        let eq = DimEquation {
+            shared: vec![LoopTerm {
+                size: 10,
+                a: 1,
+                b: 0,
+            }],
+            src_only: vec![],
+            snk_only: vec![UnsharedTerm {
+                coeff: -1,
+                size: 10,
+            }],
+            a0: 0,
+            b0: 50,
+        };
+        assert!(!banerjee_test_dim(&eq, &DirVec::any(1)));
+        let eq_near = DimEquation { b0: 5, ..eq };
+        assert!(banerjee_test_dim(&eq_near, &DirVec::any(1)));
+    }
+
+    #[test]
+    fn multi_dim_ands() {
+        // dim0: possible under (=); dim1: impossible under (=) → AND fails.
+        let d0 = eq1(10, 1, 1, 0, 0);
+        let d1 = eq1(10, 1, 1, 0, 1); // x - y = 1 impossible with x = y
+        let dv = DirVec(vec![Dir::Eq]);
+        assert!(banerjee_test_dim(&d0, &dv));
+        assert!(!banerjee_test_dim(&d1, &dv));
+        assert!(!banerjee_test(&[d0, d1], &dv));
+    }
+
+    #[test]
+    fn brute_force_soundness_sweep() {
+        // Whenever an integer solution exists in the constrained
+        // region, Banerjee must report "possible".
+        for a in -2..=2i64 {
+            for b in -2..=2i64 {
+                for rhs in -4..=4i64 {
+                    for m in 1..=4i64 {
+                        let eq = eq1(m, a, b, 0, rhs);
+                        for dir in [Dir::Any, Dir::Lt, Dir::Eq, Dir::Gt] {
+                            let mut solvable = false;
+                            for x in 1..=m {
+                                for y in 1..=m {
+                                    let ok = match dir {
+                                        Dir::Any => true,
+                                        Dir::Lt => x < y,
+                                        Dir::Eq => x == y,
+                                        Dir::Gt => x > y,
+                                    };
+                                    if ok && a * x - b * y == rhs {
+                                        solvable = true;
+                                    }
+                                }
+                            }
+                            let dv = DirVec(vec![dir]);
+                            if solvable {
+                                assert!(
+                                    banerjee_test_dim(&eq, &dv),
+                                    "unsound: a={a} b={b} rhs={rhs} m={m} dir={dir}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! The exact bounded-integer-solution test (§6, "linear diophantine
+//! equation theory gives us an exact test ... but it is exponential in
+//! the number of surrounding loops").
+//!
+//! A depth-first search assigns each shared loop's `(x_k, y_k)` pair
+//! (honoring the direction constraint) and each unshared loop's index,
+//! pruning with per-dimension interval bounds of the remaining terms.
+//! Unlike the per-dimension GCD/Banerjee tests, the search solves all
+//! subscript dimensions *simultaneously*, so "dependent" comes with a
+//! concrete witness. A node budget bounds the exponential blow-up; when
+//! it is exhausted the result is [`ExactResult::Unknown`] and callers
+//! fall back to the inexact verdicts.
+
+use crate::direction::{Dir, DirVec};
+use crate::equation::DimEquation;
+
+/// A concrete solution of the dependence equation, in *normalized*
+/// loop coordinates (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// `(x_k, y_k)` per shared loop, outermost first.
+    pub shared: Vec<(i64, i64)>,
+    /// Source-only loop indices.
+    pub src_only: Vec<i64>,
+    /// Sink-only loop indices.
+    pub snk_only: Vec<i64>,
+}
+
+/// Outcome of the exact test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExactResult {
+    /// An integer solution exists; the dependence is real.
+    Dependent(Witness),
+    /// No integer solution exists inside the region; independence is
+    /// proven.
+    Independent,
+    /// The node budget was exhausted before the search completed.
+    Unknown,
+}
+
+impl ExactResult {
+    /// `true` when a dependence must be *assumed* (proven or unknown).
+    pub fn must_assume_dependence(&self) -> bool {
+        !matches!(self, ExactResult::Independent)
+    }
+}
+
+/// Default search budget (explored assignments).
+pub const DEFAULT_BUDGET: u64 = 2_000_000;
+
+/// Run the exact test for a set of simultaneous per-dimension
+/// equations (all built from the same reference pair, hence sharing
+/// loop structure) under a direction vector.
+pub fn exact_test(eqs: &[DimEquation], dv: &DirVec, budget: u64) -> ExactResult {
+    if eqs.is_empty() {
+        // No dimensions: the references trivially coincide.
+        return ExactResult::Dependent(Witness {
+            shared: vec![],
+            src_only: vec![],
+            snk_only: vec![],
+        });
+    }
+    debug_assert!(eqs.iter().all(|e| e.shared.len() == eqs[0].shared.len()
+        && e.src_only.len() == eqs[0].src_only.len()
+        && e.snk_only.len() == eqs[0].snk_only.len()));
+    if eqs.iter().any(|e| e.has_empty_loop()) {
+        return ExactResult::Independent;
+    }
+
+    let s = eqs[0].shared.len();
+    let p = eqs[0].src_only.len();
+    let q = eqs[0].snk_only.len();
+    let groups = s + p + q;
+    let ndims = eqs.len();
+
+    // suffix[t][dim] = (lo, hi) of Σ of groups t.. for that dim;
+    // suffix[groups][dim] = (0, 0).
+    let mut suffix = vec![vec![(0i64, 0i64); ndims]; groups + 1];
+    for t in (0..groups).rev() {
+        for (dim, eq) in eqs.iter().enumerate() {
+            let b = if t < s {
+                eq.shared[t].bounds(dv.0[t])
+            } else if t < s + p {
+                eq.src_only[t - s].bounds()
+            } else {
+                eq.snk_only[t - s - p].bounds()
+            };
+            let Some((lo, hi)) = b else {
+                // Constrained region empty for some loop.
+                return ExactResult::Independent;
+            };
+            let (nlo, nhi) = suffix[t + 1][dim];
+            suffix[t][dim] = (lo + nlo, hi + nhi);
+        }
+    }
+
+    struct Search<'a> {
+        eqs: &'a [DimEquation],
+        dv: &'a DirVec,
+        suffix: Vec<Vec<(i64, i64)>>,
+        s: usize,
+        p: usize,
+        budget: u64,
+        nodes: u64,
+        witness: Witness,
+    }
+
+    enum Found {
+        Yes,
+        No,
+        OutOfBudget,
+    }
+
+    impl Search<'_> {
+        fn go(&mut self, t: usize, partial: &mut [i64]) -> Found {
+            self.nodes += 1;
+            if self.nodes > self.budget {
+                return Found::OutOfBudget;
+            }
+            let groups = self.suffix.len() - 1;
+            // Prune on every dimension's remaining interval.
+            for (dim, eq) in self.eqs.iter().enumerate() {
+                let need = eq.rhs() - partial[dim];
+                let (lo, hi) = self.suffix[t][dim];
+                if need < lo || need > hi {
+                    return Found::No;
+                }
+            }
+            if t == groups {
+                return Found::Yes; // all dims hit rhs exactly (pruning above)
+            }
+            if t < self.s {
+                let term = self.eqs[0].shared[t];
+                let m = term.size;
+                let all_zero = self
+                    .eqs
+                    .iter()
+                    .all(|e| e.shared[t].a == 0 && e.shared[t].b == 0);
+                let dir = self.dv.0[t];
+                let canonical: (i64, i64) = match dir {
+                    Dir::Eq | Dir::Any => (1, 1),
+                    Dir::Lt => (1, 2),
+                    Dir::Gt => (2, 1),
+                };
+                let pairs: Box<dyn Iterator<Item = (i64, i64)>> = if all_zero {
+                    // Coefficients vanish in every dimension: only
+                    // feasibility matters, one representative suffices.
+                    Box::new(std::iter::once(canonical))
+                } else {
+                    match dir {
+                        Dir::Eq => Box::new((1..=m).map(|x| (x, x))),
+                        Dir::Lt => {
+                            Box::new((1..=m).flat_map(move |x| ((x + 1)..=m).map(move |y| (x, y))))
+                        }
+                        Dir::Gt => Box::new((1..=m).flat_map(move |x| (1..x).map(move |y| (x, y)))),
+                        Dir::Any => {
+                            Box::new((1..=m).flat_map(move |x| (1..=m).map(move |y| (x, y))))
+                        }
+                    }
+                };
+                for (x, y) in pairs {
+                    for (dim, eq) in self.eqs.iter().enumerate() {
+                        partial[dim] += eq.shared[t].a * x - eq.shared[t].b * y;
+                    }
+                    self.witness.shared.push((x, y));
+                    match self.go(t + 1, partial) {
+                        Found::Yes => return Found::Yes,
+                        Found::OutOfBudget => return Found::OutOfBudget,
+                        Found::No => {}
+                    }
+                    self.witness.shared.pop();
+                    for (dim, eq) in self.eqs.iter().enumerate() {
+                        partial[dim] -= eq.shared[t].a * x - eq.shared[t].b * y;
+                    }
+                }
+                Found::No
+            } else {
+                let (is_src, idx) = if t < self.s + self.p {
+                    (true, t - self.s)
+                } else {
+                    (false, t - self.s - self.p)
+                };
+                let coeff_of = |eq: &DimEquation| {
+                    if is_src {
+                        eq.src_only[idx].coeff
+                    } else {
+                        eq.snk_only[idx].coeff
+                    }
+                };
+                let m = if is_src {
+                    self.eqs[0].src_only[idx].size
+                } else {
+                    self.eqs[0].snk_only[idx].size
+                };
+                let all_zero = self.eqs.iter().all(|e| coeff_of(e) == 0);
+                let xs: Box<dyn Iterator<Item = i64>> = if all_zero {
+                    Box::new(std::iter::once(1))
+                } else {
+                    Box::new(1..=m)
+                };
+                for x in xs {
+                    for (dim, eq) in self.eqs.iter().enumerate() {
+                        partial[dim] += coeff_of(eq) * x;
+                    }
+                    if is_src {
+                        self.witness.src_only.push(x);
+                    } else {
+                        self.witness.snk_only.push(x);
+                    }
+                    match self.go(t + 1, partial) {
+                        Found::Yes => return Found::Yes,
+                        Found::OutOfBudget => return Found::OutOfBudget,
+                        Found::No => {}
+                    }
+                    if is_src {
+                        self.witness.src_only.pop();
+                    } else {
+                        self.witness.snk_only.pop();
+                    }
+                    for (dim, eq) in self.eqs.iter().enumerate() {
+                        partial[dim] -= coeff_of(eq) * x;
+                    }
+                }
+                Found::No
+            }
+        }
+    }
+
+    let mut search = Search {
+        eqs,
+        dv,
+        suffix,
+        s,
+        p,
+        budget,
+        nodes: 0,
+        witness: Witness {
+            shared: Vec::new(),
+            src_only: Vec::new(),
+            snk_only: Vec::new(),
+        },
+    };
+    let mut partial = vec![0i64; ndims];
+    match search.go(0, &mut partial) {
+        Found::Yes => ExactResult::Dependent(search.witness),
+        Found::No => ExactResult::Independent,
+        Found::OutOfBudget => ExactResult::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equation::{LoopTerm, UnsharedTerm};
+
+    fn eq1(size: i64, a: i64, b: i64, a0: i64, b0: i64) -> DimEquation {
+        DimEquation {
+            shared: vec![LoopTerm { size, a, b }],
+            src_only: vec![],
+            snk_only: vec![],
+            a0,
+            b0,
+        }
+    }
+
+    fn run(eqs: &[DimEquation], dv: &DirVec) -> ExactResult {
+        exact_test(eqs, dv, DEFAULT_BUDGET)
+    }
+
+    #[test]
+    fn finds_witness() {
+        // 3x = 3y - 3 under (<): x = 1, y = 2.
+        let eq = eq1(100, 3, 3, 0, -3);
+        match run(&[eq], &DirVec(vec![Dir::Lt])) {
+            ExactResult::Dependent(w) => {
+                let (x, y) = w.shared[0];
+                assert!(x < y);
+                assert_eq!(3 * x - 3 * y, -3);
+            }
+            other => panic!("expected dependent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gcd_style_independence() {
+        let eq = eq1(100, 2, 2, 0, 1);
+        assert_eq!(run(&[eq], &DirVec::any(1)), ExactResult::Independent);
+    }
+
+    #[test]
+    fn banerjee_blind_spot_caught() {
+        // 2x - y = 0 with x,y ∈ [1..3]: solutions (1,2). Banerjee and
+        // GCD both pass; exact confirms with a witness.
+        let eq = eq1(3, 2, 1, 0, 0);
+        assert!(matches!(
+            run(&[eq], &DirVec::any(1)),
+            ExactResult::Dependent(_)
+        ));
+        // But under (>) — x > y — 2x - y = 0 needs y = 2x > x > y:
+        // impossible. GCD still passes; exact proves independence.
+        assert_eq!(
+            run(&[eq1(3, 2, 1, 0, 0)], &DirVec(vec![Dir::Gt])),
+            ExactResult::Independent
+        );
+        assert!(crate::gcd::gcd_test_dim(
+            &eq1(3, 2, 1, 0, 0),
+            &DirVec(vec![Dir::Gt])
+        ));
+    }
+
+    #[test]
+    fn simultaneous_dimensions() {
+        // dim0: x - y = 0 (needs x = y); dim1: x - y = 1 with the SAME
+        // x, y — jointly unsatisfiable even though each dim alone is
+        // satisfiable under (*).
+        let d0 = eq1(10, 1, 1, 0, 0);
+        let d1 = eq1(10, 1, 1, 0, 1);
+        assert!(matches!(
+            run(std::slice::from_ref(&d0), &DirVec::any(1)),
+            ExactResult::Dependent(_)
+        ));
+        assert!(matches!(
+            run(std::slice::from_ref(&d1), &DirVec::any(1)),
+            ExactResult::Dependent(_)
+        ));
+        assert_eq!(run(&[d0, d1], &DirVec::any(1)), ExactResult::Independent);
+    }
+
+    #[test]
+    fn unshared_loops_searched() {
+        // f = 2x (shared M=4), g = y' (sink-only M=3): 2x - y' = 5 →
+        // x=3, y'=1 works.
+        let eq = DimEquation {
+            shared: vec![LoopTerm {
+                size: 4,
+                a: 2,
+                b: 0,
+            }],
+            src_only: vec![],
+            snk_only: vec![UnsharedTerm { coeff: -1, size: 3 }],
+            a0: 0,
+            b0: 5,
+        };
+        assert!(matches!(
+            run(&[eq], &DirVec::any(1)),
+            ExactResult::Dependent(_)
+        ));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        // x - y + 10x' - 10y' = 5 with M = 3 everywhere:
+        // x - y ∈ [-2, 2], so 5 - (x - y) ∈ [3, 7] is never a multiple
+        // of 10 — independent, but only after searching both loops.
+        let eq = DimEquation {
+            shared: vec![
+                LoopTerm {
+                    size: 3,
+                    a: 1,
+                    b: 1,
+                },
+                LoopTerm {
+                    size: 3,
+                    a: 10,
+                    b: 10,
+                },
+            ],
+            src_only: vec![],
+            snk_only: vec![],
+            a0: 0,
+            b0: 5,
+        };
+        assert_eq!(
+            run(std::slice::from_ref(&eq), &DirVec::any(2)),
+            ExactResult::Independent
+        );
+        assert_eq!(exact_test(&[eq], &DirVec::any(2), 3), ExactResult::Unknown);
+    }
+
+    #[test]
+    fn zero_coefficient_loops_skipped_cheaply() {
+        // Ten shared loops with zero coefficients around a simple
+        // equation: must finish in far fewer nodes than the budget.
+        let mut shared = vec![
+            LoopTerm {
+                size: 1000,
+                a: 0,
+                b: 0
+            };
+            10
+        ];
+        shared.push(LoopTerm {
+            size: 1000,
+            a: 1,
+            b: 1,
+        });
+        let eq = DimEquation {
+            shared,
+            src_only: vec![],
+            snk_only: vec![],
+            a0: 0,
+            b0: 0,
+        };
+        assert!(matches!(
+            exact_test(&[eq], &DirVec::any(11), 10_000),
+            ExactResult::Dependent(_)
+        ));
+    }
+
+    #[test]
+    fn exact_matches_brute_force() {
+        // Exhaustive cross-check on small instances.
+        for a in -2..=2i64 {
+            for b in -2..=2i64 {
+                for rhs in -3..=3i64 {
+                    for m in 1..=4i64 {
+                        for dir in [Dir::Any, Dir::Lt, Dir::Eq, Dir::Gt] {
+                            let eq = eq1(m, a, b, 0, rhs);
+                            let mut solvable = false;
+                            for x in 1..=m {
+                                for y in 1..=m {
+                                    let ok = match dir {
+                                        Dir::Any => true,
+                                        Dir::Lt => x < y,
+                                        Dir::Eq => x == y,
+                                        Dir::Gt => x > y,
+                                    };
+                                    if ok && a * x - b * y == rhs {
+                                        solvable = true;
+                                    }
+                                }
+                            }
+                            let got = run(&[eq], &DirVec(vec![dir]));
+                            assert_eq!(
+                                matches!(got, ExactResult::Dependent(_)),
+                                solvable,
+                                "a={a} b={b} rhs={rhs} m={m} dir={dir}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! The GCD test (§6, Theorem 1: *any integer solution*).
+//!
+//! Dropping the region bounds, `Σ a_k·x_k - Σ b_k·y_k = b0 - a0` has an
+//! integer solution iff the gcd of the coefficients divides the
+//! right-hand side. Under a direction-vector partition, loops in `Q=`
+//! contribute the single coefficient `a_k - b_k` (since `x_k = y_k`),
+//! while loops in `Q<`, `Q>`, `Q*` and unshared loops contribute `a_k`
+//! and `b_k` independently (inequality constraints do not affect
+//! divisibility). The test is *necessary but not sufficient*: failure
+//! proves independence; success says nothing.
+
+use crate::direction::{Dir, DirVec};
+use crate::equation::DimEquation;
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Run the GCD test for one dimension under a direction vector.
+/// Returns `true` when a dependence is *possible* (the test cannot rule
+/// it out), `false` when independence is proven.
+pub fn gcd_test_dim(eq: &DimEquation, dv: &DirVec) -> bool {
+    debug_assert_eq!(dv.len(), eq.shared.len());
+    if eq.has_empty_loop() {
+        return false;
+    }
+    let mut g = 0i64;
+    for (t, d) in eq.shared.iter().zip(dv.0.iter()) {
+        match d {
+            Dir::Eq => g = gcd(g, t.a - t.b),
+            Dir::Lt | Dir::Gt | Dir::Any => {
+                g = gcd(g, t.a);
+                g = gcd(g, t.b);
+            }
+        }
+    }
+    for t in eq.src_only.iter().chain(eq.snk_only.iter()) {
+        g = gcd(g, t.coeff);
+    }
+    let rhs = eq.rhs();
+    if g == 0 {
+        // All variable terms vanish: solvable iff rhs is zero.
+        rhs == 0
+    } else {
+        rhs % g == 0
+    }
+}
+
+/// The GCD test over every dimension (per-dimension tests ANDed, §6):
+/// a dependence is possible only if it is possible in *every*
+/// dimension.
+pub fn gcd_test(eqs: &[DimEquation], dv: &DirVec) -> bool {
+    eqs.iter().all(|eq| gcd_test_dim(eq, dv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equation::{LoopTerm, UnsharedTerm};
+
+    fn eq1(size: i64, a: i64, b: i64, a0: i64, b0: i64) -> DimEquation {
+        DimEquation {
+            shared: vec![LoopTerm { size, a, b }],
+            src_only: vec![],
+            snk_only: vec![],
+            a0,
+            b0,
+        }
+    }
+
+    #[test]
+    fn classic_even_odd_independence() {
+        // a!(2i) vs a!(2i+1): 2x - 2y = 1 has no integer solution.
+        let eq = eq1(100, 2, 2, 0, 1);
+        assert!(!gcd_test_dim(&eq, &DirVec::any(1)));
+    }
+
+    #[test]
+    fn divisible_rhs_possible() {
+        // a!(2i) vs a!(2i+4): gcd(2,2)=2 | 4.
+        let eq = eq1(100, 2, 2, 0, 4);
+        assert!(gcd_test_dim(&eq, &DirVec::any(1)));
+    }
+
+    #[test]
+    fn eq_constraint_uses_difference() {
+        // a!(3i) vs a!(3i+1) under (=): (3-3)x = 1 → g = 0, rhs ≠ 0.
+        let eq = eq1(100, 3, 3, 0, 1);
+        assert!(!gcd_test_dim(&eq, &DirVec(vec![Dir::Eq])));
+        // Under (*) the coefficients enter separately: gcd(3,3)=3 ∤ 1.
+        assert!(!gcd_test_dim(&eq, &DirVec::any(1)));
+        // a!(3i) vs a!(3i+3) under (*): 3 | 3.
+        let eq2 = eq1(100, 3, 3, 0, 3);
+        assert!(gcd_test_dim(&eq2, &DirVec::any(1)));
+    }
+
+    #[test]
+    fn constant_subscripts() {
+        // a!5 vs a!5 and a!5 vs a!6 with no loop coefficients.
+        let same = eq1(100, 0, 0, 5, 5);
+        let diff = eq1(100, 0, 0, 5, 6);
+        assert!(gcd_test_dim(&same, &DirVec::any(1)));
+        assert!(!gcd_test_dim(&diff, &DirVec::any(1)));
+    }
+
+    #[test]
+    fn empty_loop_kills_dependence() {
+        let eq = eq1(0, 1, 1, 0, 0);
+        assert!(!gcd_test_dim(&eq, &DirVec::any(1)));
+    }
+
+    #[test]
+    fn unshared_coefficients_enter() {
+        // f = 2x (shared), g = 4y' (sink-only loop): 2x - 4y' = 1?
+        let eq = DimEquation {
+            shared: vec![LoopTerm {
+                size: 10,
+                a: 2,
+                b: 0,
+            }],
+            src_only: vec![],
+            snk_only: vec![UnsharedTerm {
+                coeff: -4,
+                size: 10,
+            }],
+            a0: 0,
+            b0: 1,
+        };
+        assert!(!gcd_test_dim(&eq, &DirVec::any(1)));
+    }
+
+    #[test]
+    fn multi_dim_ands() {
+        // dim0 passes, dim1 fails → overall independence.
+        let pass = eq1(10, 1, 1, 0, 0);
+        let fail = eq1(10, 2, 2, 0, 1);
+        assert!(!gcd_test(&[pass.clone(), fail], &DirVec::any(1)));
+        assert!(gcd_test(&[pass.clone(), pass], &DirVec::any(1)));
+    }
+}

@@ -1,0 +1,257 @@
+//! §10 extension: vectorization/parallelization candidates.
+//!
+//! "As with imperative languages, such transformations on functional
+//! language programs needs to focus on finding innermost loops with no
+//! loop-carried dependences." This module classifies every generator of
+//! a comprehension: a loop *carries* a dependence when some edge's
+//! direction vector has its first non-`=` component at that loop's
+//! level; innermost loops carrying nothing are vectorization
+//! candidates, and any non-carrying loop can run its iterations
+//! independently.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hac_lang::ast::{Comp, LoopId};
+use hac_lang::number::clause_contexts;
+
+use crate::depgraph::DepEdge;
+use crate::direction::Dir;
+
+/// Classification of one generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopParallelism {
+    pub id: LoopId,
+    pub var: String,
+    /// Nesting depth (0 = outermost).
+    pub depth: usize,
+    /// No generator nested below this one.
+    pub innermost: bool,
+    /// Some dependence is carried at this loop's level.
+    pub carries_dependence: bool,
+}
+
+impl LoopParallelism {
+    /// Innermost and carries nothing → vectorizable (§10).
+    pub fn vectorizable(&self) -> bool {
+        self.innermost && !self.carries_dependence
+    }
+
+    /// Iterations are mutually independent → parallelizable.
+    pub fn parallelizable(&self) -> bool {
+        !self.carries_dependence
+    }
+}
+
+/// Classify every generator of `comp` against a set of dependence
+/// edges (flow for monolithic arrays; flow + anti for in-place
+/// updates). `*` components are treated as possibly-carried.
+pub fn loop_parallelism(comp: &Comp, edges: &[DepEdge]) -> Vec<LoopParallelism> {
+    // Collect loops with depth and innermost-ness, in source order.
+    let mut loops: Vec<LoopParallelism> = Vec::new();
+    collect(comp, 0, &mut loops);
+
+    // Which loop ids carry a dependence? An edge's direction vector
+    // indexes the shared prefix of its endpoints' nests.
+    let ctxs = clause_contexts(comp);
+    let ctx_of = |id| ctxs.iter().find(|c| c.clause.id == id);
+    let mut carried: BTreeSet<LoopId> = BTreeSet::new();
+    for e in edges {
+        let (Some(sc), Some(dc)) = (ctx_of(e.src), ctx_of(e.dst)) else {
+            continue;
+        };
+        let shared: Vec<LoopId> = sc
+            .loops()
+            .iter()
+            .zip(dc.loops().iter())
+            .take_while(|(a, b)| a.id == b.id)
+            .map(|(a, _)| a.id)
+            .collect();
+        // Every level whose component could be the first non-`=` one
+        // is (possibly) carrying. For concrete vectors that is exactly
+        // the carried level; leading `*`s make the prefix ambiguous.
+        for (k, d) in e.dv.0.iter().enumerate() {
+            match d {
+                Dir::Eq => continue,
+                Dir::Any => {
+                    if let Some(l) = shared.get(k) {
+                        carried.insert(*l);
+                    }
+                    continue; // a `*` may be `=`: keep scanning
+                }
+                Dir::Lt | Dir::Gt => {
+                    if let Some(l) = shared.get(k) {
+                        carried.insert(*l);
+                    }
+                    break; // definite carried level found
+                }
+            }
+        }
+    }
+
+    for lp in &mut loops {
+        lp.carries_dependence = carried.contains(&lp.id);
+    }
+    loops
+}
+
+fn collect(comp: &Comp, depth: usize, out: &mut Vec<LoopParallelism>) {
+    match comp {
+        Comp::Append(cs) => {
+            for c in cs {
+                collect(c, depth, out);
+            }
+        }
+        Comp::Guard { body, .. } | Comp::Let { body, .. } => collect(body, depth, out),
+        Comp::Gen { id, var, body, .. } => {
+            let mut has_inner = false;
+            body.walk(&mut |c| {
+                if matches!(c, Comp::Gen { .. }) {
+                    has_inner = true;
+                }
+            });
+            out.push(LoopParallelism {
+                id: *id,
+                var: var.clone(),
+                depth,
+                innermost: !has_inner,
+                carries_dependence: false,
+            });
+            collect(body, depth + 1, out);
+        }
+        Comp::Clause(_) => {}
+    }
+}
+
+/// A rendered summary grouped by verdict (for reports).
+pub fn parallelism_summary(loops: &[LoopParallelism]) -> BTreeMap<&'static str, Vec<String>> {
+    let mut out: BTreeMap<&'static str, Vec<String>> = BTreeMap::new();
+    for l in loops {
+        let label = format!("{} ({})", l.var, l.id);
+        if l.vectorizable() {
+            out.entry("vectorizable").or_default().push(label);
+        } else if l.parallelizable() {
+            out.entry("parallelizable").or_default().push(label);
+        } else {
+            out.entry("sequential").or_default().push(label);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depgraph::flow_dependences;
+    use crate::refs::collect_refs;
+    use crate::search::TestPolicy;
+    use hac_lang::env::ConstEnv;
+    use hac_lang::number::number_clauses;
+    use hac_lang::parser::parse_comp;
+
+    fn classify(src: &str, env: &ConstEnv) -> Vec<LoopParallelism> {
+        let mut c = parse_comp(src).unwrap();
+        number_clauses(&mut c);
+        let refs = collect_refs(&c, "a", env).unwrap();
+        let flow = flow_dependences(&refs, "a", &TestPolicy::default());
+        loop_parallelism(&c, &flow.edges)
+    }
+
+    #[test]
+    fn elementwise_loop_vectorizable() {
+        let env = ConstEnv::from_pairs([("n", 100)]);
+        let loops = classify("[ i := u!i * 2 | i <- [1..n] ]", &env);
+        assert_eq!(loops.len(), 1);
+        assert!(loops[0].vectorizable());
+        assert!(loops[0].parallelizable());
+    }
+
+    #[test]
+    fn recurrence_loop_sequential() {
+        let env = ConstEnv::from_pairs([("n", 100)]);
+        let loops = classify("[ 1 := 1 ] ++ [ i := a!(i-1) | i <- [2..n] ]", &env);
+        assert_eq!(loops.len(), 1);
+        assert!(loops[0].carries_dependence);
+        assert!(!loops[0].vectorizable());
+    }
+
+    #[test]
+    fn wavefront_both_loops_carry() {
+        let env = ConstEnv::from_pairs([("n", 10)]);
+        let loops = classify(
+            "[ (1,j) := 1 | j <- [1..n] ] ++ [ (i,1) := 1 | i <- [2..n] ] ++ \
+             [ (i,j) := a!(i-1,j) + a!(i,j-1) | i <- [2..n], j <- [2..n] ]",
+            &env,
+        );
+        // Border loops carry nothing; interior i and j both carry.
+        let by_var: Vec<(&str, bool, bool)> = loops
+            .iter()
+            .map(|l| (l.var.as_str(), l.carries_dependence, l.innermost))
+            .collect();
+        assert_eq!(by_var.len(), 4);
+        assert!(!loops[0].carries_dependence, "border j loop");
+        assert!(!loops[1].carries_dependence, "border i loop");
+        assert!(
+            loops[2].carries_dependence,
+            "interior i: (<,=) carried at 0"
+        );
+        assert!(
+            loops[3].carries_dependence,
+            "interior j: (=,<) carried at 1"
+        );
+        assert!(loops[0].vectorizable());
+    }
+
+    #[test]
+    fn row_recurrence_inner_loop_vectorizable() {
+        // a(i,j) = a(i-1,j) + 1: carried only at the outer loop; the
+        // inner loop is the §10 vectorization candidate.
+        let env = ConstEnv::from_pairs([("n", 10)]);
+        let loops = classify(
+            "[ (1,j) := 1 | j <- [1..n] ] ++ \
+             [ (i,j) := a!(i-1,j) + 1 | i <- [2..n], j <- [1..n] ]",
+            &env,
+        );
+        let interior_i = &loops[1];
+        let interior_j = &loops[2];
+        assert!(interior_i.carries_dependence);
+        assert!(!interior_i.innermost);
+        assert!(interior_j.vectorizable(), "{loops:?}");
+    }
+
+    #[test]
+    fn star_components_conservative() {
+        use crate::depgraph::{DepEdge, DepKind};
+        use crate::direction::DirVec;
+        use crate::search::Confidence;
+        use hac_lang::ast::ClauseId;
+
+        let mut c = parse_comp("[ (i,j) := 0 | i <- [1..4], j <- [1..4] ]").unwrap();
+        number_clauses(&mut c);
+        let edge = DepEdge {
+            src: ClauseId(0),
+            dst: ClauseId(0),
+            kind: DepKind::Flow,
+            array: "a".into(),
+            dv: DirVec(vec![Dir::Any, Dir::Any]),
+            confidence: Confidence::Possible,
+            distance: None,
+            src_read: None,
+            dst_read: None,
+        };
+        let loops = loop_parallelism(&c, &[edge]);
+        assert!(loops.iter().all(|l| l.carries_dependence));
+    }
+
+    #[test]
+    fn summary_groups() {
+        let env = ConstEnv::from_pairs([("n", 10)]);
+        let loops = classify(
+            "[ (1,j) := 1 | j <- [1..n] ] ++ \
+             [ (i,j) := a!(i-1,j) + 1 | i <- [2..n], j <- [1..n] ]",
+            &env,
+        );
+        let s = parallelism_summary(&loops);
+        assert!(s.contains_key("vectorizable"));
+        assert!(s.contains_key("sequential"));
+    }
+}

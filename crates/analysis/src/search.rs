@@ -1,0 +1,292 @@
+//! Direction-vector refinement by hierarchical search (§6: "[Burke &
+//! Cytron] suggests a search tree approach to refining the constraints
+//! on the region R for the Banerjee test. In many cases the search tree
+//! approach gives complete information on any possible dependence ...
+//! in O(n) or even O(1) time.").
+//!
+//! The tree's root is the unconstrained vector `(*,...,*)`. A node is
+//! tested with the cheap necessary tests (GCD then Banerjee); if they
+//! prove independence the whole subtree is pruned — failing at the root
+//! is the `O(1)` case. Otherwise the leftmost `*` is split into
+//! `<`, `=`, `>` and the children are searched. Surviving leaves are
+//! the possible direction vectors; optionally the exact test then
+//! confirms or kills each leaf.
+
+use crate::banerjee::banerjee_test;
+use crate::direction::{Dir, DirVec};
+use crate::equation::DimEquation;
+use crate::exact::{exact_test, ExactResult, Witness};
+use crate::gcd::gcd_test;
+
+/// How hard to try per leaf.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestPolicy {
+    /// Run the exact test on surviving leaves.
+    pub use_exact: bool,
+    /// Node budget per exact-test invocation.
+    pub exact_budget: u64,
+}
+
+impl Default for TestPolicy {
+    fn default() -> TestPolicy {
+        TestPolicy {
+            use_exact: true,
+            exact_budget: crate::exact::DEFAULT_BUDGET,
+        }
+    }
+}
+
+/// Counters for experiment E12 (test cost comparison).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TestStats {
+    pub gcd_calls: u64,
+    pub banerjee_calls: u64,
+    pub exact_calls: u64,
+    /// Search-tree nodes visited.
+    pub nodes: u64,
+}
+
+impl TestStats {
+    /// Accumulate another run's counters.
+    pub fn absorb(&mut self, other: &TestStats) {
+        self.gcd_calls += other.gcd_calls;
+        self.banerjee_calls += other.banerjee_calls;
+        self.exact_calls += other.exact_calls;
+        self.nodes += other.nodes;
+    }
+}
+
+/// How certain we are that a surviving direction vector is real.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Confidence {
+    /// Only the necessary tests passed; the dependence *may* exist.
+    Possible,
+    /// The exact test produced a witness; the dependence is real.
+    Confirmed(Witness),
+}
+
+/// One surviving leaf of the refinement tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectedDependence {
+    pub dv: DirVec,
+    pub confidence: Confidence,
+}
+
+/// Result of refinement: all direction vectors under which a dependence
+/// may (or does) exist, in lexicographic `<`,`=`,`>` order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RefinementResult {
+    pub dependences: Vec<DirectedDependence>,
+    pub stats: TestStats,
+}
+
+impl RefinementResult {
+    /// `true` when independence is proven for every direction.
+    pub fn independent(&self) -> bool {
+        self.dependences.is_empty()
+    }
+
+    /// Just the direction vectors.
+    pub fn vectors(&self) -> Vec<DirVec> {
+        self.dependences.iter().map(|d| d.dv.clone()).collect()
+    }
+}
+
+/// Run the refinement search for a reference pair's equations with
+/// `depth` shared loops.
+pub fn refine_directions(
+    eqs: &[DimEquation],
+    depth: usize,
+    policy: &TestPolicy,
+) -> RefinementResult {
+    let mut result = RefinementResult::default();
+    let root = DirVec::any(depth);
+    descend(eqs, root, policy, &mut result);
+    result
+}
+
+fn passes_inexact(eqs: &[DimEquation], dv: &DirVec, stats: &mut TestStats) -> bool {
+    stats.gcd_calls += 1;
+    if !gcd_test(eqs, dv) {
+        return false;
+    }
+    stats.banerjee_calls += 1;
+    banerjee_test(eqs, dv)
+}
+
+fn descend(eqs: &[DimEquation], dv: DirVec, policy: &TestPolicy, result: &mut RefinementResult) {
+    result.stats.nodes += 1;
+    if !passes_inexact(eqs, &dv, &mut result.stats) {
+        return;
+    }
+    // Find the leftmost unconstrained component.
+    match dv.0.iter().position(|d| *d == Dir::Any) {
+        Some(k) => {
+            for r in [Dir::Lt, Dir::Eq, Dir::Gt] {
+                let mut child = dv.clone();
+                child.0[k] = r;
+                descend(eqs, child, policy, result);
+            }
+        }
+        None => {
+            // A concrete leaf that the necessary tests cannot kill.
+            let confidence = if policy.use_exact {
+                result.stats.exact_calls += 1;
+                match exact_test(eqs, &dv, policy.exact_budget) {
+                    ExactResult::Dependent(w) => Confidence::Confirmed(w),
+                    ExactResult::Independent => return, // killed exactly
+                    ExactResult::Unknown => Confidence::Possible,
+                }
+            } else {
+                Confidence::Possible
+            };
+            result
+                .dependences
+                .push(DirectedDependence { dv, confidence });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::equation::LoopTerm;
+
+    fn eq1(size: i64, a: i64, b: i64, a0: i64, b0: i64) -> DimEquation {
+        DimEquation {
+            shared: vec![LoopTerm { size, a, b }],
+            src_only: vec![],
+            snk_only: vec![],
+            a0,
+            b0,
+        }
+    }
+
+    #[test]
+    fn section5_example1_refines_to_lt() {
+        // write 3i vs read 3(i-1): only (<) survives, confirmed.
+        let eq = eq1(100, 3, 3, 0, -3);
+        let r = refine_directions(&[eq], 1, &TestPolicy::default());
+        assert_eq!(r.vectors(), vec![DirVec(vec![Dir::Lt])]);
+        assert!(matches!(
+            r.dependences[0].confidence,
+            Confidence::Confirmed(_)
+        ));
+    }
+
+    #[test]
+    fn independence_prunes_at_root() {
+        // 2i vs 2i+1 dies at the root (*): O(1) behavior.
+        let eq = eq1(100, 2, 2, 0, 1);
+        let r = refine_directions(&[eq], 1, &TestPolicy::default());
+        assert!(r.independent());
+        assert_eq!(r.stats.nodes, 1);
+        assert_eq!(r.stats.exact_calls, 0);
+    }
+
+    #[test]
+    fn self_dependence_yields_eq() {
+        // write i vs read i: exactly (=).
+        let eq = eq1(50, 1, 1, 0, 0);
+        let r = refine_directions(&[eq], 1, &TestPolicy::default());
+        assert_eq!(r.vectors(), vec![DirVec(vec![Dir::Eq])]);
+    }
+
+    #[test]
+    fn two_level_nest_example2() {
+        // §5 example 2-style: write (i, j), read (i, j+1) in a 10×20
+        // nest. Dim 0 pins the outer loops equal; dim 1 needs
+        // x2 - y2 = 1, i.e. the source at a *later* inner index: (=,>).
+        let eqs = vec![
+            DimEquation {
+                shared: vec![
+                    LoopTerm {
+                        size: 10,
+                        a: 1,
+                        b: 1,
+                    },
+                    LoopTerm {
+                        size: 20,
+                        a: 0,
+                        b: 0,
+                    },
+                ],
+                src_only: vec![],
+                snk_only: vec![],
+                a0: 0,
+                b0: 0,
+            },
+            DimEquation {
+                shared: vec![
+                    LoopTerm {
+                        size: 10,
+                        a: 0,
+                        b: 0,
+                    },
+                    LoopTerm {
+                        size: 20,
+                        a: 1,
+                        b: 1,
+                    },
+                ],
+                src_only: vec![],
+                snk_only: vec![],
+                a0: 0,
+                b0: 1,
+            },
+        ];
+        let r = refine_directions(&eqs, 2, &TestPolicy::default());
+        assert_eq!(r.vectors(), vec![DirVec(vec![Dir::Eq, Dir::Gt])]);
+    }
+
+    #[test]
+    fn without_exact_leaves_stay_possible() {
+        let eq = eq1(50, 1, 1, 0, 0);
+        let r = refine_directions(
+            &[eq],
+            1,
+            &TestPolicy {
+                use_exact: false,
+                exact_budget: 0,
+            },
+        );
+        assert_eq!(r.dependences.len(), 1);
+        assert!(matches!(r.dependences[0].confidence, Confidence::Possible));
+        assert_eq!(r.stats.exact_calls, 0);
+    }
+
+    #[test]
+    fn exact_kills_banerjee_survivor() {
+        // 3x - 5y = -8 with x, y ∈ [1..4]. Under (<) the achievable
+        // values are {-7,-9,-11,-12,-14,-17}: a Frobenius-style gap at
+        // -8 that neither GCD (gcd(3,5)=1 | 8) nor Banerjee (interval
+        // [-17,-7] brackets -8) can see — only the exact test kills the
+        // (<) leaf. Under (=) the dependence is real (x = y = 4).
+        let eq = eq1(4, 3, 5, 0, -8);
+        let with_exact = refine_directions(std::slice::from_ref(&eq), 1, &TestPolicy::default());
+        assert_eq!(with_exact.vectors(), vec![DirVec(vec![Dir::Eq])]);
+        let without = refine_directions(
+            &[eq],
+            1,
+            &TestPolicy {
+                use_exact: false,
+                exact_budget: 0,
+            },
+        );
+        assert_eq!(
+            without.vectors(),
+            vec![DirVec(vec![Dir::Lt]), DirVec(vec![Dir::Eq])],
+            "without the exact test the spurious (<) leaf survives"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut total = TestStats::default();
+        let eq = eq1(50, 1, 1, 0, 0);
+        let r = refine_directions(&[eq], 1, &TestPolicy::default());
+        total.absorb(&r.stats);
+        total.absorb(&r.stats);
+        assert_eq!(total.nodes, 2 * r.stats.nodes);
+    }
+}

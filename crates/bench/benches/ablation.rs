@@ -1,0 +1,112 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **exact test off** — leaves spurious direction vectors that the
+//!   inexact tests cannot kill (more edges, more conservative
+//!   schedules) and measures the analysis-time trade;
+//! * **multipass off** (§8.1.3) — acyclic graphs mixing `(<)`/`(>)`
+//!   fall back to thunks instead of splitting into passes;
+//! * **carry buffers off** (§9) — Jacobi degrades from O(n) ring
+//!   buffers to precopied read regions (O(n²) temporaries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hac_analysis::analyze::analyze_bigupd;
+use hac_analysis::search::TestPolicy;
+use hac_codegen::limp::Vm;
+use hac_codegen::lower::lower_update;
+use hac_lang::env::ConstEnv;
+use hac_lang::number::number_clauses;
+use hac_lang::parser::{parse_comp, parse_program};
+use hac_schedule::split::{plan_update_with, SplitOptions};
+use hac_workloads as wl;
+
+fn bench_exact_test_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_exact_test");
+    let env = ConstEnv::from_pairs([("n", 100)]);
+    let mut program = parse_program(wl::wavefront_source()).unwrap();
+    let def = match &mut program.bindings[0] {
+        hac_lang::ast::Binding::LetrecStar(ds) => {
+            number_clauses(&mut ds[0].comp);
+            ds[0].clone()
+        }
+        _ => unreachable!(),
+    };
+    let with_exact = TestPolicy::default();
+    let without = TestPolicy {
+        use_exact: false,
+        exact_budget: 0,
+    };
+    group.bench_function("analyze_with_exact", |b| {
+        b.iter(|| hac_analysis::analyze::analyze_array(&def, &env, &with_exact).unwrap())
+    });
+    group.bench_function("analyze_without_exact", |b| {
+        b.iter(|| hac_analysis::analyze::analyze_array(&def, &env, &without).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_carry_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_carry_buffers");
+    let n = 64i64;
+    let env = ConstEnv::from_pairs([("n", n)]);
+    let a = wl::random_matrix(n, n, 5);
+    let mut comp = parse_comp(
+        "[ (i,j) := (a!(i-1,j) + a!(i,j-1) + a!(i+1,j) + a!(i,j+1)) / 4 \
+         | i <- [2..n-1], j <- [2..n-1] ]",
+    )
+    .unwrap();
+    number_clauses(&mut comp);
+    let analysis = analyze_bigupd("a", "b", &comp, &env, &TestPolicy::default()).unwrap();
+
+    for (label, opts) in [
+        ("carry_buffers", SplitOptions::default()),
+        (
+            "precopy_only",
+            SplitOptions {
+                allow_carry: false,
+                allow_precopy: true,
+            },
+        ),
+    ] {
+        let plan = plan_update_with(&comp, &analysis, &opts).unwrap();
+        let lowered = lower_update("a", "b", &analysis.refs, &plan, &env).unwrap();
+        // Record the temporary footprint once, as metadata.
+        let mut probe = Vm::new();
+        probe.set_global("n", n as f64);
+        probe.bind("a", a.clone());
+        if lowered.in_place {
+            probe.alias("b", "a");
+        }
+        probe.run(&lowered.prog).unwrap();
+        eprintln!(
+            "[ablation] {label}: {} temp elements, strategy {:?}",
+            probe.counters.temp_elements, plan.strategy
+        );
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut vm = Vm::new();
+                vm.set_global("n", n as f64);
+                vm.bind("a", a.clone());
+                if lowered.in_place {
+                    vm.alias("b", "a");
+                }
+                vm.run(&lowered.prog).unwrap();
+                vm
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full suite fast; the shapes, not
+    // the last digit, are the reproduction target.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(12)
+        .without_plots();
+    targets = bench_exact_test_ablation, bench_carry_ablation
+}
+
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! E12 — dependence-test cost (§6): the GCD and Banerjee tests are
+//! `O(n)` in nest depth; the exact test is exponential; the search-tree
+//! refinement often prunes to `O(1)`. Also benches whole-array analysis
+//! of the paper's kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hac_analysis::analyze::analyze_array;
+use hac_analysis::banerjee::banerjee_test;
+use hac_analysis::direction::DirVec;
+use hac_analysis::equation::{DimEquation, LoopTerm};
+use hac_analysis::exact::exact_test;
+use hac_analysis::gcd::gcd_test;
+use hac_analysis::search::{refine_directions, TestPolicy};
+use hac_lang::env::ConstEnv;
+use hac_lang::number::number_clauses;
+use hac_lang::parser::parse_program;
+
+/// A synthetic depth-`d` equation with interacting coefficients and no
+/// solution, forcing worst-case search.
+fn deep_equation(d: usize) -> DimEquation {
+    let shared = (0..d)
+        .map(|k| LoopTerm {
+            size: 8,
+            a: 1 + (k as i64 % 3),
+            b: 1 + ((k + 1) as i64 % 3),
+        })
+        .collect();
+    DimEquation {
+        shared,
+        src_only: vec![],
+        snk_only: vec![],
+        a0: 0,
+        b0: 1_000_000, // far outside the reachable interval
+    }
+}
+
+/// Like [`deep_equation`] but with a reachable RHS, so inexact tests
+/// pass and the refinement tree actually expands.
+fn reachable_equation(d: usize) -> DimEquation {
+    DimEquation {
+        b0: 0,
+        ..deep_equation(d)
+    }
+}
+
+fn bench_single_tests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_tests");
+    for d in [1usize, 2, 3, 4, 6] {
+        let eq = reachable_equation(d);
+        let dv = DirVec::any(d);
+        group.bench_with_input(BenchmarkId::new("gcd", d), &d, |b, _| {
+            b.iter(|| gcd_test(std::slice::from_ref(&eq), &dv))
+        });
+        group.bench_with_input(BenchmarkId::new("banerjee", d), &d, |b, _| {
+            b.iter(|| banerjee_test(std::slice::from_ref(&eq), &dv))
+        });
+        // The exact test is exponential: keep depth modest.
+        if d <= 4 {
+            group.bench_with_input(BenchmarkId::new("exact", d), &d, |b, _| {
+                b.iter(|| exact_test(std::slice::from_ref(&eq), &dv, u64::MAX))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_refinement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("refinement");
+    // O(1) case: independence proven at the root.
+    let indep = deep_equation(3);
+    group.bench_function("pruned_at_root_d3", |b| {
+        b.iter(|| refine_directions(std::slice::from_ref(&indep), 3, &TestPolicy::default()))
+    });
+    // Expanding case.
+    for d in [1usize, 2, 3] {
+        let eq = reachable_equation(d);
+        group.bench_with_input(BenchmarkId::new("full_tree", d), &d, |b, _| {
+            b.iter(|| refine_directions(std::slice::from_ref(&eq), d, &TestPolicy::default()))
+        });
+        let no_exact = TestPolicy {
+            use_exact: false,
+            exact_budget: 0,
+        };
+        group.bench_with_input(BenchmarkId::new("inexact_tree", d), &d, |b, _| {
+            b.iter(|| refine_directions(std::slice::from_ref(&eq), d, &no_exact))
+        });
+    }
+    group.finish();
+}
+
+fn bench_whole_array_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze_array");
+    let env = ConstEnv::from_pairs([("n", 100), ("m", 100)]);
+    for (name, src) in [
+        ("wavefront", hac_workloads::wavefront_source()),
+        (
+            "section5_example1",
+            hac_workloads::section5_example1_source(),
+        ),
+        (
+            "section5_example2",
+            hac_workloads::section5_example2_source(),
+        ),
+    ] {
+        let mut program = parse_program(src).unwrap();
+        let def = match &mut program.bindings[0] {
+            hac_lang::ast::Binding::LetrecStar(ds) => {
+                number_clauses(&mut ds[0].comp);
+                ds[0].clone()
+            }
+            _ => unreachable!(),
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| analyze_array(&def, &env, &TestPolicy::default()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full suite fast; the shapes, not
+    // the last digit, are the reproduction target.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(12)
+        .without_plots();
+    targets = bench_single_tests, bench_refinement, bench_whole_array_analysis
+}
+
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! E7/E10 — §9 LINPACK row operations as `bigupd`: the compiled
+//! in-place updates (row swap splits one row into a temp; scale and
+//! SAXPY need nothing) vs the naive copy-the-whole-array strategy vs
+//! persistent-array substrates (COW, trailers) vs the oracle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hac_bench::harness::{compile_src, inputs, run_compiled};
+use hac_core::pipeline::ExecMode;
+use hac_runtime::incremental::{bigupd_copy, CopyCounters, TrailerArray, TrailerCounters};
+use hac_workloads as wl;
+
+fn swap_updates(a: &hac_runtime::value::ArrayBuf, n: i64) -> Vec<(Vec<i64>, f64)> {
+    let mut ups = Vec::with_capacity(2 * n as usize);
+    for j in 1..=n {
+        ups.push((vec![1, j], a.get("a", &[2, j]).unwrap()));
+        ups.push((vec![2, j], a.get("a", &[1, j]).unwrap()));
+    }
+    ups
+}
+
+fn bench_row_swap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_swap");
+    let m = 64i64;
+    for n in [64i64, 256, 1024] {
+        let a = wl::random_matrix(m, n, 3);
+        let compiled = compile_src(wl::row_swap_source(), &[("m", m), ("n", n)], ExecMode::Auto);
+        let ins = inputs(&[("a", a.clone())]);
+
+        group.bench_with_input(BenchmarkId::new("inplace_precopy", n), &n, |b, _| {
+            b.iter(|| run_compiled(&compiled, &ins))
+        });
+        group.bench_with_input(BenchmarkId::new("copy_whole", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut counters = CopyCounters::default();
+                bigupd_copy(&a, swap_updates(&a, n), &mut counters).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("trailer_array", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut tc = TrailerCounters::default();
+                let mut v = TrailerArray::new(a.clone());
+                for (idx, val) in swap_updates(&a, n) {
+                    v = v.update("a", &idx, val, &mut tc).unwrap();
+                }
+                v
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("oracle", n), &n, |b, &n| {
+            b.iter(|| wl::row_swap_oracle(&a, n))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scale_saxpy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scale_saxpy");
+    let m = 8i64;
+    for n in [256i64, 1024] {
+        let a = wl::random_matrix(m, n, 7);
+        let ins = inputs(&[("a", a.clone())]);
+        let scale = compile_src(
+            wl::row_scale_source(),
+            &[("m", m), ("n", n)],
+            ExecMode::Auto,
+        );
+        let saxpy = compile_src(wl::saxpy_source(), &[("m", m), ("n", n)], ExecMode::Auto);
+
+        group.bench_with_input(BenchmarkId::new("scale_inplace", n), &n, |b, _| {
+            b.iter(|| run_compiled(&scale, &ins))
+        });
+        group.bench_with_input(BenchmarkId::new("scale_oracle", n), &n, |b, &n| {
+            b.iter(|| wl::row_scale_oracle(&a, n))
+        });
+        group.bench_with_input(BenchmarkId::new("saxpy_inplace", n), &n, |b, _| {
+            b.iter(|| run_compiled(&saxpy, &ins))
+        });
+        group.bench_with_input(BenchmarkId::new("saxpy_oracle", n), &n, |b, &n| {
+            b.iter(|| wl::saxpy_oracle(&a, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full suite fast; the shapes, not
+    // the last digit, are the reproduction target.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(12)
+        .without_plots();
+    targets = bench_row_swap, bench_scale_saxpy
+}
+
+criterion_main!(benches);

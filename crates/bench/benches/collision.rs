@@ -1,0 +1,51 @@
+//! E5/E6 — write-collision and empties checks (§4/§7): the even/odd
+//! permutation kernel with checks statically elided (the analysis
+//! proved the subscripts a permutation) vs the same kernel with every
+//! runtime check forced.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hac_bench::harness::{compile_src, inputs, run_compiled};
+use hac_core::pipeline::ExecMode;
+use hac_workloads as wl;
+
+fn bench_collision_checks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("collision_checks");
+    for n in [1024i64, 4096, 16384] {
+        let u = wl::random_vector(n, 21);
+        let ins = inputs(&[("u", u.clone())]);
+        let elided = compile_src(wl::permutation_source(), &[("n", n)], ExecMode::Auto);
+        let checked = compile_src(
+            wl::permutation_source(),
+            &[("n", n)],
+            ExecMode::ForceChecked,
+        );
+        // Confirm the modes differ as intended.
+        assert_eq!(run_compiled(&elided, &ins).counters.vm.check_ops, 0);
+        assert!(run_compiled(&checked, &ins).counters.vm.check_ops >= 2 * n as u64);
+
+        group.bench_with_input(BenchmarkId::new("checks_elided", n), &n, |b, _| {
+            b.iter(|| run_compiled(&elided, &ins))
+        });
+        group.bench_with_input(BenchmarkId::new("checks_forced", n), &n, |b, _| {
+            b.iter(|| run_compiled(&checked, &ins))
+        });
+        group.bench_with_input(BenchmarkId::new("oracle", n), &n, |b, &n| {
+            b.iter(|| wl::permutation_oracle(&u, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full suite fast; the shapes, not
+    // the last digit, are the reproduction target.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(12)
+        .without_plots();
+    targets = bench_collision_checks
+}
+
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! E11 — intermediate lists (§3.1/§4): the naive `TE` evaluation into
+//! real cons cells followed by `foldl` array construction vs the
+//! deforested compiled loops vs the oracle. "All intermediate lists can
+//! be replaced by tail-recursive loops."
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hac_bench::harness::{compile_src, inputs, run_compiled};
+use hac_core::pipeline::ExecMode;
+use hac_lang::core::translate;
+use hac_lang::env::ConstEnv;
+use hac_lang::number::number_clauses;
+use hac_lang::parser::parse_program;
+use hac_runtime::list::{array_from_list, eval_core_list, ListCounters};
+use hac_runtime::value::FuncTable;
+use hac_workloads as wl;
+
+fn bench_deforest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deforest");
+    for n in [256i64, 1024, 4096] {
+        let u = wl::random_vector(n, 33);
+        let ins = inputs(&[("u", u.clone())]);
+        let compiled = compile_src(wl::deforest_source(), &[("n", n)], ExecMode::Auto);
+
+        // The TE term, prepared once.
+        let program = parse_program(wl::deforest_source()).unwrap();
+        let mut comp = program.array_def("a").unwrap().comp.clone();
+        number_clauses(&mut comp);
+        let term = translate(&comp);
+        let env = ConstEnv::from_pairs([("n", n)]);
+        let mut arrays = HashMap::new();
+        arrays.insert("u".to_string(), u.clone());
+        let funcs = FuncTable::new();
+
+        group.bench_with_input(BenchmarkId::new("deforested_loops", n), &n, |b, _| {
+            b.iter(|| run_compiled(&compiled, &ins))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_te_cons", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut counters = ListCounters::default();
+                let list = eval_core_list(&term, &env, &arrays, &funcs, &mut counters).unwrap();
+                array_from_list("a", &[(1, 2 * n)], &list).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("oracle", n), &n, |b, &n| {
+            b.iter(|| wl::deforest_oracle(&u, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full suite fast; the shapes, not
+    // the last digit, are the reproduction target.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(12)
+        .without_plots();
+    targets = bench_deforest, bench_reduction
+}
+
+criterion_main!(benches);
+
+/// E11b — `foldl` over a comprehension as a DO loop (zero cons cells)
+/// vs folding a materialized cons list (§3.1).
+fn bench_reduction(c: &mut Criterion) {
+    use hac_lang::ast::Binding;
+
+    let mut group = c.benchmark_group("reduction");
+    for n in [1024i64, 4096, 16384] {
+        let u = wl::random_vector(n, 43);
+        let mut arrays = HashMap::new();
+        arrays.insert("u".to_string(), u.clone());
+        let env = ConstEnv::from_pairs([("n", n)]);
+        let funcs = FuncTable::new();
+        let prog =
+            parse_program("param n;\ninput u (1,n);\nlet s = sum [ u!k * u!k | k <- [1..n] ];\n")
+                .unwrap();
+        let (op, init, mut comp) = match &prog.bindings[1] {
+            Binding::Reduce { op, init, comp, .. } => (*op, init.clone(), comp.clone()),
+            _ => unreachable!(),
+        };
+        number_clauses(&mut comp);
+        let term = translate(&comp);
+
+        group.bench_with_input(BenchmarkId::new("do_loop", n), &n, |b, _| {
+            b.iter(|| {
+                hac_runtime::reduce::eval_reduce(op, &init, &comp, &env, &[], &arrays, &funcs)
+                    .unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cons_list_foldl", n), &n, |b, _| {
+            b.iter(|| {
+                let mut counters = ListCounters::default();
+                let list = eval_core_list(&term, &env, &arrays, &funcs, &mut counters).unwrap();
+                list.foldl(0.0, |acc, (_, v)| acc + v)
+            })
+        });
+    }
+    group.finish();
+}

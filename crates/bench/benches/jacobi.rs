@@ -1,0 +1,62 @@
+//! E8 — §9 Jacobi: node-splitting in-place update (O(n) carry buffers)
+//! vs the naive whole-array copy vs the hand-coded oracle. The paper's
+//! claim: node splitting needs "a factor n fewer copies than naive
+//! compilation" — here measured as O(n) temporary elements vs O(n²)
+//! copied elements per sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hac_bench::harness::{compile_src, inputs, run_compiled};
+use hac_core::pipeline::ExecMode;
+use hac_runtime::incremental::{bigupd_copy, CopyCounters};
+use hac_workloads as wl;
+
+fn bench_jacobi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jacobi");
+    for n in [16i64, 32, 64] {
+        let a = wl::random_matrix(n, n, 5);
+        let compiled = compile_src(wl::jacobi_source(), &[("n", n)], ExecMode::Auto);
+        let ins = inputs(&[("a", a.clone())]);
+
+        group.bench_with_input(BenchmarkId::new("inplace_split", n), &n, |b, _| {
+            b.iter(|| run_compiled(&compiled, &ins))
+        });
+
+        // Naive: copy the whole array, then write the new interior.
+        group.bench_with_input(BenchmarkId::new("copy_whole", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut counters = CopyCounters::default();
+                let updates = (2..n).flat_map(|i| {
+                    let a = &a;
+                    (2..n).map(move |j| {
+                        let v = (a.get("a", &[i - 1, j]).unwrap()
+                            + a.get("a", &[i, j - 1]).unwrap()
+                            + a.get("a", &[i + 1, j]).unwrap()
+                            + a.get("a", &[i, j + 1]).unwrap())
+                            / 4.0;
+                        (vec![i, j], v)
+                    })
+                });
+                bigupd_copy(&a, updates, &mut counters).unwrap()
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("oracle", n), &n, |b, &n| {
+            b.iter(|| wl::jacobi_oracle(&a, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full suite fast; the shapes, not
+    // the last digit, are the reproduction target.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(12)
+        .without_plots();
+    targets = bench_jacobi
+}
+
+criterion_main!(benches);

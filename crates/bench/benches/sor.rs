@@ -1,0 +1,67 @@
+//! E9 — §9 Gauss–Seidel / SOR (Livermore Kernel 23 wavefront): all four
+//! self edges agree with forward/forward loops, so the update runs in
+//! place with no thunks and no copies. Compared against the oracle and
+//! the thunked evaluation of an equivalent monolithic recurrence.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hac_bench::harness::{compile_src, inputs, run_compiled};
+use hac_core::pipeline::ExecMode;
+use hac_workloads as wl;
+
+/// The same Gauss–Seidel sweep expressed as a *monolithic* recurrence
+/// over a fresh array (what one would write without `bigupd`): needs a
+/// whole new array per sweep, plus border copies.
+fn monolithic_sor_source() -> &'static str {
+    r#"
+param n;
+input a ((1,1),(n,n));
+letrec* b = array ((1,1),(n,n))
+   ([ (1,j) := a!(1,j) | j <- [1..n] ] ++
+    [ (n,j) := a!(n,j) | j <- [1..n] ] ++
+    [ (i,1) := a!(i,1) | i <- [2..n-1] ] ++
+    [ (i,n) := a!(i,n) | i <- [2..n-1] ] ++
+    [ (i,j) := (b!(i-1,j) + b!(i,j-1) + a!(i+1,j) + a!(i,j+1)) / 4
+       | i <- [2..n-1], j <- [2..n-1] ]);
+result b;
+"#
+}
+
+fn bench_sor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sor");
+    for n in [16i64, 32, 64] {
+        let a = wl::random_matrix(n, n, 9);
+        let inplace = compile_src(wl::sor_source(), &[("n", n)], ExecMode::Auto);
+        let fresh = compile_src(monolithic_sor_source(), &[("n", n)], ExecMode::Auto);
+        let fresh_thunked =
+            compile_src(monolithic_sor_source(), &[("n", n)], ExecMode::ForceThunked);
+        let ins = inputs(&[("a", a.clone())]);
+
+        group.bench_with_input(BenchmarkId::new("inplace_bigupd", n), &n, |b, _| {
+            b.iter(|| run_compiled(&inplace, &ins))
+        });
+        group.bench_with_input(BenchmarkId::new("fresh_array", n), &n, |b, _| {
+            b.iter(|| run_compiled(&fresh, &ins))
+        });
+        group.bench_with_input(BenchmarkId::new("fresh_thunked", n), &n, |b, _| {
+            b.iter(|| run_compiled(&fresh_thunked, &ins))
+        });
+        group.bench_with_input(BenchmarkId::new("oracle", n), &n, |b, &n| {
+            b.iter(|| wl::sor_oracle(&a, n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full suite fast; the shapes, not
+    // the last digit, are the reproduction target.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(12)
+        .without_plots();
+    targets = bench_sor
+}
+
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E4 — the thunk-overhead claim (§4): a first-order linear recurrence
+//! where the only difference between strategies is the representation
+//! of delayed elements. Also benches §5 example 1 (three clauses per
+//! iteration) under both strategies.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hac_bench::harness::{compile_src, run_compiled};
+use hac_core::pipeline::ExecMode;
+use hac_workloads as wl;
+
+fn bench_recurrence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recurrence");
+    for n in [256i64, 1024, 4096] {
+        let thunkless = compile_src(wl::recurrence_source(), &[("n", n)], ExecMode::Auto);
+        let thunked = compile_src(wl::recurrence_source(), &[("n", n)], ExecMode::ForceThunked);
+        let no_inputs = HashMap::new();
+        group.bench_with_input(BenchmarkId::new("thunkless", n), &n, |b, _| {
+            b.iter(|| run_compiled(&thunkless, &no_inputs))
+        });
+        group.bench_with_input(BenchmarkId::new("thunked", n), &n, |b, _| {
+            b.iter(|| run_compiled(&thunked, &no_inputs))
+        });
+        group.bench_with_input(BenchmarkId::new("oracle", n), &n, |b, &n| {
+            b.iter(|| wl::recurrence_oracle(n))
+        });
+    }
+    group.finish();
+}
+
+fn bench_section5_example1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("section5_example1");
+    for n in [100i64, 1000] {
+        let thunkless = compile_src(wl::section5_example1_source(), &[("n", n)], ExecMode::Auto);
+        let thunked = compile_src(
+            wl::section5_example1_source(),
+            &[("n", n)],
+            ExecMode::ForceThunked,
+        );
+        let no_inputs = HashMap::new();
+        group.bench_with_input(BenchmarkId::new("thunkless", n), &n, |b, _| {
+            b.iter(|| run_compiled(&thunkless, &no_inputs))
+        });
+        group.bench_with_input(BenchmarkId::new("thunked", n), &n, |b, _| {
+            b.iter(|| run_compiled(&thunked, &no_inputs))
+        });
+        group.bench_with_input(BenchmarkId::new("oracle", n), &n, |b, &n| {
+            b.iter(|| wl::section5_example1_oracle(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full suite fast; the shapes, not
+    // the last digit, are the reproduction target.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(12)
+        .without_plots();
+    targets = bench_recurrence, bench_section5_example1
+}
+
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E3/E13 — the §3 wavefront recurrence: thunked baseline vs thunkless
+//! compiled loops vs the hand-coded Rust oracle ("Fortran"), over a
+//! size sweep. The paper's claim is the *shape*: thunked ≫ thunkless,
+//! and thunkless within interpreter overhead of native loops.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hac_bench::harness::{compile_src, run_compiled};
+use hac_core::pipeline::ExecMode;
+use hac_workloads as wl;
+
+fn bench_wavefront(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wavefront");
+    for n in [16i64, 32, 64, 128] {
+        let thunkless = compile_src(wl::wavefront_source(), &[("n", n)], ExecMode::Auto);
+        let thunked = compile_src(wl::wavefront_source(), &[("n", n)], ExecMode::ForceThunked);
+        let no_inputs = HashMap::new();
+
+        group.bench_with_input(BenchmarkId::new("thunkless", n), &n, |b, _| {
+            b.iter(|| run_compiled(&thunkless, &no_inputs))
+        });
+        group.bench_with_input(BenchmarkId::new("thunked", n), &n, |b, _| {
+            b.iter(|| run_compiled(&thunked, &no_inputs))
+        });
+        group.bench_with_input(BenchmarkId::new("oracle", n), &n, |b, &n| {
+            b.iter(|| wl::wavefront_oracle(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short windows keep the full suite fast; the shapes, not
+    // the last digit, are the reproduction target.
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+        .sample_size(12)
+        .without_plots();
+    targets = bench_wavefront
+}
+
+criterion_main!(benches);

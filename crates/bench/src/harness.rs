@@ -1,0 +1,42 @@
+//! Shared helpers for the Criterion benches and the experiment runner.
+
+use std::collections::HashMap;
+
+use hac_core::pipeline::{compile, run, CompileOptions, Compiled, ExecMode, ExecOutput};
+use hac_lang::env::ConstEnv;
+use hac_lang::parser::parse_program;
+use hac_runtime::value::{ArrayBuf, FuncTable};
+
+/// Compile a source program under `params` with the given mode.
+///
+/// # Panics
+/// Panics on parse/compile failure (benchmark programs are fixed).
+pub fn compile_src(src: &str, params: &[(&str, i64)], mode: ExecMode) -> Compiled {
+    let program = parse_program(src).unwrap_or_else(|e| panic!("parse: {e}"));
+    let env = ConstEnv::from_pairs(params.iter().copied());
+    compile(
+        &program,
+        &env,
+        &CompileOptions {
+            mode,
+            ..CompileOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("compile: {e}"))
+}
+
+/// Run a compiled program.
+///
+/// # Panics
+/// Panics on runtime failure.
+pub fn run_compiled(compiled: &Compiled, inputs: &HashMap<String, ArrayBuf>) -> ExecOutput {
+    run(compiled, inputs, &FuncTable::new()).unwrap_or_else(|e| panic!("run: {e}"))
+}
+
+/// Convenience: inputs map from name/buffer pairs.
+pub fn inputs(pairs: &[(&str, ArrayBuf)]) -> HashMap<String, ArrayBuf> {
+    pairs
+        .iter()
+        .map(|(n, b)| (n.to_string(), b.clone()))
+        .collect()
+}

@@ -1,0 +1,6 @@
+//! # hac-bench
+//!
+//! Criterion benchmark harness for the `hac` reproduction of Anderson &
+//! Hudak (PLDI 1990). The benches live in `benches/`; this library
+//! crate only hosts shared helpers re-exported for them.
+pub mod harness;

@@ -1,0 +1,18 @@
+//! # hac-codegen
+//!
+//! Thunkless code generation (§8) and in-place update code generation
+//! (§9) for the `hac` reproduction of Anderson & Hudak (PLDI 1990).
+//!
+//! Schedules from [`hac_schedule`] are lowered ([`lower`]) into the
+//! "Limp" loop-imperative IR ([`limp`]) — counted loops with chosen
+//! directions, direct stores into flat buffers, runtime checks only
+//! where the analysis could not discharge them, and synthesized
+//! node-splitting temporaries (precopy loops, carry-buffer ring saves).
+//! An instrumented VM executes Limp and reports exactly which runtime
+//! work was avoided: stores, loads, checks, copies, temporaries.
+
+pub mod limp;
+pub mod lower;
+
+pub use limp::{LProgram, LStmt, StoreCheck, Vm, VmCounters};
+pub use lower::{lower_array, lower_update, CheckMode, LowerError, LoweredUpdate};

@@ -1,0 +1,874 @@
+//! The end-to-end compilation pipeline:
+//! `parse → number → analyze → schedule → lower`, plus the executor.
+//!
+//! [`compile`] turns a [`Program`] into a sequence of executable units,
+//! choosing per array between thunkless Limp code (when §8 scheduling
+//! succeeds) and the thunked reference strategy (when it does not, or
+//! when forced for baseline measurements), eliding runtime checks the
+//! §4/§7 analysis discharged, and planning `bigupd` bindings for
+//! in-place execution per §9. [`run`] executes the units in binding
+//! order inside one instrumented VM.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use hac_analysis::analyze::{analyze_array, analyze_bigupd, AnalysisError, CollisionVerdict};
+use hac_analysis::search::TestPolicy;
+use hac_codegen::limp::{LProgram, Vm, VmCounters};
+use hac_codegen::lower::{lower_array, lower_update, CheckMode, LowerError, LoweredUpdate};
+use hac_lang::ast::{ArrayDef, ArrayKind, Binding, ClauseId, Comp, Program};
+use hac_lang::env::ConstEnv;
+use hac_lang::number::number_comp;
+use hac_lang::Affine;
+use hac_runtime::accum::eval_accum_with_scalars;
+use hac_runtime::error::RuntimeError;
+use hac_runtime::group::ThunkedGroup;
+use hac_runtime::reduce::eval_reduce;
+use hac_runtime::thunked::ThunkedCounters;
+use hac_runtime::value::{ArrayBuf, FuncTable};
+use hac_schedule::plan::ScheduleOutcome;
+use hac_schedule::scheduler::schedule;
+use hac_schedule::split::plan_update;
+
+use crate::report::{ArrayReport, Report, UpdateReport};
+
+/// Execution strategy selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Thunkless when the scheduler succeeds, thunked otherwise.
+    #[default]
+    Auto,
+    /// Always use the thunked reference strategy (baseline runs).
+    ForceThunked,
+    /// Thunkless, but keep all runtime checks even when the analysis
+    /// discharged them (baseline for E5/E6).
+    ForceChecked,
+}
+
+/// Compiler options.
+#[derive(Debug, Clone, Default)]
+pub struct CompileOptions {
+    pub policy: TestPolicy,
+    pub mode: ExecMode,
+}
+
+/// A compilation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    Analysis(AnalysisError),
+    Lower(LowerError),
+    /// The exact test proved two clauses always collide (§7: "If an
+    /// exact subscript test says a collision will definitely happen, we
+    /// flag an error").
+    CertainCollision {
+        array: String,
+        pair: (ClauseId, ClauseId),
+        /// The colliding element, when the analysis could name it.
+        element: Option<Vec<i64>>,
+    },
+    /// A `bigupd`'s flow dependences are unschedulable.
+    UnschedulableUpdate {
+        name: String,
+        reason: String,
+    },
+    /// Two bindings bound the same name.
+    DuplicateName(String),
+    /// A binding referenced an unknown base array.
+    UnknownBase(String),
+    /// An array bound did not fold to a constant.
+    NonConstantBound {
+        array: String,
+    },
+    /// A binding referenced an array already consumed by an in-place
+    /// update — single-threadedness (§9) would be violated.
+    UseAfterUpdate {
+        array: String,
+        user: String,
+    },
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Analysis(e) => write!(f, "{e}"),
+            CompileError::Lower(e) => write!(f, "{e}"),
+            CompileError::CertainCollision {
+                array,
+                pair,
+                element,
+            } => {
+                write!(
+                    f,
+                    "array `{array}`: clauses {} and {} definitely write the same element",
+                    pair.0, pair.1
+                )?;
+                if let Some(idx) = element {
+                    write!(f, " {idx:?}")?;
+                }
+                Ok(())
+            }
+            CompileError::UnschedulableUpdate { name, reason } => {
+                write!(f, "update `{name}` is unschedulable: {reason}")
+            }
+            CompileError::DuplicateName(n) => write!(f, "name `{n}` bound twice"),
+            CompileError::UnknownBase(n) => write!(f, "unknown base array `{n}`"),
+            CompileError::NonConstantBound { array } => {
+                write!(f, "array `{array}` has non-constant bounds")
+            }
+            CompileError::UseAfterUpdate { array, user } => write!(
+                f,
+                "`{user}` references `{array}`, whose storage was consumed by an \
+                 in-place update (single-threadedness, §9); read the update's \
+                 result instead"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<AnalysisError> for CompileError {
+    fn from(e: AnalysisError) -> Self {
+        CompileError::Analysis(e)
+    }
+}
+
+impl From<LowerError> for CompileError {
+    fn from(e: LowerError) -> Self {
+        CompileError::Lower(e)
+    }
+}
+
+/// One thunked-group member: `(name, bounds, comprehension)`.
+pub type GroupMember = (String, Vec<(i64, i64)>, Comp);
+
+/// One executable unit, in binding order.
+#[derive(Debug, Clone)]
+pub enum Unit {
+    /// An externally supplied array.
+    Input {
+        name: String,
+        bounds: Vec<(i64, i64)>,
+    },
+    /// A thunkless compiled array.
+    Thunkless { name: String, prog: LProgram },
+    /// A (possibly mutually recursive) group evaluated with thunks.
+    Thunked { defs: Vec<GroupMember> },
+    /// An accumulated array, evaluated strictly in list order.
+    Accum {
+        def: ArrayDef,
+        bounds: Vec<(i64, i64)>,
+    },
+    /// A planned `bigupd`.
+    Update {
+        name: String,
+        base: String,
+        lowered: LoweredUpdate,
+    },
+    /// A scalar reduction (§3.1 `foldl` over a comprehension),
+    /// executed as a DO loop with no intermediate list.
+    Reduce {
+        name: String,
+        op: hac_lang::ast::BinOp,
+        init: hac_lang::ast::Expr,
+        comp: Comp,
+    },
+}
+
+/// A compiled program.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    pub env: ConstEnv,
+    pub units: Vec<Unit>,
+    pub report: Report,
+}
+
+fn fold_bounds_i64(
+    def_name: &str,
+    bounds: &[(hac_lang::ast::Expr, hac_lang::ast::Expr)],
+    env: &ConstEnv,
+) -> Result<Vec<(i64, i64)>, CompileError> {
+    bounds
+        .iter()
+        .map(|(lo, hi)| {
+            let f = |e| match Affine::from_expr(e, env) {
+                Some(a) if a.is_constant() => Some(a.constant_part()),
+                _ => None,
+            };
+            match (f(lo), f(hi)) {
+                (Some(l), Some(h)) => Ok((l, h)),
+                _ => Err(CompileError::NonConstantBound {
+                    array: def_name.to_string(),
+                }),
+            }
+        })
+        .collect()
+}
+
+/// Compile a program against a parameter environment.
+///
+/// # Errors
+/// See [`CompileError`].
+pub fn compile(
+    program: &Program,
+    env: &ConstEnv,
+    options: &CompileOptions,
+) -> Result<Compiled, CompileError> {
+    // Number every comprehension in one id space.
+    let mut program = program.clone();
+    let (mut c, mut l) = (0u32, 0u32);
+    for b in &mut program.bindings {
+        match b {
+            Binding::Let(d) => number_comp(&mut d.comp, &mut c, &mut l),
+            Binding::LetrecStar(ds) => {
+                for d in ds {
+                    number_comp(&mut d.comp, &mut c, &mut l);
+                }
+            }
+            Binding::BigUpd { comp, .. } | Binding::Reduce { comp, .. } => {
+                number_comp(comp, &mut c, &mut l)
+            }
+            Binding::Input { .. } => {}
+        }
+    }
+
+    let mut seen: Vec<String> = Vec::new();
+    // Arrays whose storage an in-place update consumed: any later
+    // reference would observe the new values under the old name.
+    let mut consumed: Vec<String> = Vec::new();
+    let mut units = Vec::new();
+    let mut report = Report::default();
+
+    fn check_consumed(consumed: &[String], user: &str, comp: &Comp) -> Result<(), CompileError> {
+        let mut hit: Option<String> = None;
+        comp.walk(&mut |c| {
+            let mut scan = |e: &hac_lang::ast::Expr| {
+                for a in e.referenced_arrays() {
+                    if consumed.contains(&a) && hit.is_none() {
+                        hit = Some(a);
+                    }
+                }
+            };
+            match c {
+                Comp::Clause(sv) => {
+                    for s in &sv.subs {
+                        scan(s);
+                    }
+                    scan(&sv.value);
+                }
+                Comp::Guard { cond, .. } => scan(cond),
+                Comp::Let { binds, .. } => {
+                    for (_, e) in binds {
+                        scan(e);
+                    }
+                }
+                Comp::Gen { range, .. } => {
+                    scan(&range.lo);
+                    scan(&range.hi);
+                }
+                Comp::Append(_) => {}
+            }
+        });
+        match hit {
+            Some(array) => Err(CompileError::UseAfterUpdate {
+                array,
+                user: user.to_string(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    fn check_dup(seen: &mut Vec<String>, name: &str) -> Result<(), CompileError> {
+        if seen.iter().any(|s| s == name) {
+            return Err(CompileError::DuplicateName(name.to_string()));
+        }
+        seen.push(name.to_string());
+        Ok(())
+    }
+
+    for b in &program.bindings {
+        match b {
+            Binding::Input { name, bounds } => {
+                check_dup(&mut seen, name)?;
+                let bounds = fold_bounds_i64(name, bounds, env)?;
+                units.push(Unit::Input {
+                    name: name.clone(),
+                    bounds,
+                });
+            }
+            Binding::Let(def) => {
+                check_dup(&mut seen, &def.name)?;
+                check_consumed(&consumed, &def.name, &def.comp)?;
+                compile_group(
+                    std::slice::from_ref(def),
+                    env,
+                    options,
+                    &mut units,
+                    &mut report,
+                )?;
+            }
+            Binding::LetrecStar(defs) => {
+                for d in defs {
+                    check_dup(&mut seen, &d.name)?;
+                    check_consumed(&consumed, &d.name, &d.comp)?;
+                }
+                compile_group(defs, env, options, &mut units, &mut report)?;
+            }
+            Binding::Reduce {
+                name,
+                op,
+                init,
+                comp,
+            } => {
+                check_dup(&mut seen, name)?;
+                check_consumed(&consumed, name, comp)?;
+                report
+                    .reductions
+                    .push(format!("scalar `{name}` = fold ({op}) over comprehension"));
+                units.push(Unit::Reduce {
+                    name: name.clone(),
+                    op: *op,
+                    init: init.clone(),
+                    comp: comp.clone(),
+                });
+            }
+            Binding::BigUpd { name, base, comp } => {
+                check_dup(&mut seen, name)?;
+                check_consumed(&consumed, name, comp)?;
+                if consumed.iter().any(|s| s == base) {
+                    return Err(CompileError::UseAfterUpdate {
+                        array: base.clone(),
+                        user: name.clone(),
+                    });
+                }
+                if !seen.iter().any(|s| s == base) {
+                    return Err(CompileError::UnknownBase(base.clone()));
+                }
+                let analysis = analyze_bigupd(base, name, comp, env, &options.policy)?;
+                if let CollisionVerdict::Certain { pair, element, .. } = &analysis.collisions {
+                    return Err(CompileError::CertainCollision {
+                        array: name.clone(),
+                        pair: *pair,
+                        element: element.clone(),
+                    });
+                }
+                let update = plan_update(comp, &analysis).map_err(|r| {
+                    CompileError::UnschedulableUpdate {
+                        name: name.clone(),
+                        reason: r.to_string(),
+                    }
+                })?;
+                let lowered = lower_update(base, name, &analysis.refs, &update, env)?;
+                report
+                    .updates
+                    .push(UpdateReport::new(name, base, &analysis, &update, &lowered));
+                report.stats.absorb(&analysis.stats);
+                if lowered.in_place {
+                    consumed.push(base.clone());
+                }
+                units.push(Unit::Update {
+                    name: name.clone(),
+                    base: base.clone(),
+                    lowered,
+                });
+            }
+        }
+    }
+    Ok(Compiled {
+        env: env.clone(),
+        units,
+        report,
+    })
+}
+
+fn compile_group(
+    defs: &[ArrayDef],
+    env: &ConstEnv,
+    options: &CompileOptions,
+    units: &mut Vec<Unit>,
+    report: &mut Report,
+) -> Result<(), CompileError> {
+    // Accumulated arrays evaluate strictly on their own.
+    if defs.len() == 1 {
+        if let ArrayKind::Accumulated { .. } = defs[0].kind {
+            let def = &defs[0];
+            let analysis = analyze_array(def, env, &options.policy)?;
+            report.arrays.push(ArrayReport::accumulated(def, &analysis));
+            report.stats.absorb(&analysis.stats);
+            let bounds = analysis.bounds.clone();
+            units.push(Unit::Accum {
+                def: def.clone(),
+                bounds,
+            });
+            return Ok(());
+        }
+    }
+
+    // Mutual references inside a letrec* group defeat per-array
+    // scheduling: evaluate the whole group with thunks.
+    let names: Vec<&str> = defs.iter().map(|d| d.name.as_str()).collect();
+    let mutual = defs.len() > 1
+        && defs.iter().any(|d| {
+            d.comp.clauses().iter().any(|c| {
+                c.value
+                    .referenced_arrays()
+                    .iter()
+                    .any(|a| a != &d.name && names.contains(&a.as_str()))
+            })
+        });
+
+    if mutual || options.mode == ExecMode::ForceThunked {
+        let mut group = Vec::new();
+        for def in defs {
+            let analysis = analyze_array(def, env, &options.policy)?;
+            if let CollisionVerdict::Certain { pair, element, .. } = &analysis.collisions {
+                return Err(CompileError::CertainCollision {
+                    array: def.name.clone(),
+                    pair: *pair,
+                    element: element.clone(),
+                });
+            }
+            let reason = if mutual {
+                "mutually recursive letrec* group".to_string()
+            } else {
+                "thunked execution forced".to_string()
+            };
+            report
+                .arrays
+                .push(ArrayReport::thunked(def, &analysis, &reason));
+            report.stats.absorb(&analysis.stats);
+            group.push((def.name.clone(), analysis.bounds.clone(), def.comp.clone()));
+        }
+        units.push(Unit::Thunked { defs: group });
+        return Ok(());
+    }
+
+    for def in defs {
+        let analysis = analyze_array(def, env, &options.policy)?;
+        if let CollisionVerdict::Certain { pair, element, .. } = &analysis.collisions {
+            return Err(CompileError::CertainCollision {
+                array: def.name.clone(),
+                pair: *pair,
+                element: element.clone(),
+            });
+        }
+        match schedule(&def.comp, &analysis.flow.edges) {
+            ScheduleOutcome::Thunkless(plan) => {
+                let elidable = analysis.collisions.checks_elidable()
+                    && analysis.empties.checks_elidable()
+                    && analysis.oob == hac_analysis::analyze::BoundsVerdict::InBounds;
+                let checks = if options.mode == ExecMode::ForceChecked || !elidable {
+                    CheckMode::Checked
+                } else {
+                    CheckMode::Elide
+                };
+                let prog = lower_array(
+                    &def.name,
+                    &analysis.bounds,
+                    &analysis.refs,
+                    &plan,
+                    env,
+                    checks,
+                )?;
+                report.arrays.push(ArrayReport::thunkless(
+                    def,
+                    &analysis,
+                    &plan,
+                    checks == CheckMode::Elide,
+                ));
+                report.stats.absorb(&analysis.stats);
+                units.push(Unit::Thunkless {
+                    name: def.name.clone(),
+                    prog,
+                });
+            }
+            ScheduleOutcome::NeedsThunks(reason) => {
+                report
+                    .arrays
+                    .push(ArrayReport::thunked(def, &analysis, &reason.to_string()));
+                report.stats.absorb(&analysis.stats);
+                units.push(Unit::Thunked {
+                    defs: vec![(def.name.clone(), analysis.bounds.clone(), def.comp.clone())],
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Aggregated execution instrumentation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecCounters {
+    pub vm: VmCounters,
+    pub thunked: ThunkedCounters,
+}
+
+/// The result of running a compiled program.
+#[derive(Debug)]
+pub struct ExecOutput {
+    /// Every array bound by the program, by name.
+    pub arrays: HashMap<String, ArrayBuf>,
+    /// Every scalar reduction result, by name.
+    pub scalars: HashMap<String, f64>,
+    pub counters: ExecCounters,
+}
+
+impl ExecOutput {
+    /// Fetch one array.
+    ///
+    /// # Panics
+    /// Panics when the name is unknown — a programming error in the
+    /// caller.
+    pub fn array(&self, name: &str) -> &ArrayBuf {
+        self.arrays
+            .get(name)
+            .unwrap_or_else(|| panic!("no array `{name}` in output"))
+    }
+
+    /// Fetch one reduction result.
+    ///
+    /// # Panics
+    /// Panics when the name is unknown.
+    pub fn scalar(&self, name: &str) -> f64 {
+        *self
+            .scalars
+            .get(name)
+            .unwrap_or_else(|| panic!("no scalar `{name}` in output"))
+    }
+}
+
+/// Execute a compiled program.
+///
+/// # Errors
+/// Propagates runtime failures (missing inputs surface as
+/// [`RuntimeError::UnboundArray`]).
+pub fn run(
+    compiled: &Compiled,
+    inputs: &HashMap<String, ArrayBuf>,
+    funcs: &FuncTable,
+) -> Result<ExecOutput, RuntimeError> {
+    let mut arrays: HashMap<String, ArrayBuf> = HashMap::new();
+    let mut scalars: Vec<(String, f64)> = Vec::new();
+    let mut counters = ExecCounters::default();
+
+    for unit in &compiled.units {
+        match unit {
+            Unit::Input { name, bounds } => {
+                let buf = inputs
+                    .get(name)
+                    .ok_or_else(|| RuntimeError::UnboundArray(name.clone()))?;
+                debug_assert_eq!(&buf.bounds(), bounds, "input `{name}` shape mismatch");
+                arrays.insert(name.clone(), buf.clone());
+            }
+            Unit::Thunkless { name, prog } => {
+                let mut vm = Vm::new();
+                vm.with_funcs(funcs.clone());
+                for (p, v) in compiled.env.iter() {
+                    vm.set_global(p, v as f64);
+                }
+                for (n, v) in &scalars {
+                    vm.set_global(n.clone(), *v);
+                }
+                // Move the environment through the VM: no copies.
+                vm.bind_all(std::mem::take(&mut arrays));
+                vm.run(prog)?;
+                counters.vm = add_vm(counters.vm, vm.counters);
+                arrays = vm.into_arrays();
+                debug_assert!(arrays.contains_key(name), "program allocated its result");
+            }
+            Unit::Thunked { defs } => {
+                let triples: Vec<hac_runtime::group::GroupDef<'_>> = defs
+                    .iter()
+                    .map(|(n, b, c)| (n.as_str(), b.clone(), c))
+                    .collect();
+                let group = ThunkedGroup::build_with_scalars(
+                    &triples,
+                    &compiled.env,
+                    &scalars,
+                    &arrays,
+                    funcs,
+                )?;
+                let results = {
+                    let out = group.force_elements();
+                    let gc = group.counters();
+                    counters.thunked.thunks_allocated += gc.thunks_allocated;
+                    counters.thunked.demands += gc.demands;
+                    counters.thunked.memo_hits += gc.memo_hits;
+                    out?;
+                    group.into_strict()?
+                };
+                for (n, b) in results {
+                    arrays.insert(n, b);
+                }
+            }
+            Unit::Accum { def, bounds } => {
+                let ArrayKind::Accumulated {
+                    combine, default, ..
+                } = &def.kind
+                else {
+                    unreachable!("accum unit holds accumulated def")
+                };
+                let buf = eval_accum_with_scalars(
+                    &def.name,
+                    bounds,
+                    &def.comp,
+                    *combine,
+                    default,
+                    &compiled.env,
+                    &scalars,
+                    &arrays,
+                    funcs,
+                )?;
+                arrays.insert(def.name.clone(), buf);
+            }
+            Unit::Reduce {
+                name,
+                op,
+                init,
+                comp,
+            } => {
+                let v = eval_reduce(*op, init, comp, &compiled.env, &scalars, &arrays, funcs)?;
+                scalars.push((name.clone(), v));
+            }
+            Unit::Update {
+                name,
+                base,
+                lowered,
+            } => {
+                let mut vm = Vm::new();
+                vm.with_funcs(funcs.clone());
+                for (p, v) in compiled.env.iter() {
+                    vm.set_global(p, v as f64);
+                }
+                for (n, v) in &scalars {
+                    vm.set_global(n.clone(), *v);
+                }
+                vm.bind_all(std::mem::take(&mut arrays));
+                if lowered.in_place {
+                    vm.alias(name.clone(), base.clone());
+                }
+                vm.run(&lowered.prog)?;
+                counters.vm = add_vm(counters.vm, vm.counters);
+                arrays = vm.into_arrays();
+                if lowered.in_place {
+                    // The base's storage *is* the result; the compiler
+                    // rejected any later use of the consumed name.
+                    let buf = arrays
+                        .remove(base)
+                        .expect("in-place update mutated its base");
+                    arrays.insert(name.clone(), buf);
+                }
+            }
+        }
+    }
+    Ok(ExecOutput {
+        arrays,
+        scalars: scalars.into_iter().collect(),
+        counters,
+    })
+}
+
+fn add_vm(a: VmCounters, b: VmCounters) -> VmCounters {
+    VmCounters {
+        stores: a.stores + b.stores,
+        loads: a.loads + b.loads,
+        check_ops: a.check_ops + b.check_ops,
+        loop_iterations: a.loop_iterations + b.loop_iterations,
+        temp_elements: a.temp_elements + b.temp_elements,
+        elements_copied: a.elements_copied + b.elements_copied,
+        array_allocs: a.array_allocs + b.array_allocs,
+    }
+}
+
+/// Convenience: parse, compile, and run in one call.
+///
+/// # Errors
+/// Parse, compile, or runtime failures, boxed.
+pub fn compile_and_run(
+    source: &str,
+    env: &ConstEnv,
+    inputs: &HashMap<String, ArrayBuf>,
+) -> Result<ExecOutput, Box<dyn std::error::Error>> {
+    let program = hac_lang::parser::parse_program(source)?;
+    let compiled = compile(&program, env, &CompileOptions::default())?;
+    let out = run(&compiled, inputs, &FuncTable::new())?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hac_lang::parser::parse_program;
+
+    fn run_src(src: &str, n: i64) -> ExecOutput {
+        let env = ConstEnv::from_pairs([("n", n)]);
+        compile_and_run(src, &env, &HashMap::new()).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_recurrence() {
+        let out = run_src(
+            "param n;\nletrec* a = array (1,n) ([ 1 := 1 ] ++ [ i := a!(i-1) * 2 | i <- [2..n] ]);\n",
+            6,
+        );
+        assert_eq!(out.array("a").data(), &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0]);
+        // Thunkless: no thunks allocated, checks elided.
+        assert_eq!(out.counters.thunked.thunks_allocated, 0);
+        assert_eq!(out.counters.vm.check_ops, 0);
+    }
+
+    #[test]
+    fn end_to_end_wavefront() {
+        let out = run_src(
+            r#"
+param n;
+letrec* a = array ((1,1),(n,n))
+   ([ (1,j) := 1 | j <- [1..n] ] ++
+    [ (i,1) := 1 | i <- [2..n] ] ++
+    [ (i,j) := a!(i-1,j) + a!(i,j-1) + a!(i-1,j-1)
+       | i <- [2..n], j <- [2..n] ]);
+"#,
+            5,
+        );
+        assert_eq!(out.array("a").get("a", &[5, 5]).unwrap(), 321.0);
+        assert_eq!(out.counters.thunked.thunks_allocated, 0);
+    }
+
+    #[test]
+    fn forced_thunked_matches_thunkless() {
+        let src = "param n;\nletrec* a = array (1,n) \
+                   ([ n := 1 ] ++ [ i := a!(i+1) + i | i <- [1..n-1] ]);\n";
+        let env = ConstEnv::from_pairs([("n", 8)]);
+        let program = parse_program(src).unwrap();
+        let auto = compile(&program, &env, &CompileOptions::default()).unwrap();
+        let thunked = compile(
+            &program,
+            &env,
+            &CompileOptions {
+                mode: ExecMode::ForceThunked,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        let inputs = HashMap::new();
+        let funcs = FuncTable::new();
+        let a = run(&auto, &inputs, &funcs).unwrap();
+        let t = run(&thunked, &inputs, &funcs).unwrap();
+        assert_eq!(a.array("a").data(), t.array("a").data());
+        assert_eq!(a.counters.thunked.thunks_allocated, 0);
+        assert_eq!(t.counters.thunked.thunks_allocated, 8);
+    }
+
+    #[test]
+    fn inputs_flow_through() {
+        let src = "param n;\ninput u (1,n);\nlet a = array (1,n) [ i := u!i * 2 | i <- [1..n] ];\n";
+        let env = ConstEnv::from_pairs([("n", 3)]);
+        let program = parse_program(src).unwrap();
+        let compiled = compile(&program, &env, &CompileOptions::default()).unwrap();
+        let mut u = ArrayBuf::new(&[(1, 3)], 0.0);
+        for i in 1..=3 {
+            u.set("u", &[i], i as f64).unwrap();
+        }
+        let mut inputs = HashMap::new();
+        inputs.insert("u".to_string(), u);
+        let out = run(&compiled, &inputs, &FuncTable::new()).unwrap();
+        assert_eq!(out.array("a").data(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn mutual_letrec_falls_back_to_thunked_group() {
+        let src = r#"
+param n;
+letrec* a = array (1,n) ([ 1 := 1 ] ++ [ i := b!(i-1) + 1 | i <- [2..n] ])
+      and b = array (1,n) [ i := a!i * 2 | i <- [1..n] ];
+"#;
+        let out = run_src(src, 4);
+        assert_eq!(out.array("a").data(), &[1.0, 3.0, 7.0, 15.0]);
+        assert_eq!(out.array("b").data(), &[2.0, 6.0, 14.0, 30.0]);
+        assert!(out.counters.thunked.thunks_allocated > 0);
+    }
+
+    #[test]
+    fn certain_collision_is_compile_error() {
+        let src = "param n;\nlet a = array (1,n) ([ i := 0 | i <- [1..n] ] ++ [ 3 := 1 ]);\n";
+        let env = ConstEnv::from_pairs([("n", 5)]);
+        let program = parse_program(src).unwrap();
+        let err = compile(&program, &env, &CompileOptions::default()).unwrap_err();
+        assert!(matches!(err, CompileError::CertainCollision { .. }));
+    }
+
+    #[test]
+    fn possible_collision_gets_runtime_checks() {
+        // A guard hides the collision from the "certain" verdict, so
+        // checks are compiled; at runtime the collision is caught.
+        let src = "param n;\nlet a = array (1,n) \
+                   ([ i := 0 | i <- [1..n], i < n ] ++ [ 3 := 1 ]);\n";
+        let env = ConstEnv::from_pairs([("n", 5)]);
+        let program = parse_program(src).unwrap();
+        let compiled = compile(&program, &env, &CompileOptions::default()).unwrap();
+        let err = run(&compiled, &HashMap::new(), &FuncTable::new()).unwrap_err();
+        assert!(matches!(err, RuntimeError::WriteCollision { .. }));
+    }
+
+    #[test]
+    fn bigupd_end_to_end_row_swap() {
+        let src = r#"
+param n;
+letrec* a = array ((1,1),(2,n)) [ (i,j) := i * 10 + j | i <- [1..2], j <- [1..n] ];
+b = bigupd a ([ (1,j) := a!(2,j) | j <- [1..n] ] ++ [ (2,j) := a!(1,j) | j <- [1..n] ]);
+"#;
+        let out = run_src(src, 4);
+        let b = out.array("b");
+        for j in 1..=4 {
+            assert_eq!(b.get("b", &[1, j]).unwrap(), (20 + j) as f64);
+            assert_eq!(b.get("b", &[2, j]).unwrap(), (10 + j) as f64);
+        }
+        assert_eq!(out.counters.vm.elements_copied, 0, "in place");
+        assert_eq!(out.counters.vm.temp_elements, 4, "one row temp");
+    }
+
+    #[test]
+    fn accum_array_unit() {
+        let src = "param n;\nlet h = accumArray (+) 0 (0,2) [ i mod 3 := 1.0 | i <- [1..n] ];\n";
+        let out = run_src(src, 9);
+        assert_eq!(out.array("h").data(), &[3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn thunk_fallback_for_unschedulable() {
+        // An indirect subscript (`p!i`) defeats the linear analysis, so
+        // the scheduler falls back to thunks — which evaluate the
+        // dynamic dependence chain just fine.
+        let src = r#"
+param n;
+input p (1,n);
+letrec* a = array (1,n) [ i := if i == 1 then 1 else a!(p!i) + 1 | i <- [1..n] ];
+"#;
+        let env = ConstEnv::from_pairs([("n", 5)]);
+        let program = parse_program(src).unwrap();
+        let compiled = compile(&program, &env, &CompileOptions::default()).unwrap();
+        let mut p = ArrayBuf::new(&[(1, 5)], 0.0);
+        for i in 1..=5 {
+            p.set("p", &[i], (i - 1).max(1) as f64).unwrap();
+        }
+        let mut inputs = HashMap::new();
+        inputs.insert("p".to_string(), p);
+        let out = run(&compiled, &inputs, &FuncTable::new()).unwrap();
+        assert_eq!(out.array("a").data(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(
+            out.counters.thunked.thunks_allocated > 0,
+            "thunked fallback"
+        );
+    }
+
+    #[test]
+    fn report_renders() {
+        let src = "param n;\nletrec* a = array (1,n) ([ 1 := 1 ] ++ [ i := a!(i-1) * 2 | i <- [2..n] ]);\n";
+        let env = ConstEnv::from_pairs([("n", 6)]);
+        let program = parse_program(src).unwrap();
+        let compiled = compile(&program, &env, &CompileOptions::default()).unwrap();
+        let text = compiled.report.render();
+        assert!(text.contains("a"), "{text}");
+        assert!(text.contains("thunkless"), "{text}");
+    }
+}

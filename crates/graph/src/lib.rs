@@ -1,0 +1,32 @@
+//! # hac-graph
+//!
+//! Graph substrate for the `hac` reproduction of Anderson & Hudak
+//! (PLDI 1990): a labeled directed multigraph, Tarjan's strongly
+//! connected components with condensation, topological sorting, and the
+//! paper's 'ready'/'not-ready' marking algorithm (§8.1.3) that drives
+//! multi-pass loop scheduling.
+//!
+//! # Example
+//!
+//! ```
+//! use hac_graph::{DiGraph, NodeId, tarjan_scc, topo_sort, TopoResult};
+//!
+//! let mut g: DiGraph<&str> = DiGraph::with_nodes(3);
+//! g.add_edge(NodeId(0), NodeId(1), "flow");
+//! g.add_edge(NodeId(1), NodeId(2), "anti");
+//! assert_eq!(tarjan_scc(&g).len(), 3);
+//! match topo_sort(&g) {
+//!     TopoResult::Sorted(order) => assert_eq!(order[0], NodeId(0)),
+//!     TopoResult::Cycle(_) => unreachable!(),
+//! }
+//! ```
+
+pub mod digraph;
+pub mod ready;
+pub mod scc;
+pub mod topo;
+
+pub use digraph::{DiGraph, Edge, EdgeId, NodeId};
+pub use ready::{mark_not_ready, ready_nodes};
+pub use scc::{tarjan_scc, Sccs};
+pub use topo::{is_topological, topo_sort, TopoResult};

@@ -1,0 +1,240 @@
+//! Strongly connected components (iterative Tarjan) and the
+//! condensation (quotient) graph used by the scheduler (§8.1.2:
+//! "Consider the quotient graph we get by collapsing each SCC to a
+//! single vertex").
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// The SCC decomposition of a graph.
+///
+/// Components are numbered in *reverse topological order of discovery*;
+/// [`Sccs::condensation`] returns a DAG whose vertices are components.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sccs {
+    /// `component[v]` = index of v's component.
+    pub component: Vec<usize>,
+    /// Members of each component, in graph order.
+    pub members: Vec<Vec<NodeId>>,
+}
+
+impl Sccs {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when the graph had no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Component index of a vertex.
+    pub fn component_of(&self, n: NodeId) -> usize {
+        self.component[n.0]
+    }
+
+    /// `true` if the component is a genuine cycle: more than one member,
+    /// or a single member with a self-loop in `g`.
+    pub fn is_cyclic<L>(&self, idx: usize, g: &DiGraph<L>) -> bool {
+        if self.members[idx].len() > 1 {
+            return true;
+        }
+        let v = self.members[idx][0];
+        g.out_edges(v).any(|(_, e)| e.dst == v)
+    }
+
+    /// Build the condensation: one vertex per component, one edge per
+    /// original cross-component edge (labels preserved, parallel edges
+    /// kept). Intra-component edges are discarded.
+    pub fn condensation<L: Clone>(&self, g: &DiGraph<L>) -> DiGraph<L> {
+        let mut q: DiGraph<L> = DiGraph::with_nodes(self.len());
+        for (_, e) in g.edges() {
+            let cs = self.component[e.src.0];
+            let cd = self.component[e.dst.0];
+            if cs != cd {
+                q.add_edge(NodeId(cs), NodeId(cd), e.label.clone());
+            }
+        }
+        q
+    }
+}
+
+/// Compute SCCs with an iterative Tarjan's algorithm,
+/// `O(max(|V|, |E|))`.
+pub fn tarjan_scc<L>(g: &DiGraph<L>) -> Sccs {
+    let n = g.node_count();
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut component = vec![UNSET; n];
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+
+    // Explicit DFS frames: (node, iterator position over successors).
+    enum Frame {
+        Enter(usize),
+        Continue(usize, usize), // node, next successor position
+    }
+
+    for start in 0..n {
+        if index[start] != UNSET {
+            continue;
+        }
+        let mut frames = vec![Frame::Enter(start)];
+        while let Some(frame) = frames.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    frames.push(Frame::Continue(v, 0));
+                }
+                Frame::Continue(v, mut pos) => {
+                    let succs: Vec<usize> = g.successors(NodeId(v)).map(|m| m.0).collect();
+                    let mut descended = false;
+                    while pos < succs.len() {
+                        let w = succs[pos];
+                        pos += 1;
+                        if index[w] == UNSET {
+                            frames.push(Frame::Continue(v, pos));
+                            frames.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w] {
+                            lowlink[v] = lowlink[v].min(index[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    // All successors done: maybe pop a component.
+                    if lowlink[v] == index[v] {
+                        let cid = members.len();
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            component[w] = cid;
+                            comp.push(NodeId(w));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort();
+                        members.push(comp);
+                    }
+                    // Propagate lowlink to parent.
+                    if let Some(Frame::Continue(p, _)) = frames.last() {
+                        let p = *p;
+                        lowlink[p] = lowlink[p].min(lowlink[v]);
+                    }
+                }
+            }
+        }
+    }
+
+    Sccs { component, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let mut g: DiGraph<()> = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), ());
+        g.add_edge(NodeId(1), NodeId(2), ());
+        g.add_edge(NodeId(2), NodeId(0), ());
+        let s = tarjan_scc(&g);
+        assert_eq!(s.len(), 1);
+        assert!(s.is_cyclic(0, &g));
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let mut g: DiGraph<()> = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), ());
+        g.add_edge(NodeId(1), NodeId(2), ());
+        g.add_edge(NodeId(0), NodeId(3), ());
+        let s = tarjan_scc(&g);
+        assert_eq!(s.len(), 4);
+        for i in 0..4 {
+            assert!(!s.is_cyclic(i, &g));
+        }
+    }
+
+    #[test]
+    fn self_loop_is_cyclic_singleton() {
+        let mut g: DiGraph<()> = DiGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(0), ());
+        let s = tarjan_scc(&g);
+        assert_eq!(s.len(), 2);
+        let c0 = s.component_of(NodeId(0));
+        assert!(s.is_cyclic(c0, &g));
+        let c1 = s.component_of(NodeId(1));
+        assert!(!s.is_cyclic(c1, &g));
+    }
+
+    #[test]
+    fn mixed_graph_components() {
+        // 0<->1 cycle, 2->0, 2->3, 3 isolated-ish
+        let mut g: DiGraph<i32> = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 1);
+        g.add_edge(NodeId(1), NodeId(0), 2);
+        g.add_edge(NodeId(2), NodeId(0), 3);
+        g.add_edge(NodeId(2), NodeId(3), 4);
+        let s = tarjan_scc(&g);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.component_of(NodeId(0)), s.component_of(NodeId(1)));
+        assert_ne!(s.component_of(NodeId(2)), s.component_of(NodeId(0)));
+    }
+
+    #[test]
+    fn condensation_is_dag_with_labels() {
+        let mut g: DiGraph<&'static str> = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), "in-scc");
+        g.add_edge(NodeId(1), NodeId(0), "in-scc");
+        g.add_edge(NodeId(1), NodeId(2), "cross-a");
+        g.add_edge(NodeId(0), NodeId(2), "cross-b");
+        g.add_edge(NodeId(2), NodeId(3), "cross-c");
+        let s = tarjan_scc(&g);
+        let q = s.condensation(&g);
+        assert_eq!(q.node_count(), 3);
+        assert_eq!(q.edge_count(), 3, "intra-SCC edges dropped, parallel kept");
+        // Condensation of any graph is acyclic.
+        let qs = tarjan_scc(&q);
+        assert_eq!(qs.len(), q.node_count());
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        // 10_000-node path exercises the iterative DFS.
+        let n = 10_000;
+        let mut g: DiGraph<()> = DiGraph::with_nodes(n);
+        for i in 0..n - 1 {
+            g.add_edge(NodeId(i), NodeId(i + 1), ());
+        }
+        let s = tarjan_scc(&g);
+        assert_eq!(s.len(), n);
+    }
+
+    #[test]
+    fn two_cycles_bridged() {
+        // (0,1) cycle -> (2,3) cycle
+        let mut g: DiGraph<()> = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), ());
+        g.add_edge(NodeId(1), NodeId(0), ());
+        g.add_edge(NodeId(1), NodeId(2), ());
+        g.add_edge(NodeId(2), NodeId(3), ());
+        g.add_edge(NodeId(3), NodeId(2), ());
+        let s = tarjan_scc(&g);
+        assert_eq!(s.len(), 2);
+        let q = s.condensation(&g);
+        assert_eq!(q.edge_count(), 1);
+    }
+}

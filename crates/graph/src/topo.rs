@@ -1,0 +1,146 @@
+//! Topological sorting (Kahn's algorithm).
+//!
+//! Used for ordering entities within a single loop instance by `(=)`
+//! edges (§8.1.4) and for ordering SCCs / passes of the condensation.
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Result of a topological sort attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopoResult {
+    /// A valid topological order (sources first). Deterministic: among
+    /// ready vertices, the smallest id is emitted first.
+    Sorted(Vec<NodeId>),
+    /// The graph has a cycle; the returned vertices are those on cycles
+    /// (every vertex that could not be scheduled).
+    Cycle(Vec<NodeId>),
+}
+
+impl TopoResult {
+    /// The order, if acyclic.
+    pub fn order(&self) -> Option<&[NodeId]> {
+        match self {
+            TopoResult::Sorted(v) => Some(v),
+            TopoResult::Cycle(_) => None,
+        }
+    }
+
+    /// `true` when a cycle was found.
+    pub fn is_cyclic(&self) -> bool {
+        matches!(self, TopoResult::Cycle(_))
+    }
+}
+
+/// Topologically sort the graph. Self-loops count as cycles.
+pub fn topo_sort<L>(g: &DiGraph<L>) -> TopoResult {
+    let n = g.node_count();
+    let mut indeg: Vec<usize> = (0..n).map(|v| g.in_degree(NodeId(v))).collect();
+    // A min-heap over ready vertices for deterministic output.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut ready: BinaryHeap<Reverse<usize>> = BinaryHeap::new();
+    for (v, &d) in indeg.iter().enumerate() {
+        if d == 0 {
+            ready.push(Reverse(v));
+        }
+    }
+    let mut order = Vec::with_capacity(n);
+    while let Some(Reverse(v)) = ready.pop() {
+        order.push(NodeId(v));
+        for m in g.successors(NodeId(v)) {
+            indeg[m.0] -= 1;
+            if indeg[m.0] == 0 {
+                ready.push(Reverse(m.0));
+            }
+        }
+    }
+    if order.len() == n {
+        TopoResult::Sorted(order)
+    } else {
+        let scheduled: Vec<bool> = {
+            let mut s = vec![false; n];
+            for v in &order {
+                s[v.0] = true;
+            }
+            s
+        };
+        TopoResult::Cycle((0..n).filter(|&v| !scheduled[v]).map(NodeId).collect())
+    }
+}
+
+/// Verify that `order` is a topological order of `g` (every edge goes
+/// forward). Useful as a test oracle.
+pub fn is_topological<L>(g: &DiGraph<L>, order: &[NodeId]) -> bool {
+    if order.len() != g.node_count() {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; g.node_count()];
+    for (i, v) in order.iter().enumerate() {
+        pos[v.0] = i;
+    }
+    if pos.contains(&usize::MAX) {
+        return false;
+    }
+    g.edges().all(|(_, e)| {
+        // Self-loops can never be satisfied.
+        e.src != e.dst && pos[e.src.0] < pos[e.dst.0]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_a_dag() {
+        let mut g: DiGraph<()> = DiGraph::with_nodes(4);
+        g.add_edge(NodeId(2), NodeId(0), ());
+        g.add_edge(NodeId(0), NodeId(1), ());
+        g.add_edge(NodeId(1), NodeId(3), ());
+        match topo_sort(&g) {
+            TopoResult::Sorted(order) => {
+                assert!(is_topological(&g, &order));
+                assert_eq!(order[0], NodeId(2));
+            }
+            other => panic!("expected sorted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_cycle_members() {
+        let mut g: DiGraph<()> = DiGraph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), ());
+        g.add_edge(NodeId(1), NodeId(0), ());
+        match topo_sort(&g) {
+            TopoResult::Cycle(vs) => assert_eq!(vs, vec![NodeId(0), NodeId(1)]),
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_loop_is_cycle() {
+        let mut g: DiGraph<()> = DiGraph::with_nodes(1);
+        g.add_edge(NodeId(0), NodeId(0), ());
+        assert!(topo_sort(&g).is_cyclic());
+    }
+
+    #[test]
+    fn deterministic_among_ready() {
+        let g: DiGraph<()> = DiGraph::with_nodes(3);
+        match topo_sort(&g) {
+            TopoResult::Sorted(order) => {
+                assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2)]);
+            }
+            other => panic!("expected sorted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oracle_rejects_bad_order() {
+        let mut g: DiGraph<()> = DiGraph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), ());
+        assert!(!is_topological(&g, &[NodeId(1), NodeId(0)]));
+        assert!(is_topological(&g, &[NodeId(0), NodeId(1)]));
+        assert!(!is_topological(&g, &[NodeId(0)]));
+    }
+}

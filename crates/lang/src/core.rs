@@ -1,0 +1,154 @@
+//! The `TE` translation of nested comprehensions into primitive list
+//! constructs (§3.1 of the paper).
+//!
+//! ```text
+//! TE{ [* E | i <- L *] }    = flatmap (\i . TE{E}) L
+//! TE{ [* E | B *] }         = if B then TE{E} else []
+//! TE{ E1 ++ E2 }            = TE{E1} ++ TE{E2}
+//! TE{ let BINDS in E }      = let BINDS in TE{E}
+//! TE{ [E] }                 = [E]
+//! ```
+//!
+//! [`CoreList`] is the target term language. It makes the semantics of
+//! nested comprehensions precise and serves as the *naive* (cons-cell
+//! allocating) evaluation strategy that the deforested loop pipeline is
+//! benchmarked against (experiment E11).
+
+use crate::ast::{Comp, Expr, Range, SvClause};
+
+/// A primitive list-language term producing a list of s/v pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreList {
+    /// `[]`.
+    Nil,
+    /// `[s := v]` — a singleton list.
+    Singleton(SvClause),
+    /// `l1 ++ l2`.
+    Append(Box<CoreList>, Box<CoreList>),
+    /// `flatmap (\var . body) [range]`.
+    FlatMap {
+        var: String,
+        range: Range,
+        body: Box<CoreList>,
+    },
+    /// `if cond then body else []`.
+    If { cond: Expr, body: Box<CoreList> },
+    /// `let binds in body`.
+    Let {
+        binds: Vec<(String, Expr)>,
+        body: Box<CoreList>,
+    },
+}
+
+impl CoreList {
+    /// Count the syntactic `flatmap` nodes (loop structure metric).
+    pub fn flatmap_count(&self) -> usize {
+        match self {
+            CoreList::Nil | CoreList::Singleton(_) => 0,
+            CoreList::Append(a, b) => a.flatmap_count() + b.flatmap_count(),
+            CoreList::FlatMap { body, .. } => 1 + body.flatmap_count(),
+            CoreList::If { body, .. } | CoreList::Let { body, .. } => body.flatmap_count(),
+        }
+    }
+
+    /// Count the singleton (clause) leaves.
+    pub fn singleton_count(&self) -> usize {
+        match self {
+            CoreList::Nil => 0,
+            CoreList::Singleton(_) => 1,
+            CoreList::Append(a, b) => a.singleton_count() + b.singleton_count(),
+            CoreList::FlatMap { body, .. }
+            | CoreList::If { body, .. }
+            | CoreList::Let { body, .. } => body.singleton_count(),
+        }
+    }
+}
+
+/// The `TE` translation: nested comprehension → primitive list term.
+pub fn translate(comp: &Comp) -> CoreList {
+    match comp {
+        Comp::Append(cs) => {
+            let mut terms: Vec<CoreList> = cs.iter().map(translate).collect();
+            // Right-fold into binary appends: e1 ++ (e2 ++ (...)).
+            let mut acc = terms.pop().unwrap_or(CoreList::Nil);
+            while let Some(t) = terms.pop() {
+                acc = CoreList::Append(Box::new(t), Box::new(acc));
+            }
+            acc
+        }
+        Comp::Gen {
+            var, range, body, ..
+        } => CoreList::FlatMap {
+            var: var.clone(),
+            range: range.clone(),
+            body: Box::new(translate(body)),
+        },
+        Comp::Guard { cond, body } => CoreList::If {
+            cond: cond.clone(),
+            body: Box::new(translate(body)),
+        },
+        Comp::Let { binds, body } => CoreList::Let {
+            binds: binds.clone(),
+            body: Box::new(translate(body)),
+        },
+        Comp::Clause(sv) => CoreList::Singleton(sv.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_comp;
+
+    #[test]
+    fn te_translates_generators_to_flatmaps() {
+        let c = parse_comp("[ (i,j) := 0 | i <- [1..4], j <- [1..5] ]").unwrap();
+        let t = translate(&c);
+        assert_eq!(t.flatmap_count(), 2);
+        assert_eq!(t.singleton_count(), 1);
+        match t {
+            CoreList::FlatMap { var, body, .. } => {
+                assert_eq!(var, "i");
+                assert!(matches!(*body, CoreList::FlatMap { .. }));
+            }
+            other => panic!("expected flatmap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn te_translates_guard_to_if() {
+        let c = parse_comp("[ i := 1 | i <- [1..10], i > 3 ]").unwrap();
+        let t = translate(&c);
+        match t {
+            CoreList::FlatMap { body, .. } => assert!(matches!(*body, CoreList::If { .. })),
+            other => panic!("expected flatmap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn te_translates_append_right_nested() {
+        let c = parse_comp("[ 1 := 0 ] ++ [ 2 := 0 ] ++ [ 3 := 0 ]").unwrap();
+        let t = translate(&c);
+        match t {
+            CoreList::Append(a, b) => {
+                assert!(matches!(*a, CoreList::Singleton(_)));
+                assert!(matches!(*b, CoreList::Append(_, _)));
+            }
+            other => panic!("expected append, got {other:?}"),
+        }
+        assert_eq!(
+            translate(&parse_comp("[ 1 := 0 ]").unwrap()).singleton_count(),
+            1
+        );
+    }
+
+    #[test]
+    fn te_preserves_lets() {
+        let c = parse_comp("[ i := v where v = i + 1 | i <- [1..3] ]").unwrap();
+        let t = translate(&c);
+        match t {
+            CoreList::FlatMap { body, .. } => assert!(matches!(*body, CoreList::Let { .. })),
+            other => panic!("expected flatmap, got {other:?}"),
+        }
+    }
+}

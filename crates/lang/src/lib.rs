@@ -1,0 +1,62 @@
+//! # hac-lang
+//!
+//! Front end for the `hac` reproduction of Anderson & Hudak,
+//! *"Compilation of Haskell Array Comprehensions for Scientific
+//! Computing"* (PLDI 1990).
+//!
+//! This crate defines the paper's generalized-Haskell surface language —
+//! array comprehensions over *nested list comprehensions* `[* ... *]`,
+//! the `:=` subscript/value operator, strict-context recursion
+//! `letrec*`, and the semi-monolithic update `bigupd` — together with:
+//!
+//! * a lexer and recursive-descent parser ([`parser::parse_program`]),
+//! * a pretty-printer that round-trips through the parser
+//!   ([`pretty::program_to_string`]),
+//! * the `TE` translation of nested comprehensions into primitive list
+//!   constructs ([`core::translate`], §3.1 of the paper),
+//! * clause/loop numbering and loop-nest extraction ([`number`]),
+//! * loop normalization to `[1..M]` step 1 and affine subscript
+//!   extraction ([`normalize`], [`affine`], §6).
+//!
+//! # Example
+//!
+//! ```
+//! use hac_lang::parser::parse_program;
+//! use hac_lang::number::{clause_contexts, number_clauses};
+//!
+//! let mut program = parse_program(
+//!     "param n;\n\
+//!      letrec* a = array (1,n)\n\
+//!        [ i := if i == 1 then 1 else a!(i-1) + 1 | i <- [1..n] ];\n",
+//! )?;
+//! let def = match &mut program.bindings[0] {
+//!     hac_lang::ast::Binding::LetrecStar(defs) => &mut defs[0],
+//!     _ => unreachable!(),
+//! };
+//! number_clauses(&mut def.comp);
+//! let contexts = clause_contexts(&def.comp);
+//! assert_eq!(contexts.len(), 1);
+//! assert_eq!(contexts[0].depth(), 1);
+//! # Ok::<(), hac_lang::parser::ParseError>(())
+//! ```
+
+pub mod affine;
+pub mod ast;
+pub mod build;
+pub mod core;
+pub mod env;
+pub mod lexer;
+pub mod normalize;
+pub mod number;
+pub mod parser;
+pub mod pretty;
+
+pub use affine::Affine;
+pub use ast::{
+    ArrayDef, ArrayKind, BinOp, Binding, ClauseId, Comp, Expr, LoopId, Program, Range, SvClause,
+    UnOp,
+};
+pub use env::ConstEnv;
+pub use normalize::{normalize_loop, normalize_nest, NormalizedLoop};
+pub use number::{clause_contexts, number_clauses, ClauseContext, LoopFrame, PathStep};
+pub use parser::{parse_comp, parse_expr, parse_program, ParseError};

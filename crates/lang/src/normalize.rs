@@ -1,0 +1,351 @@
+//! Loop normalization (§6: "the loops have been normalized: the low
+//! value of the index is 1, and the index increment is 1").
+//!
+//! Every generator `i <- [lo, lo+step .. hi]` is rewritten to a
+//! normalized index `x ∈ [1..M]` with `i = lo + (x-1)·step`. When the
+//! subscript expressions are linear in the original indices they remain
+//! linear after substitution, and the dependence tests operate on the
+//! normalized coefficients. Normalized loop variables are keyed by
+//! [`LoopId`] (rendered `L<k>`) so that same-named indices of different
+//! generators can never be confused.
+
+use std::fmt;
+
+use crate::affine::Affine;
+use crate::ast::{Expr, LoopId};
+use crate::env::ConstEnv;
+use crate::number::{ClauseContext, LoopFrame, PathStep};
+
+/// A normalization failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NormalizeError {
+    /// A loop bound is not an affine constant under the parameter
+    /// environment (e.g. depends on an unbound parameter or an array).
+    NonConstantBound { var: String, bound: String },
+    /// A triangular loop — the bound depends on an outer loop index.
+    /// Supported by neither the paper's §6 formulation nor this
+    /// implementation.
+    TriangularBound { var: String, bound: String },
+}
+
+impl fmt::Display for NormalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalizeError::NonConstantBound { var, bound } => write!(
+                f,
+                "loop `{var}` has non-constant bound `{bound}` (bind all parameters)"
+            ),
+            NormalizeError::TriangularBound { var, bound } => write!(
+                f,
+                "loop `{var}` has triangular bound `{bound}` depending on an outer index"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for NormalizeError {}
+
+/// A generator rewritten to run over `x ∈ [1..size]` with
+/// `original = lo + (x-1)·step`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NormalizedLoop {
+    pub id: LoopId,
+    /// The original index variable name (for diagnostics/codegen).
+    pub var: String,
+    /// Iteration count `M_k` (zero for an empty loop).
+    pub size: i64,
+    /// Original low value.
+    pub lo: i64,
+    /// Original (nonzero) step.
+    pub step: i64,
+}
+
+impl NormalizedLoop {
+    /// The canonical name of the normalized index variable.
+    pub fn norm_var(&self) -> String {
+        format!("L{}", self.id.0)
+    }
+
+    /// The original index as an affine form of the normalized index:
+    /// `lo + (x-1)·step = (lo - step) + step·x`.
+    pub fn original_as_affine(&self) -> Affine {
+        Affine::term(self.norm_var(), self.step).add(&Affine::constant(self.lo - self.step))
+    }
+
+    /// Original index value at normalized position `x` (1-based).
+    pub fn original_at(&self, x: i64) -> i64 {
+        self.lo + (x - 1) * self.step
+    }
+}
+
+/// Normalize a single generator under a parameter environment.
+///
+/// # Errors
+/// Fails when a bound does not fold to a constant ([`NormalizeError`]).
+pub fn normalize_loop(frame: &LoopFrame, env: &ConstEnv) -> Result<NormalizedLoop, NormalizeError> {
+    let fold = |e: &Expr| -> Result<i64, NormalizeError> {
+        match Affine::from_expr(e, env) {
+            Some(a) if a.is_constant() => Ok(a.constant_part()),
+            Some(a) => Err(NormalizeError::TriangularBound {
+                var: frame.var.clone(),
+                bound: a.to_string(),
+            }),
+            None => Err(NormalizeError::NonConstantBound {
+                var: frame.var.clone(),
+                bound: crate::pretty::expr_str(e),
+            }),
+        }
+    };
+    let lo = fold(&frame.range.lo)?;
+    let hi = fold(&frame.range.hi)?;
+    let step = frame.range.step;
+    debug_assert!(step != 0, "parser guarantees nonzero step");
+    let size = if step > 0 {
+        if hi >= lo {
+            (hi - lo) / step + 1
+        } else {
+            0
+        }
+    } else if hi <= lo {
+        (lo - hi) / (-step) + 1
+    } else {
+        0
+    };
+    Ok(NormalizedLoop {
+        id: frame.id,
+        var: frame.var.clone(),
+        size,
+        lo,
+        step,
+    })
+}
+
+/// Normalize every loop on a clause's path, outermost first.
+///
+/// # Errors
+/// Propagates the first [`NormalizeError`].
+pub fn normalize_nest(
+    ctx: &ClauseContext,
+    env: &ConstEnv,
+) -> Result<Vec<NormalizedLoop>, NormalizeError> {
+    ctx.loops()
+        .into_iter()
+        .map(|f| normalize_loop(f, env))
+        .collect()
+}
+
+/// Inline `let` bindings from a clause's path (and inside the
+/// expression itself) into an expression, innermost binding last, so
+/// that subscript extraction sees through common-subexpression naming.
+pub fn inline_path_lets(ctx: &ClauseContext, expr: &Expr) -> Expr {
+    // First inline lets *inside* the expression.
+    let mut e = inline_expr_lets(expr);
+    // Then substitute path bindings, innermost (rightmost) first so
+    // shadowing resolves to the nearest binder. A path binding's RHS may
+    // itself use outer bindings, so each substituted RHS is processed
+    // against the remaining outer path.
+    let lets: Vec<&Vec<(String, Expr)>> = ctx
+        .path
+        .iter()
+        .filter_map(|s| match s {
+            PathStep::Let(b) => Some(b),
+            _ => None,
+        })
+        .collect();
+    for binds in lets.iter().rev() {
+        for (name, rhs) in binds.iter().rev() {
+            let rhs = inline_expr_lets(rhs);
+            e = e.subst(name, &rhs);
+        }
+    }
+    e
+}
+
+/// Inline all `let` expressions within `e` (non-recursive bindings,
+/// left-to-right).
+pub fn inline_expr_lets(e: &Expr) -> Expr {
+    match e {
+        Expr::Let { binds, body } => {
+            let mut out = inline_expr_lets(body);
+            for (name, rhs) in binds.iter().rev() {
+                let rhs = inline_expr_lets(rhs);
+                out = out.subst(name, &rhs);
+            }
+            out
+        }
+        Expr::Num(_) | Expr::Int(_) | Expr::Var(_) => e.clone(),
+        Expr::Index { array, subs } => Expr::Index {
+            array: array.clone(),
+            subs: subs.iter().map(inline_expr_lets).collect(),
+        },
+        Expr::Binary { op, lhs, rhs } => {
+            Expr::bin(*op, inline_expr_lets(lhs), inline_expr_lets(rhs))
+        }
+        Expr::Unary { op, expr } => Expr::Unary {
+            op: *op,
+            expr: Box::new(inline_expr_lets(expr)),
+        },
+        Expr::If { cond, then, els } => Expr::If {
+            cond: Box::new(inline_expr_lets(cond)),
+            then: Box::new(inline_expr_lets(then)),
+            els: Box::new(inline_expr_lets(els)),
+        },
+        Expr::Call { func, args } => Expr::Call {
+            func: func.clone(),
+            args: args.iter().map(inline_expr_lets).collect(),
+        },
+    }
+}
+
+/// Extract a subscript expression as an affine form over *normalized*
+/// loop variables (`L<k>`), folding parameters. Returns `None` when the
+/// subscript is not linear in the loop indices.
+pub fn normalized_subscript(
+    expr: &Expr,
+    nest: &[NormalizedLoop],
+    ctx: &ClauseContext,
+    env: &ConstEnv,
+) -> Option<Affine> {
+    let inlined = inline_path_lets(ctx, expr);
+    let raw = Affine::from_expr(&inlined, env)?;
+    // Substitute innermost loops first so inner shadowing of a reused
+    // index name resolves correctly.
+    let mut a = raw;
+    for nl in nest.iter().rev() {
+        a = a.subst(&nl.var, &nl.original_as_affine());
+    }
+    Some(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Range;
+    use crate::number::{clause_contexts, number_clauses};
+    use crate::parser::parse_comp;
+
+    fn ctx_of(src: &str, env: &ConstEnv) -> (ClauseContext, Vec<NormalizedLoop>) {
+        let mut c = parse_comp(src).unwrap();
+        number_clauses(&mut c);
+        let ctxs = clause_contexts(&c);
+        let ctx = ctxs.into_iter().next().unwrap();
+        let nest = normalize_nest(&ctx, env).unwrap();
+        (ctx, nest)
+    }
+
+    #[test]
+    fn unit_range_is_identity() {
+        let env = ConstEnv::from_pairs([("n", 10)]);
+        let (_, nest) = ctx_of("[ i := 0 | i <- [1..n] ]", &env);
+        assert_eq!(nest[0].size, 10);
+        assert_eq!(nest[0].lo, 1);
+        assert_eq!(nest[0].step, 1);
+        // i = 0 + 1*x
+        let a = nest[0].original_as_affine();
+        assert_eq!(a.coeff(&nest[0].norm_var()), 1);
+        assert_eq!(a.constant_part(), 0);
+    }
+
+    #[test]
+    fn offset_range_shifts() {
+        let env = ConstEnv::from_pairs([("n", 10)]);
+        let (_, nest) = ctx_of("[ i := 0 | i <- [2..n] ]", &env);
+        assert_eq!(nest[0].size, 9);
+        assert_eq!(nest[0].original_at(1), 2);
+        assert_eq!(nest[0].original_at(9), 10);
+    }
+
+    #[test]
+    fn backward_range_normalizes() {
+        let env = ConstEnv::new();
+        let (_, nest) = ctx_of("[ i := 0 | i <- [9,7..1] ]", &env);
+        assert_eq!(nest[0].size, 5);
+        assert_eq!(nest[0].original_at(1), 9);
+        assert_eq!(nest[0].original_at(5), 1);
+    }
+
+    #[test]
+    fn empty_range_size_zero() {
+        let env = ConstEnv::new();
+        let (_, nest) = ctx_of("[ i := 0 | i <- [5..4] ]", &env);
+        assert_eq!(nest[0].size, 0);
+    }
+
+    #[test]
+    fn subscript_normalizes_through_stride() {
+        // i <- [2..10] step 2 → i = 2x, so subscript 3*i - 1 = 6x - 1... :
+        // lo=2, step=2: i = 2 + (x-1)*2 = 2x. 3i - 1 = 6x - 1.
+        let env = ConstEnv::new();
+        let (ctx, nest) = ctx_of("[ 3*i - 1 := 0 | i <- [2,4..10] ]", &env);
+        let a = normalized_subscript(&ctx.clause.subs[0], &nest, &ctx, &env).unwrap();
+        assert_eq!(a.coeff(&nest[0].norm_var()), 6);
+        assert_eq!(a.constant_part(), -1);
+    }
+
+    #[test]
+    fn unbound_parameter_is_error() {
+        let mut c = parse_comp("[ i := 0 | i <- [1..n] ]").unwrap();
+        number_clauses(&mut c);
+        let ctx = clause_contexts(&c).into_iter().next().unwrap();
+        let err = normalize_nest(&ctx, &ConstEnv::new()).unwrap_err();
+        assert!(matches!(err, NormalizeError::TriangularBound { .. }));
+    }
+
+    #[test]
+    fn triangular_bound_rejected() {
+        let env = ConstEnv::from_pairs([("n", 10)]);
+        let mut c = parse_comp("[ (i,j) := 0 | i <- [1..n], j <- [1..i] ]").unwrap();
+        number_clauses(&mut c);
+        let ctx = clause_contexts(&c).into_iter().next().unwrap();
+        let err = normalize_nest(&ctx, &env).unwrap_err();
+        assert!(matches!(err, NormalizeError::TriangularBound { .. }));
+    }
+
+    #[test]
+    fn path_lets_inline_into_subscripts() {
+        let env = ConstEnv::new();
+        let (ctx, nest) = ctx_of("[* ([ v := 0 ] where v = i + 1) | i <- [1..5] *]", &env);
+        let a = normalized_subscript(&ctx.clause.subs[0], &nest, &ctx, &env).unwrap();
+        // v = i + 1, i = x  →  x + 1
+        assert_eq!(a.coeff(&nest[0].norm_var()), 1);
+        assert_eq!(a.constant_part(), 1);
+    }
+
+    #[test]
+    fn expr_lets_inline() {
+        let e = crate::parser::parse_expr("let v = i - 1 in v * 2").unwrap();
+        let out = inline_expr_lets(&e);
+        let expected = crate::parser::parse_expr("(i - 1) * 2").unwrap();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn shadowed_loop_vars_resolve_innermost() {
+        // Outer i and inner i: subscript `i` inside inner loop refers to
+        // the inner generator.
+        let env = ConstEnv::new();
+        let mut c = parse_comp("[* [* [ i := 0 ] | i <- [5..8] *] | i <- [1..3] *]").unwrap();
+        number_clauses(&mut c);
+        let ctx = clause_contexts(&c).into_iter().next().unwrap();
+        let nest = normalize_nest(&ctx, &env).unwrap();
+        assert_eq!(nest.len(), 2);
+        let a = normalized_subscript(&ctx.clause.subs[0], &nest, &ctx, &env).unwrap();
+        // Inner loop is nest[1]: i = 4 + x  (lo=5, step=1).
+        assert_eq!(a.coeff(&nest[1].norm_var()), 1);
+        assert_eq!(a.coeff(&nest[0].norm_var()), 0);
+        assert_eq!(a.constant_part(), 4);
+    }
+
+    #[test]
+    fn frame_for_direct_use() {
+        let env = ConstEnv::from_pairs([("n", 7)]);
+        let frame = LoopFrame {
+            id: LoopId(3),
+            var: "k".into(),
+            range: Range::new(Expr::int(1), Expr::var("n")),
+        };
+        let nl = normalize_loop(&frame, &env).unwrap();
+        assert_eq!(nl.norm_var(), "L3");
+        assert_eq!(nl.size, 7);
+    }
+}

@@ -1,0 +1,338 @@
+//! Pretty-printing of programs back into surface syntax.
+//!
+//! The printer emits text that [`crate::parser::parse_program`] accepts,
+//! which the test suite uses for parse/print round-trips.
+
+use std::fmt::Write as _;
+
+use crate::ast::{ArrayDef, ArrayKind, BinOp, Binding, Comp, Expr, Program, Range, UnOp};
+
+/// Render a whole program.
+pub fn program_to_string(p: &Program) -> String {
+    let mut out = String::new();
+    if !p.params.is_empty() {
+        let _ = writeln!(out, "param {};", p.params.join(", "));
+    }
+    for b in &p.bindings {
+        match b {
+            Binding::Input { name, bounds } => {
+                let _ = writeln!(out, "input {} {};", name, bounds_str(bounds));
+            }
+            Binding::Let(def) => {
+                let _ = writeln!(out, "let {};", def_str(def));
+            }
+            Binding::LetrecStar(defs) => {
+                let body = defs
+                    .iter()
+                    .map(def_str)
+                    .collect::<Vec<_>>()
+                    .join("\n  and ");
+                let _ = writeln!(out, "letrec* {body};");
+            }
+            Binding::BigUpd { name, base, comp } => {
+                let _ = writeln!(out, "{} = bigupd {} {};", name, base, comp_str(comp));
+            }
+            Binding::Reduce {
+                name,
+                op,
+                init,
+                comp,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "let {} = reduce ({}) {} {};",
+                    name,
+                    op.symbol(),
+                    expr_str(init),
+                    scalar_comp_str(comp)
+                );
+            }
+        }
+    }
+    if !p.results.is_empty() {
+        let _ = writeln!(out, "result {};", p.results.join(", "));
+    }
+    out
+}
+
+fn def_str(d: &ArrayDef) -> String {
+    match &d.kind {
+        ArrayKind::Monolithic => format!(
+            "{} = array {} {}",
+            d.name,
+            bounds_str(&d.bounds),
+            comp_str(&d.comp)
+        ),
+        ArrayKind::Accumulated {
+            combine, default, ..
+        } => format!(
+            "{} = accumArray ({}) {} {} {}",
+            d.name,
+            combine.symbol(),
+            expr_str(default),
+            bounds_str(&d.bounds),
+            comp_str(&d.comp)
+        ),
+    }
+}
+
+fn bounds_str(bounds: &[(Expr, Expr)]) -> String {
+    if bounds.len() == 1 {
+        format!("({},{})", expr_str(&bounds[0].0), expr_str(&bounds[0].1))
+    } else {
+        // Haskell corner-tuple form: ((lo₁,lo₂,...),(hi₁,hi₂,...)).
+        let lows = bounds
+            .iter()
+            .map(|(l, _)| expr_str(l))
+            .collect::<Vec<_>>()
+            .join(",");
+        let highs = bounds
+            .iter()
+            .map(|(_, h)| expr_str(h))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("(({lows}),({highs}))")
+    }
+}
+
+/// Render a scalar comprehension (subscript-less clauses) in ordinary
+/// bracket form.
+pub fn scalar_comp_str(c: &Comp) -> String {
+    fn go(c: &Comp, quals: &mut Vec<String>) -> String {
+        match c {
+            Comp::Gen {
+                var, range, body, ..
+            } => {
+                quals.push(format!("{} <- {}", var, range_str(range)));
+                go(body, quals)
+            }
+            Comp::Guard { cond, body } => {
+                quals.push(expr_str(cond));
+                go(body, quals)
+            }
+            Comp::Let { binds, body } => {
+                let bs = binds
+                    .iter()
+                    .map(|(n, e)| format!("{} = {}", n, expr_str(e)))
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                quals.push(format!("let {bs}"));
+                go(body, quals)
+            }
+            Comp::Clause(sv) => expr_str(&sv.value),
+            Comp::Append(_) => unreachable!("handled by caller"),
+        }
+    }
+    match c {
+        Comp::Append(parts) => parts
+            .iter()
+            .map(scalar_comp_str)
+            .collect::<Vec<_>>()
+            .join(" ++ "),
+        other => {
+            let mut quals = Vec::new();
+            let elem = go(other, &mut quals);
+            if quals.is_empty() {
+                format!("[ {elem} ]")
+            } else {
+                format!("[ {elem} | {} ]", quals.join(", "))
+            }
+        }
+    }
+}
+
+/// Render a comprehension tree. Generators/guards/lets print in the
+/// nested `[* ... *]` form, which subsumes ordinary comprehensions.
+pub fn comp_str(c: &Comp) -> String {
+    match c {
+        Comp::Append(cs) => {
+            let parts = cs.iter().map(comp_str).collect::<Vec<_>>().join(" ++ ");
+            format!("({parts})")
+        }
+        Comp::Gen {
+            var, range, body, ..
+        } => format!("[* {} | {} <- {} *]", comp_str(body), var, range_str(range)),
+        Comp::Guard { cond, body } => {
+            format!("[* {} | {} *]", comp_str(body), expr_str(cond))
+        }
+        Comp::Let { binds, body } => {
+            let bs = binds
+                .iter()
+                .map(|(n, e)| format!("{} = {}", n, expr_str(e)))
+                .collect::<Vec<_>>()
+                .join("; ");
+            format!("({} where {})", comp_str(body), bs)
+        }
+        Comp::Clause(sv) => {
+            let subs = if sv.subs.len() == 1 {
+                expr_str(&sv.subs[0])
+            } else {
+                format!(
+                    "({})",
+                    sv.subs.iter().map(expr_str).collect::<Vec<_>>().join(",")
+                )
+            };
+            format!("[ {} := {} ]", subs, expr_str(&sv.value))
+        }
+    }
+}
+
+fn range_str(r: &Range) -> String {
+    if r.step == 1 {
+        format!("[{}..{}]", expr_str(&r.lo), expr_str(&r.hi))
+    } else {
+        // Reconstruct `[lo, lo+step .. hi]`.
+        let second = Expr::add(r.lo.clone(), Expr::int(r.step));
+        format!(
+            "[{},{}..{}]",
+            expr_str(&r.lo),
+            expr_str(&second),
+            expr_str(&r.hi)
+        )
+    }
+}
+
+/// Render a scalar expression with minimal but safe parenthesization.
+pub fn expr_str(e: &Expr) -> String {
+    prec_str(e, 0)
+}
+
+fn prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div | BinOp::Mod => 5,
+        BinOp::Min | BinOp::Max => 6,
+    }
+}
+
+fn prec_str(e: &Expr, parent: u8) -> String {
+    match e {
+        Expr::Num(v) => {
+            if v.fract() == 0.0 && v.is_finite() {
+                format!("{v:.1}")
+            } else {
+                format!("{v}")
+            }
+        }
+        Expr::Int(v) => format!("{v}"),
+        Expr::Var(v) => v.clone(),
+        Expr::Index { array, subs } => {
+            if subs.len() == 1 && matches!(subs[0], Expr::Var(_) | Expr::Int(_)) {
+                format!("{}!{}", array, prec_str(&subs[0], 9))
+            } else {
+                format!(
+                    "{}!({})",
+                    array,
+                    subs.iter().map(expr_str).collect::<Vec<_>>().join(",")
+                )
+            }
+        }
+        Expr::Binary { op, lhs, rhs } if matches!(op, BinOp::Min | BinOp::Max) => {
+            format!("{}({}, {})", op.symbol(), expr_str(lhs), expr_str(rhs))
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let p = prec(*op);
+            // Left-associative: the right child needs one more level.
+            let s = format!(
+                "{} {} {}",
+                prec_str(lhs, p),
+                op.symbol(),
+                prec_str(rhs, p + 1)
+            );
+            if p < parent {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Unary { op, expr } => match op {
+            UnOp::Neg => format!("-{}", prec_str(expr, 8)),
+            UnOp::Not => format!("not {}", prec_str(expr, 8)),
+            other => format!("{}({})", other.symbol(), expr_str(expr)),
+        },
+        Expr::If { cond, then, els } => {
+            let s = format!(
+                "if {} then {} else {}",
+                expr_str(cond),
+                expr_str(then),
+                expr_str(els)
+            );
+            if parent > 0 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Let { binds, body } => {
+            let bs = binds
+                .iter()
+                .map(|(n, e)| format!("{} = {}", n, expr_str(e)))
+                .collect::<Vec<_>>()
+                .join("; ");
+            let s = format!("let {} in {}", bs, expr_str(body));
+            if parent > 0 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Call { func, args } => format!(
+            "{}({})",
+            func,
+            args.iter().map(expr_str).collect::<Vec<_>>().join(", ")
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program};
+
+    #[test]
+    fn expr_roundtrip() {
+        for src in [
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "a!(i - 1,j) + a!(i,j - 1)",
+            "if i == 1 then 1 else a!(i - 1)",
+            "-i + 3",
+            "i mod 3 + 1",
+            "min(i, j) * 2",
+        ] {
+            let e = parse_expr(src).unwrap();
+            let printed = expr_str(&e);
+            let back = parse_expr(&printed)
+                .unwrap_or_else(|err| panic!("reparse of `{printed}` failed: {err}"));
+            assert_eq!(e, back, "roundtrip changed `{src}` → `{printed}`");
+        }
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let src = r#"
+param n;
+input u (1,n);
+letrec* a = array ((1,1),(n,n))
+   ([ (1,j) := 1 | j <- [1..n] ] ++
+    [ (i,j) := a!(i-1,j) + u!j | i <- [2..n], j <- [1..n] ]);
+result a;
+"#;
+        let p = parse_program(src).unwrap();
+        let printed = program_to_string(&p);
+        let back = parse_program(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\n{printed}"));
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn stepped_range_roundtrip() {
+        let src = "param n;\nlet a = array (1,n) [ i := 0 | i <- [9,7..1] ];\n";
+        let p = parse_program(src).unwrap();
+        let back = parse_program(&program_to_string(&p)).unwrap();
+        assert_eq!(p, back);
+    }
+}

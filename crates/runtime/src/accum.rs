@@ -1,0 +1,230 @@
+//! Accumulated arrays (`accumArray`, §3): a default value for elements
+//! with no definition and a combining function for elements with many.
+//!
+//! Values are evaluated strictly in subscript/value-pair list order —
+//! required when the combining function is not commutative (§7: "the
+//! order of supairs must be preserved"). Accumulated arrays may not be
+//! recursive (their cells have no single defining thunk), which this
+//! evaluator reports as an unbound-array error.
+
+use std::collections::HashMap;
+
+use hac_lang::ast::{ArrayKind, BinOp, Comp, Expr};
+use hac_lang::env::ConstEnv;
+
+use crate::error::RuntimeError;
+use crate::value::{apply_bin, as_int, eval_expr, ArrayBuf, FuncTable, MapReader, Scalars};
+
+/// Evaluate an accumulated array strictly.
+///
+/// # Errors
+/// Out-of-bounds definitions and any evaluation failure.
+#[allow(clippy::too_many_arguments)]
+pub fn eval_accum(
+    name: &str,
+    bounds: &[(i64, i64)],
+    comp: &Comp,
+    combine: BinOp,
+    default: &Expr,
+    params: &ConstEnv,
+    others: &HashMap<String, ArrayBuf>,
+    funcs: &FuncTable,
+) -> Result<ArrayBuf, RuntimeError> {
+    eval_accum_with_scalars(
+        name,
+        bounds,
+        comp,
+        combine,
+        default,
+        params,
+        &[],
+        others,
+        funcs,
+    )
+}
+
+/// [`eval_accum`] with extra runtime scalar bindings.
+#[allow(clippy::too_many_arguments)]
+pub fn eval_accum_with_scalars(
+    name: &str,
+    bounds: &[(i64, i64)],
+    comp: &Comp,
+    combine: BinOp,
+    default: &Expr,
+    params: &ConstEnv,
+    extra_scalars: &[(String, f64)],
+    others: &HashMap<String, ArrayBuf>,
+    funcs: &FuncTable,
+) -> Result<ArrayBuf, RuntimeError> {
+    let mut scalars = Scalars::new();
+    for (p, v) in params.iter() {
+        scalars.push(p, v as f64);
+    }
+    for (n, v) in extra_scalars {
+        scalars.push(n.clone(), *v);
+    }
+    let z = {
+        let mut reader = MapReader::new(others);
+        eval_expr(default, &mut scalars, &mut reader, funcs)?
+    };
+    let mut buf = ArrayBuf::new(bounds, z);
+    walk(name, &mut buf, comp, combine, &mut scalars, others, funcs)?;
+    Ok(buf)
+}
+
+fn walk(
+    name: &str,
+    buf: &mut ArrayBuf,
+    comp: &Comp,
+    combine: BinOp,
+    scalars: &mut Scalars,
+    others: &HashMap<String, ArrayBuf>,
+    funcs: &FuncTable,
+) -> Result<(), RuntimeError> {
+    match comp {
+        Comp::Append(cs) => {
+            for c in cs {
+                walk(name, buf, c, combine, scalars, others, funcs)?;
+            }
+            Ok(())
+        }
+        Comp::Gen {
+            var, range, body, ..
+        } => {
+            let mut reader = MapReader::new(others);
+            let lo = eval_expr(&range.lo, scalars, &mut reader, funcs)? as i64;
+            let hi = eval_expr(&range.hi, scalars, &mut reader, funcs)? as i64;
+            let step = range.step;
+            let mut i = lo;
+            loop {
+                if (step > 0 && i > hi) || (step < 0 && i < hi) {
+                    break;
+                }
+                scalars.push(var.clone(), i as f64);
+                walk(name, buf, body, combine, scalars, others, funcs)?;
+                scalars.pop();
+                i += step;
+            }
+            Ok(())
+        }
+        Comp::Guard { cond, body } => {
+            let mut reader = MapReader::new(others);
+            if eval_expr(cond, scalars, &mut reader, funcs)? != 0.0 {
+                walk(name, buf, body, combine, scalars, others, funcs)?;
+            }
+            Ok(())
+        }
+        Comp::Let { binds, body } => {
+            let depth = scalars.depth();
+            for (n, e) in binds {
+                let mut reader = MapReader::new(others);
+                let v = eval_expr(e, scalars, &mut reader, funcs)?;
+                scalars.push(n.clone(), v);
+            }
+            walk(name, buf, body, combine, scalars, others, funcs)?;
+            scalars.truncate(depth);
+            Ok(())
+        }
+        Comp::Clause(sv) => {
+            let mut idx = Vec::with_capacity(sv.subs.len());
+            for s in &sv.subs {
+                let mut reader = MapReader::new(others);
+                let v = eval_expr(s, scalars, &mut reader, funcs)?;
+                idx.push(as_int(name, v)?);
+            }
+            let mut reader = MapReader::new(others);
+            let v = eval_expr(&sv.value, scalars, &mut reader, funcs)?;
+            let old = buf.get(name, &idx)?;
+            buf.set(name, &idx, apply_bin(combine, old, v))?;
+            Ok(())
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+/// Convenience: evaluate an [`hac_lang::ast::ArrayDef`] with
+/// `ArrayKind::Accumulated`.
+///
+/// # Errors
+/// As [`eval_accum`]; also fails on non-constant bounds.
+pub fn eval_accum_def(
+    def: &hac_lang::ast::ArrayDef,
+    params: &ConstEnv,
+    others: &HashMap<String, ArrayBuf>,
+    funcs: &FuncTable,
+) -> Result<ArrayBuf, RuntimeError> {
+    let ArrayKind::Accumulated {
+        combine, default, ..
+    } = &def.kind
+    else {
+        panic!("eval_accum_def requires an accumulated array");
+    };
+    let mut scalars = Scalars::new();
+    for (p, v) in params.iter() {
+        scalars.push(p, v as f64);
+    }
+    let mut bounds = Vec::with_capacity(def.bounds.len());
+    for (lo, hi) in &def.bounds {
+        let mut reader = MapReader::new(others);
+        let l = eval_expr(lo, &mut scalars, &mut reader, funcs)? as i64;
+        let h = eval_expr(hi, &mut scalars, &mut reader, funcs)? as i64;
+        bounds.push((l, h));
+    }
+    eval_accum(
+        &def.name, &bounds, &def.comp, *combine, default, params, others, funcs,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hac_lang::number::number_clauses;
+    use hac_lang::parser::parse_comp;
+
+    fn accum(src: &str, n: i64, bounds: &[(i64, i64)], op: BinOp, z: f64) -> ArrayBuf {
+        let mut c = parse_comp(src).unwrap();
+        number_clauses(&mut c);
+        let env = ConstEnv::from_pairs([("n", n)]);
+        let others = HashMap::new();
+        let funcs = FuncTable::new();
+        eval_accum("h", bounds, &c, op, &Expr::num(z), &env, &others, &funcs).unwrap()
+    }
+
+    #[test]
+    fn histogram() {
+        // Count i mod 3 for i in 1..9 into buckets 0..2.
+        let h = accum(
+            "[ i mod 3 := 1.0 | i <- [1..n] ]",
+            9,
+            &[(0, 2)],
+            BinOp::Add,
+            0.0,
+        );
+        assert_eq!(h.data(), &[3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn default_fills_empties() {
+        let h = accum("[ 2 := 5.0 ]", 0, &[(1, 3)], BinOp::Add, 7.0);
+        assert_eq!(h.data(), &[7.0, 12.0, 7.0]);
+    }
+
+    #[test]
+    fn max_combining() {
+        let h = accum("[ 1 := i | i <- [1..n] ]", 6, &[(1, 1)], BinOp::Max, 0.0);
+        assert_eq!(h.data(), &[6.0]);
+    }
+
+    #[test]
+    fn non_commutative_order_preserved() {
+        // Subtraction: ((0 - 1) - 2) - 3 = -6 requires list order.
+        let h = accum("[ 1 := i | i <- [1..3] ]", 0, &[(1, 1)], BinOp::Sub, 0.0);
+        assert_eq!(h.data(), &[-6.0]);
+    }
+
+    #[test]
+    fn collisions_are_not_errors() {
+        let h = accum("[ 1 := 1.0 | i <- [1..n] ]", 5, &[(1, 2)], BinOp::Add, 0.0);
+        assert_eq!(h.data(), &[5.0, 0.0]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Runtime errors for array evaluation.
+
+use std::fmt;
+
+/// An error raised while evaluating an array program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A subscript fell outside the declared bounds.
+    OutOfBounds {
+        array: String,
+        index: Vec<i64>,
+        bounds: Vec<(i64, i64)>,
+    },
+    /// Two subscript/value pairs defined the same element of a
+    /// monolithic array (§4 "write collisions").
+    WriteCollision { array: String, index: Vec<i64> },
+    /// An element with no definition was demanded (§4 "empties").
+    UndefinedElement { array: String, index: Vec<i64> },
+    /// A cell demanded itself while being evaluated: the value is ⊥
+    /// (the "black hole" of lazy evaluation).
+    Bottom { array: String, index: Vec<i64> },
+    /// A scalar variable was unbound.
+    UnboundVariable(String),
+    /// An array name was unbound.
+    UnboundArray(String),
+    /// A subscript expression did not evaluate to an integer.
+    NonIntegerSubscript { array: String, value: f64 },
+    /// A call to an unregistered function.
+    UnknownFunction(String),
+    /// A generator bound did not evaluate to an integer.
+    NonIntegerBound { var: String, value: f64 },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::OutOfBounds {
+                array,
+                index,
+                bounds,
+            } => write!(
+                f,
+                "subscript {index:?} of array `{array}` outside bounds {bounds:?}"
+            ),
+            RuntimeError::WriteCollision { array, index } => {
+                write!(f, "multiple definitions for element {index:?} of `{array}`")
+            }
+            RuntimeError::UndefinedElement { array, index } => {
+                write!(f, "element {index:?} of `{array}` has no definition")
+            }
+            RuntimeError::Bottom { array, index } => {
+                write!(f, "element {index:?} of `{array}` depends on itself (⊥)")
+            }
+            RuntimeError::UnboundVariable(v) => write!(f, "unbound variable `{v}`"),
+            RuntimeError::UnboundArray(a) => write!(f, "unbound array `{a}`"),
+            RuntimeError::NonIntegerSubscript { array, value } => {
+                write!(f, "subscript {value} of `{array}` is not an integer")
+            }
+            RuntimeError::UnknownFunction(name) => {
+                write!(f, "call to unknown function `{name}`")
+            }
+            RuntimeError::NonIntegerBound { var, value } => {
+                write!(f, "generator `{var}` bound {value} is not an integer")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = RuntimeError::WriteCollision {
+            array: "a".into(),
+            index: vec![3, 4],
+        };
+        assert!(e.to_string().contains("[3, 4]"));
+        let b = RuntimeError::Bottom {
+            array: "a".into(),
+            index: vec![1],
+        };
+        assert!(b.to_string().contains('⊥'));
+    }
+}

@@ -1,0 +1,319 @@
+//! Cons lists, `foldl`, and the naive `TE` list evaluator (§3.1).
+//!
+//! "TE makes the semantics of nested comprehensions clear, but as an
+//! implementation it requires a tremendous amount of unnecessary
+//! CONSing." This module *is* that implementation — the deforestation
+//! baseline of experiment E11: every `flatmap` and `++` allocates real
+//! cons cells (instrumented), and the array is then built by `foldl`
+//! of the update function over the list.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use hac_lang::core::CoreList;
+use hac_lang::env::ConstEnv;
+
+use crate::error::RuntimeError;
+use crate::value::{as_int, eval_expr, ArrayBuf, FuncTable, MapReader, Scalars};
+
+/// A subscript/value pair.
+pub type Pair = (Vec<i64>, f64);
+
+/// A classic immutable cons list of pairs.
+#[derive(Debug, Clone)]
+pub enum ConsList {
+    Nil,
+    Cons(Rc<ConsCell>),
+}
+
+/// One allocated cons cell.
+#[derive(Debug)]
+pub struct ConsCell {
+    pub head: Pair,
+    pub tail: ConsList,
+}
+
+impl ConsList {
+    /// The empty list.
+    pub fn nil() -> ConsList {
+        ConsList::Nil
+    }
+
+    /// Prepend (allocates one cell).
+    pub fn cons(head: Pair, tail: ConsList, allocs: &mut u64) -> ConsList {
+        *allocs += 1;
+        ConsList::Cons(Rc::new(ConsCell { head, tail }))
+    }
+
+    /// Length by traversal.
+    pub fn len(&self) -> usize {
+        let mut n = 0;
+        let mut cur = self.clone();
+        while let ConsList::Cons(cell) = cur {
+            n += 1;
+            cur = cell.tail.clone();
+        }
+        n
+    }
+
+    /// `true` for the empty list.
+    pub fn is_empty(&self) -> bool {
+        matches!(self, ConsList::Nil)
+    }
+
+    /// Collect the pairs into a vector (traversal order).
+    pub fn to_vec(&self) -> Vec<Pair> {
+        let mut out = Vec::new();
+        let mut cur = self.clone();
+        while let ConsList::Cons(cell) = cur {
+            out.push(cell.head.clone());
+            cur = cell.tail.clone();
+        }
+        out
+    }
+
+    /// Naive list append: re-conses every cell of `self` (counted in
+    /// `allocs`), exactly like `xs ++ ys` on heap-allocated lists.
+    pub fn append(&self, other: ConsList, allocs: &mut u64) -> ConsList {
+        // Iteratively collect self's heads, then rebuild from the right
+        // (avoids recursion-depth limits while allocating the same
+        // number of cells the naive recursive append would).
+        let heads = self.to_vec();
+        let mut out = other;
+        for h in heads.into_iter().rev() {
+            out = ConsList::cons(h, out, allocs);
+        }
+        out
+    }
+
+    /// `foldl f a xs` (§3.1).
+    pub fn foldl<A>(&self, init: A, mut f: impl FnMut(A, &Pair) -> A) -> A {
+        let mut acc = init;
+        let mut cur = self.clone();
+        while let ConsList::Cons(cell) = cur {
+            acc = f(acc, &cell.head);
+            cur = cell.tail.clone();
+        }
+        acc
+    }
+}
+
+/// Instrumentation for the naive list strategy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ListCounters {
+    /// Cons cells allocated (including re-consing by `++`).
+    pub cons_allocs: u64,
+}
+
+/// Evaluate a `TE`-translated term into an actual cons list of pairs.
+/// Values are evaluated strictly (the kernels benchmarked this way are
+/// non-recursive; a read of the array being defined is an unbound-array
+/// error).
+///
+/// # Errors
+/// Any scalar-evaluation failure.
+pub fn eval_core_list(
+    term: &CoreList,
+    params: &ConstEnv,
+    arrays: &HashMap<String, ArrayBuf>,
+    funcs: &FuncTable,
+    counters: &mut ListCounters,
+) -> Result<ConsList, RuntimeError> {
+    let mut scalars = Scalars::new();
+    for (p, v) in params.iter() {
+        scalars.push(p, v as f64);
+    }
+    go(term, &mut scalars, arrays, funcs, counters)
+}
+
+fn go(
+    term: &CoreList,
+    scalars: &mut Scalars,
+    arrays: &HashMap<String, ArrayBuf>,
+    funcs: &FuncTable,
+    counters: &mut ListCounters,
+) -> Result<ConsList, RuntimeError> {
+    match term {
+        CoreList::Nil => Ok(ConsList::nil()),
+        CoreList::Singleton(sv) => {
+            let mut idx = Vec::with_capacity(sv.subs.len());
+            for s in &sv.subs {
+                let mut reader = MapReader::new(arrays);
+                let v = eval_expr(s, scalars, &mut reader, funcs)?;
+                idx.push(as_int("<pair>", v)?);
+            }
+            let mut reader = MapReader::new(arrays);
+            let v = eval_expr(&sv.value, scalars, &mut reader, funcs)?;
+            Ok(ConsList::cons(
+                (idx, v),
+                ConsList::nil(),
+                &mut counters.cons_allocs,
+            ))
+        }
+        CoreList::Append(a, b) => {
+            let left = go(a, scalars, arrays, funcs, counters)?;
+            let right = go(b, scalars, arrays, funcs, counters)?;
+            Ok(left.append(right, &mut counters.cons_allocs))
+        }
+        CoreList::FlatMap { var, range, body } => {
+            // flatmap f [lo..hi] = f lo ++ flatmap f [lo+step..hi]
+            let mut reader = MapReader::new(arrays);
+            let lo = eval_expr(&range.lo, scalars, &mut reader, funcs)? as i64;
+            let hi = eval_expr(&range.hi, scalars, &mut reader, funcs)? as i64;
+            let step = range.step;
+            let mut chunks = Vec::new();
+            let mut i = lo;
+            loop {
+                if (step > 0 && i > hi) || (step < 0 && i < hi) {
+                    break;
+                }
+                scalars.push(var.clone(), i as f64);
+                chunks.push(go(body, scalars, arrays, funcs, counters)?);
+                scalars.pop();
+                i += step;
+            }
+            let mut out = ConsList::nil();
+            for c in chunks.into_iter().rev() {
+                out = c.append(out, &mut counters.cons_allocs);
+            }
+            Ok(out)
+        }
+        CoreList::If { cond, body } => {
+            let mut reader = MapReader::new(arrays);
+            if eval_expr(cond, scalars, &mut reader, funcs)? != 0.0 {
+                go(body, scalars, arrays, funcs, counters)
+            } else {
+                Ok(ConsList::nil())
+            }
+        }
+        CoreList::Let { binds, body } => {
+            let depth = scalars.depth();
+            for (n, e) in binds {
+                let mut reader = MapReader::new(arrays);
+                let v = eval_expr(e, scalars, &mut reader, funcs)?;
+                scalars.push(n.clone(), v);
+            }
+            let out = go(body, scalars, arrays, funcs, counters);
+            scalars.truncate(depth);
+            out
+        }
+    }
+}
+
+/// `array bounds pairs` as `foldl upd (empty array) pairs` (§3.1),
+/// checking collisions.
+///
+/// # Errors
+/// Out-of-bounds or colliding pairs.
+pub fn array_from_list(
+    name: &str,
+    bounds: &[(i64, i64)],
+    pairs: &ConsList,
+) -> Result<ArrayBuf, RuntimeError> {
+    let mut buf = ArrayBuf::new(bounds, f64::NAN);
+    let mut seen = vec![false; buf.len()];
+    let mut err = None;
+    pairs.foldl((), |(), (idx, v)| {
+        if err.is_some() {
+            return;
+        }
+        match buf.offset(idx) {
+            Some(off) => {
+                if seen[off] {
+                    err = Some(RuntimeError::WriteCollision {
+                        array: name.to_string(),
+                        index: idx.clone(),
+                    });
+                } else {
+                    seen[off] = true;
+                    buf.data_mut()[off] = *v;
+                }
+            }
+            None => {
+                err = Some(RuntimeError::OutOfBounds {
+                    array: name.to_string(),
+                    index: idx.clone(),
+                    bounds: buf.bounds(),
+                })
+            }
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hac_lang::core::translate;
+    use hac_lang::number::number_clauses;
+    use hac_lang::parser::parse_comp;
+
+    fn run(src: &str, n: i64) -> (ConsList, ListCounters) {
+        let mut c = parse_comp(src).unwrap();
+        number_clauses(&mut c);
+        let term = translate(&c);
+        let env = ConstEnv::from_pairs([("n", n)]);
+        let arrays = HashMap::new();
+        let funcs = FuncTable::new();
+        let mut counters = ListCounters::default();
+        let list = eval_core_list(&term, &env, &arrays, &funcs, &mut counters).unwrap();
+        (list, counters)
+    }
+
+    #[test]
+    fn squares_via_te() {
+        let (list, counters) = run("[ i := i*i | i <- [1..n] ]", 4);
+        assert_eq!(list.len(), 4);
+        let buf = array_from_list("a", &[(1, 4)], &list).unwrap();
+        assert_eq!(buf.data(), &[1.0, 4.0, 9.0, 16.0]);
+        // Naive TE conses each singleton then re-conses for appends.
+        assert!(counters.cons_allocs >= 4, "{counters:?}");
+    }
+
+    #[test]
+    fn append_recopies_left() {
+        let (_, small) = run("[ i := 0 | i <- [1..n] ]", 4);
+        let (_, appended) = run(
+            "[ i := 0 | i <- [1..n] ] ++ [ i + n := 1 | i <- [1..n] ]",
+            4,
+        );
+        // The appended version pays extra cons cells for the copy.
+        assert!(
+            appended.cons_allocs > 2 * small.cons_allocs,
+            "{appended:?} vs {small:?}"
+        );
+    }
+
+    #[test]
+    fn order_is_list_order() {
+        let (list, _) = run("[ 2 := 20 ] ++ [ 1 := 10 ]", 0);
+        let v = list.to_vec();
+        assert_eq!(v[0], (vec![2], 20.0));
+        assert_eq!(v[1], (vec![1], 10.0));
+    }
+
+    #[test]
+    fn guard_produces_nil() {
+        let (list, _) = run("[ i := 1 | i <- [1..n], i > 2 ]", 4);
+        assert_eq!(list.len(), 2);
+    }
+
+    #[test]
+    fn collision_detected_by_foldl() {
+        let (list, _) = run("[ 1 := 0 ] ++ [ 1 := 1 ]", 0);
+        assert!(matches!(
+            array_from_list("a", &[(1, 2)], &list),
+            Err(RuntimeError::WriteCollision { .. })
+        ));
+    }
+
+    #[test]
+    fn foldl_accumulates_left() {
+        let (list, _) = run("[ i := i | i <- [1..n] ]", 4);
+        let sum = list.foldl(0.0, |acc, (_, v)| acc + v);
+        assert_eq!(sum, 10.0);
+    }
+}

@@ -1,0 +1,477 @@
+//! Flat array buffers and the scalar expression evaluator.
+//!
+//! [`ArrayBuf`] is the dense row-major `f64` storage every execution
+//! strategy shares. [`eval_expr`] evaluates the language's scalar
+//! expressions; array selections are routed through an [`ArrayReader`]
+//! so the same evaluator serves strict buffers, the demand-driven
+//! thunked runtime, and the loop-IR VM (each with its own read
+//! semantics and instrumentation). Booleans are represented as
+//! `0.0` / `1.0`.
+
+use std::collections::HashMap;
+
+use hac_lang::ast::{BinOp, Expr, UnOp};
+
+use crate::error::RuntimeError;
+
+/// A dense row-major array of `f64` with per-dimension inclusive
+/// bounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayBuf {
+    lo: Vec<i64>,
+    hi: Vec<i64>,
+    data: Vec<f64>,
+}
+
+impl ArrayBuf {
+    /// Allocate an array with the given `(lo, hi)` bounds, filled with
+    /// `fill`.
+    ///
+    /// # Panics
+    /// Panics if any dimension has `hi < lo - 1` (empty dimensions of
+    /// size zero are allowed).
+    pub fn new(bounds: &[(i64, i64)], fill: f64) -> ArrayBuf {
+        let lo: Vec<i64> = bounds.iter().map(|b| b.0).collect();
+        let hi: Vec<i64> = bounds.iter().map(|b| b.1).collect();
+        let mut len = 1usize;
+        for (l, h) in bounds {
+            assert!(h - l >= -1, "invalid bounds ({l},{h})");
+            len *= (h - l + 1).max(0) as usize;
+        }
+        ArrayBuf {
+            lo,
+            hi,
+            data: vec![fill; len],
+        }
+    }
+
+    /// The array's rank.
+    pub fn rank(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Per-dimension `(lo, hi)` bounds.
+    pub fn bounds(&self) -> Vec<(i64, i64)> {
+        self.lo
+            .iter()
+            .zip(self.hi.iter())
+            .map(|(&l, &h)| (l, h))
+            .collect()
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` for a zero-element array.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row-major offset of a multi-index, or `None` when out of bounds
+    /// or of the wrong rank.
+    pub fn offset(&self, idx: &[i64]) -> Option<usize> {
+        if idx.len() != self.lo.len() {
+            return None;
+        }
+        let mut off = 0usize;
+        for (k, &i) in idx.iter().enumerate() {
+            if i < self.lo[k] || i > self.hi[k] {
+                return None;
+            }
+            let extent = (self.hi[k] - self.lo[k] + 1) as usize;
+            off = off * extent + (i - self.lo[k]) as usize;
+        }
+        Some(off)
+    }
+
+    /// Read an element.
+    ///
+    /// # Errors
+    /// [`RuntimeError::OutOfBounds`] when the index escapes the bounds.
+    pub fn get(&self, name: &str, idx: &[i64]) -> Result<f64, RuntimeError> {
+        match self.offset(idx) {
+            Some(o) => Ok(self.data[o]),
+            None => Err(RuntimeError::OutOfBounds {
+                array: name.to_string(),
+                index: idx.to_vec(),
+                bounds: self.bounds(),
+            }),
+        }
+    }
+
+    /// Write an element.
+    ///
+    /// # Errors
+    /// [`RuntimeError::OutOfBounds`] when the index escapes the bounds.
+    pub fn set(&mut self, name: &str, idx: &[i64], v: f64) -> Result<(), RuntimeError> {
+        match self.offset(idx) {
+            Some(o) => {
+                self.data[o] = v;
+                Ok(())
+            }
+            None => Err(RuntimeError::OutOfBounds {
+                array: name.to_string(),
+                index: idx.to_vec(),
+                bounds: self.bounds(),
+            }),
+        }
+    }
+
+    /// The raw data, row-major.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data, row-major.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+}
+
+/// Resolves array selections during expression evaluation.
+pub trait ArrayReader {
+    /// Read element `idx` of `array`; demand-driven implementations may
+    /// trigger further evaluation.
+    fn read_element(&mut self, array: &str, idx: &[i64]) -> Result<f64, RuntimeError>;
+}
+
+/// An [`ArrayReader`] over a map of finished strict buffers.
+pub struct MapReader<'a> {
+    arrays: &'a HashMap<String, ArrayBuf>,
+}
+
+impl<'a> MapReader<'a> {
+    /// Wrap a map of arrays.
+    pub fn new(arrays: &'a HashMap<String, ArrayBuf>) -> MapReader<'a> {
+        MapReader { arrays }
+    }
+}
+
+impl ArrayReader for MapReader<'_> {
+    fn read_element(&mut self, array: &str, idx: &[i64]) -> Result<f64, RuntimeError> {
+        let buf = self
+            .arrays
+            .get(array)
+            .ok_or_else(|| RuntimeError::UnboundArray(array.to_string()))?;
+        buf.get(array, idx)
+    }
+}
+
+/// A lexically scoped stack of scalar bindings.
+#[derive(Debug, Clone, Default)]
+pub struct Scalars {
+    stack: Vec<(String, f64)>,
+}
+
+impl Scalars {
+    /// An empty scope.
+    pub fn new() -> Scalars {
+        Scalars::default()
+    }
+
+    /// Push a binding; shadowing is by stack order.
+    pub fn push(&mut self, name: impl Into<String>, v: f64) {
+        self.stack.push((name.into(), v));
+    }
+
+    /// Pop the most recent binding.
+    pub fn pop(&mut self) {
+        self.stack.pop();
+    }
+
+    /// Look up the innermost binding of `name`.
+    pub fn lookup(&self, name: &str) -> Option<f64> {
+        self.stack
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Current depth (for save/restore).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Truncate back to a saved depth.
+    pub fn truncate(&mut self, depth: usize) {
+        self.stack.truncate(depth);
+    }
+
+    /// Snapshot of all bindings (outermost first) — captured by thunks.
+    pub fn snapshot(&self) -> Vec<(String, f64)> {
+        self.stack.clone()
+    }
+}
+
+/// User-registered scalar functions, plus maths builtins.
+pub type FuncTable = HashMap<String, fn(&[f64]) -> f64>;
+
+/// Evaluate a scalar expression.
+///
+/// # Errors
+/// Propagates unbound names, bad subscripts, and array read failures.
+pub fn eval_expr(
+    e: &Expr,
+    scalars: &mut Scalars,
+    arrays: &mut dyn ArrayReader,
+    funcs: &FuncTable,
+) -> Result<f64, RuntimeError> {
+    match e {
+        Expr::Num(v) => Ok(*v),
+        Expr::Int(v) => Ok(*v as f64),
+        Expr::Var(name) => scalars
+            .lookup(name)
+            .ok_or_else(|| RuntimeError::UnboundVariable(name.clone())),
+        Expr::Index { array, subs } => {
+            let mut idx = Vec::with_capacity(subs.len());
+            for s in subs {
+                let v = eval_expr(s, scalars, arrays, funcs)?;
+                idx.push(as_int(array, v)?);
+            }
+            arrays.read_element(array, &idx)
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            // && and || short-circuit.
+            match op {
+                BinOp::And => {
+                    let l = eval_expr(lhs, scalars, arrays, funcs)?;
+                    if l == 0.0 {
+                        return Ok(0.0);
+                    }
+                    return eval_expr(rhs, scalars, arrays, funcs);
+                }
+                BinOp::Or => {
+                    let l = eval_expr(lhs, scalars, arrays, funcs)?;
+                    if l != 0.0 {
+                        return Ok(1.0);
+                    }
+                    let r = eval_expr(rhs, scalars, arrays, funcs)?;
+                    return Ok(if r != 0.0 { 1.0 } else { 0.0 });
+                }
+                _ => {}
+            }
+            let l = eval_expr(lhs, scalars, arrays, funcs)?;
+            let r = eval_expr(rhs, scalars, arrays, funcs)?;
+            Ok(apply_bin(*op, l, r))
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval_expr(expr, scalars, arrays, funcs)?;
+            Ok(match op {
+                UnOp::Neg => -v,
+                UnOp::Not => {
+                    if v == 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                UnOp::Abs => v.abs(),
+                UnOp::Sqrt => v.sqrt(),
+                UnOp::Exp => v.exp(),
+                UnOp::Log => v.ln(),
+                UnOp::Sin => v.sin(),
+                UnOp::Cos => v.cos(),
+            })
+        }
+        Expr::If { cond, then, els } => {
+            let c = eval_expr(cond, scalars, arrays, funcs)?;
+            if c != 0.0 {
+                eval_expr(then, scalars, arrays, funcs)
+            } else {
+                eval_expr(els, scalars, arrays, funcs)
+            }
+        }
+        Expr::Let { binds, body } => {
+            let depth = scalars.depth();
+            for (name, rhs) in binds {
+                let v = eval_expr(rhs, scalars, arrays, funcs)?;
+                scalars.push(name.clone(), v);
+            }
+            let out = eval_expr(body, scalars, arrays, funcs);
+            scalars.truncate(depth);
+            out
+        }
+        Expr::Call { func, args } => {
+            let f = builtin(func)
+                .or_else(|| funcs.get(func).copied())
+                .ok_or_else(|| RuntimeError::UnknownFunction(func.clone()))?;
+            let mut vs = Vec::with_capacity(args.len());
+            for a in args {
+                vs.push(eval_expr(a, scalars, arrays, funcs)?);
+            }
+            Ok(f(&vs))
+        }
+    }
+}
+
+/// Apply a (non-short-circuiting) binary operator.
+pub fn apply_bin(op: BinOp, l: f64, r: f64) -> f64 {
+    let b = |x: bool| if x { 1.0 } else { 0.0 };
+    match op {
+        BinOp::Add => l + r,
+        BinOp::Sub => l - r,
+        BinOp::Mul => l * r,
+        BinOp::Div => l / r,
+        BinOp::Mod => (l as i64).rem_euclid(r as i64) as f64,
+        BinOp::Lt => b(l < r),
+        BinOp::Le => b(l <= r),
+        BinOp::Gt => b(l > r),
+        BinOp::Ge => b(l >= r),
+        BinOp::Eq => b(l == r),
+        BinOp::Ne => b(l != r),
+        BinOp::And => b(l != 0.0 && r != 0.0),
+        BinOp::Or => b(l != 0.0 || r != 0.0),
+        BinOp::Min => l.min(r),
+        BinOp::Max => l.max(r),
+    }
+}
+
+fn builtin(name: &str) -> Option<fn(&[f64]) -> f64> {
+    Some(match name {
+        "sqrt" => |a: &[f64]| a[0].sqrt(),
+        "abs" => |a: &[f64]| a[0].abs(),
+        "exp" => |a: &[f64]| a[0].exp(),
+        "log" => |a: &[f64]| a[0].ln(),
+        "sin" => |a: &[f64]| a[0].sin(),
+        "cos" => |a: &[f64]| a[0].cos(),
+        "pow" => |a: &[f64]| a[0].powf(a[1]),
+        "hypot" => |a: &[f64]| a[0].hypot(a[1]),
+        "floor" => |a: &[f64]| a[0].floor(),
+        _ => return None,
+    })
+}
+
+/// Coerce an evaluated subscript to an integer.
+///
+/// # Errors
+/// [`RuntimeError::NonIntegerSubscript`] if the value has a fractional
+/// part.
+pub fn as_int(array: &str, v: f64) -> Result<i64, RuntimeError> {
+    if v.fract() == 0.0 && v.is_finite() {
+        Ok(v as i64)
+    } else {
+        Err(RuntimeError::NonIntegerSubscript {
+            array: array.to_string(),
+            value: v,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hac_lang::parser::parse_expr;
+
+    fn eval(src: &str, arrays: &HashMap<String, ArrayBuf>, binds: &[(&str, f64)]) -> f64 {
+        let e = parse_expr(src).unwrap();
+        let mut sc = Scalars::new();
+        for (n, v) in binds {
+            sc.push(*n, *v);
+        }
+        let mut reader = MapReader::new(arrays);
+        eval_expr(&e, &mut sc, &mut reader, &FuncTable::new()).unwrap()
+    }
+
+    #[test]
+    fn arraybuf_roundtrip_2d() {
+        let mut b = ArrayBuf::new(&[(1, 3), (1, 4)], 0.0);
+        assert_eq!(b.len(), 12);
+        b.set("a", &[2, 3], 7.5).unwrap();
+        assert_eq!(b.get("a", &[2, 3]).unwrap(), 7.5);
+        assert_eq!(b.get("a", &[1, 1]).unwrap(), 0.0);
+        assert!(b.get("a", &[0, 1]).is_err());
+        assert!(b.get("a", &[2, 5]).is_err());
+        assert!(b.get("a", &[2]).is_err());
+    }
+
+    #[test]
+    fn offsets_are_row_major() {
+        let b = ArrayBuf::new(&[(0, 1), (0, 2)], 0.0);
+        assert_eq!(b.offset(&[0, 0]), Some(0));
+        assert_eq!(b.offset(&[0, 2]), Some(2));
+        assert_eq!(b.offset(&[1, 0]), Some(3));
+    }
+
+    #[test]
+    fn zero_size_dimension() {
+        let b = ArrayBuf::new(&[(1, 0)], 0.0);
+        assert!(b.is_empty());
+        assert_eq!(b.offset(&[1]), None);
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let arrays = HashMap::new();
+        assert_eq!(eval("1 + 2 * 3", &arrays, &[]), 7.0);
+        assert_eq!(eval("7 mod 3", &arrays, &[]), 1.0);
+        assert_eq!(eval("if 2 < 3 then 10 else 20", &arrays, &[]), 10.0);
+        assert_eq!(eval("min(4, 9)", &arrays, &[]), 4.0);
+        assert_eq!(eval("-i + 1", &arrays, &[("i", 5.0)]), -4.0);
+    }
+
+    #[test]
+    fn array_selection() {
+        let mut arrays = HashMap::new();
+        let mut b = ArrayBuf::new(&[(1, 5)], 0.0);
+        b.set("a", &[3], 42.0).unwrap();
+        arrays.insert("a".to_string(), b);
+        assert_eq!(eval("a!3 * 2", &arrays, &[]), 84.0);
+        assert_eq!(eval("a!(i+1)", &arrays, &[("i", 2.0)]), 42.0);
+    }
+
+    #[test]
+    fn let_scoping_and_shadowing() {
+        let arrays = HashMap::new();
+        assert_eq!(
+            eval("let v = i + 1; w = v * 2 in v + w", &arrays, &[("i", 1.0)]),
+            2.0 + 4.0
+        );
+        assert_eq!(eval("let i = i + 1 in i", &arrays, &[("i", 10.0)]), 11.0);
+    }
+
+    #[test]
+    fn short_circuit() {
+        // Unbound RHS variable must not be touched.
+        let arrays = HashMap::new();
+        assert_eq!(eval("0 > 1 && nope > 0", &arrays, &[]), 0.0);
+        assert_eq!(eval("1 > 0 || nope > 0", &arrays, &[]), 1.0);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let e = parse_expr("a!(1)").unwrap();
+        let arrays = HashMap::new();
+        let mut reader = MapReader::new(&arrays);
+        let r = eval_expr(&e, &mut Scalars::new(), &mut reader, &FuncTable::new());
+        assert!(matches!(r, Err(RuntimeError::UnboundArray(_))));
+        let e2 = parse_expr("x + 1").unwrap();
+        let r2 = eval_expr(&e2, &mut Scalars::new(), &mut reader, &FuncTable::new());
+        assert!(matches!(r2, Err(RuntimeError::UnboundVariable(_))));
+    }
+
+    #[test]
+    fn fractional_subscript_rejected() {
+        let mut arrays = HashMap::new();
+        arrays.insert("a".to_string(), ArrayBuf::new(&[(1, 5)], 0.0));
+        let e = parse_expr("a!(i)").unwrap();
+        let mut sc = Scalars::new();
+        sc.push("i", 1.5);
+        let mut reader = MapReader::new(&arrays);
+        let r = eval_expr(&e, &mut sc, &mut reader, &FuncTable::new());
+        assert!(matches!(r, Err(RuntimeError::NonIntegerSubscript { .. })));
+    }
+
+    #[test]
+    fn custom_functions() {
+        let e = parse_expr("omega(2, 3)").unwrap();
+        let mut funcs = FuncTable::new();
+        funcs.insert("omega".to_string(), |a: &[f64]| a[0] * 10.0 + a[1]);
+        let arrays = HashMap::new();
+        let mut reader = MapReader::new(&arrays);
+        let v = eval_expr(&e, &mut Scalars::new(), &mut reader, &funcs).unwrap();
+        assert_eq!(v, 23.0);
+    }
+}

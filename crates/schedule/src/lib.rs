@@ -1,0 +1,49 @@
+//! # hac-schedule
+//!
+//! Static scheduling of array comprehensions for thunkless compilation
+//! (§8) and single-threaded in-place updates (§9) — part of the `hac`
+//! reproduction of Anderson & Hudak (PLDI 1990).
+//!
+//! Given a comprehension tree and its labeled dependence edges, the
+//! [`scheduler`] chooses loop directions, orders clauses within loop
+//! instances, splits loops into passes when `(<)` and `(>)` edges
+//! coexist acyclically, and falls back to thunks when a cycle defeats
+//! every direction. For `bigupd` updates, [`split`] breaks
+//! anti-dependence cycles by node splitting so the update can run in
+//! place with minimal copying. [`check`] is an executable legality
+//! oracle used by the test suite.
+//!
+//! # Example
+//!
+//! ```
+//! use hac_analysis::{flow_dependences, collect_refs, TestPolicy};
+//! use hac_lang::{parse_comp, number_clauses, ConstEnv};
+//! use hac_schedule::{schedule, ScheduleOutcome};
+//!
+//! let mut comp = parse_comp(
+//!     "[ 1 := 1 ] ++ [ i := a!(i-1) * 2 | i <- [2..n] ]",
+//! )?;
+//! number_clauses(&mut comp);
+//! let env = ConstEnv::from_pairs([("n", 100)]);
+//! let refs = collect_refs(&comp, "a", &env).unwrap();
+//! let flow = flow_dependences(&refs, "a", &TestPolicy::default());
+//! match schedule(&comp, &flow.edges) {
+//!     ScheduleOutcome::Thunkless(plan) => {
+//!         assert_eq!(plan.loop_count(), 1);
+//!     }
+//!     ScheduleOutcome::NeedsThunks(reason) => panic!("{reason}"),
+//! }
+//! # Ok::<(), hac_lang::ParseError>(())
+//! ```
+
+pub mod check;
+pub mod plan;
+pub mod scheduler;
+pub mod split;
+
+pub use check::{check_plan, LegalityError};
+pub use plan::{Dirn, Plan, ScheduleOutcome, Step, ThunkReason};
+pub use scheduler::{schedule, schedule_with, SchedOptions};
+pub use split::{
+    plan_update, plan_update_with, SplitAction, SplitOptions, UpdatePlan, UpdateStrategy,
+};

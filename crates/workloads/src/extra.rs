@@ -1,0 +1,234 @@
+//! Additional scientific kernels beyond the paper's worked examples:
+//! scans, stencils, a heat-equation integrator, a Livermore-Kernel-23
+//! style implicit-hydrodynamics sweep with coefficient arrays, and a
+//! convolution — each with a hand-coded oracle.
+
+use hac_runtime::value::ArrayBuf;
+
+use crate::util::{matrix, vector};
+
+/// Inclusive prefix sum of an input vector.
+pub fn prefix_sum_source() -> &'static str {
+    r#"
+param n;
+input u (1,n);
+letrec* s = array (1,n)
+   ([ 1 := u!1 ] ++ [ i := s!(i-1) + u!i | i <- [2..n] ]);
+result s;
+"#
+}
+
+/// Hand-coded prefix sum.
+pub fn prefix_sum_oracle(u: &ArrayBuf, n: i64) -> ArrayBuf {
+    let mut s = vector(n, |_| 0.0);
+    let mut acc = 0.0;
+    for i in 1..=n {
+        acc += u.get("u", &[i]).unwrap();
+        s.set("s", &[i], acc).unwrap();
+    }
+    s
+}
+
+/// Running maximum (another `foldl`-style scan, with `max`).
+pub fn running_max_source() -> &'static str {
+    r#"
+param n;
+input u (1,n);
+letrec* s = array (1,n)
+   ([ 1 := u!1 ] ++ [ i := max(s!(i-1), u!i) | i <- [2..n] ]);
+result s;
+"#
+}
+
+/// Hand-coded running max.
+pub fn running_max_oracle(u: &ArrayBuf, n: i64) -> ArrayBuf {
+    let mut s = vector(n, |_| 0.0);
+    let mut acc = f64::NEG_INFINITY;
+    for i in 1..=n {
+        acc = acc.max(u.get("u", &[i]).unwrap());
+        s.set("s", &[i], acc).unwrap();
+    }
+    s
+}
+
+/// Explicit 1-D heat equation: `m` time steps over a rod of `n` cells,
+/// Dirichlet boundaries, expressed as a 2-D (time × space) recurrence
+/// — a wavefront purely in time.
+pub fn heat1d_source() -> &'static str {
+    r#"
+param n, m;
+input u0 (1,n);
+letrec* u = array ((0,1),(m,n))
+   ([ (0,j) := u0!j | j <- [1..n] ] ++
+    [ (t,1) := u0!1 | t <- [1..m] ] ++
+    [ (t,n) := u0!n | t <- [1..m] ] ++
+    [ (t,j) := u!(t-1,j) + 0.25 * (u!(t-1,j-1) - 2 * u!(t-1,j) + u!(t-1,j+1))
+       | t <- [1..m], j <- [2..n-1] ]);
+result u;
+"#
+}
+
+/// Hand-coded explicit heat stepping.
+pub fn heat1d_oracle(u0: &ArrayBuf, n: i64, m: i64) -> ArrayBuf {
+    let mut u = ArrayBuf::new(&[(0, m), (1, n)], 0.0);
+    for j in 1..=n {
+        u.set("u", &[0, j], u0.get("u0", &[j]).unwrap()).unwrap();
+    }
+    for t in 1..=m {
+        u.set("u", &[t, 1], u0.get("u0", &[1]).unwrap()).unwrap();
+        u.set("u", &[t, n], u0.get("u0", &[n]).unwrap()).unwrap();
+        for j in 2..n {
+            let prev = |jj: i64| u.get("u", &[t - 1, jj]).unwrap();
+            let v = prev(j) + 0.25 * (prev(j - 1) - 2.0 * prev(j) + prev(j + 1));
+            u.set("u", &[t, j], v).unwrap();
+        }
+    }
+    u
+}
+
+/// A Livermore-Kernel-23-style implicit hydrodynamics fragment: the
+/// paper says the §9 Gauss–Seidel example "has the same
+/// northwest-to-southeast wavefront structure". Coefficient arrays
+/// multiply the already-updated north/west neighbors.
+pub fn lk23_source() -> &'static str {
+    r#"
+param n;
+input za ((1,1),(n,n));
+input zr ((1,1),(n,n));
+input zb ((1,1),(n,n));
+qa = bigupd za [ (j,k) := zr!(j,k) * qa!(j-1,k) + zb!(j,k) * qa!(j,k-1)
+                 + 0.175 * (za!(j+1,k) + za!(j,k+1))
+               | j <- [2..n-1], k <- [2..n-1] ];
+result qa;
+"#
+}
+
+/// Hand-coded LK23-style sweep.
+pub fn lk23_oracle(za: &ArrayBuf, zr: &ArrayBuf, zb: &ArrayBuf, n: i64) -> ArrayBuf {
+    let mut qa = za.clone();
+    for j in 2..n {
+        for k in 2..n {
+            let v = zr.get("zr", &[j, k]).unwrap() * qa.get("qa", &[j - 1, k]).unwrap()
+                + zb.get("zb", &[j, k]).unwrap() * qa.get("qa", &[j, k - 1]).unwrap()
+                + 0.175 * (za.get("za", &[j + 1, k]).unwrap() + za.get("za", &[j, k + 1]).unwrap());
+            qa.set("qa", &[j, k], v).unwrap();
+        }
+    }
+    qa
+}
+
+/// 3-tap convolution of a vector with fixed weights (no recursion:
+/// every loop vectorizable).
+pub fn convolution_source() -> &'static str {
+    r#"
+param n;
+input u (1,n);
+let c = array (2,n-1)
+   [ i := 0.25 * u!(i-1) + 0.5 * u!i + 0.25 * u!(i+1) | i <- [2..n-1] ];
+result c;
+"#
+}
+
+/// Hand-coded convolution.
+pub fn convolution_oracle(u: &ArrayBuf, n: i64) -> ArrayBuf {
+    let mut c = ArrayBuf::new(&[(2, n - 1)], 0.0);
+    for i in 2..n {
+        let v = 0.25 * u.get("u", &[i - 1]).unwrap()
+            + 0.5 * u.get("u", &[i]).unwrap()
+            + 0.25 * u.get("u", &[i + 1]).unwrap();
+        c.set("c", &[i], v).unwrap();
+    }
+    c
+}
+
+/// Pascal's triangle packed into a lower-triangular matrix (guards
+/// exercise conditional clauses inside a recurrence; the upper triangle
+/// is written explicitly because `letrec*` demands every element).
+pub fn pascal_source() -> &'static str {
+    r#"
+param n;
+letrec* p = array ((1,1),(n,n))
+   ([ (i,1) := 1 | i <- [1..n] ] ++
+    [ (i,i) := 1 | i <- [2..n] ] ++
+    [ (i,j) := p!(i-1,j-1) + p!(i-1,j) | i <- [3..n], j <- [2..n], j < i ] ++
+    [ (i,j) := 0 | i <- [1..n], j <- [2..n], j > i ]);
+result p;
+"#
+}
+
+/// Hand-coded Pascal triangle (zero above the diagonal).
+pub fn pascal_oracle(n: i64) -> ArrayBuf {
+    let mut p = matrix(n, n, |_, _| 0.0);
+    for i in 1..=n {
+        p.set("p", &[i, 1], 1.0).unwrap();
+        if i >= 2 {
+            p.set("p", &[i, i], 1.0).unwrap();
+        }
+    }
+    for i in 3..=n {
+        for j in 2..i {
+            let v = p.get("p", &[i - 1, j - 1]).unwrap() + p.get("p", &[i - 1, j]).unwrap();
+            p.set("p", &[i, j], v).unwrap();
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hac_lang::parser::parse_program;
+
+    #[test]
+    fn extra_sources_parse() {
+        for (name, src) in [
+            ("prefix_sum", prefix_sum_source()),
+            ("running_max", running_max_source()),
+            ("heat1d", heat1d_source()),
+            ("lk23", lk23_source()),
+            ("convolution", convolution_source()),
+            ("pascal", pascal_source()),
+        ] {
+            parse_program(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn prefix_sum_oracle_sums() {
+        let u = vector(4, |i| i as f64);
+        let s = prefix_sum_oracle(&u, 4);
+        assert_eq!(s.data(), &[1.0, 3.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    fn pascal_oracle_binomials() {
+        let p = pascal_oracle(6);
+        assert_eq!(p.get("p", &[5, 2]).unwrap(), 4.0);
+        assert_eq!(p.get("p", &[5, 3]).unwrap(), 6.0);
+        assert_eq!(p.get("p", &[6, 3]).unwrap(), 10.0);
+        assert_eq!(p.get("p", &[3, 5]).unwrap(), 0.0, "above diagonal");
+    }
+
+    #[test]
+    fn heat1d_conserves_boundaries() {
+        let u0 = vector(6, |i| if i == 3 { 10.0 } else { 0.0 });
+        let u = heat1d_oracle(&u0, 6, 4);
+        for t in 0..=4 {
+            assert_eq!(u.get("u", &[t, 1]).unwrap(), 0.0);
+            assert_eq!(u.get("u", &[t, 6]).unwrap(), 0.0);
+        }
+        // Heat spreads but total interior heat decays toward boundary.
+        assert!(u.get("u", &[4, 3]).unwrap() < 10.0);
+        assert!(u.get("u", &[4, 2]).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn convolution_oracle_weights() {
+        let u = vector(5, |i| i as f64);
+        let c = convolution_oracle(&u, 5);
+        assert_eq!(
+            c.get("c", &[3]).unwrap(),
+            0.25 * 2.0 + 0.5 * 3.0 + 0.25 * 4.0
+        );
+    }
+}

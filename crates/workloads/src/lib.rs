@@ -1,0 +1,15 @@
+//! # hac-workloads
+//!
+//! The paper's evaluation kernels for the `hac` reproduction of
+//! Anderson & Hudak (PLDI 1990): each kernel ships as `hac` source text
+//! plus a hand-coded Rust oracle (the "Fortran" baseline of §11's
+//! performance claim). See `DESIGN.md`'s experiment index for the
+//! mapping from kernels to the paper's worked examples.
+
+pub mod extra;
+pub mod kernels;
+pub mod util;
+
+pub use extra::*;
+pub use kernels::*;
+pub use util::{assert_close, matrix, random_matrix, random_vector, vector, XorShift};

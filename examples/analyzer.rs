@@ -1,0 +1,93 @@
+//! A dependence-analysis explainer: feed it a `hac` program (a file
+//! path plus `name=value` parameter bindings, or nothing for a built-in
+//! tour) and it prints the dependence graph, the §4/§7 verdicts, and
+//! the schedule — the compiler's reasoning, in the paper's vocabulary.
+//!
+//! ```sh
+//! cargo run --example analyzer                      # built-in tour
+//! cargo run --example analyzer -- prog.hac n=100    # your program
+//! ```
+
+use hac::core::pipeline::{compile, CompileOptions};
+use hac::lang::parser::parse_program;
+use hac::lang::ConstEnv;
+
+fn analyze(title: &str, source: &str, env: &ConstEnv) {
+    println!("════ {title} ════");
+    println!("{source}");
+    match parse_program(source) {
+        Ok(program) => match compile(&program, env, &CompileOptions::default()) {
+            Ok(compiled) => println!("{}", compiled.report.render()),
+            Err(e) => println!("compile error: {e}\n"),
+        },
+        Err(e) => println!("parse error: {e}\n"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(path) = args.first() {
+        let source = std::fs::read_to_string(path)?;
+        let mut env = ConstEnv::new();
+        for binding in &args[1..] {
+            let (name, value) = binding
+                .split_once('=')
+                .ok_or("parameter bindings look like n=100")?;
+            env.bind(name, value.parse::<i64>()?);
+        }
+        analyze(path, &source, &env);
+        return Ok(());
+    }
+
+    // Built-in tour: one program per analysis outcome.
+    let env = ConstEnv::from_pairs([("n", 10), ("m", 10)]);
+
+    analyze(
+        "forward recurrence — (<) edge, forward loop",
+        "param n;\nletrec* a = array (1,n) ([ 1 := 1 ] ++ [ i := a!(i-1) * 2 | i <- [2..n] ]);\n",
+        &env,
+    );
+    analyze(
+        "backward recurrence — (>) edge, backward loop",
+        "param n;\nletrec* a = array (1,n) ([ n := 1 ] ++ [ i := a!(i+1) + 1 | i <- [1..n-1] ]);\n",
+        &env,
+    );
+    analyze(
+        "§5 example 1 — (<) and (=) edges, clause ordering",
+        "param n;\nletrec* a = array (1,3*n) [* [ 3*i := i ] ++ \
+         [ 3*i-1 := if i == 1 then 0 else a!(3*(i-1)) ] ++ [ 3*i-2 := a!(3*i) ] | i <- [1..n] *];\n",
+        &env,
+    );
+    analyze(
+        "even/odd split — collision checks elided",
+        "param n;\nlet a = array (1,2*n) ([ 2*i := 1 | i <- [1..n] ] ++ [ 2*i-1 := 2 | i <- [1..n] ]);\n",
+        &env,
+    );
+    analyze(
+        "overlapping writes — runtime checks compiled",
+        "param n;\nlet a = array (1,n) ([ i := 1 | i <- [1..n], i < 5 ] ++ [ i := 2 | i <- [4..n], i > 4 ]);\n",
+        &env,
+    );
+    analyze(
+        "missing element — empties reported",
+        "param n;\nlet a = array (1,n) [ i := 1 | i <- [2..n] ];\n",
+        &env,
+    );
+    analyze(
+        "indirect subscript — thunked fallback",
+        "param n;\ninput p (1,n);\nletrec* a = array (1,n) \
+         [ i := if i == 1 then 1 else a!(p!i) | i <- [1..n] ];\n",
+        &env,
+    );
+    analyze(
+        "§9 Jacobi update — node splitting with carry buffers",
+        hac::workloads::jacobi_source(),
+        &env,
+    );
+    analyze(
+        "§9 Gauss–Seidel update — in place, zero copies",
+        hac::workloads::sor_source(),
+        &env,
+    );
+    Ok(())
+}

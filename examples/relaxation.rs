@@ -1,0 +1,96 @@
+//! Iterative relaxation of the Laplace equation on a heated plate,
+//! comparing the paper's §9 update strategies:
+//!
+//! * **Jacobi** steps (`bigupd` reading only old values) — the compiler
+//!   breaks the anti-dependence cycles by node splitting and runs each
+//!   sweep in place with O(n) carry buffers;
+//! * **Gauss–Seidel** steps (new north/west neighbors) — scheduled
+//!   fully in place with zero temporaries, and converging faster.
+//!
+//! ```sh
+//! cargo run --example relaxation
+//! ```
+
+use std::collections::HashMap;
+
+use hac::core::pipeline::{compile, run, CompileOptions, Compiled};
+use hac::lang::parser::parse_program;
+use hac::lang::ConstEnv;
+use hac_runtime::value::{ArrayBuf, FuncTable};
+
+fn plate(n: i64) -> ArrayBuf {
+    // Hot top edge (100°), cold elsewhere.
+    hac::workloads::matrix(n, n, |i, _| if i == 1 { 100.0 } else { 0.0 })
+}
+
+fn sweep(compiled: &Compiled, a: &ArrayBuf) -> (ArrayBuf, hac::core::pipeline::ExecCounters) {
+    let mut inputs = HashMap::new();
+    inputs.insert("a".to_string(), a.clone());
+    let out = run(compiled, &inputs, &FuncTable::new()).expect("sweep");
+    (out.array("b").clone(), out.counters)
+}
+
+fn residual(a: &ArrayBuf, b: &ArrayBuf) -> f64 {
+    a.data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 24;
+    let env = ConstEnv::from_pairs([("n", n)]);
+    let jacobi = compile(
+        &parse_program(hac::workloads::jacobi_source())?,
+        &env,
+        &CompileOptions::default(),
+    )?;
+    let sor = compile(
+        &parse_program(hac::workloads::sor_source())?,
+        &env,
+        &CompileOptions::default(),
+    )?;
+
+    for u in &jacobi.report.updates {
+        println!("jacobi strategy: {}", u.strategy);
+    }
+    for u in &sor.report.updates {
+        println!("gauss-seidel strategy: {}", u.strategy);
+    }
+    println!();
+
+    let tol = 1e-3;
+    let mut table = Vec::new();
+    for (name, compiled) in [("jacobi", &jacobi), ("gauss-seidel", &sor)] {
+        let mut a = plate(n);
+        let mut iters = 0u64;
+        #[allow(unused_assignments)]
+        let (mut temps, mut copies) = (0u64, 0u64);
+        loop {
+            let (b, counters) = sweep(compiled, &a);
+            temps = counters.vm.temp_elements;
+            copies = counters.vm.elements_copied;
+            iters += 1;
+            let r = residual(&a, &b);
+            a = b;
+            if r < tol || iters > 10_000 {
+                break;
+            }
+        }
+        let center = a.get("a", &[n / 2, n / 2]).unwrap();
+        table.push((name, iters, center, temps, copies));
+    }
+
+    println!(
+        "{:<14} {:>8} {:>12} {:>16} {:>14}",
+        "method", "sweeps", "center T", "temp elems/sweep", "copies/sweep"
+    );
+    for (name, iters, center, temps, copies) in &table {
+        println!("{name:<14} {iters:>8} {center:>12.4} {temps:>16} {copies:>14}");
+    }
+    println!("\nGauss–Seidel converges in fewer sweeps and needs no temporaries;");
+    println!("Jacobi's node splitting costs only O(n) buffer elements per sweep —");
+    println!("never a whole-array copy.");
+    Ok(())
+}

@@ -1,0 +1,255 @@
+//! `hacc` — the command-line driver: compile a `.hac` program, explain
+//! the analysis, and run it.
+//!
+//! ```text
+//! hacc PROGRAM.hac [name=value ...] [options]
+//!
+//! options:
+//!   --mode auto|thunked|checked   execution strategy (default auto)
+//!   --fill zero|random[:SEED]     how to fill `input` arrays (default random)
+//!   --no-run                      only explain, do not execute
+//!   --quiet                       suppress the compilation report
+//!   --print NAME                  print one array (repeatable; default: results)
+//!   --emit limp                   print the generated loop IR per unit
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use hac::core::pipeline::{compile, run, CompileOptions, ExecMode, Unit};
+use hac::lang::parser::parse_program;
+use hac::lang::ConstEnv;
+use hac_runtime::value::{ArrayBuf, FuncTable};
+use hac_workloads::XorShift;
+
+struct Options {
+    file: String,
+    env: ConstEnv,
+    mode: ExecMode,
+    fill_random: bool,
+    seed: u64,
+    run_it: bool,
+    quiet: bool,
+    emit_limp: bool,
+    print: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: hacc PROGRAM.hac [name=value ...] \
+     [--mode auto|thunked|checked] [--fill zero|random[:SEED]] \
+     [--no-run] [--quiet] [--print NAME]"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        file: String::new(),
+        env: ConstEnv::new(),
+        mode: ExecMode::Auto,
+        fill_random: true,
+        seed: 0xC0FFEE,
+        run_it: true,
+        quiet: false,
+        emit_limp: false,
+        print: Vec::new(),
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--mode" => {
+                let m = args.next().ok_or("--mode needs a value")?;
+                opts.mode = match m.as_str() {
+                    "auto" => ExecMode::Auto,
+                    "thunked" => ExecMode::ForceThunked,
+                    "checked" => ExecMode::ForceChecked,
+                    other => return Err(format!("unknown mode `{other}`")),
+                };
+            }
+            "--fill" => {
+                let f = args.next().ok_or("--fill needs a value")?;
+                if f == "zero" {
+                    opts.fill_random = false;
+                } else if let Some(rest) = f.strip_prefix("random") {
+                    opts.fill_random = true;
+                    if let Some(seed) = rest.strip_prefix(':') {
+                        opts.seed = seed.parse().map_err(|_| "bad seed")?;
+                    }
+                } else {
+                    return Err(format!("unknown fill `{f}`"));
+                }
+            }
+            "--no-run" => opts.run_it = false,
+            "--quiet" => opts.quiet = true,
+            "--emit" => {
+                let what = args.next().ok_or("--emit needs a value")?;
+                if what == "limp" {
+                    opts.emit_limp = true;
+                } else {
+                    return Err(format!("unknown emit target `{what}`"));
+                }
+            }
+            "--print" => opts.print.push(args.next().ok_or("--print needs a name")?),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if other.contains('=') => {
+                let (name, value) = other.split_once('=').expect("checked");
+                let v: i64 = value
+                    .parse()
+                    .map_err(|_| format!("parameter `{name}` needs an integer, got `{value}`"))?;
+                opts.env.bind(name, v);
+            }
+            other if opts.file.is_empty() => opts.file = other.to_string(),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if opts.file.is_empty() {
+        return Err(usage().to_string());
+    }
+    Ok(opts)
+}
+
+fn fill_inputs(
+    compiled: &hac::core::pipeline::Compiled,
+    opts: &Options,
+) -> HashMap<String, ArrayBuf> {
+    let mut rng = XorShift::new(opts.seed);
+    let mut out = HashMap::new();
+    for unit in &compiled.units {
+        if let Unit::Input { name, bounds } = unit {
+            let mut buf = ArrayBuf::new(bounds, 0.0);
+            if opts.fill_random {
+                for v in buf.data_mut() {
+                    *v = (rng.next_f64() * 10.0).round() / 10.0;
+                }
+            }
+            out.insert(name.clone(), buf);
+        }
+    }
+    out
+}
+
+fn print_array(name: &str, buf: &ArrayBuf) {
+    let bounds = buf.bounds();
+    println!("array `{name}` bounds {bounds:?}:");
+    match bounds.len() {
+        1 => {
+            let (lo, hi) = bounds[0];
+            let vals: Vec<String> = (lo..=hi.min(lo + 19))
+                .map(|i| format!("{:.4}", buf.get(name, &[i]).unwrap()))
+                .collect();
+            let ell = if hi - lo + 1 > 20 { " ..." } else { "" };
+            println!("  [{}{}]", vals.join(", "), ell);
+        }
+        2 => {
+            let (ilo, ihi) = bounds[0];
+            let (jlo, jhi) = bounds[1];
+            for i in ilo..=ihi.min(ilo + 9) {
+                let row: Vec<String> = (jlo..=jhi.min(jlo + 9))
+                    .map(|j| format!("{:>9.4}", buf.get(name, &[i, j]).unwrap()))
+                    .collect();
+                println!("  {}", row.join(" "));
+            }
+            if ihi - ilo + 1 > 10 || jhi - jlo + 1 > 10 {
+                println!("  ... (truncated)");
+            }
+        }
+        _ => println!("  ({} elements)", buf.len()),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read `{}`: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match parse_program(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let compiled = match compile(
+        &program,
+        &opts.env,
+        &CompileOptions {
+            mode: opts.mode,
+            ..CompileOptions::default()
+        },
+    ) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !opts.quiet {
+        print!("{}", compiled.report.render());
+    }
+    if opts.emit_limp {
+        for unit in &compiled.units {
+            match unit {
+                Unit::Thunkless { name, prog } => {
+                    println!("--- limp for array `{name}` ---");
+                    print!("{}", prog.render());
+                }
+                Unit::Update { name, lowered, .. } => {
+                    println!(
+                        "--- limp for update `{name}`{} ---",
+                        if lowered.in_place { " (in place)" } else { "" }
+                    );
+                    print!("{}", lowered.prog.render());
+                }
+                _ => {}
+            }
+        }
+    }
+    if !opts.run_it {
+        return ExitCode::SUCCESS;
+    }
+    let inputs = fill_inputs(&compiled, &opts);
+    let out = match run(&compiled, &inputs, &FuncTable::new()) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("runtime error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let names: Vec<String> = if opts.print.is_empty() {
+        program.result_names()
+    } else {
+        opts.print.clone()
+    };
+    for name in &names {
+        if let Some(buf) = out.arrays.get(name) {
+            print_array(name, buf);
+        } else if let Some(v) = out.scalars.get(name) {
+            println!("scalar `{name}` = {v}");
+        } else {
+            eprintln!("no array or scalar `{name}` in output");
+        }
+    }
+    for (name, v) in &out.scalars {
+        if !names.contains(name) {
+            println!("scalar `{name}` = {v}");
+        }
+    }
+    println!(
+        "counters: {} stores, {} loads, {} checks, {} thunks, {} copies, {} temp elems",
+        out.counters.vm.stores,
+        out.counters.vm.loads,
+        out.counters.vm.check_ops,
+        out.counters.thunked.thunks_allocated,
+        out.counters.vm.elements_copied,
+        out.counters.vm.temp_elements
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,31 @@
+//! # hac — Haskell Array Comprehension compiler
+//!
+//! A from-scratch Rust reproduction of Steven Anderson and Paul Hudak,
+//! *"Compilation of Haskell Array Comprehensions for Scientific
+//! Computing"*, PLDI 1990: subscript analysis (GCD / Banerjee / exact
+//! tests with direction vectors) adapted to functional monolithic
+//! arrays, static thunkless scheduling, write-collision and empties
+//! elision, and single-threaded in-place `bigupd` updates via node
+//! splitting.
+//!
+//! This facade crate re-exports the full pipeline ([`hac_core`]) plus
+//! the front end ([`hac_lang`]) and the paper's evaluation kernels
+//! ([`hac_workloads`]). See `README.md` for a tour and `DESIGN.md` for
+//! the system inventory.
+//!
+//! ```
+//! use std::collections::HashMap;
+//! use hac::core::compile_and_run;
+//! use hac::lang::ConstEnv;
+//!
+//! let out = compile_and_run(
+//!     hac::workloads::wavefront_source(),
+//!     &ConstEnv::from_pairs([("n", 4)]),
+//!     &HashMap::new(),
+//! ).unwrap();
+//! assert_eq!(out.array("a").get("a", &[4, 4]).unwrap(), 63.0);
+//! ```
+
+pub use hac_core as core;
+pub use hac_lang as lang;
+pub use hac_workloads as workloads;

@@ -1,0 +1,122 @@
+//! Smoke tests for the `hacc` CLI driver (built automatically for
+//! integration tests; path via `CARGO_BIN_EXE_hacc`).
+
+use std::process::Command;
+
+fn hacc(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_hacc"))
+        .args(args)
+        .output()
+        .expect("spawn hacc")
+}
+
+#[test]
+fn wavefront_program_runs() {
+    let out = hacc(&["programs/wavefront.hac", "n=6"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("outcome: thunkless"), "{stdout}");
+    assert!(stdout.contains("1683.0000"), "Delannoy corner: {stdout}");
+    assert!(stdout.contains("0 thunks"), "{stdout}");
+}
+
+#[test]
+fn sor_program_reports_in_place() {
+    let out = hacc(&["programs/sor.hac", "n=8", "--fill", "random:7"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("in place, zero copies"), "{stdout}");
+    assert!(stdout.contains("0 copies"), "{stdout}");
+}
+
+#[test]
+fn thunked_mode_flag() {
+    let out = hacc(&[
+        "programs/wavefront.hac",
+        "n=5",
+        "--mode",
+        "thunked",
+        "--quiet",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("25 thunks"), "{stdout}");
+}
+
+#[test]
+fn explain_only() {
+    let out = hacc(&["programs/tridiag.hac", "n=6", "--no-run"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("dependences:"), "{stdout}");
+    assert!(!stdout.contains("counters:"), "{stdout}");
+}
+
+#[test]
+fn missing_parameter_is_a_clean_error() {
+    let out = hacc(&["programs/wavefront.hac"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("not"),
+        "should explain the failure: {stderr}"
+    );
+}
+
+#[test]
+fn bad_file_is_a_clean_error() {
+    let out = hacc(&["no-such-file.hac", "n=3"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn emit_limp_flag() {
+    let out = hacc(&[
+        "programs/sor.hac",
+        "n=5",
+        "--quiet",
+        "--no-run",
+        "--emit",
+        "limp",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("limp for update `b` (in place)"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("for i = 2"), "{stdout}");
+}
+
+#[test]
+fn scalar_reductions_printed() {
+    std::fs::write(
+        "target/cli_reduce_test.hac",
+        "param n;\ninput u (1,n);\nlet s = sum [ u!k | k <- [1..n] ];\n\
+         let a = array (1,1) [ 1 := s ];\nresult a;\n",
+    )
+    .unwrap();
+    let out = hacc(&[
+        "target/cli_reduce_test.hac",
+        "n=4",
+        "--quiet",
+        "--fill",
+        "zero",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("scalar `s` = 0"), "{stdout}");
+}

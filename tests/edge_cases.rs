@@ -1,0 +1,175 @@
+//! Edge cases across the pipeline: unusual bounds, empty ranges,
+//! strided generators, zero-size arrays, and parameterized borders.
+
+use std::collections::HashMap;
+
+use hac_core::pipeline::{compile, compile_and_run, run, CompileOptions, ExecMode};
+use hac_lang::env::ConstEnv;
+use hac_lang::parser::parse_program;
+use hac_runtime::value::FuncTable;
+
+fn run_src(src: &str, pairs: &[(&str, i64)]) -> hac_core::pipeline::ExecOutput {
+    let env = ConstEnv::from_pairs(pairs.iter().copied());
+    compile_and_run(src, &env, &HashMap::new()).unwrap()
+}
+
+#[test]
+fn zero_based_and_negative_bounds() {
+    let out = run_src(
+        "param n;\nlet a = array (-2,n) [ i := i * i | i <- [-2..n] ];\n",
+        &[("n", 3)],
+    );
+    let a = out.array("a");
+    assert_eq!(a.get("a", &[-2]).unwrap(), 4.0);
+    assert_eq!(a.get("a", &[0]).unwrap(), 0.0);
+    assert_eq!(a.get("a", &[3]).unwrap(), 9.0);
+}
+
+#[test]
+fn recurrence_over_negative_range() {
+    let out = run_src(
+        "param n;\nletrec* a = array (-3,n) \
+         ([ -3 := 1 ] ++ [ i := a!(i-1) * 2 | i <- [-2..n] ]);\n",
+        &[("n", 2)],
+    );
+    assert_eq!(out.array("a").data(), &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0]);
+}
+
+#[test]
+fn strided_generators_forward_and_backward() {
+    // Write evens forward, odds backward — no collisions, no empties
+    // in a guarded sense... written totally:
+    let out = run_src(
+        "param n;\nlet a = array (1,2*n) \
+         ([ i := 1 | i <- [2,4..2*n] ] ++ [ i := 2 | i <- [2*n-1,2*n-3..1] ]);\n",
+        &[("n", 4)],
+    );
+    assert_eq!(
+        out.array("a").data(),
+        &[2.0, 1.0, 2.0, 1.0, 2.0, 1.0, 2.0, 1.0]
+    );
+    // The analysis proves evens and odds disjoint → no checks.
+    assert_eq!(out.counters.vm.check_ops, 0);
+}
+
+#[test]
+fn strided_recurrence_normalizes() {
+    // a!(2i) depends on a!(2i-2): a stride-2 chain seeded at 2,
+    // odd slots filled constant.
+    let out = run_src(
+        "param n;\nletrec* a = array (1,2*n) \
+         ([ 2 := 1 ] ++ [ i := a!(i-2) + 1 | i <- [4,6..2*n] ] ++ \
+          [ i := 0 | i <- [1,3..2*n-1] ]);\n",
+        &[("n", 4)],
+    );
+    assert_eq!(
+        out.array("a").data(),
+        &[0.0, 1.0, 0.0, 2.0, 0.0, 3.0, 0.0, 4.0]
+    );
+    assert_eq!(out.counters.thunked.thunks_allocated, 0, "thunkless");
+}
+
+#[test]
+fn empty_generator_and_tiny_sizes() {
+    // n = 1 degenerates every recurrence range to empty.
+    let out = run_src(
+        "param n;\nletrec* a = array (1,n) \
+         ([ 1 := 7 ] ++ [ i := a!(i-1) | i <- [2..n] ]);\n",
+        &[("n", 1)],
+    );
+    assert_eq!(out.array("a").data(), &[7.0]);
+}
+
+#[test]
+fn zero_size_array() {
+    let out = run_src(
+        "param n;\nlet a = array (1,n) [ i := 0 | i <- [1..n] ];\n",
+        &[("n", 0)],
+    );
+    assert!(out.array("a").is_empty());
+}
+
+#[test]
+fn single_element_backward_loop() {
+    let out = run_src(
+        "param n;\nletrec* a = array (1,n) \
+         ([ n := 1 ] ++ [ i := a!(i+1) + 1 | i <- [1..n-1] ]);\n",
+        &[("n", 2)],
+    );
+    assert_eq!(out.array("a").data(), &[2.0, 1.0]);
+}
+
+#[test]
+fn parameters_inside_values_and_guards() {
+    let out = run_src(
+        "param n, k;\nlet a = array (1,n) \
+         ([ i := n * 100 + k | i <- [1..n], i == k ] ++ \
+          [ i := i | i <- [1..n], i /= k ]);\n",
+        &[("n", 4), ("k", 3)],
+    );
+    assert_eq!(out.array("a").data(), &[1.0, 2.0, 403.0, 4.0]);
+}
+
+#[test]
+fn where_bindings_between_loops() {
+    let out = run_src(
+        "param n;\nlet a = array ((1,1),(n,n)) \
+         [* ([ (i,j) := v + j | j <- [1..n] ] where v = i * 10) | i <- [1..n] *];\n",
+        &[("n", 3)],
+    );
+    let a = out.array("a");
+    assert_eq!(a.get("a", &[2, 3]).unwrap(), 23.0);
+    assert_eq!(a.get("a", &[3, 1]).unwrap(), 31.0);
+}
+
+#[test]
+fn shadowed_generator_names() {
+    // The same index name reused in disjoint generators.
+    let out = run_src(
+        "param n;\nlet a = array (1,2*n) \
+         ([ i := 1 | i <- [1..n] ] ++ [ i + n := 2 | i <- [1..n] ]);\n",
+        &[("n", 2)],
+    );
+    assert_eq!(out.array("a").data(), &[1.0, 1.0, 2.0, 2.0]);
+}
+
+#[test]
+fn forced_checked_mode_still_correct() {
+    let src = "param n;\nletrec* a = array (1,n) \
+               ([ 1 := 1 ] ++ [ i := a!(i-1) + 1 | i <- [2..n] ]);\n";
+    let env = ConstEnv::from_pairs([("n", 5)]);
+    let program = parse_program(src).unwrap();
+    let checked = compile(
+        &program,
+        &env,
+        &CompileOptions {
+            mode: ExecMode::ForceChecked,
+            ..CompileOptions::default()
+        },
+    )
+    .unwrap();
+    let out = run(&checked, &HashMap::new(), &FuncTable::new()).unwrap();
+    assert_eq!(out.array("a").data(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+    assert!(out.counters.vm.check_ops >= 10, "{:?}", out.counters.vm);
+}
+
+#[test]
+fn deep_where_chain() {
+    let out = run_src(
+        "param n;\nlet a = array (1,n) \
+         [ i := let x = i * 2; y = x + 1; z = y * y in z - x | i <- [1..n] ];\n",
+        &[("n", 3)],
+    );
+    // z - x = (2i+1)² - 2i
+    assert_eq!(out.array("a").data(), &[7.0, 21.0, 43.0]);
+}
+
+#[test]
+fn min_max_and_builtins_in_values() {
+    let out = run_src(
+        "param n;\nlet a = array (1,n) \
+         [ i := max(min(i, 3), 2) + sqrt(4) | i <- [1..n] ];\n",
+        &[("n", 5)],
+    );
+    assert_eq!(out.array("a").data(), &[4.0, 4.0, 5.0, 5.0, 5.0]);
+}

@@ -1,0 +1,83 @@
+//! Front-end robustness: the lexer/parser must return errors — never
+//! panic — on arbitrary input, and the full pipeline must reject
+//! malformed programs cleanly.
+
+use proptest::prelude::*;
+
+use hac_core::pipeline::{compile, CompileOptions};
+use hac_lang::env::ConstEnv;
+use hac_lang::parser::{parse_comp, parse_expr, parse_program};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary strings never panic the parser.
+    #[test]
+    fn parser_never_panics_on_garbage(src in ".{0,200}") {
+        let _ = parse_program(&src);
+        let _ = parse_expr(&src);
+        let _ = parse_comp(&src);
+    }
+
+    /// Token-soup built from the language's own vocabulary never panics
+    /// (more likely than raw bytes to reach deep parser states).
+    #[test]
+    fn parser_never_panics_on_token_soup(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("let"), Just("letrec*"), Just("array"), Just("param"),
+                Just("input"), Just("bigupd"), Just("result"), Just("sum"),
+                Just("reduce"), Just("[*"), Just("*]"), Just("["), Just("]"),
+                Just("("), Just(")"), Just(":="), Just("<-"), Just(".."),
+                Just("++"), Just("|"), Just(","), Just(";"), Just("="),
+                Just("+"), Just("-"), Just("*"), Just("/"), Just("!"),
+                Just("i"), Just("a"), Just("n"), Just("1"), Just("2"),
+                Just("if"), Just("then"), Just("else"), Just("where"),
+                Just("and"), Just("mod"), Just("in"),
+            ],
+            0..40,
+        )
+    ) {
+        let src = toks.join(" ");
+        let _ = parse_program(&src);
+        let _ = parse_comp(&src);
+    }
+
+    /// Whatever parses must also either compile or fail with a proper
+    /// error (no panics) under a fixed environment.
+    #[test]
+    fn compile_never_panics_on_parsed_soup(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("let a = array (1,n)"),
+                Just("[ i := 1 | i <- [1..n] ]"),
+                Just("[ i := a!(i-1) | i <- [2..n] ]"),
+                Just("++"),
+                Just(";"),
+                Just("param n;"),
+                Just("input u (1,n);"),
+                Just("let s = sum [ i | i <- [1..n] ];"),
+            ],
+            0..8,
+        )
+    ) {
+        let src = toks.join("\n");
+        if let Ok(program) = parse_program(&src) {
+            let env = ConstEnv::from_pairs([("n", 4)]);
+            let _ = compile(&program, &env, &CompileOptions::default());
+        }
+    }
+}
+
+#[test]
+fn deeply_nested_parens_error_cleanly() {
+    // Shallow nesting parses; pathological nesting is rejected by the
+    // parser's depth guard instead of crashing the stack.
+    let ok = format!("{}1{}", "(".repeat(100), ")".repeat(100));
+    assert!(parse_expr(&ok).is_ok());
+    let deep = format!("{}1{}", "(".repeat(5_000), ")".repeat(5_000));
+    let err = parse_expr(&deep).unwrap_err();
+    assert!(err.message.contains("nests deeper"), "{err}");
+    let unbalanced = format!("{}1", "(".repeat(5_000));
+    assert!(parse_expr(&unbalanced).is_err());
+}

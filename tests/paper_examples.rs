@@ -1,0 +1,274 @@
+//! The paper's worked examples, reproduced end to end: §5's dependence
+//! graphs, §8's scheduling cases, and §9's update strategies
+//! (experiments E1, E2, E7–E10, E14, E15 of DESIGN.md).
+
+use hac_analysis::analyze::analyze_bigupd;
+use hac_analysis::depgraph::flow_dependences;
+use hac_analysis::refs::collect_refs;
+use hac_analysis::search::TestPolicy;
+use hac_lang::ast::ClauseId;
+use hac_lang::env::ConstEnv;
+use hac_lang::number::number_clauses;
+use hac_lang::parser::parse_comp;
+use hac_schedule::plan::{Dirn, ScheduleOutcome, Step, ThunkReason};
+use hac_schedule::scheduler::schedule;
+use hac_schedule::split::{plan_update, SplitAction, UpdateStrategy};
+
+fn analyzed(src: &str, env: &ConstEnv) -> (hac_lang::ast::Comp, Vec<hac_analysis::DepEdge>) {
+    let mut c = parse_comp(src).unwrap();
+    number_clauses(&mut c);
+    let refs = collect_refs(&c, "a", env).unwrap();
+    let flow = flow_dependences(&refs, "a", &TestPolicy::default());
+    (c, flow.edges)
+}
+
+/// §5 example 1: `a = array (1,300) [* [3i := ...] ++
+/// [3i-1 := ... a!(3(i-1)) ...] ++ [3i-2 := ... a!(3i) ...] | i <- [1..100] *]`
+/// The paper derives edges 1→2(<) and 1→3(=), a single forward loop.
+#[test]
+fn section5_example1() {
+    let env = ConstEnv::new();
+    let (c, edges) = analyzed(
+        "[* [ 3*i := 1 ] ++ [ 3*i-1 := a!(3*(i-1)) ] ++ [ 3*i-2 := a!(3*i) ] \
+         | i <- [1..100] *]",
+        &env,
+    );
+    let mut rendered: Vec<String> = edges
+        .iter()
+        .map(|e| format!("{}→{}{}", e.src, e.dst, e.dv))
+        .collect();
+    rendered.sort();
+    assert_eq!(rendered, vec!["c0→c1(<)", "c0→c2(=)"]);
+
+    let plan = match schedule(&c, &edges) {
+        ScheduleOutcome::Thunkless(p) => p,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(
+        plan.loop_count(),
+        1,
+        "one loop suffices:\n{}",
+        plan.render()
+    );
+    match &plan.steps[0] {
+        Step::Loop { dirn, .. } => {
+            assert_eq!(*dirn, Dirn::Forward, "the (<) edge forces a forward loop")
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+/// §5 example 2: within one `i` instance the inner `j` loop must run
+/// backward (the (=,>) edge); the outer loop forward.
+#[test]
+fn section5_example2() {
+    let env = ConstEnv::from_pairs([("m", 10), ("n", 20)]);
+    let (c, edges) = analyzed(
+        "[* [ (i,j) := a!(i,j+1) + a!(i-1,j) ] | i <- [1..m], j <- [1..n-1] *] ++ \
+         [ (i,n) := 1 | i <- [1..m] ]",
+        &env,
+    );
+    // Self edges on clause 0: (=,>) from the east read, (<,=) from the
+    // north read.
+    let self_edges: Vec<String> = edges
+        .iter()
+        .filter(|e| e.src == ClauseId(0) && e.dst == ClauseId(0))
+        .map(|e| e.dv.to_string())
+        .collect();
+    assert!(self_edges.contains(&"(=,>)".to_string()), "{self_edges:?}");
+    assert!(self_edges.contains(&"(<,=)".to_string()), "{self_edges:?}");
+
+    let plan = match schedule(&c, &edges) {
+        ScheduleOutcome::Thunkless(p) => p,
+        other => panic!("{other:?}"),
+    };
+    // Outer forward, inner backward.
+    fn outer_inner(steps: &[Step]) -> Option<(Dirn, Dirn)> {
+        for s in steps {
+            if let Step::Loop { dirn, body, .. } = s {
+                for b in body {
+                    if let Step::Loop { dirn: d2, .. } = b {
+                        return Some((*dirn, *d2));
+                    }
+                }
+                if let Some(found) = outer_inner(body) {
+                    return Some(found);
+                }
+            }
+        }
+        None
+    }
+    assert_eq!(
+        outer_inner(&plan.steps),
+        Some((Dirn::Forward, Dirn::Backward)),
+        "{}",
+        plan.render()
+    );
+}
+
+/// §8.1.2's acyclic example — A→B(<), B→C(>), A→C(=) — schedules as
+/// two passes, not three.
+#[test]
+fn section8_acyclic_collapses_to_two_passes() {
+    use hac_analysis::depgraph::{DepEdge, DepKind};
+    use hac_analysis::direction::{Dir, DirVec};
+    use hac_analysis::search::Confidence;
+
+    let mut c = parse_comp("[* [ 3*i := 0 ] ++ [ 3*i+1 := 0 ] ++ [ 3*i+2 := 0 ] | i <- [1..10] *]")
+        .unwrap();
+    number_clauses(&mut c);
+    let edge = |src: u32, dst: u32, d: Dir| DepEdge {
+        src: ClauseId(src),
+        dst: ClauseId(dst),
+        kind: DepKind::Flow,
+        array: "a".into(),
+        dv: DirVec(vec![d]),
+        confidence: Confidence::Possible,
+        distance: None,
+        src_read: None,
+        dst_read: None,
+    };
+    let edges = vec![
+        edge(0, 1, Dir::Lt),
+        edge(1, 2, Dir::Gt),
+        edge(0, 2, Dir::Eq),
+    ];
+    let plan = match schedule(&c, &edges) {
+        ScheduleOutcome::Thunkless(p) => p,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(plan.loop_count(), 2, "{}", plan.render());
+    hac_schedule::check::check_plan(&plan, &c, &edges, &ConstEnv::new()).unwrap();
+}
+
+/// §8.1.2's unschedulable cycle — A→B(<), B→A(>) — needs thunks.
+#[test]
+fn section8_thunk_fallback() {
+    use hac_analysis::depgraph::{DepEdge, DepKind};
+    use hac_analysis::direction::{Dir, DirVec};
+    use hac_analysis::search::Confidence;
+
+    let mut c = parse_comp("[* [ 2*i := 0 ] ++ [ 2*i+1 := 0 ] | i <- [1..10] *]").unwrap();
+    number_clauses(&mut c);
+    let edge = |src: u32, dst: u32, d: Dir| DepEdge {
+        src: ClauseId(src),
+        dst: ClauseId(dst),
+        kind: DepKind::Flow,
+        array: "a".into(),
+        dv: DirVec(vec![d]),
+        confidence: Confidence::Possible,
+        distance: None,
+        src_read: None,
+        dst_read: None,
+    };
+    match schedule(&c, &[edge(0, 1, Dir::Lt), edge(1, 0, Dir::Gt)]) {
+        ScheduleOutcome::NeedsThunks(ThunkReason::MixedDirectionCycle { .. }) => {}
+        other => panic!("expected thunk fallback, got {other:?}"),
+    }
+}
+
+/// §9 row swap: anti cycle broken by one precopied row.
+#[test]
+fn section9_row_swap() {
+    let env = ConstEnv::from_pairs([("n", 16)]);
+    let mut c =
+        parse_comp("[ (1,j) := a!(2,j) | j <- [1..n] ] ++ [ (2,j) := a!(1,j) | j <- [1..n] ]")
+            .unwrap();
+    number_clauses(&mut c);
+    let u = analyze_bigupd("a", "b", &c, &env, &TestPolicy::default()).unwrap();
+    let plan = plan_update(&c, &u).unwrap();
+    match &plan.strategy {
+        UpdateStrategy::Split(actions) => {
+            assert_eq!(actions.len(), 1);
+            assert!(matches!(actions[0], SplitAction::Precopy { .. }));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+/// §9 Jacobi: the `(=,>)` self cycle is broken by a scalar carry and
+/// the `(>,=)` one by a row-sized buffer — "the temporary must be a
+/// vector large enough to hold all the live values that may be
+/// overwritten by the inner loop".
+#[test]
+fn section9_jacobi_node_splitting() {
+    let env = ConstEnv::from_pairs([("n", 16)]);
+    let mut c = parse_comp(
+        "[ (i,j) := (a!(i-1,j) + a!(i,j-1) + a!(i+1,j) + a!(i,j+1)) / 4 \
+         | i <- [2..n-1], j <- [2..n-1] ]",
+    )
+    .unwrap();
+    number_clauses(&mut c);
+    let u = analyze_bigupd("a", "b", &c, &env, &TestPolicy::default()).unwrap();
+    // The paper's four anti self edges.
+    let mut dvs: Vec<String> = u
+        .anti
+        .edges
+        .iter()
+        .filter(|e| !e.dv.is_loop_independent())
+        .map(|e| e.dv.to_string())
+        .collect();
+    dvs.sort();
+    assert_eq!(dvs, vec!["(<,=)", "(=,<)", "(=,>)", "(>,=)"]);
+    let plan = plan_update(&c, &u).unwrap();
+    match &plan.strategy {
+        UpdateStrategy::Split(actions) => {
+            let mut levels: Vec<usize> = actions
+                .iter()
+                .map(|a| match a {
+                    SplitAction::CarryBuffer { level, lag: 1, .. } => *level,
+                    other => panic!("{other:?}"),
+                })
+                .collect();
+            levels.sort();
+            assert_eq!(levels, vec![0, 1]);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+/// §9 Gauss–Seidel / SOR (LK23 wavefront): "the true dependences can be
+/// satisfied without compiling thunks, and the antidependences without
+/// copying" — all four self edges agree with forward/forward loops.
+#[test]
+fn section9_sor_in_place() {
+    let env = ConstEnv::from_pairs([("n", 16)]);
+    let mut c = parse_comp(
+        "[ (i,j) := (b!(i-1,j) + b!(i,j-1) + a!(i+1,j) + a!(i,j+1)) / 4 \
+         | i <- [2..n-1], j <- [2..n-1] ]",
+    )
+    .unwrap();
+    number_clauses(&mut c);
+    let u = analyze_bigupd("a", "b", &c, &env, &TestPolicy::default()).unwrap();
+    // δ(<,=), δ(=,<) (flow on b) and δ̄(<,=), δ̄(=,<) (anti on a).
+    let flow_dvs: Vec<String> = u.flow.edges.iter().map(|e| e.dv.to_string()).collect();
+    assert!(flow_dvs.contains(&"(<,=)".to_string()), "{flow_dvs:?}");
+    assert!(flow_dvs.contains(&"(=,<)".to_string()), "{flow_dvs:?}");
+    let anti_dvs: Vec<String> = u
+        .anti
+        .edges
+        .iter()
+        .filter(|e| !e.dv.is_loop_independent())
+        .map(|e| e.dv.to_string())
+        .collect();
+    assert!(anti_dvs.contains(&"(<,=)".to_string()), "{anti_dvs:?}");
+    assert!(anti_dvs.contains(&"(=,<)".to_string()), "{anti_dvs:?}");
+    let plan = plan_update(&c, &u).unwrap();
+    assert_eq!(plan.strategy, UpdateStrategy::InPlace);
+}
+
+/// §9 row scale and SAXPY: in place with zero copies.
+#[test]
+fn section9_scale_and_saxpy_in_place() {
+    let env = ConstEnv::from_pairs([("n", 16), ("k", 1), ("m", 2)]);
+    for src in [
+        "[ (k,j) := 2.5 * a!(k,j) | j <- [1..n] ]",
+        "[ (k,j) := a!(k,j) + 3 * a!(m,j) | j <- [1..n] ]",
+    ] {
+        let mut c = parse_comp(src).unwrap();
+        number_clauses(&mut c);
+        let u = analyze_bigupd("a", "b", &c, &env, &TestPolicy::default()).unwrap();
+        let plan = plan_update(&c, &u).unwrap();
+        assert_eq!(plan.strategy, UpdateStrategy::InPlace, "{src}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Cross-crate equivalence: for every workload kernel, the thunkless
+//! pipeline, the forced-thunked reference evaluator, and the hand-coded
+//! Rust oracle must produce the same arrays (experiments E3/E13's
+//! correctness half).
+
+use std::collections::HashMap;
+
+use hac_core::pipeline::{compile, run, CompileOptions, ExecMode};
+use hac_lang::env::ConstEnv;
+use hac_lang::parser::parse_program;
+use hac_runtime::value::{ArrayBuf, FuncTable};
+use hac_workloads as wl;
+
+fn run_modes(
+    src: &str,
+    env: &ConstEnv,
+    inputs: &HashMap<String, ArrayBuf>,
+) -> (
+    hac_core::pipeline::ExecOutput,
+    hac_core::pipeline::ExecOutput,
+) {
+    let program = parse_program(src).unwrap();
+    let funcs = FuncTable::new();
+    let auto = compile(&program, env, &CompileOptions::default())
+        .unwrap_or_else(|e| panic!("compile(auto): {e}"));
+    let thunked = compile(
+        &program,
+        env,
+        &CompileOptions {
+            mode: ExecMode::ForceThunked,
+            ..CompileOptions::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("compile(thunked): {e}"));
+    let a = run(&auto, inputs, &funcs).unwrap_or_else(|e| panic!("run(auto): {e}"));
+    let t = run(&thunked, inputs, &funcs).unwrap_or_else(|e| panic!("run(thunked): {e}"));
+    (a, t)
+}
+
+#[test]
+fn wavefront_all_strategies_agree() {
+    let n = 12;
+    let env = ConstEnv::from_pairs([("n", n)]);
+    let (auto, thunked) = run_modes(wl::wavefront_source(), &env, &HashMap::new());
+    let oracle = wl::wavefront_oracle(n);
+    wl::assert_close(auto.array("a"), &oracle, 1e-12);
+    wl::assert_close(thunked.array("a"), &oracle, 1e-12);
+    // The optimized pipeline must be thunk-free with checks elided.
+    assert_eq!(auto.counters.thunked.thunks_allocated, 0);
+    assert_eq!(auto.counters.vm.check_ops, 0);
+    assert_eq!(
+        thunked.counters.thunked.thunks_allocated,
+        (n * n) as u64,
+        "one thunk per element in the baseline"
+    );
+}
+
+#[test]
+fn section5_example1_agrees() {
+    let n = 50;
+    let env = ConstEnv::from_pairs([("n", n)]);
+    let (auto, thunked) = run_modes(wl::section5_example1_source(), &env, &HashMap::new());
+    let oracle = wl::section5_example1_oracle(n);
+    wl::assert_close(auto.array("a"), &oracle, 1e-12);
+    wl::assert_close(thunked.array("a"), &oracle, 1e-12);
+    assert_eq!(auto.counters.thunked.thunks_allocated, 0);
+}
+
+#[test]
+fn section5_example2_agrees() {
+    let (m, n) = (7, 9);
+    let env = ConstEnv::from_pairs([("m", m), ("n", n)]);
+    let (auto, thunked) = run_modes(wl::section5_example2_source(), &env, &HashMap::new());
+    let oracle = wl::section5_example2_oracle(m, n);
+    wl::assert_close(auto.array("a"), &oracle, 1e-12);
+    wl::assert_close(thunked.array("a"), &oracle, 1e-12);
+}
+
+#[test]
+fn recurrence_agrees() {
+    let n = 200;
+    let env = ConstEnv::from_pairs([("n", n)]);
+    let (auto, thunked) = run_modes(wl::recurrence_source(), &env, &HashMap::new());
+    let oracle = wl::recurrence_oracle(n);
+    wl::assert_close(auto.array("a"), &oracle, 1e-12);
+    wl::assert_close(thunked.array("a"), &oracle, 1e-12);
+}
+
+#[test]
+fn thomas_agrees_and_solves() {
+    let n = 40;
+    let env = ConstEnv::from_pairs([("n", n)]);
+    let d = wl::random_vector(n, 7);
+    let mut inputs = HashMap::new();
+    inputs.insert("d".to_string(), d.clone());
+    let (auto, thunked) = run_modes(wl::thomas_source(), &env, &inputs);
+    let oracle = wl::thomas_oracle(&d, n);
+    wl::assert_close(auto.array("x"), &oracle, 1e-9);
+    wl::assert_close(thunked.array("x"), &oracle, 1e-9);
+    // cp/dp forward recurrences and x backward: all thunkless.
+    assert_eq!(auto.counters.thunked.thunks_allocated, 0);
+}
+
+#[test]
+fn jacobi_update_agrees() {
+    let n = 10;
+    let env = ConstEnv::from_pairs([("n", n)]);
+    let a = wl::random_matrix(n, n, 11);
+    let mut inputs = HashMap::new();
+    inputs.insert("a".to_string(), a.clone());
+    let program = parse_program(wl::jacobi_source()).unwrap();
+    let compiled = compile(&program, &env, &CompileOptions::default()).unwrap();
+    let out = run(&compiled, &inputs, &FuncTable::new()).unwrap();
+    let oracle = wl::jacobi_oracle(&a, n);
+    wl::assert_close(out.array("b"), &oracle, 1e-12);
+    assert_eq!(
+        out.counters.vm.elements_copied, 0,
+        "node splitting, no copy"
+    );
+    assert!(
+        out.counters.vm.temp_elements < 4 * n as u64,
+        "O(n) temporaries: {:?}",
+        out.counters.vm
+    );
+}
+
+#[test]
+fn sor_update_agrees() {
+    let n = 10;
+    let env = ConstEnv::from_pairs([("n", n)]);
+    let a = wl::random_matrix(n, n, 13);
+    let mut inputs = HashMap::new();
+    inputs.insert("a".to_string(), a.clone());
+    let program = parse_program(wl::sor_source()).unwrap();
+    let compiled = compile(&program, &env, &CompileOptions::default()).unwrap();
+    let out = run(&compiled, &inputs, &FuncTable::new()).unwrap();
+    let oracle = wl::sor_oracle(&a, n);
+    wl::assert_close(out.array("b"), &oracle, 1e-12);
+    assert_eq!(out.counters.vm.elements_copied, 0);
+    assert_eq!(out.counters.vm.temp_elements, 0, "pure in-place");
+}
+
+#[test]
+fn linpack_row_ops_agree() {
+    let (m, n) = (6, 9);
+    let env = ConstEnv::from_pairs([("m", m), ("n", n)]);
+    let a = wl::random_matrix(m, n, 17);
+    let mut inputs = HashMap::new();
+    inputs.insert("a".to_string(), a.clone());
+    for (src, oracle) in [
+        (wl::row_swap_source(), wl::row_swap_oracle(&a, n)),
+        (wl::row_scale_source(), wl::row_scale_oracle(&a, n)),
+        (wl::saxpy_source(), wl::saxpy_oracle(&a, n)),
+    ] {
+        let program = parse_program(src).unwrap();
+        let compiled = compile(&program, &env, &CompileOptions::default()).unwrap();
+        let out = run(&compiled, &inputs, &FuncTable::new()).unwrap();
+        wl::assert_close(out.array("b"), &oracle, 1e-12);
+        assert_eq!(out.counters.vm.elements_copied, 0, "{src}");
+    }
+}
+
+#[test]
+fn deforest_and_permutation_agree() {
+    let n = 32;
+    let env = ConstEnv::from_pairs([("n", n)]);
+    let u = wl::random_vector(n, 23);
+    let mut inputs = HashMap::new();
+    inputs.insert("u".to_string(), u.clone());
+    let (auto, _) = run_modes(wl::deforest_source(), &env, &inputs);
+    wl::assert_close(auto.array("a"), &wl::deforest_oracle(&u, n), 1e-12);
+    let (auto2, _) = run_modes(wl::permutation_source(), &env, &inputs);
+    wl::assert_close(auto2.array("a"), &wl::permutation_oracle(&u, n), 1e-12);
+    assert_eq!(auto2.counters.vm.check_ops, 0, "no collision possible");
+}
+
+#[test]
+fn histogram_agrees() {
+    let n = 100;
+    let env = ConstEnv::from_pairs([("n", n)]);
+    let u = wl::random_vector(n, 29);
+    let mut inputs = HashMap::new();
+    inputs.insert("u".to_string(), u.clone());
+    let program = parse_program(wl::histogram_source()).unwrap();
+    let compiled = compile(&program, &env, &CompileOptions::default()).unwrap();
+    let out = run(&compiled, &inputs, &FuncTable::new()).unwrap();
+    wl::assert_close(out.array("h"), &wl::histogram_oracle(&u, n), 1e-12);
+}
+
+#[test]
+fn matmul_agrees() {
+    let n = 6;
+    let env = ConstEnv::from_pairs([("n", n)]);
+    let x = wl::random_matrix(n, n, 31);
+    let y = wl::random_matrix(n, n, 37);
+    let mut inputs = HashMap::new();
+    inputs.insert("x".to_string(), x.clone());
+    inputs.insert("y".to_string(), y.clone());
+    let (auto, thunked) = run_modes(wl::matmul_source(), &env, &inputs);
+    let oracle = wl::matmul_oracle(&x, &y, n);
+    wl::assert_close(auto.array("c"), &oracle, 1e-9);
+    wl::assert_close(thunked.array("c"), &oracle, 1e-9);
+    assert_eq!(auto.counters.thunked.thunks_allocated, 0);
+}
+
+#[test]
+fn naive_list_te_agrees_with_pipeline() {
+    // E11's baseline: evaluate the deforest kernel through TE cons
+    // lists + foldl and compare.
+    use hac_lang::core::translate;
+    use hac_lang::number::number_clauses;
+    use hac_runtime::list::{array_from_list, eval_core_list, ListCounters};
+
+    let n = 16;
+    let env = ConstEnv::from_pairs([("n", n)]);
+    let u = wl::random_vector(n, 41);
+    let mut inputs = HashMap::new();
+    inputs.insert("u".to_string(), u.clone());
+
+    let program = parse_program(wl::deforest_source()).unwrap();
+    let def = program.array_def("a").unwrap();
+    let mut comp = def.comp.clone();
+    number_clauses(&mut comp);
+    let term = translate(&comp);
+    let mut arrays = HashMap::new();
+    arrays.insert("u".to_string(), u.clone());
+    let mut counters = ListCounters::default();
+    let list = eval_core_list(&term, &env, &arrays, &FuncTable::new(), &mut counters).unwrap();
+    let buf = array_from_list("a", &[(1, 2 * n)], &list).unwrap();
+    wl::assert_close(&buf, &wl::deforest_oracle(&u, n), 1e-12);
+    // The naive strategy really did allocate cons cells.
+    assert!(counters.cons_allocs >= (2 * n) as u64, "{counters:?}");
+}

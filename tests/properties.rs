@@ -1,0 +1,295 @@
+//! Property-based tests (proptest) over the core invariants:
+//! soundness of the inexact dependence tests, exactness of the exact
+//! test, legality of every schedule the scheduler emits, semantic
+//! agreement between strategies, comprehension order-irrelevance, and
+//! persistent-array consistency.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use hac_analysis::banerjee::banerjee_test_dim;
+use hac_analysis::direction::{Dir, DirVec};
+use hac_analysis::equation::{DimEquation, LoopTerm};
+use hac_analysis::exact::{exact_test, ExactResult};
+use hac_analysis::gcd::gcd_test_dim;
+use hac_analysis::refs::collect_refs;
+use hac_analysis::search::TestPolicy;
+use hac_core::pipeline::{compile, run, CompileOptions, ExecMode};
+use hac_lang::env::ConstEnv;
+use hac_lang::number::number_clauses;
+use hac_lang::parser::{parse_comp, parse_program};
+use hac_runtime::incremental::{CopyCounters, CowArray, TrailerArray, TrailerCounters};
+use hac_runtime::value::{ArrayBuf, FuncTable};
+use hac_schedule::check::check_plan;
+use hac_schedule::plan::ScheduleOutcome;
+use hac_schedule::scheduler::schedule;
+
+fn dir_strategy() -> impl Strategy<Value = Dir> {
+    prop_oneof![Just(Dir::Any), Just(Dir::Lt), Just(Dir::Eq), Just(Dir::Gt)]
+}
+
+/// Brute-force 1-D dependence oracle.
+fn brute_solvable(a: i64, b: i64, rhs: i64, m: i64, dir: Dir) -> bool {
+    for x in 1..=m {
+        for y in 1..=m {
+            let ok = match dir {
+                Dir::Any => true,
+                Dir::Lt => x < y,
+                Dir::Eq => x == y,
+                Dir::Gt => x > y,
+            };
+            if ok && a * x - b * y == rhs {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// GCD and Banerjee are *necessary* tests: whenever an integer
+    /// solution exists in the constrained region they must say
+    /// "dependence possible".
+    #[test]
+    fn inexact_tests_are_sound(
+        a in -4i64..=4,
+        b in -4i64..=4,
+        rhs in -8i64..=8,
+        m in 1i64..=6,
+        dir in dir_strategy(),
+    ) {
+        let eq = DimEquation {
+            shared: vec![LoopTerm { size: m, a, b }],
+            src_only: vec![],
+            snk_only: vec![],
+            a0: 0,
+            b0: rhs,
+        };
+        let dv = DirVec(vec![dir]);
+        if brute_solvable(a, b, rhs, m, dir) {
+            prop_assert!(gcd_test_dim(&eq, &dv), "GCD unsound");
+            prop_assert!(banerjee_test_dim(&eq, &dv), "Banerjee unsound");
+        }
+    }
+
+    /// The exact test agrees with brute force in both directions.
+    #[test]
+    fn exact_test_is_exact(
+        a in -4i64..=4,
+        b in -4i64..=4,
+        rhs in -8i64..=8,
+        m in 1i64..=6,
+        dir in dir_strategy(),
+    ) {
+        let eq = DimEquation {
+            shared: vec![LoopTerm { size: m, a, b }],
+            src_only: vec![],
+            snk_only: vec![],
+            a0: 0,
+            b0: rhs,
+        };
+        let dv = DirVec(vec![dir]);
+        let got = exact_test(&[eq], &dv, 1_000_000);
+        let want = brute_solvable(a, b, rhs, m, dir);
+        match got {
+            ExactResult::Dependent(w) => {
+                prop_assert!(want, "spurious witness {w:?}");
+                let (x, y) = w.shared[0];
+                prop_assert_eq!(a * x - b * y, rhs, "bad witness");
+            }
+            ExactResult::Independent => prop_assert!(!want, "missed solution"),
+            ExactResult::Unknown => prop_assert!(false, "budget too small"),
+        }
+    }
+
+    /// Any thunkless plan the scheduler emits for a random 1-D
+    /// two-clause recurrence satisfies every dependence edge (checked
+    /// by the instance-level legality oracle).
+    #[test]
+    fn schedules_are_legal(
+        off in 1i64..=3,
+        forward in any::<bool>(),
+        n in 4i64..=10,
+    ) {
+        // border at one end, recurrence reading a!(i ∓ off).
+        let src = if forward {
+            format!(
+                "[ i := 7 | i <- [1..{off}] ] ++ [ i := a!(i-{off}) + 1 | i <- [{}..{n}] ]",
+                off + 1
+            )
+        } else {
+            format!(
+                "[ i := 7 | i <- [{}..{n}] ] ++ [ i := a!(i+{off}) + 1 | i <- [1..{}] ]",
+                n - off + 1,
+                n - off
+            )
+        };
+        let mut c = parse_comp(&src).unwrap();
+        number_clauses(&mut c);
+        let env = ConstEnv::new();
+        let refs = collect_refs(&c, "a", &env).unwrap();
+        let flow = hac_analysis::depgraph::flow_dependences(&refs, "a", &TestPolicy::default());
+        match schedule(&c, &flow.edges) {
+            ScheduleOutcome::Thunkless(plan) => {
+                check_plan(&plan, &c, &flow.edges, &env)
+                    .map_err(|e| TestCaseError::fail(format!("{e}\n{}", plan.render())))?;
+            }
+            ScheduleOutcome::NeedsThunks(r) => {
+                return Err(TestCaseError::fail(format!("unexpected fallback: {r}")));
+            }
+        }
+    }
+
+    /// Thunkless and thunked strategies agree on random 2-D wavefront
+    /// variants (random subsets of the N/W/NW neighbor reads and random
+    /// border values).
+    #[test]
+    fn strategies_agree_on_random_wavefronts(
+        use_n in any::<bool>(),
+        use_w in any::<bool>(),
+        use_nw in any::<bool>(),
+        border in -3i64..=3,
+        n in 3i64..=7,
+    ) {
+        let mut terms: Vec<&str> = Vec::new();
+        if use_n { terms.push("a!(i-1,j)"); }
+        if use_w { terms.push("a!(i,j-1)"); }
+        if use_nw { terms.push("a!(i-1,j-1)"); }
+        if terms.is_empty() { terms.push("1"); }
+        let body = terms.join(" + ");
+        let src = format!(
+            "param n;\nletrec* a = array ((1,1),(n,n))\n\
+             ([ (1,j) := {border} | j <- [1..n] ] ++\n\
+              [ (i,1) := {border} + i | i <- [2..n] ] ++\n\
+              [ (i,j) := {body} + 1 | i <- [2..n], j <- [2..n] ]);\n"
+        );
+        let env = ConstEnv::from_pairs([("n", n)]);
+        let program = parse_program(&src).unwrap();
+        let auto = compile(&program, &env, &CompileOptions::default()).unwrap();
+        let thunked = compile(&program, &env, &CompileOptions {
+            mode: ExecMode::ForceThunked,
+            ..CompileOptions::default()
+        }).unwrap();
+        let inputs = HashMap::new();
+        let funcs = FuncTable::new();
+        let a = run(&auto, &inputs, &funcs).unwrap();
+        let t = run(&thunked, &inputs, &funcs).unwrap();
+        prop_assert_eq!(a.array("a").data(), t.array("a").data());
+        prop_assert_eq!(a.counters.thunked.thunks_allocated, 0);
+    }
+
+    /// §3: "the order of the list is completely irrelevant" — permuting
+    /// the appended clause families never changes the array.
+    #[test]
+    fn comprehension_order_is_irrelevant(perm in 0usize..6, n in 3i64..=6) {
+        let families = [
+            "[ (1,j) := 1 | j <- [1..n] ]",
+            "[ (i,1) := 1 | i <- [2..n] ]",
+            "[ (i,j) := a!(i-1,j) + a!(i,j-1) | i <- [2..n], j <- [2..n] ]",
+        ];
+        let orders = [
+            [0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+        ];
+        let ord = orders[perm];
+        let body = format!(
+            "{} ++ {} ++ {}",
+            families[ord[0]], families[ord[1]], families[ord[2]]
+        );
+        let src = format!(
+            "param n;\nletrec* a = array ((1,1),(n,n)) ({body});\n"
+        );
+        let env = ConstEnv::from_pairs([("n", n)]);
+        let out = hac_core::pipeline::compile_and_run(&src, &env, &HashMap::new())
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let baseline_src = format!(
+            "param n;\nletrec* a = array ((1,1),(n,n)) ({} ++ {} ++ {});\n",
+            families[0], families[1], families[2]
+        );
+        let baseline =
+            hac_core::pipeline::compile_and_run(&baseline_src, &env, &HashMap::new())
+                .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(out.array("a").data(), baseline.array("a").data());
+    }
+
+    /// COW and trailer arrays agree with a plain persistent-map oracle
+    /// under random interleaved updates and version reads.
+    #[test]
+    fn persistent_arrays_agree(ops in proptest::collection::vec((0i64..8, -10f64..10.0), 1..40)) {
+        let n = 8;
+        let init = ArrayBuf::new(&[(1, n)], 0.0);
+        // Oracle: materialize every version as a full Vec.
+        let mut versions: Vec<Vec<f64>> = vec![init.data().to_vec()];
+        let mut cows = vec![CowArray::new(init.clone())];
+        let mut trailers = vec![TrailerArray::new(init.clone())];
+        let mut cc = CopyCounters::default();
+        let mut tc = TrailerCounters::default();
+        for (slot, v) in &ops {
+            let idx = slot % n + 1;
+            // Update the latest version.
+            let mut next = versions.last().unwrap().clone();
+            next[(idx - 1) as usize] = *v;
+            versions.push(next);
+            let cow = cows.last().unwrap().clone();
+            cows.push(cow.update("a", &[idx], *v, &mut cc).unwrap());
+            let tr = trailers.last().unwrap().clone();
+            trailers.push(tr.update("a", &[idx], *v, &mut tc).unwrap());
+        }
+        // Every historical version must still read correctly.
+        for (vi, want) in versions.iter().enumerate() {
+            for i in 1..=n {
+                let w = want[(i - 1) as usize];
+                prop_assert_eq!(cows[vi].get("a", &[i]).unwrap(), w);
+                prop_assert_eq!(trailers[vi].get("a", &[i], &mut tc).unwrap(), w);
+            }
+        }
+    }
+
+    /// Affine extraction round-trips through `to_expr`.
+    #[test]
+    fn affine_roundtrip(c in -20i64..=20, ci in -5i64..=5, cj in -5i64..=5) {
+        use hac_lang::affine::Affine;
+        let a = Affine::term("i", ci)
+            .add(&Affine::term("j", cj))
+            .add(&Affine::constant(c));
+        let e = a.to_expr();
+        let back = Affine::from_expr(&e, &ConstEnv::new()).unwrap();
+        prop_assert_eq!(a, back);
+    }
+}
+
+/// Deterministic regression: a random-looking but fixed mixed program
+/// exercising inputs + recurrence + update in one pipeline run.
+#[test]
+fn mixed_program_regression() {
+    let src = r#"
+param n;
+input u (1,n);
+letrec* s = array (1,n)
+   ([ 1 := u!1 ] ++ [ i := s!(i-1) + u!i | i <- [2..n] ]);
+let sq = array (1,n) [ i := s!i * s!i | i <- [1..n] ];
+t = bigupd sq [ i := sq!(i+1) | i <- [1..n-1] ];
+result t;
+"#;
+    let n = 10;
+    let env = ConstEnv::from_pairs([("n", n)]);
+    let u = hac_workloads::random_vector(n, 99);
+    let mut inputs = HashMap::new();
+    inputs.insert("u".to_string(), u.clone());
+    let out = hac_core::pipeline::compile_and_run(src, &env, &inputs).unwrap();
+    // Oracle.
+    let mut s = vec![0.0; (n + 1) as usize];
+    s[1] = u.get("u", &[1]).unwrap();
+    for i in 2..=n as usize {
+        s[i] = s[i - 1] + u.get("u", &[i as i64]).unwrap();
+    }
+    let t = out.array("t");
+    for i in 1..n {
+        let want = s[(i + 1) as usize] * s[(i + 1) as usize];
+        assert!((t.get("t", &[i]).unwrap() - want).abs() < 1e-9, "at {i}");
+    }
+    let last = s[n as usize] * s[n as usize];
+    assert!((t.get("t", &[n]).unwrap() - last).abs() < 1e-9);
+}
