@@ -10,9 +10,16 @@
 //! node-splitting temporaries (precopy loops, carry-buffer ring saves).
 //! An instrumented VM executes Limp and reports exactly which runtime
 //! work was avoided: stores, loads, checks, copies, temporaries.
+//!
+//! Limp executes on one of two engines: the recursive tree-walking
+//! evaluator in [`limp`], or the register-slot bytecode tape compiled
+//! by [`tape`] (compile once per binding, then non-recursive dispatch
+//! with all names resolved to dense indices).
 
 pub mod limp;
 pub mod lower;
+pub mod tape;
 
 pub use limp::{LProgram, LStmt, StoreCheck, Vm, VmCounters};
 pub use lower::{lower_array, lower_update, CheckMode, LowerError, LoweredUpdate};
+pub use tape::{compile_tape, Op, TapeCtx, TapeProgram};

@@ -13,7 +13,11 @@ use std::collections::HashMap;
 
 use hac_lang::ast::Expr;
 use hac_runtime::error::RuntimeError;
-use hac_runtime::value::{as_int, eval_expr, ArrayBuf, ArrayReader, FuncTable, Scalars};
+use hac_runtime::value::{
+    as_int, builtin, eval_expr, ArrayBuf, ArrayReader, FuncTable, IdxBuf, Scalars,
+};
+
+use crate::tape::{HostFn, TapeProgram, TapeScratch, TapeState};
 
 /// Per-store checking mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -195,6 +199,10 @@ pub struct VmCounters {
     pub elements_copied: u64,
     /// Whole arrays allocated (result + temporaries).
     pub array_allocs: u64,
+    /// Bytecode instructions dispatched by the tape engine. Zero when
+    /// the tree-walking evaluator ran; every other counter means the
+    /// same thing under both engines.
+    pub tape_ops: u64,
 }
 
 /// The Limp virtual machine.
@@ -205,6 +213,9 @@ pub struct Vm {
     aliases: HashMap<String, String>,
     globals: Vec<(String, f64)>,
     funcs: FuncTable,
+    /// Reusable tape scratch (operand stack, frame, registers): kept on
+    /// the VM so repeated `run_tape` calls never reallocate.
+    scratch: TapeScratch,
     pub counters: VmCounters,
 }
 
@@ -284,8 +295,68 @@ impl Vm {
         for (name, v) in &self.globals {
             scalars.push(name.clone(), *v);
         }
-        let stmts = prog.stmts.clone();
-        self.exec(&stmts, &mut scalars)
+        self.exec(&prog.stmts, &mut scalars)
+    }
+
+    /// Execute a compiled bytecode tape.
+    ///
+    /// The tape must have been compiled with the same aliases this VM
+    /// routes through (`compile_tape` canonicalizes array names at
+    /// compile time; the pipeline guarantees the two agree). Buffers
+    /// are moved out of the name map into dense slots for the duration
+    /// of the run and restored afterwards — on success *and* on error,
+    /// so partial results stay observable exactly as with [`Vm::run`].
+    ///
+    /// # Errors
+    /// Identical failures, lazily raised, as the tree-walking [`Vm::run`].
+    pub fn run_tape(&mut self, tape: &TapeProgram) -> Result<(), RuntimeError> {
+        let mut bufs: Vec<Option<ArrayBuf>> = tape
+            .arrays
+            .iter()
+            .map(|n| {
+                let key = self.resolve(n).to_string();
+                self.arrays.remove(&key)
+            })
+            .collect();
+        let mut defined: Vec<Option<Vec<bool>>> = tape
+            .arrays
+            .iter()
+            .map(|n| {
+                let key = self.resolve(n).to_string();
+                self.defined.remove(&key)
+            })
+            .collect();
+        let funcs: Vec<Option<HostFn>> = tape
+            .funcs
+            .iter()
+            .map(|f| builtin(f).or_else(|| self.funcs.get(f).copied()))
+            .collect();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        tape.prepare(&mut scratch, &self.globals);
+        let out = {
+            let mut st = TapeState {
+                bufs: &mut bufs,
+                defined: &mut defined,
+                funcs: &funcs,
+                scratch: &mut scratch,
+                counters: &mut self.counters,
+            };
+            tape.exec(&mut st)
+        };
+        self.scratch = scratch;
+        for (name, buf) in tape.arrays.iter().zip(bufs) {
+            if let Some(buf) = buf {
+                let key = self.resolve(name).to_string();
+                self.arrays.insert(key, buf);
+            }
+        }
+        for (name, bits) in tape.arrays.iter().zip(defined) {
+            if let Some(bits) = bits {
+                let key = self.resolve(name).to_string();
+                self.defined.insert(key, bits);
+            }
+        }
+        out
     }
 
     fn exec(&mut self, stmts: &[LStmt], scalars: &mut Scalars) -> Result<(), RuntimeError> {
@@ -342,7 +413,7 @@ impl Vm {
                 value,
                 check,
             } => {
-                let mut idx = Vec::with_capacity(subs.len());
+                let mut idx = IdxBuf::new();
                 for e in subs {
                     let v = self.eval(e, scalars)?;
                     idx.push(as_int(array, v)?);
@@ -355,11 +426,13 @@ impl Vm {
                         .arrays
                         .get(&key)
                         .ok_or_else(|| RuntimeError::UnboundArray(array.clone()))?;
-                    let off = buf.offset(&idx).ok_or_else(|| RuntimeError::OutOfBounds {
-                        array: array.clone(),
-                        index: idx.clone(),
-                        bounds: buf.bounds(),
-                    })?;
+                    let off =
+                        buf.offset(idx.as_slice())
+                            .ok_or_else(|| RuntimeError::OutOfBounds {
+                                array: array.clone(),
+                                index: idx.as_slice().to_vec(),
+                                bounds: buf.bounds(),
+                            })?;
                     let d = self
                         .defined
                         .get_mut(&key)
@@ -367,7 +440,7 @@ impl Vm {
                     if d[off] {
                         return Err(RuntimeError::WriteCollision {
                             array: array.clone(),
-                            index: idx,
+                            index: idx.as_slice().to_vec(),
                         });
                     }
                     d[off] = true;
@@ -376,7 +449,7 @@ impl Vm {
                     .arrays
                     .get_mut(&key)
                     .ok_or_else(|| RuntimeError::UnboundArray(array.clone()))?;
-                buf.set(array, &idx, v)?;
+                buf.set(array, idx.as_slice(), v)?;
                 self.counters.stores += 1;
                 Ok(())
             }
@@ -442,7 +515,7 @@ impl Vm {
     }
 }
 
-fn unravel(buf: &ArrayBuf, mut off: usize) -> Vec<i64> {
+pub(crate) fn unravel(buf: &ArrayBuf, mut off: usize) -> Vec<i64> {
     let bounds = buf.bounds();
     let mut idx = vec![0i64; bounds.len()];
     for k in (0..bounds.len()).rev() {

@@ -1,0 +1,1507 @@
+//! The register-slot bytecode tape: the Limp VM's compile-once
+//! execution engine.
+//!
+//! [`compile_tape`] flattens a whole [`LProgram`] — statements *and*
+//! expressions — into one linear [`Op`] sequence in evaluation order,
+//! resolving every name at compile time:
+//!
+//! * scalar variables become frame-slot indices into a flat `Vec<f64>`
+//!   (globals first, then lexically scoped locals; loop variables also
+//!   get a parallel `i64` register so subscript arithmetic never
+//!   round-trips through floats),
+//! * arrays become dense [`ArrayId`]s into a `Vec<ArrayBuf>` slot
+//!   table, with in-place-update aliases canonicalized so both names
+//!   share one id,
+//! * functions become indices into a table resolved once per run.
+//!
+//! Affine subscripts over loop variables are strength-reduced into
+//! precomputed row-major strides: when the compile-time interval of
+//! every dimension (loop ranges are constant in Limp) fits inside the
+//! array's bounds, an n-dimensional access executes as one fused
+//! `base + Σ stride_k·i_k` offset with no checks and no per-access
+//! allocation; otherwise a per-dimension checked linear form preserves
+//! the tree-walker's exact out-of-bounds behaviour. Constant
+//! subexpressions fold at compile time.
+//!
+//! Name resolution failures are compiled to *lazy* error ops
+//! ([`Op::ErrVar`] etc.) so that, exactly like the tree-walking
+//! evaluator, an unbound name only faults if it is actually evaluated.
+//!
+//! The interpreter ([`TapeProgram::exec`]) is a non-recursive dispatch
+//! loop over a reusable operand stack; all scratch (operand stack,
+//! subscript stack, slot frame, loop registers) is preallocated in
+//! [`TapeScratch`] and reused across runs, so the inner loop performs
+//! no heap allocation.
+
+use std::collections::HashMap;
+
+use hac_lang::ast::{BinOp, Expr, UnOp};
+use hac_runtime::error::RuntimeError;
+use hac_runtime::value::{apply_bin, as_int, ArrayBuf};
+
+use crate::limp::{unravel, LProgram, LStmt, StoreCheck, VmCounters};
+
+/// Dense index into the tape's array slot table.
+pub type ArrayId = u32;
+
+/// A resolved host function (builtin or user-registered).
+pub type HostFn = fn(&[f64]) -> f64;
+
+/// One bytecode instruction. Expression ops operate on the `f64`
+/// operand stack; subscripts travel on a separate `i64` index stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Push a constant.
+    Const(f64),
+    /// Push a frame slot.
+    LoadSlot(u32),
+    /// Lazy error: the named variable had no binding at compile time.
+    ErrVar(u32),
+    /// Pop `r`, `l`; push `apply_bin(op, l, r)`.
+    Bin(BinOp),
+    /// Pop `v`; push the unary application.
+    Un(UnOp),
+    /// `&&`: pop `l`; if `l == 0.0` push `0.0` and jump (the rhs is
+    /// skipped), else fall through to the rhs ops (whose raw value is
+    /// the result, as in the tree-walker).
+    AndJump(u32),
+    /// `||`: pop `l`; if `l != 0.0` push `1.0` and jump, else fall
+    /// through to the rhs ops followed by [`Op::OrNorm`].
+    OrJump(u32),
+    /// Pop `r`; push `1.0` if `r != 0.0` else `0.0`.
+    OrNorm,
+    /// Pop `c`; jump when `c == 0.0`.
+    JumpIfZero(u32),
+    /// Unconditional jump.
+    Jump(u32),
+    /// Lazy error: fail `UnknownFunction` *before* argument evaluation
+    /// when the function resolved to nothing at run start.
+    ResolveFunc(u32),
+    /// Pop `argc` arguments (contiguous on the operand stack); push the
+    /// result of function-table entry `func`.
+    Call { func: u32, argc: u32 },
+    /// Pop an `f64`, coerce to an integer subscript (error parity with
+    /// `as_int`), push onto the index stack. `name` is the array
+    /// spelling for the error message.
+    ToIdx(u32),
+    /// Pop `rank` subscripts from the index stack; push the element.
+    ReadDyn {
+        array: ArrayId,
+        name: u32,
+        rank: u32,
+    },
+    /// Push the element at a strength-reduced linear access.
+    ReadLin(u32),
+    /// Pop into a frame slot (`let` bindings).
+    StoreSlot(u32),
+
+    /// Allocate per the indexed [`AllocEntry`].
+    Alloc(u32),
+    /// Set a loop register to its start value.
+    LoopInit { ireg: u32, start: i64 },
+    /// Loop test: exit when past `end`, else count the iteration and
+    /// publish the register into the loop variable's frame slot.
+    LoopHead {
+        ireg: u32,
+        slot: u32,
+        end: i64,
+        step: i64,
+        exit: u32,
+    },
+    /// Advance the loop register and jump back to the head.
+    LoopNext { ireg: u32, step: i64, head: u32 },
+    /// Pop the value, then `rank` subscripts; store (with optional
+    /// monolithic definedness check).
+    StoreDyn {
+        array: ArrayId,
+        name: u32,
+        rank: u32,
+        checked: bool,
+    },
+    /// Pop the value; store through a strength-reduced linear access.
+    StoreLin { lin: u32, checked: bool },
+    /// Clone `src`'s buffer into `dst` (element-counted).
+    Copy {
+        dst: ArrayId,
+        src: ArrayId,
+        src_name: u32,
+    },
+    /// Verify every element of a checked array is defined.
+    CheckComplete { array: ArrayId, name: u32 },
+    /// End of program.
+    Halt,
+}
+
+/// A strength-reduced array access: all subscripts are affine in loop
+/// registers, with strides folded in at compile time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinEntry {
+    /// Storage slot.
+    pub array: ArrayId,
+    /// Spelled name (error messages).
+    pub name: u32,
+    /// Fused constant offset (includes the `-lo·stride` terms).
+    pub base: i64,
+    /// `(loop register, fused row-major stride)` terms.
+    pub terms: Vec<(u32, i64)>,
+    /// Per-dimension check forms, or `None` when the interval analysis
+    /// proved every access in bounds (checks hoisted out entirely).
+    pub checks: Option<Vec<LinDim>>,
+}
+
+/// One dimension of a checked linear access.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinDim {
+    /// Constant part of the dimension's affine subscript.
+    pub c: i64,
+    /// `(loop register, coefficient)` terms.
+    pub terms: Vec<(u32, i64)>,
+    /// Declared dimension bounds.
+    pub lo: i64,
+    /// Declared dimension bounds.
+    pub hi: i64,
+}
+
+impl LinDim {
+    #[inline]
+    fn value(&self, iregs: &[i64]) -> i64 {
+        let mut v = self.c;
+        for &(r, a) in &self.terms {
+            v = v.wrapping_add(a.wrapping_mul(iregs[r as usize]));
+        }
+        v
+    }
+}
+
+/// A compiled allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AllocEntry {
+    pub array: ArrayId,
+    pub bounds: Vec<(i64, i64)>,
+    pub fill: f64,
+    pub temp: bool,
+    pub checked: bool,
+}
+
+/// Compile-time context: everything the tape compiler resolves so the
+/// VM does not have to.
+#[derive(Debug, Clone, Default)]
+pub struct TapeCtx {
+    /// Known shapes of arrays bound before this program runs (inputs
+    /// and earlier bindings). Arrays allocated inside the program get
+    /// their shapes from their `Alloc` statements.
+    pub shapes: HashMap<String, Vec<(i64, i64)>>,
+    /// Name aliases (in-place `bigupd`: result name → base name). Both
+    /// names canonicalize to one [`ArrayId`] so in-place mutation works.
+    pub aliases: HashMap<String, String>,
+    /// Compile-time integer constants (program parameters): folded
+    /// directly into the tape.
+    pub consts: HashMap<String, i64>,
+    /// Runtime global scalars the VM will bind before execution
+    /// (earlier reduction results), in binding order. These occupy the
+    /// first frame slots.
+    pub globals: Vec<String>,
+}
+
+/// A compiled tape, ready to execute any number of times.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TapeProgram {
+    pub ops: Vec<Op>,
+    /// Interned spellings for lazy error reporting.
+    pub names: Vec<String>,
+    /// Canonical array names, indexed by [`ArrayId`]. The executor
+    /// binds each to a buffer slot before the first instruction.
+    pub arrays: Vec<String>,
+    /// Function names, resolved once per run.
+    pub funcs: Vec<String>,
+    pub lins: Vec<LinEntry>,
+    pub allocs: Vec<AllocEntry>,
+    /// Expected runtime globals; slot `i` holds `globals[i]`.
+    pub globals: Vec<String>,
+    /// Total frame slots (globals + deepest local scope).
+    pub frame_size: usize,
+    /// Loop registers.
+    pub ireg_count: usize,
+    /// Operand-stack high-water mark (preallocation).
+    pub max_stack: usize,
+    /// Index-stack high-water mark (preallocation).
+    pub max_idx: usize,
+}
+
+/// Reusable per-run storage: preallocated once, reused across runs, so
+/// the dispatch loop never touches the allocator.
+#[derive(Debug, Clone, Default)]
+pub struct TapeScratch {
+    pub frame: Vec<f64>,
+    pub iregs: Vec<i64>,
+    pub stack: Vec<f64>,
+    pub idx: Vec<i64>,
+}
+
+/// Mutable execution state threaded through [`TapeProgram::exec`].
+pub struct TapeState<'a> {
+    /// Buffer slots, indexed by [`ArrayId`]; `None` = not (yet) bound.
+    pub bufs: &'a mut [Option<ArrayBuf>],
+    /// Definedness bitmaps for checked arrays, indexed by [`ArrayId`].
+    pub defined: &'a mut [Option<Vec<bool>>],
+    /// Resolved function table (parallel to `TapeProgram::funcs`).
+    pub funcs: &'a [Option<HostFn>],
+    pub scratch: &'a mut TapeScratch,
+    pub counters: &'a mut VmCounters,
+}
+
+impl TapeProgram {
+    /// Size the scratch and fill global slots from the VM's bindings
+    /// (later bindings shadow earlier ones, as in the scalar stack).
+    pub fn prepare(&self, scratch: &mut TapeScratch, globals: &[(String, f64)]) {
+        scratch.frame.clear();
+        scratch.frame.resize(self.frame_size, 0.0);
+        for (slot, gname) in self.globals.iter().enumerate() {
+            if let Some((_, v)) = globals.iter().rev().find(|(n, _)| n == gname) {
+                scratch.frame[slot] = *v;
+            }
+        }
+        scratch.iregs.clear();
+        scratch.iregs.resize(self.ireg_count, 0);
+        scratch.stack.clear();
+        scratch.stack.reserve(self.max_stack);
+        scratch.idx.clear();
+        scratch.idx.reserve(self.max_idx);
+    }
+
+    /// Execute the tape.
+    ///
+    /// # Errors
+    /// Exactly the tree-walking VM's failures: unbound names, bad
+    /// subscripts, out-of-bounds accesses, collisions, and incomplete
+    /// checked arrays — raised lazily, only when the faulting
+    /// instruction is reached.
+    pub fn exec(&self, st: &mut TapeState<'_>) -> Result<(), RuntimeError> {
+        let mut tape_ops = 0u64;
+        let r = self.dispatch(st, &mut tape_ops);
+        st.counters.tape_ops += tape_ops;
+        r
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn dispatch(&self, st: &mut TapeState<'_>, tape_ops: &mut u64) -> Result<(), RuntimeError> {
+        let ops = &self.ops[..];
+        let TapeScratch {
+            frame,
+            iregs,
+            stack,
+            idx,
+        } = st.scratch;
+        let mut pc = 0usize;
+        loop {
+            let op = &ops[pc];
+            *tape_ops += 1;
+            pc += 1;
+            match op {
+                Op::Const(v) => stack.push(*v),
+                Op::LoadSlot(s) => stack.push(frame[*s as usize]),
+                Op::ErrVar(n) => {
+                    return Err(RuntimeError::UnboundVariable(
+                        self.names[*n as usize].clone(),
+                    ))
+                }
+                Op::Bin(bop) => {
+                    let r = stack.pop().expect("operand");
+                    let l = stack.pop().expect("operand");
+                    stack.push(apply_bin(*bop, l, r));
+                }
+                Op::Un(uop) => {
+                    let v = stack.pop().expect("operand");
+                    stack.push(match uop {
+                        UnOp::Neg => -v,
+                        UnOp::Not => {
+                            if v == 0.0 {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        }
+                        UnOp::Abs => v.abs(),
+                        UnOp::Sqrt => v.sqrt(),
+                        UnOp::Exp => v.exp(),
+                        UnOp::Log => v.ln(),
+                        UnOp::Sin => v.sin(),
+                        UnOp::Cos => v.cos(),
+                    });
+                }
+                Op::AndJump(t) => {
+                    let l = stack.pop().expect("operand");
+                    if l == 0.0 {
+                        stack.push(0.0);
+                        pc = *t as usize;
+                    }
+                }
+                Op::OrJump(t) => {
+                    let l = stack.pop().expect("operand");
+                    if l != 0.0 {
+                        stack.push(1.0);
+                        pc = *t as usize;
+                    }
+                }
+                Op::OrNorm => {
+                    let r = stack.pop().expect("operand");
+                    stack.push(if r != 0.0 { 1.0 } else { 0.0 });
+                }
+                Op::JumpIfZero(t) => {
+                    let c = stack.pop().expect("operand");
+                    if c == 0.0 {
+                        pc = *t as usize;
+                    }
+                }
+                Op::Jump(t) => pc = *t as usize,
+                Op::ResolveFunc(f) => {
+                    if st.funcs[*f as usize].is_none() {
+                        return Err(RuntimeError::UnknownFunction(
+                            self.funcs[*f as usize].clone(),
+                        ));
+                    }
+                }
+                Op::Call { func, argc } => {
+                    let f = st.funcs[*func as usize].expect("resolved by ResolveFunc");
+                    let at = stack.len() - *argc as usize;
+                    let v = f(&stack[at..]);
+                    stack.truncate(at);
+                    stack.push(v);
+                }
+                Op::ToIdx(n) => {
+                    let v = stack.pop().expect("operand");
+                    idx.push(as_int(&self.names[*n as usize], v)?);
+                }
+                Op::ReadDyn { array, name, rank } => {
+                    let at = idx.len() - *rank as usize;
+                    let name = &self.names[*name as usize];
+                    let buf = st.bufs[*array as usize]
+                        .as_ref()
+                        .ok_or_else(|| RuntimeError::UnboundArray(name.clone()))?;
+                    st.counters.loads += 1;
+                    let v = buf.get(name, &idx[at..])?;
+                    idx.truncate(at);
+                    stack.push(v);
+                }
+                Op::ReadLin(l) => {
+                    let lin = &self.lins[*l as usize];
+                    let buf = st.bufs[lin.array as usize].as_ref().ok_or_else(|| {
+                        RuntimeError::UnboundArray(self.names[lin.name as usize].clone())
+                    })?;
+                    st.counters.loads += 1;
+                    let off = lin_offset(lin, iregs, &self.names)?;
+                    stack.push(buf.linear(off));
+                }
+                Op::StoreSlot(s) => frame[*s as usize] = stack.pop().expect("operand"),
+                Op::Alloc(a) => {
+                    let entry = &self.allocs[*a as usize];
+                    let buf = ArrayBuf::new(&entry.bounds, entry.fill);
+                    st.counters.array_allocs += 1;
+                    if entry.temp {
+                        st.counters.temp_elements += buf.len() as u64;
+                    }
+                    if entry.checked {
+                        st.defined[entry.array as usize] = Some(vec![false; buf.len()]);
+                    }
+                    st.bufs[entry.array as usize] = Some(buf);
+                }
+                Op::LoopInit { ireg, start } => iregs[*ireg as usize] = *start,
+                Op::LoopHead {
+                    ireg,
+                    slot,
+                    end,
+                    step,
+                    exit,
+                } => {
+                    let i = iregs[*ireg as usize];
+                    if (*step > 0 && i > *end) || (*step < 0 && i < *end) {
+                        pc = *exit as usize;
+                    } else {
+                        st.counters.loop_iterations += 1;
+                        frame[*slot as usize] = i as f64;
+                    }
+                }
+                Op::LoopNext { ireg, step, head } => {
+                    iregs[*ireg as usize] += *step;
+                    pc = *head as usize;
+                }
+                Op::StoreDyn {
+                    array,
+                    name,
+                    rank,
+                    checked,
+                } => {
+                    let v = stack.pop().expect("operand");
+                    let at = idx.len() - *rank as usize;
+                    let name = &self.names[*name as usize];
+                    if *checked {
+                        st.counters.check_ops += 1;
+                        let buf = st.bufs[*array as usize]
+                            .as_ref()
+                            .ok_or_else(|| RuntimeError::UnboundArray(name.clone()))?;
+                        let off =
+                            buf.offset(&idx[at..])
+                                .ok_or_else(|| RuntimeError::OutOfBounds {
+                                    array: name.clone(),
+                                    index: idx[at..].to_vec(),
+                                    bounds: buf.bounds(),
+                                })?;
+                        let d = st.defined[*array as usize]
+                            .as_mut()
+                            .expect("checked store requires checked alloc");
+                        if d[off] {
+                            return Err(RuntimeError::WriteCollision {
+                                array: name.clone(),
+                                index: idx[at..].to_vec(),
+                            });
+                        }
+                        d[off] = true;
+                    }
+                    let buf = st.bufs[*array as usize]
+                        .as_mut()
+                        .ok_or_else(|| RuntimeError::UnboundArray(name.clone()))?;
+                    buf.set(name, &idx[at..], v)?;
+                    idx.truncate(at);
+                    st.counters.stores += 1;
+                }
+                Op::StoreLin { lin, checked } => {
+                    let v = stack.pop().expect("operand");
+                    let lin = &self.lins[*lin as usize];
+                    let name = &self.names[lin.name as usize];
+                    // Counted before the unbound/bounds checks, exactly
+                    // like the tree-walker's Monolithic store.
+                    if *checked {
+                        st.counters.check_ops += 1;
+                    }
+                    let buf = st.bufs[lin.array as usize]
+                        .as_mut()
+                        .ok_or_else(|| RuntimeError::UnboundArray(name.clone()))?;
+                    let off = lin_offset(lin, iregs, &self.names)?;
+                    if *checked {
+                        let d = st.defined[lin.array as usize]
+                            .as_mut()
+                            .expect("checked store requires checked alloc");
+                        if d[off] {
+                            return Err(RuntimeError::WriteCollision {
+                                array: name.clone(),
+                                index: unravel(buf, off),
+                            });
+                        }
+                        d[off] = true;
+                    }
+                    buf.set_linear(off, v);
+                    st.counters.stores += 1;
+                }
+                Op::Copy { dst, src, src_name } => {
+                    let buf = st.bufs[*src as usize].clone().ok_or_else(|| {
+                        RuntimeError::UnboundArray(self.names[*src_name as usize].clone())
+                    })?;
+                    st.counters.elements_copied += buf.len() as u64;
+                    st.counters.array_allocs += 1;
+                    st.bufs[*dst as usize] = Some(buf);
+                }
+                Op::CheckComplete { array, name } => {
+                    let name = &self.names[*name as usize];
+                    let d = st.defined[*array as usize]
+                        .as_ref()
+                        .ok_or_else(|| RuntimeError::UnboundArray(name.clone()))?;
+                    st.counters.check_ops += d.len() as u64;
+                    if let Some(off) = d.iter().position(|x| !x) {
+                        let buf = st.bufs[*array as usize]
+                            .as_ref()
+                            .expect("checked alloc bound its array");
+                        return Err(RuntimeError::UndefinedElement {
+                            array: name.clone(),
+                            index: unravel(buf, off),
+                        });
+                    }
+                }
+                Op::Halt => return Ok(()),
+            }
+        }
+    }
+}
+
+/// Compute a linear access's offset, running the per-dimension checks
+/// when the compile-time proof did not discharge them.
+#[inline]
+fn lin_offset(lin: &LinEntry, iregs: &[i64], names: &[String]) -> Result<usize, RuntimeError> {
+    match &lin.checks {
+        None => {
+            let mut off = lin.base;
+            for &(r, s) in &lin.terms {
+                off = off.wrapping_add(s.wrapping_mul(iregs[r as usize]));
+            }
+            Ok(off as usize)
+        }
+        Some(dims) => {
+            let mut off: i64 = 0;
+            for d in dims {
+                let v = d.value(iregs);
+                if v < d.lo || v > d.hi {
+                    return Err(RuntimeError::OutOfBounds {
+                        array: names[lin.name as usize].clone(),
+                        index: dims.iter().map(|d| d.value(iregs)).collect(),
+                        bounds: dims.iter().map(|d| (d.lo, d.hi)).collect(),
+                    });
+                }
+                off = off * (d.hi - d.lo + 1) + (v - d.lo);
+            }
+            Ok(off as usize)
+        }
+    }
+}
+
+/// Compile a Limp program to a bytecode tape. Total: every program
+/// compiles; anything unresolvable becomes a lazy runtime error op,
+/// and anything non-affine falls back to the dynamic subscript path.
+pub fn compile_tape(prog: &LProgram, ctx: &TapeCtx) -> TapeProgram {
+    let mut c = Compiler::new(ctx);
+    c.scan_shapes(&prog.stmts);
+    c.compile_stmts(&prog.stmts);
+    c.emit(Op::Halt, 0, 0);
+    c.finish()
+}
+
+/// Resolution of a variable reference at compile time.
+enum VarRef {
+    /// A frame slot (global or local).
+    Slot(u32),
+    /// A loop variable: frame slot plus integer register and range.
+    Loop { slot: u32, ireg: u32 },
+    /// A compile-time constant (program parameter).
+    Const(i64),
+    /// No binding — compiles to a lazy error.
+    Unbound,
+}
+
+struct ScopeVar {
+    name: String,
+    slot: u32,
+    /// Loop variables carry their integer register.
+    ireg: Option<u32>,
+}
+
+/// An affine form `c + Σ coeff·ireg` with exact integer arithmetic;
+/// construction bails out (→ dynamic path) on any overflow.
+#[derive(Debug, Clone)]
+struct AffForm {
+    c: i64,
+    /// Sorted by register for deterministic output.
+    terms: Vec<(u32, i64)>,
+}
+
+impl AffForm {
+    fn konst(c: i64) -> AffForm {
+        AffForm { c, terms: vec![] }
+    }
+
+    fn add_scaled(&self, other: &AffForm, k: i64) -> Option<AffForm> {
+        let mut out = self.clone();
+        out.c = out.c.checked_add(other.c.checked_mul(k)?)?;
+        for &(r, a) in &other.terms {
+            let a = a.checked_mul(k)?;
+            match out.terms.iter_mut().find(|(rr, _)| *rr == r) {
+                Some((_, acc)) => *acc = acc.checked_add(a)?,
+                None => out.terms.push((r, a)),
+            }
+        }
+        out.terms.retain(|&(_, a)| a != 0);
+        out.terms.sort_unstable_by_key(|&(r, _)| r);
+        Some(out)
+    }
+}
+
+struct Compiler<'a> {
+    ctx: &'a TapeCtx,
+    ops: Vec<Op>,
+    names: Vec<String>,
+    name_map: HashMap<String, u32>,
+    arrays: Vec<String>,
+    array_map: HashMap<String, u32>,
+    funcs: Vec<String>,
+    func_map: HashMap<String, u32>,
+    lins: Vec<LinEntry>,
+    allocs: Vec<AllocEntry>,
+    /// Canonical name → shape; `None` = statically unknown (dynamic
+    /// subscript path only).
+    shapes: HashMap<String, Option<Vec<(i64, i64)>>>,
+    scope: Vec<ScopeVar>,
+    next_slot: usize,
+    frame_size: usize,
+    next_ireg: usize,
+    ireg_count: usize,
+    /// Loop ranges per register (conservative `[min, max]` superset).
+    ireg_range: Vec<(i64, i64)>,
+    cur_stack: usize,
+    max_stack: usize,
+    cur_idx: usize,
+    max_idx: usize,
+}
+
+impl<'a> Compiler<'a> {
+    fn new(ctx: &'a TapeCtx) -> Compiler<'a> {
+        let mut c = Compiler {
+            ctx,
+            ops: vec![],
+            names: vec![],
+            name_map: HashMap::new(),
+            arrays: vec![],
+            array_map: HashMap::new(),
+            funcs: vec![],
+            func_map: HashMap::new(),
+            lins: vec![],
+            allocs: vec![],
+            shapes: HashMap::new(),
+            scope: vec![],
+            next_slot: ctx.globals.len(),
+            frame_size: ctx.globals.len(),
+            next_ireg: 0,
+            ireg_count: 0,
+            ireg_range: vec![],
+            cur_stack: 0,
+            max_stack: 0,
+            cur_idx: 0,
+            max_idx: 0,
+        };
+        for (name, shape) in &ctx.shapes {
+            let canon = c.canonical(name).to_string();
+            match c.shapes.get(&canon) {
+                Some(Some(s)) if s != shape => {
+                    c.shapes.insert(canon, None);
+                }
+                Some(_) => {}
+                None => {
+                    c.shapes.insert(canon, Some(shape.clone()));
+                }
+            }
+        }
+        c
+    }
+
+    fn finish(self) -> TapeProgram {
+        TapeProgram {
+            ops: self.ops,
+            names: self.names,
+            arrays: self.arrays,
+            funcs: self.funcs,
+            lins: self.lins,
+            allocs: self.allocs,
+            globals: self.ctx.globals.clone(),
+            frame_size: self.frame_size,
+            ireg_count: self.ireg_count,
+            max_stack: self.max_stack,
+            max_idx: self.max_idx,
+        }
+    }
+
+    fn canonical<'n>(&self, name: &'n str) -> &'n str
+    where
+        'a: 'n,
+    {
+        let mut cur = name;
+        while let Some(next) = self.ctx.aliases.get(cur) {
+            cur = next;
+        }
+        cur
+    }
+
+    /// Pre-pass: collect static shapes from `Alloc`/`CopyArray`, on top
+    /// of the context's shapes. Conflicts poison a name to "unknown".
+    fn scan_shapes(&mut self, stmts: &[LStmt]) {
+        for s in stmts {
+            match s {
+                LStmt::Alloc { array, bounds, .. } => {
+                    let canon = self.canonical(array).to_string();
+                    match self.shapes.get(&canon) {
+                        Some(Some(b)) if b != bounds => {
+                            self.shapes.insert(canon, None);
+                        }
+                        Some(_) => {}
+                        None => {
+                            self.shapes.insert(canon, Some(bounds.clone()));
+                        }
+                    }
+                }
+                LStmt::CopyArray { dst, src } => {
+                    let sshape = self
+                        .shapes
+                        .get(self.canonical(src))
+                        .cloned()
+                        .unwrap_or(None);
+                    let canon = self.canonical(dst).to_string();
+                    match (self.shapes.get(&canon), &sshape) {
+                        (Some(Some(d)), Some(s)) if d == s => {}
+                        (None, Some(_)) => {
+                            self.shapes.insert(canon, sshape);
+                        }
+                        _ => {
+                            self.shapes.insert(canon, None);
+                        }
+                    }
+                }
+                LStmt::For { body, .. } | LStmt::Let { body, .. } => self.scan_shapes(body),
+                LStmt::If { then, els, .. } => {
+                    self.scan_shapes(then);
+                    self.scan_shapes(els);
+                }
+                LStmt::Store { .. } | LStmt::CheckComplete { .. } => {}
+            }
+        }
+    }
+
+    // ---- interning ----
+
+    fn intern_name(&mut self, s: &str) -> u32 {
+        if let Some(&i) = self.name_map.get(s) {
+            return i;
+        }
+        let i = self.names.len() as u32;
+        self.names.push(s.to_string());
+        self.name_map.insert(s.to_string(), i);
+        i
+    }
+
+    fn intern_array(&mut self, raw: &str) -> ArrayId {
+        let canon = self.canonical(raw).to_string();
+        if let Some(&i) = self.array_map.get(&canon) {
+            return i;
+        }
+        let i = self.arrays.len() as u32;
+        self.arrays.push(canon.clone());
+        self.array_map.insert(canon, i);
+        i
+    }
+
+    fn intern_func(&mut self, s: &str) -> u32 {
+        if let Some(&i) = self.func_map.get(s) {
+            return i;
+        }
+        let i = self.funcs.len() as u32;
+        self.funcs.push(s.to_string());
+        self.func_map.insert(s.to_string(), i);
+        i
+    }
+
+    // ---- emission ----
+
+    fn emit(&mut self, op: Op, sdelta: i32, idelta: i32) {
+        self.ops.push(op);
+        self.cur_stack = (self.cur_stack as i64 + i64::from(sdelta)) as usize;
+        self.max_stack = self.max_stack.max(self.cur_stack);
+        self.cur_idx = (self.cur_idx as i64 + i64::from(idelta)) as usize;
+        self.max_idx = self.max_idx.max(self.cur_idx);
+    }
+
+    fn here(&self) -> u32 {
+        self.ops.len() as u32
+    }
+
+    fn patch(&mut self, at: u32) {
+        let target = self.here();
+        match &mut self.ops[at as usize] {
+            Op::AndJump(t)
+            | Op::OrJump(t)
+            | Op::JumpIfZero(t)
+            | Op::Jump(t)
+            | Op::LoopHead { exit: t, .. } => *t = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    /// If the ops emitted since `start` are exactly one `Const`, remove
+    /// it and return its value (constant-folding hook).
+    fn take_const(&mut self, start: usize) -> Option<f64> {
+        if self.ops.len() == start + 1 {
+            if let Op::Const(v) = self.ops[start] {
+                self.ops.pop();
+                self.cur_stack -= 1;
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    // ---- scopes ----
+
+    fn alloc_slot(&mut self) -> u32 {
+        let s = self.next_slot;
+        self.next_slot += 1;
+        self.frame_size = self.frame_size.max(self.next_slot);
+        s as u32
+    }
+
+    fn alloc_ireg(&mut self, range: (i64, i64)) -> u32 {
+        let r = self.next_ireg;
+        self.next_ireg += 1;
+        self.ireg_count = self.ireg_count.max(self.next_ireg);
+        if r == self.ireg_range.len() {
+            self.ireg_range.push(range);
+        } else {
+            self.ireg_range[r] = range;
+        }
+        r as u32
+    }
+
+    fn resolve_var(&self, name: &str) -> VarRef {
+        for v in self.scope.iter().rev() {
+            if v.name == name {
+                return match v.ireg {
+                    Some(ireg) => VarRef::Loop { slot: v.slot, ireg },
+                    None => VarRef::Slot(v.slot),
+                };
+            }
+        }
+        // Runtime globals shadow compile-time parameters (they are
+        // pushed after them in the VM), and the last binding of a name
+        // wins.
+        if let Some(pos) = self.ctx.globals.iter().rposition(|g| g == name) {
+            return VarRef::Slot(pos as u32);
+        }
+        if let Some(&c) = self.ctx.consts.get(name) {
+            return VarRef::Const(c);
+        }
+        VarRef::Unbound
+    }
+
+    // ---- affine analysis ----
+
+    fn affine_of(&self, e: &Expr) -> Option<AffForm> {
+        match e {
+            Expr::Int(v) => Some(AffForm::konst(*v)),
+            Expr::Num(v) if v.fract() == 0.0 && v.is_finite() && v.abs() < 2e12 => {
+                Some(AffForm::konst(*v as i64))
+            }
+            Expr::Var(n) => match self.resolve_var(n) {
+                VarRef::Loop { ireg, .. } => Some(AffForm {
+                    c: 0,
+                    terms: vec![(ireg, 1)],
+                }),
+                VarRef::Const(c) => Some(AffForm::konst(c)),
+                _ => None,
+            },
+            Expr::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => AffForm::konst(0).add_scaled(&self.affine_of(expr)?, -1),
+            Expr::Binary { op, lhs, rhs } => {
+                let l = self.affine_of(lhs)?;
+                let r = self.affine_of(rhs)?;
+                match op {
+                    BinOp::Add => l.add_scaled(&r, 1),
+                    BinOp::Sub => l.add_scaled(&r, -1),
+                    BinOp::Mul if l.terms.is_empty() => AffForm::konst(0).add_scaled(&r, l.c),
+                    BinOp::Mul if r.terms.is_empty() => AffForm::konst(0).add_scaled(&l, r.c),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Conservative `[min, max]` of an affine form over the loop
+    /// ranges; `None` on overflow or if too large for exact `f64`
+    /// subscript arithmetic (→ dynamic path keeps tree-walk parity).
+    fn interval(&self, f: &AffForm) -> Option<(i64, i64)> {
+        let mut mn = f.c;
+        let mut mx = f.c;
+        for &(r, a) in &f.terms {
+            let (rlo, rhi) = self.ireg_range[r as usize];
+            let (tlo, thi) = if a >= 0 {
+                (a.checked_mul(rlo)?, a.checked_mul(rhi)?)
+            } else {
+                (a.checked_mul(rhi)?, a.checked_mul(rlo)?)
+            };
+            mn = mn.checked_add(tlo)?;
+            mx = mx.checked_add(thi)?;
+        }
+        const EXACT: i64 = 1 << 52;
+        if mn.abs() >= EXACT || mx.abs() >= EXACT {
+            return None;
+        }
+        Some((mn, mx))
+    }
+
+    /// Try to strength-reduce an access into a [`LinEntry`].
+    fn try_lin(&mut self, array_raw: &str, subs: &[Expr]) -> Option<u32> {
+        let shape = self
+            .shapes
+            .get(self.canonical(array_raw))
+            .cloned()
+            .flatten()?;
+        if shape.len() != subs.len() {
+            return None;
+        }
+        let forms: Vec<AffForm> = subs
+            .iter()
+            .map(|s| self.affine_of(s))
+            .collect::<Option<_>>()?;
+        let mut in_bounds = true;
+        let mut ivals = Vec::with_capacity(forms.len());
+        for (f, &(lo, hi)) in forms.iter().zip(&shape) {
+            let (mn, mx) = self.interval(f)?;
+            ivals.push((mn, mx));
+            if !(mn >= lo && mx <= hi) {
+                in_bounds = false;
+            }
+        }
+        let array = self.intern_array(array_raw);
+        let name = self.intern_name(array_raw);
+        let entry = if in_bounds {
+            // Fuse strides: offset = Σ (v_k - lo_k)·stride_k.
+            let mut strides = vec![1i64; shape.len()];
+            for k in (0..shape.len()).rev().skip(1) {
+                let extent = shape[k + 1].1 - shape[k + 1].0 + 1;
+                strides[k] = strides[k + 1].checked_mul(extent)?;
+            }
+            let mut base = 0i64;
+            let mut terms: Vec<(u32, i64)> = vec![];
+            for (k, f) in forms.iter().enumerate() {
+                base = base.checked_add(f.c.checked_sub(shape[k].0)?.checked_mul(strides[k])?)?;
+                for &(r, a) in &f.terms {
+                    let fused = a.checked_mul(strides[k])?;
+                    match terms.iter_mut().find(|(rr, _)| *rr == r) {
+                        Some((_, acc)) => *acc = acc.checked_add(fused)?,
+                        None => terms.push((r, fused)),
+                    }
+                }
+            }
+            terms.retain(|&(_, a)| a != 0);
+            terms.sort_unstable_by_key(|&(r, _)| r);
+            LinEntry {
+                array,
+                name,
+                base,
+                terms,
+                checks: None,
+            }
+        } else {
+            LinEntry {
+                array,
+                name,
+                base: 0,
+                terms: vec![],
+                checks: Some(
+                    forms
+                        .iter()
+                        .zip(&shape)
+                        .map(|(f, &(lo, hi))| LinDim {
+                            c: f.c,
+                            terms: f.terms.clone(),
+                            lo,
+                            hi,
+                        })
+                        .collect(),
+                ),
+            }
+        };
+        let id = self.lins.len() as u32;
+        self.lins.push(entry);
+        Some(id)
+    }
+
+    // ---- expressions ----
+
+    fn compile_expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Num(v) => self.emit(Op::Const(*v), 1, 0),
+            Expr::Int(v) => self.emit(Op::Const(*v as f64), 1, 0),
+            Expr::Var(n) => match self.resolve_var(n) {
+                VarRef::Slot(s) | VarRef::Loop { slot: s, .. } => self.emit(Op::LoadSlot(s), 1, 0),
+                VarRef::Const(c) => self.emit(Op::Const(c as f64), 1, 0),
+                VarRef::Unbound => {
+                    let n = self.intern_name(n);
+                    self.emit(Op::ErrVar(n), 1, 0);
+                }
+            },
+            Expr::Index { array, subs } => {
+                if let Some(lin) = self.try_lin(array, subs) {
+                    self.emit(Op::ReadLin(lin), 1, 0);
+                } else {
+                    let name = self.intern_name(array);
+                    for s in subs {
+                        self.compile_expr(s);
+                        self.emit(Op::ToIdx(name), -1, 1);
+                    }
+                    let id = self.intern_array(array);
+                    self.emit(
+                        Op::ReadDyn {
+                            array: id,
+                            name,
+                            rank: subs.len() as u32,
+                        },
+                        1,
+                        -(subs.len() as i32),
+                    );
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => self.compile_binary(*op, lhs, rhs),
+            Expr::Unary { op, expr } => {
+                let start = self.ops.len();
+                self.compile_expr(expr);
+                if let Some(v) = self.take_const(start) {
+                    let folded = match op {
+                        UnOp::Neg => -v,
+                        UnOp::Not => {
+                            if v == 0.0 {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        }
+                        UnOp::Abs => v.abs(),
+                        UnOp::Sqrt => v.sqrt(),
+                        UnOp::Exp => v.exp(),
+                        UnOp::Log => v.ln(),
+                        UnOp::Sin => v.sin(),
+                        UnOp::Cos => v.cos(),
+                    };
+                    self.emit(Op::Const(folded), 1, 0);
+                } else {
+                    self.emit(Op::Un(*op), 0, 0);
+                }
+            }
+            Expr::If { cond, then, els } => {
+                let start = self.ops.len();
+                self.compile_expr(cond);
+                if let Some(c) = self.take_const(start) {
+                    // Dead branch eliminated: the tree-walker would not
+                    // evaluate it either, so no counter divergence.
+                    self.compile_expr(if c != 0.0 { then } else { els });
+                    return;
+                }
+                let jz = self.here();
+                self.emit(Op::JumpIfZero(0), -1, 0);
+                let base = self.cur_stack;
+                self.compile_expr(then);
+                let jend = self.here();
+                self.emit(Op::Jump(0), 0, 0);
+                self.patch(jz);
+                self.cur_stack = base;
+                self.compile_expr(els);
+                self.patch(jend);
+            }
+            Expr::Let { binds, body } => {
+                let scope_depth = self.scope.len();
+                let slot_mark = self.next_slot;
+                for (name, rhs) in binds {
+                    self.compile_expr(rhs);
+                    let slot = self.alloc_slot();
+                    self.emit(Op::StoreSlot(slot), -1, 0);
+                    self.scope.push(ScopeVar {
+                        name: name.clone(),
+                        slot,
+                        ireg: None,
+                    });
+                }
+                self.compile_expr(body);
+                self.scope.truncate(scope_depth);
+                self.next_slot = slot_mark;
+            }
+            Expr::Call { func, args } => {
+                let f = self.intern_func(func);
+                self.emit(Op::ResolveFunc(f), 0, 0);
+                for a in args {
+                    self.compile_expr(a);
+                }
+                self.emit(
+                    Op::Call {
+                        func: f,
+                        argc: args.len() as u32,
+                    },
+                    1 - args.len() as i32,
+                    0,
+                );
+            }
+        }
+    }
+
+    fn compile_binary(&mut self, op: BinOp, lhs: &Expr, rhs: &Expr) {
+        match op {
+            BinOp::And => {
+                let start = self.ops.len();
+                self.compile_expr(lhs);
+                if let Some(l) = self.take_const(start) {
+                    if l == 0.0 {
+                        self.emit(Op::Const(0.0), 1, 0);
+                    } else {
+                        // Tree-walk `&&` returns the rhs value raw.
+                        self.compile_expr(rhs);
+                    }
+                    return;
+                }
+                let j = self.here();
+                self.emit(Op::AndJump(0), -1, 0);
+                self.compile_expr(rhs);
+                self.patch(j);
+            }
+            BinOp::Or => {
+                let start = self.ops.len();
+                self.compile_expr(lhs);
+                if let Some(l) = self.take_const(start) {
+                    if l != 0.0 {
+                        self.emit(Op::Const(1.0), 1, 0);
+                    } else {
+                        let rstart = self.ops.len();
+                        self.compile_expr(rhs);
+                        match self.take_const(rstart) {
+                            Some(r) => self.emit(Op::Const(if r != 0.0 { 1.0 } else { 0.0 }), 1, 0),
+                            None => self.emit(Op::OrNorm, 0, 0),
+                        }
+                    }
+                    return;
+                }
+                let j = self.here();
+                self.emit(Op::OrJump(0), -1, 0);
+                self.compile_expr(rhs);
+                self.emit(Op::OrNorm, 0, 0);
+                self.patch(j);
+            }
+            _ => {
+                let lstart = self.ops.len();
+                self.compile_expr(lhs);
+                let rstart = self.ops.len();
+                self.compile_expr(rhs);
+                if lstart + 1 == rstart && rstart + 1 == self.ops.len() {
+                    if let (Op::Const(l), Op::Const(r)) = (&self.ops[lstart], &self.ops[rstart]) {
+                        let (l, r) = (*l, *r);
+                        // `mod 0` panics at run time in the tree-walker;
+                        // folding would move the panic to compile time.
+                        if !(op == BinOp::Mod && r as i64 == 0) {
+                            self.ops.truncate(lstart);
+                            self.cur_stack -= 2;
+                            self.emit(Op::Const(apply_bin(op, l, r)), 1, 0);
+                            return;
+                        }
+                    }
+                }
+                self.emit(Op::Bin(op), -1, 0);
+            }
+        }
+    }
+
+    // ---- statements ----
+
+    fn compile_stmts(&mut self, stmts: &[LStmt]) {
+        for s in stmts {
+            self.compile_stmt(s);
+        }
+    }
+
+    fn compile_stmt(&mut self, s: &LStmt) {
+        match s {
+            LStmt::Alloc {
+                array,
+                bounds,
+                fill,
+                temp,
+                checked,
+            } => {
+                let id = self.intern_array(array);
+                let a = self.allocs.len() as u32;
+                self.allocs.push(AllocEntry {
+                    array: id,
+                    bounds: bounds.clone(),
+                    fill: *fill,
+                    temp: *temp,
+                    checked: *checked,
+                });
+                self.emit(Op::Alloc(a), 0, 0);
+            }
+            LStmt::For {
+                var,
+                start,
+                end,
+                step,
+                body,
+            } => {
+                let slot = self.alloc_slot();
+                let ireg_mark = self.next_ireg;
+                let range = (*start.min(end), *start.max(end));
+                let ireg = self.alloc_ireg(range);
+                self.emit(
+                    Op::LoopInit {
+                        ireg,
+                        start: *start,
+                    },
+                    0,
+                    0,
+                );
+                let head = self.here();
+                self.emit(
+                    Op::LoopHead {
+                        ireg,
+                        slot,
+                        end: *end,
+                        step: *step,
+                        exit: 0,
+                    },
+                    0,
+                    0,
+                );
+                self.scope.push(ScopeVar {
+                    name: var.clone(),
+                    slot,
+                    ireg: Some(ireg),
+                });
+                self.compile_stmts(body);
+                self.scope.pop();
+                self.emit(
+                    Op::LoopNext {
+                        ireg,
+                        step: *step,
+                        head,
+                    },
+                    0,
+                    0,
+                );
+                self.patch(head);
+                self.next_slot = slot as usize;
+                self.next_ireg = ireg_mark;
+            }
+            LStmt::Store {
+                array,
+                subs,
+                value,
+                check,
+            } => {
+                let checked = *check == StoreCheck::Monolithic;
+                if let Some(lin) = self.try_lin(array, subs) {
+                    self.compile_expr(value);
+                    self.emit(Op::StoreLin { lin, checked }, -1, 0);
+                } else {
+                    let name = self.intern_name(array);
+                    for sub in subs {
+                        self.compile_expr(sub);
+                        self.emit(Op::ToIdx(name), -1, 1);
+                    }
+                    self.compile_expr(value);
+                    let id = self.intern_array(array);
+                    self.emit(
+                        Op::StoreDyn {
+                            array: id,
+                            name,
+                            rank: subs.len() as u32,
+                            checked,
+                        },
+                        -1,
+                        -(subs.len() as i32),
+                    );
+                }
+            }
+            LStmt::If { cond, then, els } => {
+                let start = self.ops.len();
+                self.compile_expr(cond);
+                if let Some(c) = self.take_const(start) {
+                    self.compile_stmts(if c != 0.0 { then } else { els });
+                    return;
+                }
+                let jz = self.here();
+                self.emit(Op::JumpIfZero(0), -1, 0);
+                self.compile_stmts(then);
+                if els.is_empty() {
+                    self.patch(jz);
+                } else {
+                    let jend = self.here();
+                    self.emit(Op::Jump(0), 0, 0);
+                    self.patch(jz);
+                    self.compile_stmts(els);
+                    self.patch(jend);
+                }
+            }
+            LStmt::Let { binds, body } => {
+                let scope_depth = self.scope.len();
+                let slot_mark = self.next_slot;
+                for (name, rhs) in binds {
+                    self.compile_expr(rhs);
+                    let slot = self.alloc_slot();
+                    self.emit(Op::StoreSlot(slot), -1, 0);
+                    self.scope.push(ScopeVar {
+                        name: name.clone(),
+                        slot,
+                        ireg: None,
+                    });
+                }
+                self.compile_stmts(body);
+                self.scope.truncate(scope_depth);
+                self.next_slot = slot_mark;
+            }
+            LStmt::CopyArray { dst, src } => {
+                let did = self.intern_array(dst);
+                let sid = self.intern_array(src);
+                let src_name = self.intern_name(src);
+                self.emit(
+                    Op::Copy {
+                        dst: did,
+                        src: sid,
+                        src_name,
+                    },
+                    0,
+                    0,
+                );
+            }
+            LStmt::CheckComplete { array } => {
+                let id = self.intern_array(array);
+                let name = self.intern_name(array);
+                self.emit(Op::CheckComplete { array: id, name }, 0, 0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::limp::Vm;
+    use hac_lang::parser::parse_expr;
+
+    fn store(array: &str, sub: &str, value: &str, check: StoreCheck) -> LStmt {
+        LStmt::Store {
+            array: array.into(),
+            subs: vec![parse_expr(sub).unwrap()],
+            value: parse_expr(value).unwrap(),
+            check,
+        }
+    }
+
+    fn squares() -> LProgram {
+        LProgram {
+            stmts: vec![
+                LStmt::Alloc {
+                    array: "a".into(),
+                    bounds: vec![(1, 5)],
+                    fill: 0.0,
+                    temp: false,
+                    checked: false,
+                },
+                LStmt::For {
+                    var: "i".into(),
+                    start: 1,
+                    end: 5,
+                    step: 1,
+                    body: vec![store("a", "i", "i * i", StoreCheck::None)],
+                },
+            ],
+            result: "a".into(),
+        }
+    }
+
+    #[test]
+    fn compiles_affine_store_to_unchecked_lin() {
+        let tape = compile_tape(&squares(), &TapeCtx::default());
+        assert_eq!(tape.lins.len(), 1);
+        assert!(tape.lins[0].checks.is_none(), "interval proof succeeded");
+        assert_eq!(tape.lins[0].terms, vec![(0, 1)]);
+        assert_eq!(tape.lins[0].base, -1, "lo = 1 folds into the base");
+    }
+
+    #[test]
+    fn tape_matches_tree_walk_on_squares() {
+        let prog = squares();
+        let tape = compile_tape(&prog, &TapeCtx::default());
+        let mut vm = Vm::new();
+        vm.run_tape(&tape).unwrap();
+        assert_eq!(vm.array("a").unwrap().data(), &[1.0, 4.0, 9.0, 16.0, 25.0]);
+        assert_eq!(vm.counters.stores, 5);
+        assert_eq!(vm.counters.loop_iterations, 5);
+        assert_eq!(vm.counters.loads, 0);
+        assert!(vm.counters.tape_ops > 0);
+
+        let mut tw = Vm::new();
+        tw.run(&prog).unwrap();
+        assert_eq!(tw.array("a").unwrap().data(), vm.array("a").unwrap().data());
+    }
+
+    #[test]
+    fn constant_folding_removes_arithmetic() {
+        let prog = LProgram {
+            stmts: vec![
+                LStmt::Alloc {
+                    array: "a".into(),
+                    bounds: vec![(1, 1)],
+                    fill: 0.0,
+                    temp: false,
+                    checked: false,
+                },
+                store("a", "1", "2 * 3 + 1", StoreCheck::None),
+            ],
+            result: "a".into(),
+        };
+        let tape = compile_tape(&prog, &TapeCtx::default());
+        assert!(
+            tape.ops
+                .iter()
+                .any(|o| matches!(o, Op::Const(v) if *v == 7.0)),
+            "folded to 7: {:?}",
+            tape.ops
+        );
+        assert!(!tape.ops.iter().any(|o| matches!(o, Op::Bin(_))));
+    }
+
+    #[test]
+    fn lazy_unbound_names_only_error_when_reached() {
+        // Zero-trip loop over a store to an unbound array: fine.
+        let prog = LProgram {
+            stmts: vec![LStmt::For {
+                var: "i".into(),
+                start: 5,
+                end: 4,
+                step: 1,
+                body: vec![store("zzz", "i", "nope + 1", StoreCheck::None)],
+            }],
+            result: String::new(),
+        };
+        let tape = compile_tape(&prog, &TapeCtx::default());
+        let mut vm = Vm::new();
+        vm.run_tape(&tape).unwrap();
+        assert_eq!(vm.counters.loop_iterations, 0);
+    }
+
+    #[test]
+    fn short_circuit_parity() {
+        // `0 > 1 && nope > 0` must not touch the unbound rhs.
+        let prog = LProgram {
+            stmts: vec![
+                LStmt::Alloc {
+                    array: "a".into(),
+                    bounds: vec![(1, 1)],
+                    fill: 9.0,
+                    temp: false,
+                    checked: false,
+                },
+                LStmt::If {
+                    cond: parse_expr("0 > 1 && nope > 0").unwrap(),
+                    then: vec![store("a", "1", "1", StoreCheck::None)],
+                    els: vec![],
+                },
+            ],
+            result: "a".into(),
+        };
+        let tape = compile_tape(&prog, &TapeCtx::default());
+        let mut vm = Vm::new();
+        vm.run_tape(&tape).unwrap();
+        assert_eq!(vm.array("a").unwrap().data(), &[9.0]);
+    }
+
+    #[test]
+    fn out_of_bounds_parity() {
+        let prog = LProgram {
+            stmts: vec![
+                LStmt::Alloc {
+                    array: "a".into(),
+                    bounds: vec![(1, 3)],
+                    fill: 0.0,
+                    temp: false,
+                    checked: false,
+                },
+                store("a", "7", "1", StoreCheck::None),
+            ],
+            result: "a".into(),
+        };
+        let tape = compile_tape(&prog, &TapeCtx::default());
+        let e1 = Vm::new().run_tape(&tape).unwrap_err();
+        let e2 = Vm::new().run(&prog).unwrap_err();
+        assert_eq!(e1, e2);
+        assert!(matches!(e1, RuntimeError::OutOfBounds { .. }));
+    }
+}

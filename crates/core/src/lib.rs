@@ -40,8 +40,8 @@ pub mod pipeline;
 pub mod report;
 
 pub use pipeline::{
-    compile, compile_and_run, run, CompileError, CompileOptions, Compiled, ExecCounters, ExecMode,
-    ExecOutput, Unit,
+    compile, compile_and_run, run, CompileError, CompileOptions, Compiled, Engine, ExecCounters,
+    ExecMode, ExecOutput, Unit,
 };
 pub use report::{ArrayReport, Report, UpdateReport};
 

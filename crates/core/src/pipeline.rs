@@ -16,6 +16,7 @@ use hac_analysis::analyze::{analyze_array, analyze_bigupd, AnalysisError, Collis
 use hac_analysis::search::TestPolicy;
 use hac_codegen::limp::{LProgram, Vm, VmCounters};
 use hac_codegen::lower::{lower_array, lower_update, CheckMode, LowerError, LoweredUpdate};
+use hac_codegen::tape::{compile_tape, TapeCtx, TapeProgram};
 use hac_lang::ast::{ArrayDef, ArrayKind, Binding, ClauseId, Comp, Program};
 use hac_lang::env::ConstEnv;
 use hac_lang::number::number_comp;
@@ -45,11 +46,25 @@ pub enum ExecMode {
     ForceChecked,
 }
 
+/// Which engine executes compiled Limp programs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Compile each Limp program once into a register-slot bytecode
+    /// tape (names resolved to indices, affine subscripts
+    /// strength-reduced) and run it on the non-recursive dispatcher.
+    #[default]
+    Tape,
+    /// The recursive tree-walking evaluator (reference semantics; also
+    /// the baseline for the `vm_dispatch` benchmark).
+    TreeWalk,
+}
+
 /// Compiler options.
 #[derive(Debug, Clone, Default)]
 pub struct CompileOptions {
     pub policy: TestPolicy,
     pub mode: ExecMode,
+    pub engine: Engine,
 }
 
 /// A compilation failure.
@@ -151,7 +166,13 @@ pub enum Unit {
         bounds: Vec<(i64, i64)>,
     },
     /// A thunkless compiled array.
-    Thunkless { name: String, prog: LProgram },
+    Thunkless {
+        name: String,
+        prog: LProgram,
+        /// Bytecode form of `prog`, compiled once here; `None` under
+        /// [`Engine::TreeWalk`].
+        tape: Option<TapeProgram>,
+    },
     /// A (possibly mutually recursive) group evaluated with thunks.
     Thunked { defs: Vec<GroupMember> },
     /// An accumulated array, evaluated strictly in list order.
@@ -164,6 +185,10 @@ pub enum Unit {
         name: String,
         base: String,
         lowered: LoweredUpdate,
+        /// Bytecode form of `lowered.prog` (aliases folded in at
+        /// compile time for in-place updates); `None` under
+        /// [`Engine::TreeWalk`].
+        tape: Option<TapeProgram>,
     },
     /// A scalar reduction (§3.1 `foldl` over a comprehension),
     /// executed as a DO loop with no intermediate list.
@@ -238,6 +263,13 @@ pub fn compile(
     let mut consumed: Vec<String> = Vec::new();
     let mut units = Vec::new();
     let mut report = Report::default();
+    // Accumulated tape-compilation context: shapes of every array bound
+    // so far, reduction scalars (runtime globals) in binding order, and
+    // the parameter environment as compile-time constants.
+    let mut known = TapeCtx {
+        consts: env.iter().map(|(n, v)| (n.to_string(), v)).collect(),
+        ..TapeCtx::default()
+    };
 
     fn check_consumed(consumed: &[String], user: &str, comp: &Comp) -> Result<(), CompileError> {
         let mut hit: Option<String> = None;
@@ -291,6 +323,7 @@ pub fn compile(
             Binding::Input { name, bounds } => {
                 check_dup(&mut seen, name)?;
                 let bounds = fold_bounds_i64(name, bounds, env)?;
+                known.shapes.insert(name.clone(), bounds.clone());
                 units.push(Unit::Input {
                     name: name.clone(),
                     bounds,
@@ -303,6 +336,7 @@ pub fn compile(
                     std::slice::from_ref(def),
                     env,
                     options,
+                    &mut known,
                     &mut units,
                     &mut report,
                 )?;
@@ -312,7 +346,7 @@ pub fn compile(
                     check_dup(&mut seen, &d.name)?;
                     check_consumed(&consumed, &d.name, &d.comp)?;
                 }
-                compile_group(defs, env, options, &mut units, &mut report)?;
+                compile_group(defs, env, options, &mut known, &mut units, &mut report)?;
             }
             Binding::Reduce {
                 name,
@@ -325,6 +359,7 @@ pub fn compile(
                 report
                     .reductions
                     .push(format!("scalar `{name}` = fold ({op}) over comprehension"));
+                known.globals.push(name.clone());
                 units.push(Unit::Reduce {
                     name: name.clone(),
                     op: *op,
@@ -366,10 +401,23 @@ pub fn compile(
                 if lowered.in_place {
                     consumed.push(base.clone());
                 }
+                let tape = (options.engine == Engine::Tape).then(|| {
+                    let mut tctx = known.clone();
+                    if lowered.in_place {
+                        // The result name aliases the base at compile
+                        // time, mirroring the VM's runtime alias.
+                        tctx.aliases.insert(name.clone(), base.clone());
+                    }
+                    compile_tape(&lowered.prog, &tctx)
+                });
+                if let Some(b) = known.shapes.get(base).cloned() {
+                    known.shapes.insert(name.clone(), b);
+                }
                 units.push(Unit::Update {
                     name: name.clone(),
                     base: base.clone(),
                     lowered,
+                    tape,
                 });
             }
         }
@@ -385,6 +433,7 @@ fn compile_group(
     defs: &[ArrayDef],
     env: &ConstEnv,
     options: &CompileOptions,
+    known: &mut TapeCtx,
     units: &mut Vec<Unit>,
     report: &mut Report,
 ) -> Result<(), CompileError> {
@@ -396,6 +445,7 @@ fn compile_group(
             report.arrays.push(ArrayReport::accumulated(def, &analysis));
             report.stats.absorb(&analysis.stats);
             let bounds = analysis.bounds.clone();
+            known.shapes.insert(def.name.clone(), bounds.clone());
             units.push(Unit::Accum {
                 def: def.clone(),
                 bounds,
@@ -437,6 +487,9 @@ fn compile_group(
                 .arrays
                 .push(ArrayReport::thunked(def, &analysis, &reason));
             report.stats.absorb(&analysis.stats);
+            known
+                .shapes
+                .insert(def.name.clone(), analysis.bounds.clone());
             group.push((def.name.clone(), analysis.bounds.clone(), def.comp.clone()));
         }
         units.push(Unit::Thunked { defs: group });
@@ -477,9 +530,14 @@ fn compile_group(
                     checks == CheckMode::Elide,
                 ));
                 report.stats.absorb(&analysis.stats);
+                let tape = (options.engine == Engine::Tape).then(|| compile_tape(&prog, known));
+                known
+                    .shapes
+                    .insert(def.name.clone(), analysis.bounds.clone());
                 units.push(Unit::Thunkless {
                     name: def.name.clone(),
                     prog,
+                    tape,
                 });
             }
             ScheduleOutcome::NeedsThunks(reason) => {
@@ -487,6 +545,9 @@ fn compile_group(
                     .arrays
                     .push(ArrayReport::thunked(def, &analysis, &reason.to_string()));
                 report.stats.absorb(&analysis.stats);
+                known
+                    .shapes
+                    .insert(def.name.clone(), analysis.bounds.clone());
                 units.push(Unit::Thunked {
                     defs: vec![(def.name.clone(), analysis.bounds.clone(), def.comp.clone())],
                 });
@@ -560,7 +621,7 @@ pub fn run(
                 debug_assert_eq!(&buf.bounds(), bounds, "input `{name}` shape mismatch");
                 arrays.insert(name.clone(), buf.clone());
             }
-            Unit::Thunkless { name, prog } => {
+            Unit::Thunkless { name, prog, tape } => {
                 let mut vm = Vm::new();
                 vm.with_funcs(funcs.clone());
                 for (p, v) in compiled.env.iter() {
@@ -571,7 +632,10 @@ pub fn run(
                 }
                 // Move the environment through the VM: no copies.
                 vm.bind_all(std::mem::take(&mut arrays));
-                vm.run(prog)?;
+                match tape {
+                    Some(t) => vm.run_tape(t)?,
+                    None => vm.run(prog)?,
+                }
                 counters.vm = add_vm(counters.vm, vm.counters);
                 arrays = vm.into_arrays();
                 debug_assert!(arrays.contains_key(name), "program allocated its result");
@@ -634,6 +698,7 @@ pub fn run(
                 name,
                 base,
                 lowered,
+                tape,
             } => {
                 let mut vm = Vm::new();
                 vm.with_funcs(funcs.clone());
@@ -647,7 +712,10 @@ pub fn run(
                 if lowered.in_place {
                     vm.alias(name.clone(), base.clone());
                 }
-                vm.run(&lowered.prog)?;
+                match tape {
+                    Some(t) => vm.run_tape(t)?,
+                    None => vm.run(&lowered.prog)?,
+                }
                 counters.vm = add_vm(counters.vm, vm.counters);
                 arrays = vm.into_arrays();
                 if lowered.in_place {
@@ -677,6 +745,7 @@ fn add_vm(a: VmCounters, b: VmCounters) -> VmCounters {
         temp_elements: a.temp_elements + b.temp_elements,
         elements_copied: a.elements_copied + b.elements_copied,
         array_allocs: a.array_allocs + b.array_allocs,
+        tape_ops: a.tape_ops + b.tape_ops,
     }
 }
 

@@ -2,6 +2,17 @@
 //! dependence edges it found, and what the scheduler decided — the
 //! compiler's explanation of every optimization it did or did not
 //! apply.
+//!
+//! Runtime counters accompany these reports in [`ExecOutput`]
+//! (`counters.vm`, a [`hac_codegen::limp::VmCounters`]). Since the
+//! bytecode-tape engine landed, that struct also carries `tape_ops` —
+//! the number of tape instructions dispatched by `Vm::run_tape`. It is
+//! an engine-level dispatch count, not a semantic one: it is zero when
+//! running under `Engine::TreeWalk`, while every other counter (stores,
+//! loads, check ops, loop iterations, copies, allocations) means the
+//! same thing and takes the same value under both engines.
+//!
+//! [`ExecOutput`]: crate::pipeline::ExecOutput
 
 use std::fmt::Write as _;
 

@@ -128,6 +128,36 @@ impl ArrayBuf {
     pub fn data_mut(&mut self) -> &mut [f64] {
         &mut self.data
     }
+
+    /// Row-major element strides, one per dimension: the offset of
+    /// `idx` is `Σ strides[k] * (idx[k] - lo[k])`. Compile-once
+    /// consumers (the bytecode tape) fold these into fused linear
+    /// accesses.
+    pub fn strides(&self) -> Vec<i64> {
+        let mut s = vec![1i64; self.lo.len()];
+        for k in (0..self.lo.len()).rev().skip(1) {
+            let extent = (self.hi[k + 1] - self.lo[k + 1] + 1).max(0);
+            s[k] = s[k + 1] * extent;
+        }
+        s
+    }
+
+    /// Read by precomputed row-major offset (no bounds mapping).
+    ///
+    /// # Panics
+    /// Panics if `off >= len()`; callers are expected to have proven
+    /// the offset valid (e.g. by the tape compiler's interval check).
+    pub fn linear(&self, off: usize) -> f64 {
+        self.data[off]
+    }
+
+    /// Write by precomputed row-major offset (no bounds mapping).
+    ///
+    /// # Panics
+    /// Panics if `off >= len()`.
+    pub fn set_linear(&mut self, off: usize, v: f64) {
+        self.data[off] = v;
+    }
 }
 
 /// Resolves array selections during expression evaluation.
@@ -159,10 +189,63 @@ impl ArrayReader for MapReader<'_> {
     }
 }
 
+/// An [`ArrayReader`] over a dense slice of buffers — the indexed
+/// counterpart of the string-keyed [`MapReader`], for callers (like the
+/// bytecode tape) that resolved names to positions at compile time.
+pub struct IndexedReader<'a> {
+    names: &'a [String],
+    bufs: &'a [ArrayBuf],
+}
+
+impl<'a> IndexedReader<'a> {
+    /// Wrap parallel name/buffer slices.
+    ///
+    /// # Panics
+    /// Panics when the slices disagree in length.
+    pub fn new(names: &'a [String], bufs: &'a [ArrayBuf]) -> IndexedReader<'a> {
+        assert_eq!(names.len(), bufs.len());
+        IndexedReader { names, bufs }
+    }
+
+    /// Read element `idx` of the buffer at `pos` directly.
+    ///
+    /// # Errors
+    /// [`RuntimeError::OutOfBounds`] when the index escapes the bounds.
+    pub fn read_at(&self, pos: usize, idx: &[i64]) -> Result<f64, RuntimeError> {
+        self.bufs[pos].get(&self.names[pos], idx)
+    }
+}
+
+impl ArrayReader for IndexedReader<'_> {
+    fn read_element(&mut self, array: &str, idx: &[i64]) -> Result<f64, RuntimeError> {
+        let pos = self
+            .names
+            .iter()
+            .position(|n| n == array)
+            .ok_or_else(|| RuntimeError::UnboundArray(array.to_string()))?;
+        self.bufs[pos].get(array, idx)
+    }
+}
+
 /// A lexically scoped stack of scalar bindings.
+///
+/// Bindings carry a precomputed name hash so [`Scalars::lookup`]
+/// rejects non-matching entries with one integer compare instead of a
+/// string compare per stack slot.
 #[derive(Debug, Clone, Default)]
 pub struct Scalars {
-    stack: Vec<(String, f64)>,
+    stack: Vec<(u64, String, f64)>,
+}
+
+/// FNV-1a over the binding name — cheap, and collisions only cost a
+/// confirming byte compare.
+fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 impl Scalars {
@@ -173,7 +256,8 @@ impl Scalars {
 
     /// Push a binding; shadowing is by stack order.
     pub fn push(&mut self, name: impl Into<String>, v: f64) {
-        self.stack.push((name.into(), v));
+        let name = name.into();
+        self.stack.push((name_hash(&name), name, v));
     }
 
     /// Pop the most recent binding.
@@ -183,11 +267,12 @@ impl Scalars {
 
     /// Look up the innermost binding of `name`.
     pub fn lookup(&self, name: &str) -> Option<f64> {
+        let h = name_hash(name);
         self.stack
             .iter()
             .rev()
-            .find(|(n, _)| n == name)
-            .map(|(_, v)| *v)
+            .find(|(nh, n, _)| *nh == h && n == name)
+            .map(|(_, _, v)| *v)
     }
 
     /// Current depth (for save/restore).
@@ -202,12 +287,68 @@ impl Scalars {
 
     /// Snapshot of all bindings (outermost first) — captured by thunks.
     pub fn snapshot(&self) -> Vec<(String, f64)> {
-        self.stack.clone()
+        self.stack.iter().map(|(_, n, v)| (n.clone(), *v)).collect()
     }
 }
 
 /// User-registered scalar functions, plus maths builtins.
 pub type FuncTable = HashMap<String, fn(&[f64]) -> f64>;
+
+/// The practical maximum array rank; subscript vectors up to this
+/// length live on the stack instead of the heap.
+const INLINE_RANK: usize = 8;
+
+/// A subscript buffer that avoids heap allocation for every realistic
+/// rank: inline storage for up to [`INLINE_RANK`] dimensions, spilling
+/// to a `Vec` beyond that.
+#[derive(Debug)]
+pub enum IdxBuf {
+    /// Stack-resident subscripts (the common case).
+    Inline { buf: [i64; INLINE_RANK], len: usize },
+    /// Heap spill for pathological ranks.
+    Heap(Vec<i64>),
+}
+
+impl IdxBuf {
+    /// An empty buffer (no heap allocation).
+    pub fn new() -> IdxBuf {
+        IdxBuf::Inline {
+            buf: [0; INLINE_RANK],
+            len: 0,
+        }
+    }
+
+    /// Append one subscript, spilling to the heap past the inline cap.
+    pub fn push(&mut self, v: i64) {
+        match self {
+            IdxBuf::Inline { buf, len } => {
+                if *len < INLINE_RANK {
+                    buf[*len] = v;
+                    *len += 1;
+                } else {
+                    let mut heap = buf.to_vec();
+                    heap.push(v);
+                    *self = IdxBuf::Heap(heap);
+                }
+            }
+            IdxBuf::Heap(heap) => heap.push(v),
+        }
+    }
+
+    /// The collected subscripts.
+    pub fn as_slice(&self) -> &[i64] {
+        match self {
+            IdxBuf::Inline { buf, len } => &buf[..*len],
+            IdxBuf::Heap(heap) => heap,
+        }
+    }
+}
+
+impl Default for IdxBuf {
+    fn default() -> IdxBuf {
+        IdxBuf::new()
+    }
+}
 
 /// Evaluate a scalar expression.
 ///
@@ -226,12 +367,12 @@ pub fn eval_expr(
             .lookup(name)
             .ok_or_else(|| RuntimeError::UnboundVariable(name.clone())),
         Expr::Index { array, subs } => {
-            let mut idx = Vec::with_capacity(subs.len());
+            let mut idx = IdxBuf::new();
             for s in subs {
                 let v = eval_expr(s, scalars, arrays, funcs)?;
                 idx.push(as_int(array, v)?);
             }
-            arrays.read_element(array, &idx)
+            arrays.read_element(array, idx.as_slice())
         }
         Expr::Binary { op, lhs, rhs } => {
             // && and || short-circuit.
@@ -329,7 +470,9 @@ pub fn apply_bin(op: BinOp, l: f64, r: f64) -> f64 {
     }
 }
 
-fn builtin(name: &str) -> Option<fn(&[f64]) -> f64> {
+/// The builtin maths function bound to `name`, if any. Builtins take
+/// precedence over user registrations in [`FuncTable`].
+pub fn builtin(name: &str) -> Option<fn(&[f64]) -> f64> {
     Some(match name {
         "sqrt" => |a: &[f64]| a[0].sqrt(),
         "abs" => |a: &[f64]| a[0].abs(),

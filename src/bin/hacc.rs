@@ -197,7 +197,7 @@ fn main() -> ExitCode {
     if opts.emit_limp {
         for unit in &compiled.units {
             match unit {
-                Unit::Thunkless { name, prog } => {
+                Unit::Thunkless { name, prog, .. } => {
                     println!("--- limp for array `{name}` ---");
                     print!("{}", prog.render());
                 }

@@ -1,0 +1,210 @@
+//! A self-contained, offline reimplementation of the subset of the
+//! [`criterion`](https://docs.rs/criterion) API this workspace uses.
+//!
+//! The build container has no network access, so the real crate cannot
+//! be fetched; this shim keeps the benches runnable with the same
+//! source. It does real wall-clock measurement (warm-up, then
+//! `sample_size` timed samples, reporting min/median/max per
+//! iteration) but none of Criterion's statistics, baselines, or plots.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver: holds timing configuration and prints results.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(900),
+            samples: 12,
+        }
+    }
+}
+
+impl Criterion {
+    /// Time spent running the closure before measurement begins.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    /// Total time budget split across the measured samples.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Accepted for source compatibility; this shim never plots.
+    pub fn without_plots(self) -> Criterion {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, id, f);
+    }
+}
+
+/// A named collection of benchmarks sharing the driver's config.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a closure that receives `input` by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(self.criterion, &label, |b| f(b, input));
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &label, |b| f(b));
+    }
+
+    /// End the group (kept for source compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier of the form `function/parameter`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifier from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    /// Per-iteration seconds: (min, median, max), filled by `iter`.
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Measure the closure: warm up, then time `samples` batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let per_iter = (warm_start.elapsed().as_secs_f64() / warm_iters as f64).max(1e-9);
+        let target = self.measurement.as_secs_f64() / self.samples as f64;
+        let batch = ((target / per_iter).ceil() as u64).clamp(1, u64::MAX);
+
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            times.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        let median = times[times.len() / 2];
+        self.result = Some((times[0], median, times[times.len() - 1]));
+    }
+}
+
+fn run_one<F: FnOnce(&mut Bencher)>(c: &Criterion, label: &str, f: F) {
+    let mut b = Bencher {
+        warm_up: c.warm_up,
+        measurement: c.measurement,
+        samples: c.samples,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((lo, mid, hi)) => println!(
+            "{label:<40} time: [{} {} {}]",
+            fmt_time(lo),
+            fmt_time(mid),
+            fmt_time(hi)
+        ),
+        None => println!("{label:<40} (no measurement: iter() was not called)"),
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.3} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.3} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.3} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Define a benchmark group function. Mirrors `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the given groups. CLI args from `cargo bench`
+/// (e.g. `--bench`, filters) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,34 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use crate::strategy::Strategy;
+use crate::test_runner::Rng;
+
+/// Strategy for a `Vec` with element strategy `S` and length in `lens`.
+pub struct VecStrategy<S> {
+    element: S,
+    lens: Range<usize>,
+}
+
+/// A `Vec<S::Value>` with length drawn from `lens` (half-open).
+pub fn vec<S: Strategy>(element: S, lens: Range<usize>) -> VecStrategy<S> {
+    assert!(
+        lens.start < lens.end,
+        "empty length range for collection::vec"
+    );
+    VecStrategy { element, lens }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Debug,
+{
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let span = (self.lens.end - self.lens.start) as u64;
+        let len = self.lens.start + rng.below(span) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,164 @@
+//! A self-contained, offline reimplementation of the subset of the
+//! [`proptest`](https://docs.rs/proptest) API this workspace uses.
+//!
+//! The build container has no network access, so the real crate cannot
+//! be fetched; this shim keeps the property tests runnable. It supports
+//! deterministic random generation (seeded per test/case, so failures
+//! are reproducible) but performs **no shrinking**: a failing case is
+//! reported with its generated inputs verbatim.
+//!
+//! Supported surface:
+//! * `proptest!` blocks with an optional `#![proptest_config(...)]`
+//!   inner attribute and `name in strategy` arguments,
+//! * `Strategy` for integer/float ranges, `Just`, tuples, `&str`
+//!   patterns of the form `.{lo,hi}` (arbitrary strings), `prop_oneof!`
+//!   unions, and `proptest::collection::vec`,
+//! * `any::<T>()` for primitives,
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!`.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+
+    /// Mirror of `proptest::prelude::prop` (module alias).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declare property tests. Mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident
+        ($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut passed: u32 = 0;
+                let mut case: u64 = 0;
+                while passed < cfg.cases {
+                    case += 1;
+                    if case > (cfg.cases as u64).saturating_mul(64) {
+                        panic!(
+                            "proptest `{}`: too many rejected cases ({} tried)",
+                            stringify!($name), case
+                        );
+                    }
+                    let mut rng = $crate::test_runner::Rng::for_case(
+                        $crate::test_runner::seed_from_name(stringify!($name)),
+                        case,
+                    );
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let inputs = {
+                        let mut s = String::new();
+                        $(s.push_str(&format!(
+                            "{} = {:?}; ", stringify!($arg), &$arg));)+
+                        s
+                    };
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> $crate::test_runner::TestCaseResult {
+                                $body
+                                Ok(())
+                            },
+                        ),
+                    );
+                    match outcome {
+                        Ok(Ok(())) => passed += 1,
+                        Ok(Err($crate::test_runner::TestCaseError::Reject)) => {}
+                        Ok(Err($crate::test_runner::TestCaseError::Fail(msg))) => {
+                            panic!(
+                                "proptest `{}` failed at case {}: {}\n  inputs: {}",
+                                stringify!($name), case, msg, inputs
+                            );
+                        }
+                        Err(payload) => {
+                            eprintln!(
+                                "proptest `{}` panicked at case {}\n  inputs: {}",
+                                stringify!($name), case, inputs
+                            );
+                            ::std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert inside a proptest body; failure reports generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l == r) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($lhs), stringify!($rhs), l, r
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l == r) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Discard the current case when an assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,216 @@
+//! Value-generation strategies: the `Strategy` trait and the concrete
+//! strategies the workspace's tests use.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::Rng;
+
+/// Generates values of `Self::Value` from a deterministic RNG.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Debug;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Type-erase for heterogeneous collections (`prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Object-safe mirror of [`Strategy`].
+trait DynStrategy {
+    type Value;
+    fn generate_dyn(&self, rng: &mut Rng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+    fn generate_dyn(&self, rng: &mut Rng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<Value = T>>);
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among strategies of one value type (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Union<T> {
+    /// A union over the given options (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        let k = rng.below(self.options.len() as u64) as usize;
+        self.options[k].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.below(span.min(u64::MAX as u128) as u64) as i128))
+                    as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + (rng.below(span.min(u64::MAX as u128) as u64) as i128)) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut Rng) -> f64 {
+        self.start() + (self.end() - self.start()) * rng.unit_f64()
+    }
+}
+
+/// `&str` strategies mirror proptest's regex strings for the one shape
+/// the tests use — `.{lo,hi}` (an arbitrary string of bounded length).
+/// Any other pattern generates itself literally.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut Rng) -> String {
+        if let Some((lo, hi)) = parse_dot_repeat(self) {
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            let mut s = String::with_capacity(len);
+            for _ in 0..len {
+                // Mix ASCII (common), control chars, and multi-byte
+                // code points so the lexer sees genuinely hostile input.
+                let c = match rng.below(8) {
+                    0 => char::from_u32(rng.below(0x20) as u32).unwrap_or('\u{1}'),
+                    1..=5 => (0x20u8 + rng.below(0x5F) as u8) as char,
+                    6 => char::from_u32(0xA0 + rng.below(0x2000) as u32).unwrap_or('¿'),
+                    _ => ['λ', '∷', '≔', '⟦', '⟧', '∞', '𝜋', '∀'][rng.below(8) as usize],
+                };
+                s.push(c);
+            }
+            s
+        } else {
+            (*self).to_string()
+        }
+    }
+}
+
+fn parse_dot_repeat(pat: &str) -> Option<(usize, usize)> {
+    let body = pat.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + Debug {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut Rng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut Rng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut Rng) -> f64 {
+        // Finite, sign-balanced, wide dynamic range.
+        let m = rng.unit_f64() * 2.0 - 1.0;
+        let e = rng.below(40) as i32 - 20;
+        m * (2f64).powi(e)
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Strategy produced by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Rng) -> T {
+        T::arbitrary(rng)
+    }
+}
