@@ -18,8 +18,10 @@
 
 pub mod limp;
 pub mod lower;
+pub mod partape;
 pub mod tape;
 
 pub use limp::{LProgram, LStmt, StoreCheck, Vm, VmCounters};
 pub use lower::{lower_array, lower_update, CheckMode, LowerError, LoweredUpdate};
+pub use partape::{exec_par, plan_tape, ParPlan};
 pub use tape::{compile_tape, Op, TapeCtx, TapeProgram};

@@ -48,6 +48,10 @@ pub enum LStmt {
         start: i64,
         end: i64,
         step: i64,
+        /// §10 verdict: iterations are proven mutually independent, so
+        /// an engine may execute them in any order or concurrently.
+        /// Purely an enabling annotation — `false` is always safe.
+        par: bool,
         body: Vec<LStmt>,
     },
     /// `array!(subs) := value`.
@@ -129,9 +133,15 @@ fn render(s: &LStmt, indent: usize, out: &mut String) {
             start,
             end,
             step,
+            par,
             body,
         } => {
-            let _ = writeln!(out, "{pad}for {var} = {start},{},..{end}:", start + step);
+            let tag = if *par { " par" } else { "" };
+            let _ = writeln!(
+                out,
+                "{pad}for {var} = {start},{},..{end}{tag}:",
+                start + step
+            );
             for b in body {
                 render(b, indent + 1, out);
             }
@@ -310,6 +320,33 @@ impl Vm {
     /// # Errors
     /// Identical failures, lazily raised, as the tree-walking [`Vm::run`].
     pub fn run_tape(&mut self, tape: &TapeProgram) -> Result<(), RuntimeError> {
+        self.run_tape_with(tape, |tape, st| tape.exec(st))
+    }
+
+    /// Execute a compiled tape on the §10 parallel engine: top-level
+    /// passes proven free of carried dependences are partitioned over
+    /// `threads` workers (see [`crate::partape`]); everything else runs
+    /// on the sequential path. Bit-identical to [`Vm::run_tape`] —
+    /// values, errors (lowest faulting iteration wins), and counters.
+    ///
+    /// # Errors
+    /// Identical failures, lazily raised, as [`Vm::run_tape`].
+    pub fn run_partape(
+        &mut self,
+        tape: &TapeProgram,
+        plan: &crate::partape::ParPlan,
+        threads: usize,
+    ) -> Result<(), RuntimeError> {
+        self.run_tape_with(tape, |tape, st| {
+            crate::partape::exec_par(tape, plan, st, threads)
+        })
+    }
+
+    fn run_tape_with(
+        &mut self,
+        tape: &TapeProgram,
+        exec: impl FnOnce(&TapeProgram, &mut TapeState<'_>) -> Result<(), RuntimeError>,
+    ) -> Result<(), RuntimeError> {
         let mut bufs: Vec<Option<ArrayBuf>> = tape
             .arrays
             .iter()
@@ -341,7 +378,7 @@ impl Vm {
                 scratch: &mut scratch,
                 counters: &mut self.counters,
             };
-            tape.exec(&mut st)
+            exec(tape, &mut st)
         };
         self.scratch = scratch;
         for (name, buf) in tape.arrays.iter().zip(bufs) {
@@ -391,6 +428,7 @@ impl Vm {
                 start,
                 end,
                 step,
+                par: _,
                 body,
             } => {
                 debug_assert!(*step != 0);
@@ -578,6 +616,7 @@ mod tests {
                     start: 1,
                     end: 5,
                     step: 1,
+                    par: false,
                     body: vec![store("a", "i", "i * i", StoreCheck::None)],
                 },
             ],
@@ -608,6 +647,7 @@ mod tests {
                     start: 3,
                     end: 1,
                     step: -1,
+                    par: false,
                     body: vec![store("a", "i", "a!(i+1) * 2", StoreCheck::None)],
                 },
             ],
@@ -720,6 +760,7 @@ mod tests {
                 start: 5,
                 end: 4,
                 step: 1,
+                par: false,
                 body: vec![store("zzz", "i", "1", StoreCheck::None)],
             }],
             result: String::new(),
@@ -737,6 +778,7 @@ mod tests {
                 start: 1,
                 end: 3,
                 step: 1,
+                par: false,
                 body: vec![store("a", "i", "i", StoreCheck::Monolithic)],
             }],
             result: "a".into(),

@@ -119,6 +119,7 @@ pub fn lower_array(
             CheckMode::Checked => StoreCheck::Monolithic,
         },
         splits,
+        par_loops: &plan.par_loops,
     };
     for s in &plan.steps {
         stmts.extend(ctx.lower_step(s, 0)?);
@@ -176,6 +177,7 @@ pub fn lower_update(
         target: result.to_string(),
         check: StoreCheck::None,
         splits,
+        par_loops: &update.plan.par_loops,
     };
     for s in &update.plan.steps {
         stmts.extend(ctx.lower_step(s, 0)?);
@@ -196,6 +198,9 @@ struct Lowerer<'a> {
     target: String,
     check: StoreCheck,
     splits: SplitLowering,
+    /// Loop ids the plan proved carry no dependence (§10); passes over
+    /// these are marked `par` in the emitted Limp.
+    par_loops: &'a [hac_lang::ast::LoopId],
 }
 
 impl Lowerer<'_> {
@@ -251,7 +256,7 @@ impl Lowerer<'_> {
                 }])
             }
             Step::Loop {
-                id: _,
+                id,
                 var,
                 range,
                 dirn,
@@ -281,14 +286,21 @@ impl Lowerer<'_> {
                         }
                     }
                 }
+                let injected = !lowered.is_empty();
                 for s in body {
                     lowered.extend(self.lower_step(s, depth + 1)?);
                 }
+                // A loop is marked parallel only on the plan's §10
+                // verdict, and never when carry-buffer saves were
+                // injected into it (the ring temporary is shared
+                // between iterations; the planner already clears
+                // `par_loops` in that case — this is the belt).
                 Ok(vec![LStmt::For {
                     var: var.clone(),
                     start,
                     end,
                     step,
+                    par: self.par_loops.contains(id) && !injected,
                     body: lowered,
                 }])
             }
@@ -481,11 +493,14 @@ fn lower_path(path: &[PathStep], leaf: LStmt, env: &ConstEnv) -> Result<LStmt, L
             })?;
             let (start, end, step) = loop_params(&nl, Dirn::Forward);
             let inner = lower_path(&path[1..], leaf, env)?;
+            // Synthesized prelude/save loops carry no §10 verdict:
+            // always sequential.
             Ok(LStmt::For {
                 var: frame.var.clone(),
                 start,
                 end,
                 step,
+                par: false,
                 body: vec![inner],
             })
         }

@@ -1,0 +1,656 @@
+//! Dependence-proven parallel tape execution (§10).
+//!
+//! The sequential tape interpreter in [`crate::tape`] runs every loop
+//! pass in schedule order. This module adds an engine that partitions
+//! the iteration space of each top-level loop pass whose [`Op::LoopHead`]
+//! carries the §10 `par` verdict — *no loop-carried dependence, no
+//! possible write collision, all checks discharged at compile time* —
+//! into contiguous chunks executed concurrently on a persistent worker
+//! pool. Everything between (and inside) such regions runs on the exact
+//! sequential dispatch path, so the engine's observable behaviour is
+//! bit-identical to [`TapeProgram::exec`]:
+//!
+//! * **values** — iterations of a proven region neither read another
+//!   iteration's writes (that would be a carried flow dependence) nor
+//!   write a common element (that would be an output dependence /
+//!   collision), so each iteration computes, NaNs and all, exactly what
+//!   it computes sequentially;
+//! * **errors** — every chunk runs to its *own* first error; the error
+//!   with the lowest iteration ordinal wins, regardless of which worker
+//!   hit it first;
+//! * **counters** — per-chunk [`VmCounters`] deltas are merged exactly:
+//!   on success all chunks sum; on an error at ordinal `k` only the
+//!   chunks covering ordinals `≤ k` contribute, reproducing the
+//!   sequential prefix count (chunks are contiguous, so every such
+//!   chunk either completed error-free or is the one that faulted
+//!   at `k`).
+//!
+//! Passes that carry a dependence (or contain checked stores,
+//! allocations, copies or completeness checks — anything touching
+//! shared mutable bookkeeping) are simply not regions: they execute on
+//! the sequential path. Correctness is decided entirely by the
+//! compile-time analysis; the runtime takes no locks around array
+//! accesses.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+use hac_runtime::error::RuntimeError;
+use hac_runtime::value::SharedSlots;
+
+use crate::limp::VmCounters;
+use crate::tape::{Op, TapeProgram, TapeScratch, TapeState};
+
+/// A parallelizable top-level loop pass of a tape.
+#[derive(Debug, Clone)]
+struct ParRegion {
+    /// pc of the pass's [`Op::LoopInit`].
+    init_pc: usize,
+    /// pc of the [`Op::LoopHead`] (always `init_pc + 1`).
+    head_pc: usize,
+    /// Where the head's exit jump lands (first op after the pass).
+    exit_pc: usize,
+    ireg: usize,
+    slot: usize,
+    start: i64,
+    step: i64,
+    /// Compile-time trip count (loop bounds are constants).
+    trip: u64,
+    /// Stop bitmap with only `head_pc` set: a worker runs one iteration
+    /// by dispatching from `head_pc + 1` until the back-edge lands here.
+    head_stop: Vec<bool>,
+    /// Stop bitmap with only `exit_pc` set (sequential fallback of the
+    /// whole region from `init_pc`).
+    exit_stop: Vec<bool>,
+}
+
+/// The per-tape parallel execution plan: regions plus the stop bitmap
+/// that intercepts their entry points on the main dispatch path.
+#[derive(Debug, Clone, Default)]
+pub struct ParPlan {
+    regions: Vec<ParRegion>,
+    entry_stops: Vec<bool>,
+}
+
+impl ParPlan {
+    /// Does the tape have any parallelizable pass at all? (When not,
+    /// `exec_par` degenerates to plain sequential dispatch.)
+    pub fn has_regions(&self) -> bool {
+        !self.regions.is_empty()
+    }
+
+    /// Number of parallelizable passes (reports/tests).
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+}
+
+/// Scan a tape for parallelizable top-level loop passes.
+///
+/// The scan walks top-level pcs, skipping over every loop body (only
+/// *outermost* passes are partitioned; a `par` loop nested under a
+/// sequential pass runs sequentially inside it). A pass becomes a
+/// region when its head is marked `par` and its body is free of ops
+/// that touch shared mutable bookkeeping:
+///
+/// * `Alloc` / `Copy` rebind whole buffer slots;
+/// * checked stores (`StoreDyn` / `StoreLin` with `checked`) mutate the
+///   shared definedness bitmap — and only exist when the analysis
+///   could *not* discharge the §4 checks, i.e. when the disjointness
+///   proof this engine relies on is absent;
+/// * `CheckComplete` reads that bitmap.
+///
+/// Everything else — reads, unchecked stores, nested sequential loops,
+/// calls, lazy error ops — is private to an iteration under the §10
+/// verdict.
+pub fn plan_tape(tape: &TapeProgram) -> ParPlan {
+    let ops = &tape.ops;
+    let mut regions = Vec::new();
+    let mut pc = 0usize;
+    while pc + 1 < ops.len() {
+        let (Op::LoopInit { ireg, start }, op_head) = (&ops[pc], &ops[pc + 1]) else {
+            pc += 1;
+            continue;
+        };
+        let Op::LoopHead {
+            ireg: hreg,
+            slot,
+            end,
+            step,
+            exit,
+            par,
+        } = op_head
+        else {
+            pc += 1;
+            continue;
+        };
+        debug_assert_eq!(ireg, hreg, "LoopInit/LoopHead always pair up");
+        let (init_pc, head_pc, exit_pc) = (pc, pc + 1, *exit as usize);
+        pc = exit_pc; // top-level scan: never descend into a body
+        if !*par {
+            continue;
+        }
+        let body = &ops[head_pc + 1..exit_pc];
+        let eligible = body.iter().all(|op| {
+            !matches!(
+                op,
+                Op::Alloc(_)
+                    | Op::Copy { .. }
+                    | Op::CheckComplete { .. }
+                    | Op::Halt
+                    | Op::StoreDyn { checked: true, .. }
+                    | Op::StoreLin { checked: true, .. }
+            )
+        });
+        if !eligible {
+            continue;
+        }
+        let trip = trip_count(*start, *end, *step);
+        let mut head_stop = vec![false; ops.len()];
+        head_stop[head_pc] = true;
+        let mut exit_stop = vec![false; ops.len()];
+        exit_stop[exit_pc] = true;
+        regions.push(ParRegion {
+            init_pc,
+            head_pc,
+            exit_pc,
+            ireg: *ireg as usize,
+            slot: *slot as usize,
+            start: *start,
+            step: *step,
+            trip,
+            head_stop,
+            exit_stop,
+        });
+    }
+    let mut entry_stops = vec![false; ops.len()];
+    for r in &regions {
+        entry_stops[r.init_pc] = true;
+    }
+    ParPlan {
+        regions,
+        entry_stops,
+    }
+}
+
+fn trip_count(start: i64, end: i64, step: i64) -> u64 {
+    debug_assert!(step != 0);
+    if step > 0 {
+        if start > end {
+            0
+        } else {
+            (end - start) as u64 / step as u64 + 1
+        }
+    } else if start < end {
+        0
+    } else {
+        (start - end) as u64 / step.unsigned_abs() + 1
+    }
+}
+
+/// Execute a tape with proven-parallel passes partitioned over
+/// `threads` workers (the calling thread participates, so `threads: 1`
+/// never touches the pool). Observable behaviour is bit-identical to
+/// [`TapeProgram::exec`]; see the module docs for the argument.
+///
+/// # Errors
+/// Exactly the sequential engine's failures, with deterministic
+/// first-error selection across workers. On an error, buffer elements
+/// written by iterations *after* the faulting one may differ from the
+/// sequential engine's (which stopped at the fault) — the program's
+/// result is the error either way, and counters still merge exactly.
+pub fn exec_par(
+    tape: &TapeProgram,
+    plan: &ParPlan,
+    st: &mut TapeState<'_>,
+    threads: usize,
+) -> Result<(), RuntimeError> {
+    let threads = threads.max(1);
+    if threads == 1 || !plan.has_regions() {
+        return tape.exec(st);
+    }
+    let mut tape_ops = 0u64;
+    let mut pc = 0usize;
+    let out = loop {
+        match tape.dispatch_until(st, &mut tape_ops, pc, &plan.entry_stops) {
+            Ok(p) if p == tape.ops.len() => break Ok(()),
+            Ok(p) => {
+                let region = plan
+                    .regions
+                    .iter()
+                    .find(|r| r.init_pc == p)
+                    .expect("entry stop set only at region inits");
+                match run_region(tape, region, st, threads, &mut tape_ops) {
+                    Ok(()) => pc = region.exit_pc,
+                    Err(e) => break Err(e),
+                }
+            }
+            Err(e) => break Err(e),
+        }
+    };
+    st.counters.tape_ops += tape_ops;
+    out
+}
+
+/// Iterations per chunk aim for `CHUNKS_PER_THREAD` chunks per worker:
+/// coarse enough to amortize claim overhead, fine enough to rebalance
+/// when iteration costs are skewed.
+const CHUNKS_PER_THREAD: u64 = 4;
+
+fn run_region(
+    tape: &TapeProgram,
+    region: &ParRegion,
+    st: &mut TapeState<'_>,
+    threads: usize,
+    tape_ops: &mut u64,
+) -> Result<(), RuntimeError> {
+    let trip = region.trip;
+    if trip < 2 {
+        // Nothing to partition: run the whole pass (LoopInit, head
+        // checks, body, final failing head check) sequentially.
+        let p = tape.dispatch_until(st, tape_ops, region.init_pc, &region.exit_stop)?;
+        debug_assert_eq!(p, region.exit_pc);
+        return Ok(());
+    }
+
+    // LoopInit, by hand (the entry stop intercepted it).
+    *tape_ops += 1;
+    st.scratch.iregs[region.ireg] = region.start;
+
+    let n_chunks = trip.min(threads as u64 * CHUNKS_PER_THREAD);
+    // Ordinal range of chunk c: even partition of 0..trip.
+    let chunk_bounds = |c: u64| (c * trip / n_chunks, (c + 1) * trip / n_chunks);
+
+    let bufs = SharedSlots::new(st.bufs);
+    let defined = SharedSlots::new(st.defined);
+    let funcs = st.funcs;
+    let frame0 = st.scratch.frame.clone();
+    let iregs0 = st.scratch.iregs.clone();
+
+    let claim = AtomicUsize::new(0);
+    // Lowest known faulting ordinal; chunks starting past it are dead
+    // (excluded from the merge whatever the final minimum turns out to
+    // be) and are skipped without running.
+    let min_err = AtomicU64::new(u64::MAX);
+    type ChunkOut = (u64, VmCounters, Option<(u64, RuntimeError)>);
+    let results: Mutex<Vec<ChunkOut>> = Mutex::new(Vec::new());
+
+    let work = || {
+        let mut scratch = TapeScratch {
+            frame: frame0.clone(),
+            iregs: iregs0.clone(),
+            stack: Vec::with_capacity(tape.max_stack),
+            idx: Vec::with_capacity(tape.max_idx),
+        };
+        let mut outs: Vec<ChunkOut> = Vec::new();
+        loop {
+            let c = claim.fetch_add(1, Ordering::Relaxed) as u64;
+            if c >= n_chunks {
+                break;
+            }
+            let (lo, hi) = chunk_bounds(c);
+            if lo > min_err.load(Ordering::Relaxed) {
+                continue;
+            }
+            let mut counters = VmCounters::default();
+            let mut chunk_ops = 0u64;
+            let mut err: Option<(u64, RuntimeError)> = None;
+            // Safety: every chunk covers a disjoint ordinal range of a
+            // pass whose iterations are proven not to access a common
+            // element conflictingly (see module docs); the backing
+            // slices outlive the region (the driver joins all chunks
+            // before returning).
+            let mut cst = TapeState {
+                bufs: unsafe { bufs.slice_mut() },
+                defined: unsafe { defined.slice_mut() },
+                funcs,
+                scratch: &mut scratch,
+                counters: &mut counters,
+            };
+            for ord in lo..hi {
+                let i = region.start + ord as i64 * region.step;
+                cst.scratch.iregs[region.ireg] = i;
+                // The head op: count it, count the iteration, publish
+                // the loop variable — then run the body until the
+                // back-edge lands on the head again.
+                chunk_ops += 1;
+                cst.counters.loop_iterations += 1;
+                cst.scratch.frame[region.slot] = i as f64;
+                match tape.dispatch_until(
+                    &mut cst,
+                    &mut chunk_ops,
+                    region.head_pc + 1,
+                    &region.head_stop,
+                ) {
+                    Ok(p) => debug_assert_eq!(p, region.head_pc),
+                    Err(e) => {
+                        min_err.fetch_min(ord, Ordering::Relaxed);
+                        err = Some((ord, e));
+                        break;
+                    }
+                }
+            }
+            counters.tape_ops += chunk_ops;
+            outs.push((lo, counters, err));
+        }
+        if !outs.is_empty() {
+            results.lock().expect("results lock").extend(outs);
+        }
+    };
+
+    run_on_pool(threads.min(trip as usize), &work);
+
+    // Deterministic merge. Chunks are contiguous in ordinal order, so
+    // on an error at global minimum ordinal k the sequential engine
+    // executed exactly: the full iterations of every chunk starting
+    // ≤ k except the owner, the owner's prefix up to the fault — and
+    // every such chunk ran exactly that here (a chunk starting ≤ k
+    // cannot itself fault before k, k being the minimum).
+    let mut outs = results.into_inner().expect("results lock");
+    outs.sort_by_key(|(lo, _, _)| *lo);
+    let fault: Option<(u64, RuntimeError)> = outs
+        .iter()
+        .filter_map(|(_, _, e)| e.clone())
+        .min_by_key(|(ord, _)| *ord);
+    match fault {
+        Some((k, e)) => {
+            for (lo, c, _) in &outs {
+                if *lo <= k {
+                    add_counters(st.counters, c, tape_ops);
+                }
+            }
+            Err(e)
+        }
+        None => {
+            for (_, c, _) in &outs {
+                add_counters(st.counters, c, tape_ops);
+            }
+            // The final, failing head check the sequential engine runs.
+            *tape_ops += 1;
+            // Post-loop register/frame state, as sequential left it.
+            st.scratch.iregs[region.ireg] = region.start + trip as i64 * region.step;
+            st.scratch.frame[region.slot] = (region.start + (trip as i64 - 1) * region.step) as f64;
+            Ok(())
+        }
+    }
+}
+
+/// Fold a chunk's counter delta into the main counters. `tape_ops`
+/// rides separately (the caller adds it to the state's counters once,
+/// mirroring [`TapeProgram::exec`]).
+fn add_counters(main: &mut VmCounters, c: &VmCounters, tape_ops: &mut u64) {
+    main.loads += c.loads;
+    main.stores += c.stores;
+    main.loop_iterations += c.loop_iterations;
+    main.check_ops += c.check_ops;
+    main.array_allocs += c.array_allocs;
+    main.temp_elements += c.temp_elements;
+    main.elements_copied += c.elements_copied;
+    *tape_ops += c.tape_ops;
+}
+
+// ---------------------------------------------------------------------
+// The worker pool: persistent `std::thread` workers, reused across
+// regions, `run` calls, and VMs. Submission checks out idle workers
+// (spawning on demand, so the pool's size is the high-water mark of
+// concurrent demand), hands each a lifetime-erased task pointer, and
+// waits on a latch for all of them — the task closure therefore never
+// outlives the driver's stack frame.
+// ---------------------------------------------------------------------
+
+/// A lifetime-erased task. Valid only until the submitting driver
+/// returns, which the latch protocol guarantees.
+#[derive(Clone, Copy)]
+struct RawTask(*const (dyn Fn() + Sync));
+
+// Safety: the pointee is `Sync` (so `&`-calls from any thread are
+// fine) and the submission protocol keeps it alive until every worker
+// signalled the latch.
+unsafe impl Send for RawTask {}
+
+struct Pool {
+    idle: Vec<Sender<RawTask>>,
+    spawned: usize,
+}
+
+static POOL: OnceLock<Mutex<Pool>> = OnceLock::new();
+
+fn pool() -> &'static Mutex<Pool> {
+    POOL.get_or_init(|| {
+        Mutex::new(Pool {
+            idle: Vec::new(),
+            spawned: 0,
+        })
+    })
+}
+
+fn worker_loop(rx: &Receiver<RawTask>) {
+    while let Ok(task) = rx.recv() {
+        // Safety: see `RawTask`.
+        let f = unsafe { &*task.0 };
+        // Panics are latched by the task wrapper itself; this belt just
+        // keeps the worker alive for its next checkout.
+        let _ = catch_unwind(AssertUnwindSafe(f));
+    }
+}
+
+/// Check out `n` idle workers, spawning any shortfall.
+fn checkout(n: usize) -> Vec<Sender<RawTask>> {
+    let mut p = pool().lock().expect("pool lock");
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        match p.idle.pop() {
+            Some(tx) => out.push(tx),
+            None => {
+                let (tx, rx) = channel::<RawTask>();
+                std::thread::Builder::new()
+                    .name(format!("hac-par-{}", p.spawned))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn tape worker");
+                p.spawned += 1;
+                out.push(tx);
+            }
+        }
+    }
+    out
+}
+
+fn checkin(workers: Vec<Sender<RawTask>>) {
+    pool().lock().expect("pool lock").idle.extend(workers);
+}
+
+struct Latch {
+    left: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Latch {
+        Latch {
+            left: Mutex::new(n),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut left = self.left.lock().expect("latch lock");
+        *left -= 1;
+        if *left == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = self.left.lock().expect("latch lock");
+        while *left > 0 {
+            left = self.cv.wait(left).expect("latch lock");
+        }
+    }
+}
+
+/// Run `work` on the calling thread plus up to `threads - 1` pool
+/// workers, returning when every participant finished. A panic on any
+/// participant is re-raised here — after the join, so the task memory
+/// is never freed under a running worker.
+fn run_on_pool(threads: usize, work: &(dyn Fn() + Sync)) {
+    let helpers = threads.saturating_sub(1);
+    if helpers == 0 {
+        work();
+        return;
+    }
+    let latch = Latch::new(helpers);
+    let panicked = AtomicBool::new(false);
+    let wrapped = || {
+        if catch_unwind(AssertUnwindSafe(work)).is_err() {
+            panicked.store(true, Ordering::SeqCst);
+        }
+        latch.count_down();
+    };
+    let obj: &(dyn Fn() + Sync) = &wrapped;
+    // Safety: `wrapped` outlives every worker's use — the latch wait
+    // below does not return before all `helpers` sends are serviced.
+    let raw = RawTask(unsafe {
+        std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(obj)
+    });
+    let workers = checkout(helpers);
+    for tx in &workers {
+        tx.send(raw).expect("worker alive");
+    }
+    let main_res = catch_unwind(AssertUnwindSafe(work));
+    latch.wait();
+    checkin(workers);
+    if let Err(payload) = main_res {
+        std::panic::resume_unwind(payload);
+    }
+    assert!(
+        !panicked.load(Ordering::SeqCst),
+        "worker panicked during parallel tape execution"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::limp::{LProgram, LStmt, StoreCheck, Vm};
+    use crate::tape::{compile_tape, TapeCtx};
+    use hac_lang::parser::parse_expr;
+
+    fn squares(par: bool, n: i64) -> LProgram {
+        LProgram {
+            stmts: vec![
+                LStmt::Alloc {
+                    array: "a".into(),
+                    bounds: vec![(1, n)],
+                    fill: 0.0,
+                    temp: false,
+                    checked: false,
+                },
+                LStmt::For {
+                    var: "i".into(),
+                    start: 1,
+                    end: n,
+                    step: 1,
+                    par,
+                    body: vec![LStmt::Store {
+                        array: "a".into(),
+                        subs: vec![parse_expr("i").unwrap()],
+                        value: parse_expr("i * i").unwrap(),
+                        check: StoreCheck::None,
+                    }],
+                },
+            ],
+            result: "a".into(),
+        }
+    }
+
+    #[test]
+    fn plan_finds_par_region_and_skips_sequential() {
+        let par = compile_tape(&squares(true, 100), &TapeCtx::default());
+        assert_eq!(plan_tape(&par).region_count(), 1);
+        let seq = compile_tape(&squares(false, 100), &TapeCtx::default());
+        assert!(!plan_tape(&seq).has_regions());
+    }
+
+    #[test]
+    fn partape_matches_tape_bitwise() {
+        for threads in [1, 2, 4, 8] {
+            let prog = squares(true, 100);
+            let tape = compile_tape(&prog, &TapeCtx::default());
+            let plan = plan_tape(&tape);
+            let mut seq = Vm::new();
+            seq.run_tape(&tape).unwrap();
+            let mut par = Vm::new();
+            par.run_partape(&tape, &plan, threads).unwrap();
+            assert_eq!(
+                seq.array("a").unwrap().data(),
+                par.array("a").unwrap().data(),
+                "threads={threads}"
+            );
+            assert_eq!(seq.counters, par.counters, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn error_selection_is_lowest_iteration() {
+        // Store through a guard that faults out-of-bounds from i == 40
+        // onward: every thread count must report the i == 40 fault with
+        // the same counters as the sequential engine.
+        let n = 100;
+        let prog = LProgram {
+            stmts: vec![
+                LStmt::Alloc {
+                    array: "a".into(),
+                    bounds: vec![(1, n)],
+                    fill: 0.0,
+                    temp: false,
+                    checked: false,
+                },
+                LStmt::For {
+                    var: "i".into(),
+                    start: 1,
+                    end: n,
+                    step: 1,
+                    par: true,
+                    body: vec![LStmt::Store {
+                        array: "a".into(),
+                        subs: vec![parse_expr("if i < 40 then i else i + 1000").unwrap()],
+                        value: parse_expr("i").unwrap(),
+                        check: StoreCheck::None,
+                    }],
+                },
+            ],
+            result: "a".into(),
+        };
+        let tape = compile_tape(&prog, &TapeCtx::default());
+        let plan = plan_tape(&tape);
+        assert!(plan.has_regions(), "dynamic subscript stays eligible");
+        let mut seq = Vm::new();
+        let want = seq.run_tape(&tape).unwrap_err();
+        for threads in [1, 2, 4, 8] {
+            let mut par = Vm::new();
+            let got = par.run_partape(&tape, &plan, threads).unwrap_err();
+            assert_eq!(format!("{want:?}"), format!("{got:?}"), "threads={threads}");
+            assert_eq!(seq.counters, par.counters, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn checked_stores_disqualify_region() {
+        let mut prog = squares(true, 50);
+        let LStmt::For { body, .. } = &mut prog.stmts[1] else {
+            unreachable!()
+        };
+        let LStmt::Store { check, .. } = &mut body[0] else {
+            unreachable!()
+        };
+        *check = StoreCheck::Monolithic;
+        let LStmt::Alloc { checked, .. } = &mut prog.stmts[0] else {
+            unreachable!()
+        };
+        *checked = true;
+        let tape = compile_tape(&prog, &TapeCtx::default());
+        assert!(!plan_tape(&tape).has_regions());
+    }
+}

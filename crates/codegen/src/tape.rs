@@ -107,6 +107,10 @@ pub enum Op {
         end: i64,
         step: i64,
         exit: u32,
+        /// §10 verdict carried from the plan: iterations are mutually
+        /// independent (see [`crate::partape`]). Ignored by the
+        /// sequential dispatcher.
+        par: bool,
     },
     /// Advance the loop register and jump back to the head.
     LoopNext { ireg: u32, step: i64, head: u32 },
@@ -283,8 +287,41 @@ impl TapeProgram {
         r
     }
 
-    #[allow(clippy::too_many_lines)]
     fn dispatch(&self, st: &mut TapeState<'_>, tape_ops: &mut u64) -> Result<(), RuntimeError> {
+        // STOPS = false compiles the interception check away: the
+        // sequential engine pays nothing for the parallel machinery.
+        self.dispatch_inner::<false>(st, tape_ops, 0, &[])
+            .map(|_| ())
+    }
+
+    /// Run from `start` until a pc with `stops[pc]` set is *reached*
+    /// (the stopped op is neither fetched nor counted) or the tape
+    /// halts. Returns the stop pc, or `ops.len()` on [`Op::Halt`].
+    /// `stops` must have one entry per op. Used by the parallel engine
+    /// to intercept parallelizable loop regions while executing
+    /// everything between them on the exact sequential path.
+    ///
+    /// # Errors
+    /// Same failures as [`TapeProgram::exec`].
+    pub(crate) fn dispatch_until(
+        &self,
+        st: &mut TapeState<'_>,
+        tape_ops: &mut u64,
+        start: usize,
+        stops: &[bool],
+    ) -> Result<usize, RuntimeError> {
+        debug_assert_eq!(stops.len(), self.ops.len());
+        self.dispatch_inner::<true>(st, tape_ops, start, stops)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn dispatch_inner<const STOPS: bool>(
+        &self,
+        st: &mut TapeState<'_>,
+        tape_ops: &mut u64,
+        start: usize,
+        stops: &[bool],
+    ) -> Result<usize, RuntimeError> {
         let ops = &self.ops[..];
         let TapeScratch {
             frame,
@@ -292,8 +329,11 @@ impl TapeProgram {
             stack,
             idx,
         } = st.scratch;
-        let mut pc = 0usize;
+        let mut pc = start;
         loop {
+            if STOPS && stops[pc] {
+                return Ok(pc);
+            }
             let op = &ops[pc];
             *tape_ops += 1;
             pc += 1;
@@ -412,6 +452,7 @@ impl TapeProgram {
                     end,
                     step,
                     exit,
+                    par: _,
                 } => {
                     let i = iregs[*ireg as usize];
                     if (*step > 0 && i > *end) || (*step < 0 && i < *end) {
@@ -516,7 +557,7 @@ impl TapeProgram {
                         });
                     }
                 }
-                Op::Halt => return Ok(()),
+                Op::Halt => return Ok(ops.len()),
             }
         }
     }
@@ -1213,6 +1254,7 @@ impl<'a> Compiler<'a> {
                 start,
                 end,
                 step,
+                par,
                 body,
             } => {
                 let slot = self.alloc_slot();
@@ -1235,6 +1277,7 @@ impl<'a> Compiler<'a> {
                         end: *end,
                         step: *step,
                         exit: 0,
+                        par: *par,
                     },
                     0,
                     0,
@@ -1379,6 +1422,7 @@ mod tests {
                     start: 1,
                     end: 5,
                     step: 1,
+                    par: false,
                     body: vec![store("a", "i", "i * i", StoreCheck::None)],
                 },
             ],
@@ -1447,6 +1491,7 @@ mod tests {
                 start: 5,
                 end: 4,
                 step: 1,
+                par: false,
                 body: vec![store("zzz", "i", "nope + 1", StoreCheck::None)],
             }],
             result: String::new(),

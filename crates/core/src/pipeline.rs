@@ -16,6 +16,7 @@ use hac_analysis::analyze::{analyze_array, analyze_bigupd, AnalysisError, Collis
 use hac_analysis::search::TestPolicy;
 use hac_codegen::limp::{LProgram, Vm, VmCounters};
 use hac_codegen::lower::{lower_array, lower_update, CheckMode, LowerError, LoweredUpdate};
+use hac_codegen::partape::{plan_tape, ParPlan};
 use hac_codegen::tape::{compile_tape, TapeCtx, TapeProgram};
 use hac_lang::ast::{ArrayDef, ArrayKind, Binding, ClauseId, Comp, Program};
 use hac_lang::env::ConstEnv;
@@ -54,6 +55,11 @@ pub enum Engine {
     /// strength-reduced) and run it on the non-recursive dispatcher.
     #[default]
     Tape,
+    /// The tape engine plus §10 parallel execution: top-level loop
+    /// passes proven free of carried dependences are partitioned over
+    /// a worker pool (see [`run_with_threads`]); everything else runs
+    /// sequentially. Bit-identical to [`Engine::Tape`].
+    ParTape,
     /// The recursive tree-walking evaluator (reference semantics; also
     /// the baseline for the `vm_dispatch` benchmark).
     TreeWalk,
@@ -172,6 +178,9 @@ pub enum Unit {
         /// Bytecode form of `prog`, compiled once here; `None` under
         /// [`Engine::TreeWalk`].
         tape: Option<TapeProgram>,
+        /// Parallel execution plan for the tape; `Some` only under
+        /// [`Engine::ParTape`].
+        par: Option<ParPlan>,
     },
     /// A (possibly mutually recursive) group evaluated with thunks.
     Thunked { defs: Vec<GroupMember> },
@@ -189,6 +198,9 @@ pub enum Unit {
         /// compile time for in-place updates); `None` under
         /// [`Engine::TreeWalk`].
         tape: Option<TapeProgram>,
+        /// Parallel execution plan for the tape; `Some` only under
+        /// [`Engine::ParTape`].
+        par: Option<ParPlan>,
     },
     /// A scalar reduction (§3.1 `foldl` over a comprehension),
     /// executed as a DO loop with no intermediate list.
@@ -394,14 +406,14 @@ pub fn compile(
                     }
                 })?;
                 let lowered = lower_update(base, name, &analysis.refs, &update, env)?;
-                report
-                    .updates
-                    .push(UpdateReport::new(name, base, &analysis, &update, &lowered));
+                report.updates.push(UpdateReport::new(
+                    name, base, comp, &analysis, &update, &lowered,
+                ));
                 report.stats.absorb(&analysis.stats);
                 if lowered.in_place {
                     consumed.push(base.clone());
                 }
-                let tape = (options.engine == Engine::Tape).then(|| {
+                let tape = (options.engine != Engine::TreeWalk).then(|| {
                     let mut tctx = known.clone();
                     if lowered.in_place {
                         // The result name aliases the base at compile
@@ -410,6 +422,10 @@ pub fn compile(
                     }
                     compile_tape(&lowered.prog, &tctx)
                 });
+                let par = match (&tape, options.engine) {
+                    (Some(t), Engine::ParTape) => Some(plan_tape(t)),
+                    _ => None,
+                };
                 if let Some(b) = known.shapes.get(base).cloned() {
                     known.shapes.insert(name.clone(), b);
                 }
@@ -418,6 +434,7 @@ pub fn compile(
                     base: base.clone(),
                     lowered,
                     tape,
+                    par,
                 });
             }
         }
@@ -530,7 +547,11 @@ fn compile_group(
                     checks == CheckMode::Elide,
                 ));
                 report.stats.absorb(&analysis.stats);
-                let tape = (options.engine == Engine::Tape).then(|| compile_tape(&prog, known));
+                let tape = (options.engine != Engine::TreeWalk).then(|| compile_tape(&prog, known));
+                let par = match (&tape, options.engine) {
+                    (Some(t), Engine::ParTape) => Some(plan_tape(t)),
+                    _ => None,
+                };
                 known
                     .shapes
                     .insert(def.name.clone(), analysis.bounds.clone());
@@ -538,6 +559,7 @@ fn compile_group(
                     name: def.name.clone(),
                     prog,
                     tape,
+                    par,
                 });
             }
             ScheduleOutcome::NeedsThunks(reason) => {
@@ -598,7 +620,14 @@ impl ExecOutput {
     }
 }
 
-/// Execute a compiled program.
+/// The number of workers [`run`] uses for [`Engine::ParTape`] units:
+/// one per available hardware thread.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Execute a compiled program. [`Engine::ParTape`] units run with
+/// [`default_threads`] workers; see [`run_with_threads`] to pick.
 ///
 /// # Errors
 /// Propagates runtime failures (missing inputs surface as
@@ -607,6 +636,22 @@ pub fn run(
     compiled: &Compiled,
     inputs: &HashMap<String, ArrayBuf>,
     funcs: &FuncTable,
+) -> Result<ExecOutput, RuntimeError> {
+    run_with_threads(compiled, inputs, funcs, default_threads())
+}
+
+/// [`run`] with an explicit worker count for [`Engine::ParTape`] units
+/// (`threads: 1` executes their parallel plans inline — still on the
+/// sequential dispatch path, never touching the pool). Units compiled
+/// for other engines ignore `threads` entirely.
+///
+/// # Errors
+/// See [`run`].
+pub fn run_with_threads(
+    compiled: &Compiled,
+    inputs: &HashMap<String, ArrayBuf>,
+    funcs: &FuncTable,
+    threads: usize,
 ) -> Result<ExecOutput, RuntimeError> {
     let mut arrays: HashMap<String, ArrayBuf> = HashMap::new();
     let mut scalars: Vec<(String, f64)> = Vec::new();
@@ -621,7 +666,12 @@ pub fn run(
                 debug_assert_eq!(&buf.bounds(), bounds, "input `{name}` shape mismatch");
                 arrays.insert(name.clone(), buf.clone());
             }
-            Unit::Thunkless { name, prog, tape } => {
+            Unit::Thunkless {
+                name,
+                prog,
+                tape,
+                par,
+            } => {
                 let mut vm = Vm::new();
                 vm.with_funcs(funcs.clone());
                 for (p, v) in compiled.env.iter() {
@@ -632,9 +682,10 @@ pub fn run(
                 }
                 // Move the environment through the VM: no copies.
                 vm.bind_all(std::mem::take(&mut arrays));
-                match tape {
-                    Some(t) => vm.run_tape(t)?,
-                    None => vm.run(prog)?,
+                match (tape, par) {
+                    (Some(t), Some(p)) => vm.run_partape(t, p, threads)?,
+                    (Some(t), None) => vm.run_tape(t)?,
+                    (None, _) => vm.run(prog)?,
                 }
                 counters.vm = add_vm(counters.vm, vm.counters);
                 arrays = vm.into_arrays();
@@ -699,6 +750,7 @@ pub fn run(
                 base,
                 lowered,
                 tape,
+                par,
             } => {
                 let mut vm = Vm::new();
                 vm.with_funcs(funcs.clone());
@@ -712,9 +764,10 @@ pub fn run(
                 if lowered.in_place {
                     vm.alias(name.clone(), base.clone());
                 }
-                match tape {
-                    Some(t) => vm.run_tape(t)?,
-                    None => vm.run(&lowered.prog)?,
+                match (tape, par) {
+                    (Some(t), Some(p)) => vm.run_partape(t, p, threads)?,
+                    (Some(t), None) => vm.run_tape(t)?,
+                    (None, _) => vm.run(&lowered.prog)?,
                 }
                 counters.vm = add_vm(counters.vm, vm.counters);
                 arrays = vm.into_arrays();

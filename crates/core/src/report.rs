@@ -23,7 +23,7 @@ use hac_analysis::depgraph::DepEdge;
 use hac_analysis::parallel::{loop_parallelism, parallelism_summary};
 use hac_analysis::search::{Confidence, TestStats};
 use hac_codegen::lower::LoweredUpdate;
-use hac_lang::ast::ArrayDef;
+use hac_lang::ast::{ArrayDef, Comp};
 use hac_schedule::plan::Plan;
 use hac_schedule::split::{UpdatePlan, UpdateStrategy};
 
@@ -44,8 +44,8 @@ pub struct ArrayReport {
     pub parallelism: Vec<(String, Vec<String>)>,
 }
 
-fn parallelism_lines(def: &ArrayDef, edges: &[DepEdge]) -> Vec<(String, Vec<String>)> {
-    let loops = loop_parallelism(&def.comp, edges);
+fn parallelism_lines(comp: &Comp, edges: &[DepEdge]) -> Vec<(String, Vec<String>)> {
+    let loops = loop_parallelism(comp, edges);
     parallelism_summary(&loops)
         .into_iter()
         .map(|(k, v)| (k.to_string(), v))
@@ -106,7 +106,7 @@ impl ArrayReport {
             bounds: render_bounds(&analysis.oob),
             outcome: format!("thunkless\n{}", indent(&plan.render())),
             checks_elided,
-            parallelism: parallelism_lines(def, &analysis.flow.edges),
+            parallelism: parallelism_lines(&def.comp, &analysis.flow.edges),
         }
     }
 
@@ -120,7 +120,7 @@ impl ArrayReport {
             bounds: render_bounds(&analysis.oob),
             outcome: format!("thunked ({reason})"),
             checks_elided: false,
-            parallelism: parallelism_lines(def, &analysis.flow.edges),
+            parallelism: parallelism_lines(&def.comp, &analysis.flow.edges),
         }
     }
 
@@ -148,6 +148,10 @@ pub struct UpdateReport {
     pub flow_edges: Vec<String>,
     pub strategy: String,
     pub in_place: bool,
+    /// §10 verdicts over the full (flow + anti) edge set — what
+    /// `Engine::ParTape` consults, so a loop listed `sequential` here
+    /// explains why the pass falls back to one worker.
+    pub parallelism: Vec<(String, Vec<String>)>,
 }
 
 impl UpdateReport {
@@ -155,10 +159,18 @@ impl UpdateReport {
     pub fn new(
         name: &str,
         base: &str,
+        comp: &Comp,
         analysis: &UpdateAnalysis,
         update: &UpdatePlan,
         lowered: &LoweredUpdate,
     ) -> UpdateReport {
+        let full: Vec<DepEdge> = analysis
+            .flow
+            .edges
+            .iter()
+            .chain(analysis.anti.edges.iter())
+            .cloned()
+            .collect();
         let strategy = match &update.strategy {
             UpdateStrategy::InPlace => "in place, zero copies".to_string(),
             UpdateStrategy::Split(actions) => format!(
@@ -178,6 +190,7 @@ impl UpdateReport {
             flow_edges: analysis.flow.edges.iter().map(render_edge).collect(),
             strategy,
             in_place: lowered.in_place,
+            parallelism: parallelism_lines(comp, &full),
         }
     }
 }
@@ -227,6 +240,9 @@ impl Report {
             }
             let _ = writeln!(out, "  strategy: {}", u.strategy);
             let _ = writeln!(out, "  in place: {}", u.in_place);
+            for (verdict, loops) in &u.parallelism {
+                let _ = writeln!(out, "  loops {verdict}: {}", loops.join(", "));
+            }
         }
         let _ = writeln!(
             out,

@@ -160,6 +160,56 @@ impl ArrayBuf {
     }
 }
 
+/// A lifetime-erased, thread-shareable view of a mutable slice, for
+/// engines that proved their concurrent accesses disjoint *at compile
+/// time* (the §10 parallel tape: chunks of a dependence-free loop pass
+/// write to disjoint elements of the shared buffers).
+///
+/// This is the split-borrow primitive `std::slice::split_at_mut`
+/// cannot express: the disjointness here is per *element access*, not
+/// per contiguous range — iteration `i` of a parallel pass may write
+/// `a[p(i)]` for an arbitrary injective subscript map `p`. Each worker
+/// therefore rematerializes a full `&mut [T]` and the *caller*
+/// guarantees no two workers touch the same element with a write.
+pub struct SharedSlots<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// Safety: moving/sharing the view between threads is safe because the
+// view itself is just a pointer; all dereferencing goes through the
+// `unsafe` [`SharedSlots::slice_mut`], whose contract covers aliasing.
+unsafe impl<T: Send> Send for SharedSlots<T> {}
+unsafe impl<T: Send> Sync for SharedSlots<T> {}
+
+impl<T> SharedSlots<T> {
+    /// Capture a view of `slice`. The borrow ends at the call; the
+    /// caller is responsible for keeping the backing storage alive and
+    /// unmoved for as long as the view is dereferenced.
+    pub fn new(slice: &mut [T]) -> SharedSlots<T> {
+        SharedSlots {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+        }
+    }
+
+    /// Rematerialize the mutable slice.
+    ///
+    /// # Safety
+    /// The backing slice must still be live and unmoved, and for the
+    /// lifetime of the returned borrow every concurrent holder must
+    /// access *disjoint elements* (two readers of one element are fine;
+    /// a writer excludes every other access to that element). The
+    /// parallel tape discharges this with the §10 dependence proof:
+    /// no carried dependence and no possible write collision means no
+    /// two iterations of the partitioned pass touch a common element
+    /// conflictingly.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self) -> &mut [T] {
+        std::slice::from_raw_parts_mut(self.ptr, self.len)
+    }
+}
+
 /// Resolves array selections during expression evaluation.
 pub trait ArrayReader {
     /// Read element `idx` of `array`; demand-driven implementations may

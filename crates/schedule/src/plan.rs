@@ -97,6 +97,12 @@ impl Step {
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Plan {
     pub steps: Vec<Step>,
+    /// Loops proven free of carried dependences (§10): every id listed
+    /// here may run its iterations in any order — or concurrently. The
+    /// verdict is computed against the edge set the plan was scheduled
+    /// under (flow for monolithic arrays; the *full* flow + anti set
+    /// for in-place updates, see `split::plan_update`).
+    pub par_loops: Vec<LoopId>,
 }
 
 impl Plan {
@@ -239,6 +245,7 @@ mod tests {
                 },
                 Step::Clause(ClauseId(2)),
             ],
+            par_loops: Vec::new(),
         };
         assert_eq!(plan.clauses(), vec![ClauseId(1), ClauseId(0), ClauseId(2)]);
         assert_eq!(plan.loop_count(), 1);
@@ -257,6 +264,7 @@ mod tests {
                     body: vec![Step::Clause(ClauseId(0))],
                 }],
             }],
+            par_loops: Vec::new(),
         };
         let r = plan.render();
         assert!(r.contains("for i (L0) backward:"));

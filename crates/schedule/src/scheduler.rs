@@ -173,9 +173,24 @@ pub fn schedule(comp: &Comp, edges: &[DepEdge]) -> ScheduleOutcome {
 pub fn schedule_with(comp: &Comp, edges: &[DepEdge], opts: &SchedOptions) -> ScheduleOutcome {
     let level = expand_any(edges);
     match schedule_top(comp, &level, opts) {
-        Ok(steps) => ScheduleOutcome::Thunkless(Plan { steps }),
+        Ok(steps) => ScheduleOutcome::Thunkless(Plan {
+            steps,
+            par_loops: par_loops(comp, edges),
+        }),
         Err(reason) => ScheduleOutcome::NeedsThunks(reason),
     }
+}
+
+/// §10 verdicts for the edge set the plan was scheduled under: the ids
+/// of every generator that carries no dependence. Iterations of such a
+/// loop are mutually independent, so any pass over it may be reordered
+/// or run concurrently.
+pub fn par_loops(comp: &Comp, edges: &[DepEdge]) -> Vec<LoopId> {
+    hac_analysis::parallel::loop_parallelism(comp, edges)
+        .into_iter()
+        .filter(|l| l.parallelizable())
+        .map(|l| l.id)
+        .collect()
 }
 
 /// Schedule the root level: no surrounding loop, so every cross-entity

@@ -202,7 +202,7 @@ pub fn plan_update_with(
     let flow: Vec<DepEdge> = analysis.flow.edges.clone();
     if analysis.subs_read_base {
         // Subscript reads of the old array must see the pristine copy.
-        return finish_with_copy(comp, &flow);
+        return finish_with_copy(comp, analysis, &flow);
     }
     let anti: Vec<DepEdge> = analysis
         .anti
@@ -301,7 +301,7 @@ pub fn plan_update_with(
     };
 
     match plan {
-        Some(plan) => {
+        Some(mut plan) => {
             let mut actions = Vec::new();
             for (clause, read_index) in pending {
                 // Keep only the temporaries the final directions need.
@@ -349,10 +349,34 @@ pub fn plan_update_with(
                     // subscript its guard would have skipped: copy the
                     // whole old array instead.
                     _ => {
-                        return finish_with_copy(comp, &flow);
+                        return finish_with_copy(comp, analysis, &flow);
                     }
                 }
             }
+            // The split scheduler converged on a *relaxed* edge set
+            // (victim anti edges removed pending redirection), so the
+            // plan's §10 verdicts are too optimistic for parallel
+            // execution. Recompute them against the full flow + anti
+            // set. Two further vetoes: carry-buffer ring temporaries
+            // are shared across iterations of every enclosing loop
+            // (concurrent chunks would race on the ring), and a
+            // possible write collision is an output dependence the
+            // direction vectors above never see.
+            let has_carry = actions
+                .iter()
+                .any(|a| matches!(a, SplitAction::CarryBuffer { .. }));
+            plan.par_loops = if has_carry || !analysis.collisions.checks_elidable() {
+                Vec::new()
+            } else {
+                let full: Vec<DepEdge> = analysis
+                    .flow
+                    .edges
+                    .iter()
+                    .chain(analysis.anti.edges.iter())
+                    .cloned()
+                    .collect();
+                crate::scheduler::par_loops(comp, &full)
+            };
             let strategy = if actions.is_empty() {
                 UpdateStrategy::InPlace
             } else {
@@ -360,18 +384,29 @@ pub fn plan_update_with(
             };
             Ok(UpdatePlan { plan, strategy })
         }
-        None => finish_with_copy(comp, &flow),
+        None => finish_with_copy(comp, analysis, &flow),
     }
 }
 
 /// Whole-array-copy fallback: every anti edge is satisfied by the copy,
-/// so only the flow edges constrain the schedule.
-fn finish_with_copy(comp: &Comp, flow: &[DepEdge]) -> Result<UpdatePlan, ThunkReason> {
+/// so only the flow edges constrain the schedule — and the §10 parallel
+/// verdicts likewise hold against flow alone (reads go to the pristine
+/// copy), provided writes cannot collide.
+fn finish_with_copy(
+    comp: &Comp,
+    analysis: &UpdateAnalysis,
+    flow: &[DepEdge],
+) -> Result<UpdatePlan, ThunkReason> {
     match schedule(comp, flow) {
-        ScheduleOutcome::Thunkless(plan) => Ok(UpdatePlan {
-            plan,
-            strategy: UpdateStrategy::CopyWhole,
-        }),
+        ScheduleOutcome::Thunkless(mut plan) => {
+            if !analysis.collisions.checks_elidable() {
+                plan.par_loops = Vec::new();
+            }
+            Ok(UpdatePlan {
+                plan,
+                strategy: UpdateStrategy::CopyWhole,
+            })
+        }
         ScheduleOutcome::NeedsThunks(reason) => Err(reason),
     }
 }

@@ -215,6 +215,67 @@ pub fn jacobi_oracle(a: &ArrayBuf, n: i64) -> ArrayBuf {
 }
 
 // ---------------------------------------------------------------------
+// Out-of-place stencils (E19 parallel-scaling kernels)
+// ---------------------------------------------------------------------
+
+/// Out-of-place Jacobi step: the new interior is built as a fresh
+/// array from the *input* mesh only. No self-reference means no flow
+/// dependences, so §10 proves every loop parallelizable — the
+/// dependence-free counterpart of [`jacobi_source`] (whose in-place
+/// `bigupd` carries anti dependences and must run sequentially).
+pub fn jacobi_step_source() -> &'static str {
+    r#"
+param n;
+input a ((1,1),(n,n));
+let b = array ((2,2),(n-1,n-1))
+   [ (i,j) := (a!(i-1,j) + a!(i,j-1) + a!(i+1,j) + a!(i,j+1)) / 4
+      | i <- [2..n-1], j <- [2..n-1] ];
+result b;
+"#
+}
+
+/// Hand-coded out-of-place Jacobi step (interior only).
+pub fn jacobi_step_oracle(a: &ArrayBuf, n: i64) -> ArrayBuf {
+    let mut b = ArrayBuf::new(&[(2, n - 1), (2, n - 1)], 0.0);
+    for i in 2..n {
+        for j in 2..n {
+            let v = (a.get("a", &[i - 1, j]).unwrap()
+                + a.get("a", &[i, j - 1]).unwrap()
+                + a.get("a", &[i + 1, j]).unwrap()
+                + a.get("a", &[i, j + 1]).unwrap())
+                / 4.0;
+            b.set("b", &[i, j], v).unwrap();
+        }
+    }
+    b
+}
+
+/// 1-D three-point relaxation (weighted smoothing) into a fresh
+/// vector — single clause, identity index map, input reads only:
+/// collision- and empties-checks elide and every loop is §10-parallel.
+pub fn relaxation_source() -> &'static str {
+    r#"
+param n;
+input u (1,n);
+let v = array (2,n-1)
+   [ i := 0.25 * u!(i-1) + 0.5 * u!i + 0.25 * u!(i+1) | i <- [2..n-1] ];
+result v;
+"#
+}
+
+/// Hand-coded relaxation kernel.
+pub fn relaxation_oracle(u: &ArrayBuf, n: i64) -> ArrayBuf {
+    let mut v = ArrayBuf::new(&[(2, n - 1)], 0.0);
+    for i in 2..n {
+        let x = 0.25 * u.get("u", &[i - 1]).unwrap()
+            + 0.5 * u.get("u", &[i]).unwrap()
+            + 0.25 * u.get("u", &[i + 1]).unwrap();
+        v.set("v", &[i], x).unwrap();
+    }
+    v
+}
+
+// ---------------------------------------------------------------------
 // §9 — Gauss–Seidel / SOR step (Livermore Kernel 23 shape, E9)
 // ---------------------------------------------------------------------
 
@@ -474,6 +535,8 @@ mod tests {
             ("recurrence", recurrence_source()),
             ("thomas", thomas_source()),
             ("jacobi", jacobi_source()),
+            ("jacobi_step", jacobi_step_source()),
+            ("relaxation", relaxation_source()),
             ("sor", sor_source()),
             ("row_swap", row_swap_source()),
             ("row_scale", row_scale_source()),
@@ -522,6 +585,34 @@ mod tests {
         let s = sor_oracle(&a, 4);
         // SOR uses updated neighbors, Jacobi old ones: interior differs.
         assert_ne!(j.get("a", &[3, 3]).unwrap(), s.get("a", &[3, 3]).unwrap());
+    }
+
+    #[test]
+    fn jacobi_step_matches_bigupd_interior() {
+        // The out-of-place step's interior equals the bigupd Jacobi's.
+        let n = 5;
+        let a = matrix(n, n, |i, j| (i * 2 + j) as f64);
+        let step = jacobi_step_oracle(&a, n);
+        let upd = jacobi_oracle(&a, n);
+        for i in 2..n {
+            for j in 2..n {
+                assert_eq!(
+                    step.get("b", &[i, j]).unwrap(),
+                    upd.get("a", &[i, j]).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relaxation_oracle_weights() {
+        let n = 5;
+        let u = vector(n, |i| i as f64);
+        let v = relaxation_oracle(&u, n);
+        // Linear data is a fixed point of the 1-2-1 smoother.
+        for i in 2..n {
+            assert_eq!(v.get("v", &[i]).unwrap(), i as f64);
+        }
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //!
 //! options:
 //!   --mode auto|thunked|checked   execution strategy (default auto)
+//!   --engine treewalk|tape|partape  evaluation engine (default partape)
+//!   --threads N                   ParTape worker count (default: all cores)
 //!   --fill zero|random[:SEED]     how to fill `input` arrays (default random)
 //!   --no-run                      only explain, do not execute
 //!   --quiet                       suppress the compilation report
@@ -16,7 +18,9 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-use hac::core::pipeline::{compile, run, CompileOptions, ExecMode, Unit};
+use hac::core::pipeline::{
+    compile, default_threads, run_with_threads, CompileOptions, Engine, ExecMode, Unit,
+};
 use hac::lang::parser::parse_program;
 use hac::lang::ConstEnv;
 use hac_runtime::value::{ArrayBuf, FuncTable};
@@ -26,6 +30,8 @@ struct Options {
     file: String,
     env: ConstEnv,
     mode: ExecMode,
+    engine: Engine,
+    threads: usize,
     fill_random: bool,
     seed: u64,
     run_it: bool,
@@ -36,7 +42,8 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: hacc PROGRAM.hac [name=value ...] \
-     [--mode auto|thunked|checked] [--fill zero|random[:SEED]] \
+     [--mode auto|thunked|checked] [--engine treewalk|tape|partape] \
+     [--threads N] [--fill zero|random[:SEED]] \
      [--no-run] [--quiet] [--print NAME]"
 }
 
@@ -46,6 +53,10 @@ fn parse_args() -> Result<Options, String> {
         file: String::new(),
         env: ConstEnv::new(),
         mode: ExecMode::Auto,
+        // The CLI defaults to the parallel engine; the library default
+        // stays `Engine::Tape` so embedders opt in explicitly.
+        engine: Engine::ParTape,
+        threads: default_threads(),
         fill_random: true,
         seed: 0xC0FFEE,
         run_it: true,
@@ -63,6 +74,23 @@ fn parse_args() -> Result<Options, String> {
                     "checked" => ExecMode::ForceChecked,
                     other => return Err(format!("unknown mode `{other}`")),
                 };
+            }
+            "--engine" => {
+                let e = args.next().ok_or("--engine needs a value")?;
+                opts.engine = match e.as_str() {
+                    "treewalk" => Engine::TreeWalk,
+                    "tape" => Engine::Tape,
+                    "partape" => Engine::ParTape,
+                    other => return Err(format!("unknown engine `{other}`")),
+                };
+            }
+            "--threads" => {
+                let n = args.next().ok_or("--threads needs a value")?;
+                opts.threads = n
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| format!("--threads needs a positive integer, got `{n}`"))?;
             }
             "--fill" => {
                 let f = args.next().ok_or("--fill needs a value")?;
@@ -182,6 +210,7 @@ fn main() -> ExitCode {
         &opts.env,
         &CompileOptions {
             mode: opts.mode,
+            engine: opts.engine,
             ..CompileOptions::default()
         },
     ) {
@@ -216,7 +245,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let inputs = fill_inputs(&compiled, &opts);
-    let out = match run(&compiled, &inputs, &FuncTable::new()) {
+    let out = match run_with_threads(&compiled, &inputs, &FuncTable::new(), opts.threads) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("runtime error: {e}");

@@ -337,6 +337,7 @@ fn harness_program(value: Expr, variant: u64) -> (LProgram, bool) {
                 start: 1,
                 end: 4,
                 step: 1,
+                par: false,
                 body: vec![LStmt::Store {
                     array: "out".to_string(),
                     subs: vec![sub],

@@ -6,8 +6,16 @@
 //! source. It does real wall-clock measurement (warm-up, then
 //! `sample_size` timed samples, reporting min/median/max per
 //! iteration) but none of Criterion's statistics, baselines, or plots.
+//!
+//! Setting `CRITERION_JSON=<path>` additionally writes every
+//! measurement to `<path>` as one JSON document
+//! (`{"benchmarks": [{"id": ..., "ns_per_iter": {"min": ...,
+//! "median": ..., "max": ...}}, ...]}`), rewritten after each result so
+//! the file is valid even if the bench binary is interrupted.
 
 use std::fmt::Display;
+use std::fmt::Write as _;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -158,14 +166,54 @@ fn run_one<F: FnOnce(&mut Bencher)>(c: &Criterion, label: &str, f: F) {
     };
     f(&mut b);
     match b.result {
-        Some((lo, mid, hi)) => println!(
-            "{label:<40} time: [{} {} {}]",
-            fmt_time(lo),
-            fmt_time(mid),
-            fmt_time(hi)
-        ),
+        Some((lo, mid, hi)) => {
+            println!(
+                "{label:<40} time: [{} {} {}]",
+                fmt_time(lo),
+                fmt_time(mid),
+                fmt_time(hi)
+            );
+            record_json(label, lo, mid, hi);
+        }
         None => println!("{label:<40} (no measurement: iter() was not called)"),
     }
+}
+
+/// All measurements taken so far, for the `CRITERION_JSON` report.
+static RESULTS: Mutex<Vec<(String, f64, f64, f64)>> = Mutex::new(Vec::new());
+
+fn record_json(label: &str, lo: f64, mid: f64, hi: f64) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let mut results = RESULTS.lock().expect("results lock");
+    results.push((label.to_string(), lo, mid, hi));
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (id, lo, mid, hi)) in results.iter().enumerate() {
+        let sep = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "    {{\"id\": \"{}\", \"ns_per_iter\": {{\"min\": {:.1}, \"median\": {:.1}, \"max\": {:.1}}}}}{sep}",
+            json_escape(id),
+            lo * 1e9,
+            mid * 1e9,
+            hi * 1e9
+        );
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("CRITERION_JSON: cannot write `{path}`: {e}");
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
 }
 
 fn fmt_time(secs: f64) -> String {
