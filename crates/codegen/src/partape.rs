@@ -32,8 +32,9 @@
 //! compile-time analysis; the runtime takes no locks around array
 //! accesses.
 
+use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Condvar, Mutex, OnceLock};
 
@@ -340,7 +341,9 @@ fn run_region(
         }
     };
 
-    run_on_pool(threads.min(trip as usize), &work);
+    if let Some(payload) = run_on_pool(threads.min(trip as usize), &work) {
+        std::panic::resume_unwind(payload);
+    }
 
     // Deterministic merge. Chunks are contiguous in ordinal order, so
     // on an error at global minimum ordinal k the sequential engine
@@ -430,8 +433,9 @@ fn worker_loop(rx: &Receiver<RawTask>) {
     while let Ok(task) = rx.recv() {
         // Safety: see `RawTask`.
         let f = unsafe { &*task.0 };
-        // Panics are latched by the task wrapper itself; this belt just
-        // keeps the worker alive for its next checkout.
+        // The task wrapper in `run_on_pool` captures the payload of any
+        // panic and counts the latch down; this belt only keeps the
+        // worker thread alive for its next checkout.
         let _ = catch_unwind(AssertUnwindSafe(f));
     }
 }
@@ -490,23 +494,36 @@ impl Latch {
     }
 }
 
+/// Counts its latch down when dropped, so a participant that panics
+/// anywhere in the task wrapper still releases the driver — a missed
+/// count-down would leave `run_on_pool` waiting forever.
+struct CountDownOnDrop<'a>(&'a Latch);
+
+impl Drop for CountDownOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.count_down();
+    }
+}
+
 /// Run `work` on the calling thread plus up to `threads - 1` pool
-/// workers, returning when every participant finished. A panic on any
-/// participant is re-raised here — after the join, so the task memory
-/// is never freed under a running worker.
-fn run_on_pool(threads: usize, work: &(dyn Fn() + Sync)) {
+/// workers, returning when every participant finished. If any
+/// participant panicked, the first captured payload is returned —
+/// after the join, so the task memory is never freed under a running
+/// worker — and the caller decides whether to re-raise or degrade.
+#[must_use = "a worker panic must be re-raised or handled, never dropped"]
+fn run_on_pool(threads: usize, work: &(dyn Fn() + Sync)) -> Option<Box<dyn Any + Send>> {
     let helpers = threads.saturating_sub(1);
     if helpers == 0 {
-        work();
-        return;
+        return catch_unwind(AssertUnwindSafe(work)).err();
     }
     let latch = Latch::new(helpers);
-    let panicked = AtomicBool::new(false);
+    let first_panic: Mutex<Option<Box<dyn Any + Send>>> = Mutex::new(None);
     let wrapped = || {
-        if catch_unwind(AssertUnwindSafe(work)).is_err() {
-            panicked.store(true, Ordering::SeqCst);
+        let _release = CountDownOnDrop(&latch);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(work)) {
+            let mut slot = first_panic.lock().expect("panic slot lock");
+            slot.get_or_insert(payload);
         }
-        latch.count_down();
     };
     let obj: &(dyn Fn() + Sync) = &wrapped;
     // Safety: `wrapped` outlives every worker's use — the latch wait
@@ -521,13 +538,10 @@ fn run_on_pool(threads: usize, work: &(dyn Fn() + Sync)) {
     let main_res = catch_unwind(AssertUnwindSafe(work));
     latch.wait();
     checkin(workers);
-    if let Err(payload) = main_res {
-        std::panic::resume_unwind(payload);
+    match main_res {
+        Err(payload) => Some(payload),
+        Ok(()) => first_panic.into_inner().expect("panic slot lock"),
     }
-    assert!(
-        !panicked.load(Ordering::SeqCst),
-        "worker panicked during parallel tape execution"
-    );
 }
 
 #[cfg(test)]
@@ -634,6 +648,24 @@ mod tests {
             assert_eq!(format!("{want:?}"), format!("{got:?}"), "threads={threads}");
             assert_eq!(seq.counters, par.counters, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn pool_panic_is_propagated_not_swallowed() {
+        let payload = run_on_pool(4, &|| panic!("injected fault"))
+            .expect("a participant panic must surface as a payload");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("injected fault")
+        );
+        // The pool survives the fault: a later submission still runs on
+        // every participant and completes cleanly.
+        let count = AtomicUsize::new(0);
+        let clean = run_on_pool(4, &|| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(clean.is_none());
+        assert_eq!(count.load(Ordering::SeqCst), 4);
     }
 
     #[test]
