@@ -13,8 +13,9 @@ use std::collections::HashMap;
 
 use hac_lang::ast::Expr;
 use hac_runtime::error::RuntimeError;
+use hac_runtime::governor::{FaultPlan, Meter};
 use hac_runtime::value::{
-    as_int, builtin, eval_expr, ArrayBuf, ArrayReader, FuncTable, IdxBuf, Scalars,
+    as_int, builtin, eval_expr_metered, ArrayBuf, ArrayReader, FuncTable, IdxBuf, Scalars,
 };
 
 use crate::tape::{HostFn, TapeProgram, TapeScratch, TapeState};
@@ -213,6 +214,11 @@ pub struct VmCounters {
     /// the tree-walking evaluator ran; every other counter means the
     /// same thing under both engines.
     pub tape_ops: u64,
+    /// Parallel-engine worker faults absorbed by the sequential
+    /// fallback. Main-thread bookkeeping only: never merged from
+    /// worker chunks, so it stays zero on fault-free runs and the
+    /// other counters remain bit-identical across engines.
+    pub engine_faults: u64,
 }
 
 /// The Limp virtual machine.
@@ -226,6 +232,12 @@ pub struct Vm {
     /// Reusable tape scratch (operand stack, frame, registers): kept on
     /// the VM so repeated `run_tape` calls never reallocate.
     scratch: TapeScratch,
+    /// Resource budget charged as the program runs; unlimited unless
+    /// installed with [`Vm::with_meter`].
+    meter: Meter,
+    /// Deterministic fault-injection plan for the parallel engine
+    /// (tests / `HAC_FAULT_PLAN`).
+    faults: Option<FaultPlan>,
     pub counters: VmCounters,
 }
 
@@ -259,6 +271,28 @@ impl Vm {
     /// Register scalar functions callable from expressions.
     pub fn with_funcs(&mut self, funcs: FuncTable) -> &mut Self {
         self.funcs = funcs;
+        self
+    }
+
+    /// Install a resource meter. The meter is charged in place, so a
+    /// caller running several programs on one budget moves the meter
+    /// from VM to VM with [`Vm::take_meter`].
+    pub fn with_meter(&mut self, meter: Meter) -> &mut Self {
+        self.meter = meter;
+        self
+    }
+
+    /// Remove the meter (leaving an unlimited one), returning it with
+    /// whatever budget is left.
+    pub fn take_meter(&mut self) -> Meter {
+        std::mem::take(&mut self.meter)
+    }
+
+    /// Install a fault-injection plan for the parallel engine. `None`
+    /// (the default) falls back to the `HAC_FAULT_PLAN` environment
+    /// variable.
+    pub fn with_faults(&mut self, faults: Option<FaultPlan>) -> &mut Self {
+        self.faults = faults;
         self
     }
 
@@ -337,8 +371,12 @@ impl Vm {
         plan: &crate::partape::ParPlan,
         threads: usize,
     ) -> Result<(), RuntimeError> {
+        let faults = self
+            .faults
+            .clone()
+            .or_else(|| crate::partape::env_fault_plan().cloned());
         self.run_tape_with(tape, |tape, st| {
-            crate::partape::exec_par(tape, plan, st, threads)
+            crate::partape::exec_par(tape, plan, st, threads, faults.as_ref())
         })
     }
 
@@ -377,6 +415,7 @@ impl Vm {
                 funcs: &funcs,
                 scratch: &mut scratch,
                 counters: &mut self.counters,
+                meter: &mut self.meter,
             };
             exec(tape, &mut st)
         };
@@ -412,6 +451,7 @@ impl Vm {
                 temp,
                 checked,
             } => {
+                self.meter.charge_mem(ArrayBuf::data_bytes(bounds))?;
                 let buf = ArrayBuf::new(bounds, *fill);
                 self.counters.array_allocs += 1;
                 if *temp {
@@ -437,6 +477,7 @@ impl Vm {
                     if (*step > 0 && i > *end) || (*step < 0 && i < *end) {
                         break;
                     }
+                    self.meter.charge_fuel()?;
                     self.counters.loop_iterations += 1;
                     scalars.push(var.clone(), i as f64);
                     self.exec(body, scalars)?;
@@ -511,11 +552,13 @@ impl Vm {
             }
             LStmt::CopyArray { dst, src } => {
                 let skey = self.resolve(src).to_string();
-                let buf = self
+                let len = self
                     .arrays
                     .get(&skey)
                     .ok_or_else(|| RuntimeError::UnboundArray(src.clone()))?
-                    .clone();
+                    .len();
+                self.meter.charge_mem(len as u64 * 8)?;
+                let buf = self.arrays[&skey].clone();
                 self.counters.elements_copied += buf.len() as u64;
                 self.counters.array_allocs += 1;
                 self.arrays.insert(dst.clone(), buf);
@@ -549,7 +592,7 @@ impl Vm {
             aliases: &self.aliases,
             loads: &mut self.counters.loads,
         };
-        eval_expr(e, scalars, &mut reader, &self.funcs)
+        eval_expr_metered(e, scalars, &mut reader, &self.funcs, &mut self.meter)
     }
 }
 

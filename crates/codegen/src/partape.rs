@@ -34,15 +34,16 @@
 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Condvar, Mutex, OnceLock};
 
 use hac_runtime::error::RuntimeError;
-use hac_runtime::value::SharedSlots;
+use hac_runtime::governor::{FaultKind, FaultPlan};
+use hac_runtime::value::{ArrayBuf, SharedSlots};
 
 use crate::limp::VmCounters;
-use crate::tape::{Op, TapeProgram, TapeScratch, TapeState};
+use crate::tape::{ArrayId, Op, TapeProgram, TapeScratch, TapeState};
 
 /// A parallelizable top-level loop pass of a tape.
 #[derive(Debug, Clone)]
@@ -65,6 +66,20 @@ struct ParRegion {
     /// Stop bitmap with only `exit_pc` set (sequential fallback of the
     /// whole region from `init_pc`).
     exit_stop: Vec<bool>,
+    /// Static fuel charge of one complete iteration (the head charge
+    /// plus the body's loop-head and call charges), when the body's
+    /// charge count is input-independent. `None` (a call or nested
+    /// loop under a conditional) sends fuel-limited runs down the
+    /// sequential path — splitting a budget needs an exact cost.
+    iter_cost: Option<u64>,
+    /// The body never reads an array it writes, so after a worker
+    /// fault the whole pass can be re-executed sequentially: every
+    /// read still sees pre-region data and every write is rewritten
+    /// deterministically.
+    retry_safe: bool,
+    /// Arrays the body stores into (sorted, deduped) — what a
+    /// pre-region snapshot must capture when `retry_safe` is false.
+    write_ids: Vec<ArrayId>,
 }
 
 /// The per-tape parallel execution plan: regions plus the stop bitmap
@@ -153,6 +168,31 @@ pub fn plan_tape(tape: &TapeProgram) -> ParPlan {
         head_stop[head_pc] = true;
         let mut exit_stop = vec![false; ops.len()];
         exit_stop[exit_pc] = true;
+        // Body charge count (exit_pc - 1 is the LoopNext): exact per
+        // iteration, or None when conditionals make it data-dependent.
+        let iter_cost =
+            static_fuel_cost(ops, head_pc + 1, exit_pc - 1).and_then(|body| body.checked_add(1));
+        let mut reads = std::collections::BTreeSet::new();
+        let mut writes = std::collections::BTreeSet::new();
+        for op in body {
+            match op {
+                Op::ReadDyn { array, .. } => {
+                    reads.insert(*array);
+                }
+                Op::ReadLin(l) => {
+                    reads.insert(tape.lins[*l as usize].array);
+                }
+                Op::StoreDyn { array, .. } => {
+                    writes.insert(*array);
+                }
+                Op::StoreLin { lin, .. } => {
+                    writes.insert(tape.lins[*lin as usize].array);
+                }
+                _ => {}
+            }
+        }
+        let retry_safe = writes.is_disjoint(&reads);
+        let write_ids: Vec<ArrayId> = writes.into_iter().collect();
         regions.push(ParRegion {
             init_pc,
             head_pc,
@@ -164,6 +204,9 @@ pub fn plan_tape(tape: &TapeProgram) -> ParPlan {
             trip,
             head_stop,
             exit_stop,
+            iter_cost,
+            retry_safe,
+            write_ids,
         });
     }
     let mut entry_stops = vec![false; ops.len()];
@@ -174,6 +217,52 @@ pub fn plan_tape(tape: &TapeProgram) -> ParPlan {
         regions,
         entry_stops,
     }
+}
+
+/// Fuel charges one execution of `ops[from..to]` makes, when that
+/// count is the same for every input: `1` per `Call`, `trip × (1 +
+/// body)` per nested counted loop. Conditionals (`AndJump`/`OrJump`/
+/// `JumpIfZero`/`Jump`) are fine as long as no charging op sits in a
+/// skippable range — `cond_until` tracks the furthest forward-jump
+/// target seen, and a `Call` or loop before that point makes the
+/// count data-dependent (`None`).
+fn static_fuel_cost(ops: &[Op], from: usize, to: usize) -> Option<u64> {
+    let mut cost = 0u64;
+    let mut cond_until = from;
+    let mut pc = from;
+    while pc < to {
+        match &ops[pc] {
+            Op::AndJump(t) | Op::OrJump(t) | Op::JumpIfZero(t) | Op::Jump(t) => {
+                cond_until = cond_until.max(*t as usize);
+                pc += 1;
+            }
+            Op::Call { .. } => {
+                if pc < cond_until {
+                    return None;
+                }
+                cost = cost.checked_add(1)?;
+                pc += 1;
+            }
+            Op::LoopInit { start, .. } => {
+                if pc < cond_until {
+                    return None;
+                }
+                let Op::LoopHead {
+                    end, step, exit, ..
+                } = &ops[pc + 1]
+                else {
+                    unreachable!("LoopInit is always followed by its LoopHead");
+                };
+                let trip = trip_count(*start, *end, *step);
+                let exit_pc = *exit as usize;
+                let inner = static_fuel_cost(ops, pc + 2, exit_pc - 1)?;
+                cost = cost.checked_add(trip.checked_mul(inner.checked_add(1)?)?)?;
+                pc = exit_pc;
+            }
+            _ => pc += 1,
+        }
+    }
+    Some(cost)
 }
 
 fn trip_count(start: i64, end: i64, step: i64) -> u64 {
@@ -196,17 +285,27 @@ fn trip_count(start: i64, end: i64, step: i64) -> u64 {
 /// never touches the pool). Observable behaviour is bit-identical to
 /// [`TapeProgram::exec`]; see the module docs for the argument.
 ///
+/// `faults`, when present, is a deterministic injection plan (tests /
+/// `HAC_FAULT_PLAN`): regions are numbered in execution order and a
+/// matching `(region, chunk)` point fires a worker panic or a
+/// simulated allocation failure. An absorbed fault degrades the region
+/// to sequential re-execution (recorded in
+/// [`VmCounters::engine_faults`]) instead of losing the run.
+///
 /// # Errors
 /// Exactly the sequential engine's failures, with deterministic
 /// first-error selection across workers. On an error, buffer elements
 /// written by iterations *after* the faulting one may differ from the
 /// sequential engine's (which stopped at the fault) — the program's
 /// result is the error either way, and counters still merge exactly.
+/// [`RuntimeError::EngineFault`] is raised only when a worker fault
+/// hits a region that is neither retry-safe nor snapshotted.
 pub fn exec_par(
     tape: &TapeProgram,
     plan: &ParPlan,
     st: &mut TapeState<'_>,
     threads: usize,
+    faults: Option<&FaultPlan>,
 ) -> Result<(), RuntimeError> {
     let threads = threads.max(1);
     if threads == 1 || !plan.has_regions() {
@@ -214,6 +313,7 @@ pub fn exec_par(
     }
     let mut tape_ops = 0u64;
     let mut pc = 0usize;
+    let mut region_ordinal = 0u64;
     let out = loop {
         match tape.dispatch_until(st, &mut tape_ops, pc, &plan.entry_stops) {
             Ok(p) if p == tape.ops.len() => break Ok(()),
@@ -223,7 +323,17 @@ pub fn exec_par(
                     .iter()
                     .find(|r| r.init_pc == p)
                     .expect("entry stop set only at region inits");
-                match run_region(tape, region, st, threads, &mut tape_ops) {
+                let r = run_region(
+                    tape,
+                    region,
+                    st,
+                    threads,
+                    &mut tape_ops,
+                    region_ordinal,
+                    faults,
+                );
+                region_ordinal += 1;
+                match r {
                     Ok(()) => pc = region.exit_pc,
                     Err(e) => break Err(e),
                 }
@@ -240,17 +350,43 @@ pub fn exec_par(
 /// when iteration costs are skewed.
 const CHUNKS_PER_THREAD: u64 = 4;
 
+/// Panic payload of a [`FaultKind::Panic`] injection: raised with
+/// `resume_unwind` (no panic-hook noise) and recognized when the
+/// driver describes the fault.
+#[derive(Debug)]
+struct InjectedFault {
+    chunk: u64,
+}
+
+fn describe_panic(payload: &Box<dyn Any + Send>) -> String {
+    if let Some(f) = payload.downcast_ref::<InjectedFault>() {
+        format!("injected panic in chunk {}", f.chunk)
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("worker panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("worker panic: {s}")
+    } else {
+        "worker panic".to_string()
+    }
+}
+
+#[allow(clippy::too_many_lines)]
 fn run_region(
     tape: &TapeProgram,
     region: &ParRegion,
     st: &mut TapeState<'_>,
     threads: usize,
     tape_ops: &mut u64,
+    region_ordinal: u64,
+    faults: Option<&FaultPlan>,
 ) -> Result<(), RuntimeError> {
     let trip = region.trip;
-    if trip < 2 {
-        // Nothing to partition: run the whole pass (LoopInit, head
-        // checks, body, final failing head check) sequentially.
+    let fuel_limited = st.meter.fuel_limited();
+    if trip < 2 || (fuel_limited && region.iter_cost.is_none()) {
+        // Nothing to partition — or a fuel budget that cannot be split
+        // exactly (data-dependent per-iteration cost): run the whole
+        // pass (LoopInit, head checks, body, final failing head check)
+        // sequentially.
         let p = tape.dispatch_until(st, tape_ops, region.init_pc, &region.exit_stop)?;
         debug_assert_eq!(p, region.exit_pc);
         return Ok(());
@@ -260,9 +396,36 @@ fn run_region(
     *tape_ops += 1;
     st.scratch.iregs[region.ireg] = region.start;
 
+    // Pre-region snapshot of the write set, only when a fault plan asks
+    // for one and plain re-execution would be unsafe (the body reads an
+    // array it writes). Fault-free runs never pay for this.
+    let snapshot: Option<Vec<(ArrayId, Option<ArrayBuf>)>> = match faults {
+        Some(f) if f.snapshot && !region.retry_safe => Some(
+            region
+                .write_ids
+                .iter()
+                .map(|&id| (id, st.bufs[id as usize].clone()))
+                .collect(),
+        ),
+        _ => None,
+    };
+
     let n_chunks = trip.min(threads as u64 * CHUNKS_PER_THREAD);
     // Ordinal range of chunk c: even partition of 0..trip.
     let chunk_bounds = |c: u64| (c * trip / n_chunks, (c + 1) * trip / n_chunks);
+
+    // Fuel split: chunk c starts with exactly the budget the sequential
+    // engine would have left on reaching its first ordinal, so
+    // exhaustion lands on the same op, at the same ordinal, with the
+    // same error payload as a sequential run. `iter_cost` is exact
+    // (checked above) whenever fuel is limited.
+    let fuel_per_iter = if fuel_limited {
+        region.iter_cost.expect("sequential fallback covers None")
+    } else {
+        0
+    };
+    let main_fuel = st.meter.fuel_left();
+    let meter0 = st.meter.clone();
 
     let bufs = SharedSlots::new(st.bufs);
     let defined = SharedSlots::new(st.defined);
@@ -275,7 +438,12 @@ fn run_region(
     // (excluded from the merge whatever the final minimum turns out to
     // be) and are skipped without running.
     let min_err = AtomicU64::new(u64::MAX);
-    type ChunkOut = (u64, VmCounters, Option<(u64, RuntimeError)>);
+    // An injected allocation failure: the chunk produced nothing, so
+    // the region must be re-executed.
+    let alloc_failed = AtomicBool::new(false);
+    // (chunk lo, counter delta, fault: (ordinal, error, fuel left at
+    // the fault — the sequential engine's remainder at the same op)).
+    type ChunkOut = (u64, VmCounters, Option<(u64, RuntimeError, u64)>);
     let results: Mutex<Vec<ChunkOut>> = Mutex::new(Vec::new());
 
     let work = || {
@@ -291,13 +459,27 @@ fn run_region(
             if c >= n_chunks {
                 break;
             }
+            match faults.and_then(|f| f.lookup(region_ordinal, c)) {
+                // Any fault discards every chunk's output (see below),
+                // so `outs` needs no flushing before the unwind.
+                Some(FaultKind::Panic) => {
+                    std::panic::resume_unwind(Box::new(InjectedFault { chunk: c }))
+                }
+                Some(FaultKind::AllocFail) => {
+                    alloc_failed.store(true, Ordering::SeqCst);
+                    continue;
+                }
+                None => {}
+            }
             let (lo, hi) = chunk_bounds(c);
             if lo > min_err.load(Ordering::Relaxed) {
                 continue;
             }
             let mut counters = VmCounters::default();
             let mut chunk_ops = 0u64;
-            let mut err: Option<(u64, RuntimeError)> = None;
+            let mut err: Option<(u64, RuntimeError, u64)> = None;
+            let mut sub =
+                meter0.sub_meter(main_fuel.saturating_sub(lo.saturating_mul(fuel_per_iter)));
             // Safety: every chunk covers a disjoint ordinal range of a
             // pass whose iterations are proven not to access a common
             // element conflictingly (see module docs); the backing
@@ -309,14 +491,21 @@ fn run_region(
                 funcs,
                 scratch: &mut scratch,
                 counters: &mut counters,
+                meter: &mut sub,
             };
             for ord in lo..hi {
                 let i = region.start + ord as i64 * region.step;
                 cst.scratch.iregs[region.ireg] = i;
-                // The head op: count it, count the iteration, publish
-                // the loop variable — then run the body until the
-                // back-edge lands on the head again.
+                // The head op: count it, charge it, count the
+                // iteration, publish the loop variable — then run the
+                // body until the back-edge lands on the head again.
                 chunk_ops += 1;
+                if let Err(e) = cst.meter.charge_fuel() {
+                    min_err.fetch_min(ord, Ordering::Relaxed);
+                    let left = cst.meter.fuel_left();
+                    err = Some((ord, e, left));
+                    break;
+                }
                 cst.counters.loop_iterations += 1;
                 cst.scratch.frame[region.slot] = i as f64;
                 match tape.dispatch_until(
@@ -328,7 +517,8 @@ fn run_region(
                     Ok(p) => debug_assert_eq!(p, region.head_pc),
                     Err(e) => {
                         min_err.fetch_min(ord, Ordering::Relaxed);
-                        err = Some((ord, e));
+                        let left = cst.meter.fuel_left();
+                        err = Some((ord, e, left));
                         break;
                     }
                 }
@@ -341,8 +531,37 @@ fn run_region(
         }
     };
 
-    if let Some(payload) = run_on_pool(threads.min(trip as usize), &work) {
-        std::panic::resume_unwind(payload);
+    let pool_panic = run_on_pool(threads.min(trip as usize), &work);
+
+    if pool_panic.is_some() || alloc_failed.load(Ordering::SeqCst) {
+        // A worker faulted. Discard every parallel partial result and
+        // degrade to the sequential engine: the region re-executes from
+        // its head (LoopInit was already applied and counted), which is
+        // safe when the body never reads its own writes, or after
+        // restoring the pre-region snapshot of the write set. Counters
+        // and values then come out exactly as a sequential run's; only
+        // `engine_faults` records that anything happened. A fault that
+        // is neither — no snapshot, unsafe retry — is a structured
+        // EngineFault, never a partial result.
+        st.counters.engine_faults += 1;
+        if region.retry_safe || snapshot.is_some() {
+            if let Some(snap) = snapshot {
+                for (id, buf) in snap {
+                    st.bufs[id as usize] = buf;
+                }
+            }
+            let p = tape.dispatch_until(st, tape_ops, region.head_pc, &region.exit_stop)?;
+            debug_assert_eq!(p, region.exit_pc);
+            return Ok(());
+        }
+        let detail = match &pool_panic {
+            Some(payload) => describe_panic(payload),
+            None => "injected allocation failure".to_string(),
+        };
+        return Err(RuntimeError::EngineFault {
+            region: region_ordinal,
+            detail,
+        });
     }
 
     // Deterministic merge. Chunks are contiguous in ordinal order, so
@@ -350,19 +569,30 @@ fn run_region(
     // executed exactly: the full iterations of every chunk starting
     // ≤ k except the owner, the owner's prefix up to the fault — and
     // every such chunk ran exactly that here (a chunk starting ≤ k
-    // cannot itself fault before k, k being the minimum).
+    // cannot itself fault before k, k being the minimum). The argument
+    // covers fuel exhaustion too: a chunk's sub-budget equals the
+    // sequential engine's remaining fuel at its first ordinal, so the
+    // owning chunk runs out on exactly the sequential op.
     let mut outs = results.into_inner().expect("results lock");
     outs.sort_by_key(|(lo, _, _)| *lo);
-    let fault: Option<(u64, RuntimeError)> = outs
+    let fault: Option<(u64, RuntimeError, u64)> = outs
         .iter()
         .filter_map(|(_, _, e)| e.clone())
-        .min_by_key(|(ord, _)| *ord);
+        .min_by_key(|(ord, _, _)| *ord);
     match fault {
-        Some((k, e)) => {
+        Some((k, e, fuel_left)) => {
             for (lo, c, _) in &outs {
                 if *lo <= k {
                     add_counters(st.counters, c, tape_ops);
                 }
+            }
+            if fuel_limited {
+                // The winning chunk's sub-budget tracked the sequential
+                // engine's exactly, so its remainder at the fault *is*
+                // the sequential remainder — settle the main meter to
+                // it (a later unit sharing the budget must see the same
+                // fuel either way).
+                st.meter.set_fuel_left(fuel_left);
             }
             Err(e)
         }
@@ -375,6 +605,10 @@ fn run_region(
             // Post-loop register/frame state, as sequential left it.
             st.scratch.iregs[region.ireg] = region.start + trip as i64 * region.step;
             st.scratch.frame[region.slot] = (region.start + (trip as i64 - 1) * region.step) as f64;
+            // Settle the region's statically known fuel spend against
+            // the main meter, exactly as `trip` sequential iterations
+            // would have.
+            st.meter.consume_fuel(trip.saturating_mul(fuel_per_iter));
             Ok(())
         }
     }
@@ -392,6 +626,27 @@ fn add_counters(main: &mut VmCounters, c: &VmCounters, tape_ops: &mut u64) {
     main.temp_elements += c.temp_elements;
     main.elements_copied += c.elements_copied;
     *tape_ops += c.tape_ops;
+    // `engine_faults` is deliberately not merged: it is main-thread
+    // bookkeeping (a chunk cannot observe a fault), so fault-free runs
+    // stay bit-identical to the sequential engine on every counter.
+}
+
+/// The process-wide fault plan from `HAC_FAULT_PLAN`, parsed once.
+/// A malformed spec is reported to stderr and ignored — a bad test
+/// harness variable must not change program behaviour silently.
+pub(crate) fn env_fault_plan() -> Option<&'static FaultPlan> {
+    static PLAN: OnceLock<Option<FaultPlan>> = OnceLock::new();
+    PLAN.get_or_init(|| {
+        let spec = std::env::var("HAC_FAULT_PLAN").ok()?;
+        match FaultPlan::parse(&spec) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("ignoring HAC_FAULT_PLAN: {e}");
+                None
+            }
+        }
+    })
+    .as_ref()
 }
 
 // ---------------------------------------------------------------------
@@ -550,6 +805,14 @@ mod tests {
     use crate::limp::{LProgram, LStmt, StoreCheck, Vm};
     use crate::tape::{compile_tape, TapeCtx};
     use hac_lang::parser::parse_expr;
+    use hac_runtime::governor::{Limits, Meter};
+
+    /// Zero the main-side fault counter so fault-injected runs compare
+    /// bit-identical to fault-free ones on every merged counter.
+    fn sans_faults(mut c: VmCounters) -> VmCounters {
+        c.engine_faults = 0;
+        c
+    }
 
     fn squares(par: bool, n: i64) -> LProgram {
         LProgram {
@@ -602,7 +865,7 @@ mod tests {
                 par.array("a").unwrap().data(),
                 "threads={threads}"
             );
-            assert_eq!(seq.counters, par.counters, "threads={threads}");
+            assert_eq!(seq.counters, sans_faults(par.counters), "threads={threads}");
         }
     }
 
@@ -646,7 +909,7 @@ mod tests {
             let mut par = Vm::new();
             let got = par.run_partape(&tape, &plan, threads).unwrap_err();
             assert_eq!(format!("{want:?}"), format!("{got:?}"), "threads={threads}");
-            assert_eq!(seq.counters, par.counters, "threads={threads}");
+            assert_eq!(seq.counters, sans_faults(par.counters), "threads={threads}");
         }
     }
 
@@ -666,6 +929,194 @@ mod tests {
         });
         assert!(clean.is_none());
         assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    /// `a!(i) := a!(i) + i` over a prefilled array: the body reads what
+    /// it writes (same element, so still §10-independent across
+    /// iterations), which makes plain re-execution after a mid-region
+    /// fault unsafe without a snapshot.
+    fn incr_in_place(n: i64) -> LProgram {
+        LProgram {
+            stmts: vec![
+                LStmt::Alloc {
+                    array: "a".into(),
+                    bounds: vec![(1, n)],
+                    fill: 1.0,
+                    temp: false,
+                    checked: false,
+                },
+                LStmt::For {
+                    var: "i".into(),
+                    start: 1,
+                    end: n,
+                    step: 1,
+                    par: true,
+                    body: vec![LStmt::Store {
+                        array: "a".into(),
+                        subs: vec![parse_expr("i").unwrap()],
+                        value: parse_expr("a!(i) + i").unwrap(),
+                        check: StoreCheck::None,
+                    }],
+                },
+            ],
+            result: "a".into(),
+        }
+    }
+
+    #[test]
+    fn plan_classifies_retry_safety_and_iter_cost() {
+        let tape = compile_tape(&squares(true, 100), &TapeCtx::default());
+        let plan = plan_tape(&tape);
+        assert!(plan.regions[0].retry_safe, "writes don't meet reads");
+        assert_eq!(plan.regions[0].iter_cost, Some(1), "head charge only");
+
+        let tape = compile_tape(&incr_in_place(100), &TapeCtx::default());
+        let plan = plan_tape(&tape);
+        assert!(!plan.regions[0].retry_safe, "a is read and written");
+
+        // A call in the body charges every iteration; under a
+        // conditional the count is data-dependent.
+        let call_body = |value: &str| LProgram {
+            stmts: vec![
+                LStmt::Alloc {
+                    array: "a".into(),
+                    bounds: vec![(1, 50)],
+                    fill: 0.0,
+                    temp: false,
+                    checked: false,
+                },
+                LStmt::For {
+                    var: "i".into(),
+                    start: 1,
+                    end: 50,
+                    step: 1,
+                    par: true,
+                    body: vec![LStmt::Store {
+                        array: "a".into(),
+                        subs: vec![parse_expr("i").unwrap()],
+                        value: parse_expr(value).unwrap(),
+                        check: StoreCheck::None,
+                    }],
+                },
+            ],
+            result: "a".into(),
+        };
+        let tape = compile_tape(&call_body("sqrt(i)"), &TapeCtx::default());
+        assert_eq!(plan_tape(&tape).regions[0].iter_cost, Some(2));
+        let tape = compile_tape(
+            &call_body("if i < 10 then sqrt(i) else i"),
+            &TapeCtx::default(),
+        );
+        assert_eq!(plan_tape(&tape).regions[0].iter_cost, None);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_bit_identical_across_threads() {
+        let prog = squares(true, 100);
+        let tape = compile_tape(&prog, &TapeCtx::default());
+        let plan = plan_tape(&tape);
+        // Budgets hitting before, inside, and after the parallel pass.
+        for fuel in [0u64, 1, 37, 99, 100, 1000] {
+            let limits = Limits {
+                fuel: Some(fuel),
+                mem_bytes: None,
+            };
+            let mut seq = Vm::new();
+            seq.with_meter(Meter::new(limits));
+            let want = seq.run_tape(&tape);
+            for threads in [2, 4, 8] {
+                let mut par = Vm::new();
+                par.with_meter(Meter::new(limits));
+                let got = par.run_partape(&tape, &plan, threads);
+                assert_eq!(
+                    format!("{want:?}"),
+                    format!("{got:?}"),
+                    "fuel={fuel} threads={threads}"
+                );
+                assert_eq!(
+                    seq.counters,
+                    sans_faults(par.counters),
+                    "fuel={fuel} threads={threads}"
+                );
+                if want.is_ok() {
+                    assert_eq!(
+                        seq.array("a").unwrap().data(),
+                        par.array("a").unwrap().data(),
+                        "fuel={fuel} threads={threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn injected_panic_degrades_to_sequential() {
+        let prog = squares(true, 100);
+        let tape = compile_tape(&prog, &TapeCtx::default());
+        let plan = plan_tape(&tape);
+        let mut clean = Vm::new();
+        clean.run_partape(&tape, &plan, 4).unwrap();
+        let mut faulty = Vm::new();
+        faulty.with_faults(Some(FaultPlan::parse("r0c1:panic").unwrap()));
+        faulty.run_partape(&tape, &plan, 4).unwrap();
+        assert_eq!(
+            clean.array("a").unwrap().data(),
+            faulty.array("a").unwrap().data()
+        );
+        assert_eq!(clean.counters, sans_faults(faulty.counters));
+        assert_eq!(faulty.counters.engine_faults, 1, "fault is visible");
+    }
+
+    #[test]
+    fn injected_alloc_failure_degrades_to_sequential() {
+        let prog = squares(true, 100);
+        let tape = compile_tape(&prog, &TapeCtx::default());
+        let plan = plan_tape(&tape);
+        let mut clean = Vm::new();
+        clean.run_partape(&tape, &plan, 4).unwrap();
+        let mut faulty = Vm::new();
+        faulty.with_faults(Some(FaultPlan::parse("r0c0:allocfail").unwrap()));
+        faulty.run_partape(&tape, &plan, 4).unwrap();
+        assert_eq!(
+            clean.array("a").unwrap().data(),
+            faulty.array("a").unwrap().data()
+        );
+        assert_eq!(clean.counters, sans_faults(faulty.counters));
+        assert_eq!(faulty.counters.engine_faults, 1);
+    }
+
+    #[test]
+    fn snapshot_makes_unsafe_region_retryable() {
+        let prog = incr_in_place(100);
+        let tape = compile_tape(&prog, &TapeCtx::default());
+        let plan = plan_tape(&tape);
+        assert!(!plan.regions[0].retry_safe);
+        let mut clean = Vm::new();
+        clean.run_partape(&tape, &plan, 4).unwrap();
+        let mut faulty = Vm::new();
+        faulty.with_faults(Some(FaultPlan::parse("r0c0:panic").unwrap()));
+        faulty.run_partape(&tape, &plan, 4).unwrap();
+        assert_eq!(
+            clean.array("a").unwrap().data(),
+            faulty.array("a").unwrap().data()
+        );
+        assert_eq!(clean.counters, sans_faults(faulty.counters));
+        assert_eq!(faulty.counters.engine_faults, 1);
+    }
+
+    #[test]
+    fn unsafe_region_without_snapshot_is_engine_fault() {
+        let prog = incr_in_place(100);
+        let tape = compile_tape(&prog, &TapeCtx::default());
+        let plan = plan_tape(&tape);
+        let mut vm = Vm::new();
+        vm.with_faults(Some(FaultPlan::parse("nosnapshot,r0c0:panic").unwrap()));
+        let err = vm.run_partape(&tape, &plan, 4).unwrap_err();
+        assert!(
+            matches!(err, RuntimeError::EngineFault { region: 0, .. }),
+            "got {err:?}"
+        );
+        assert_eq!(vm.counters.engine_faults, 1);
     }
 
     #[test]

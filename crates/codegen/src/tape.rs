@@ -37,6 +37,7 @@ use std::collections::HashMap;
 
 use hac_lang::ast::{BinOp, Expr, UnOp};
 use hac_runtime::error::RuntimeError;
+use hac_runtime::governor::Meter;
 use hac_runtime::value::{apply_bin, as_int, ArrayBuf};
 
 use crate::limp::{unravel, LProgram, LStmt, StoreCheck, VmCounters};
@@ -252,6 +253,10 @@ pub struct TapeState<'a> {
     pub funcs: &'a [Option<HostFn>],
     pub scratch: &'a mut TapeScratch,
     pub counters: &'a mut VmCounters,
+    /// Fuel/memory budget, charged at loop heads, call sites, and
+    /// allocations — the same points, in the same order, as the
+    /// tree-walking VM.
+    pub meter: &'a mut Meter,
 }
 
 impl TapeProgram {
@@ -402,6 +407,7 @@ impl TapeProgram {
                     }
                 }
                 Op::Call { func, argc } => {
+                    st.meter.charge_fuel()?;
                     let f = st.funcs[*func as usize].expect("resolved by ResolveFunc");
                     let at = stack.len() - *argc as usize;
                     let v = f(&stack[at..]);
@@ -435,6 +441,7 @@ impl TapeProgram {
                 Op::StoreSlot(s) => frame[*s as usize] = stack.pop().expect("operand"),
                 Op::Alloc(a) => {
                     let entry = &self.allocs[*a as usize];
+                    st.meter.charge_mem(ArrayBuf::data_bytes(&entry.bounds))?;
                     let buf = ArrayBuf::new(&entry.bounds, entry.fill);
                     st.counters.array_allocs += 1;
                     if entry.temp {
@@ -458,6 +465,7 @@ impl TapeProgram {
                     if (*step > 0 && i > *end) || (*step < 0 && i < *end) {
                         pc = *exit as usize;
                     } else {
+                        st.meter.charge_fuel()?;
                         st.counters.loop_iterations += 1;
                         frame[*slot as usize] = i as f64;
                     }
@@ -534,9 +542,14 @@ impl TapeProgram {
                     st.counters.stores += 1;
                 }
                 Op::Copy { dst, src, src_name } => {
-                    let buf = st.bufs[*src as usize].clone().ok_or_else(|| {
-                        RuntimeError::UnboundArray(self.names[*src_name as usize].clone())
-                    })?;
+                    let len = st.bufs[*src as usize]
+                        .as_ref()
+                        .ok_or_else(|| {
+                            RuntimeError::UnboundArray(self.names[*src_name as usize].clone())
+                        })?
+                        .len();
+                    st.meter.charge_mem(len as u64 * 8)?;
+                    let buf = st.bufs[*src as usize].clone().expect("checked above");
                     st.counters.elements_copied += buf.len() as u64;
                     st.counters.array_allocs += 1;
                     st.bufs[*dst as usize] = Some(buf);

@@ -24,6 +24,7 @@ use hac_lang::number::number_comp;
 use hac_lang::Affine;
 use hac_runtime::accum::eval_accum_with_scalars;
 use hac_runtime::error::RuntimeError;
+use hac_runtime::governor::{FaultPlan, Limits, Meter};
 use hac_runtime::group::ThunkedGroup;
 use hac_runtime::reduce::eval_reduce;
 use hac_runtime::thunked::ThunkedCounters;
@@ -653,6 +654,49 @@ pub fn run_with_threads(
     funcs: &FuncTable,
     threads: usize,
 ) -> Result<ExecOutput, RuntimeError> {
+    run_with_options(
+        compiled,
+        inputs,
+        funcs,
+        &RunOptions {
+            threads: Some(threads),
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// Execution-time knobs for [`run_with_options`]: worker count,
+/// resource limits, and (for tests) a deterministic fault-injection
+/// plan.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Workers for [`Engine::ParTape`] units; `None` means
+    /// [`default_threads`].
+    pub threads: Option<usize>,
+    /// Fuel / memory caps, enforced identically on every engine. One
+    /// budget spans the whole run: all units charge the same meter.
+    pub limits: Limits,
+    /// Fault-injection plan for parallel units. `None` defers to the
+    /// `HAC_FAULT_PLAN` environment variable.
+    pub faults: Option<FaultPlan>,
+}
+
+/// [`run`] with full execution options: thread count, resource
+/// [`Limits`], and fault injection.
+///
+/// # Errors
+/// See [`run`]; additionally [`RuntimeError::FuelExhausted`] /
+/// [`RuntimeError::MemLimitExceeded`] when a limit trips, and
+/// [`RuntimeError::EngineFault`] when an (injected) worker fault could
+/// not be absorbed.
+pub fn run_with_options(
+    compiled: &Compiled,
+    inputs: &HashMap<String, ArrayBuf>,
+    funcs: &FuncTable,
+    options: &RunOptions,
+) -> Result<ExecOutput, RuntimeError> {
+    let threads = options.threads.unwrap_or_else(default_threads);
+    let mut meter = Meter::new(options.limits);
     let mut arrays: HashMap<String, ArrayBuf> = HashMap::new();
     let mut scalars: Vec<(String, f64)> = Vec::new();
     let mut counters = ExecCounters::default();
@@ -664,6 +708,7 @@ pub fn run_with_threads(
                     .get(name)
                     .ok_or_else(|| RuntimeError::UnboundArray(name.clone()))?;
                 debug_assert_eq!(&buf.bounds(), bounds, "input `{name}` shape mismatch");
+                meter.charge_mem(buf.len() as u64 * 8)?;
                 arrays.insert(name.clone(), buf.clone());
             }
             Unit::Thunkless {
@@ -674,6 +719,8 @@ pub fn run_with_threads(
             } => {
                 let mut vm = Vm::new();
                 vm.with_funcs(funcs.clone());
+                vm.with_meter(meter);
+                vm.with_faults(options.faults.clone());
                 for (p, v) in compiled.env.iter() {
                     vm.set_global(p, v as f64);
                 }
@@ -682,16 +729,21 @@ pub fn run_with_threads(
                 }
                 // Move the environment through the VM: no copies.
                 vm.bind_all(std::mem::take(&mut arrays));
-                match (tape, par) {
-                    (Some(t), Some(p)) => vm.run_partape(t, p, threads)?,
-                    (Some(t), None) => vm.run_tape(t)?,
-                    (None, _) => vm.run(prog)?,
-                }
+                let out = match (tape, par) {
+                    (Some(t), Some(p)) => vm.run_partape(t, p, threads),
+                    (Some(t), None) => vm.run_tape(t),
+                    (None, _) => vm.run(prog),
+                };
+                meter = vm.take_meter();
+                out?;
                 counters.vm = add_vm(counters.vm, vm.counters);
                 arrays = vm.into_arrays();
                 debug_assert!(arrays.contains_key(name), "program allocated its result");
             }
             Unit::Thunked { defs } => {
+                for (_, b, _) in defs {
+                    meter.charge_mem(ArrayBuf::data_bytes(b))?;
+                }
                 let triples: Vec<hac_runtime::group::GroupDef<'_>> = defs
                     .iter()
                     .map(|(n, b, c)| (n.as_str(), b.clone(), c))
@@ -799,6 +851,7 @@ fn add_vm(a: VmCounters, b: VmCounters) -> VmCounters {
         elements_copied: a.elements_copied + b.elements_copied,
         array_allocs: a.array_allocs + b.array_allocs,
         tape_ops: a.tape_ops + b.tape_ops,
+        engine_faults: a.engine_faults + b.engine_faults,
     }
 }
 

@@ -29,6 +29,17 @@ pub enum RuntimeError {
     UnknownFunction(String),
     /// A generator bound did not evaluate to an integer.
     NonIntegerBound { var: String, value: f64 },
+    /// The run's op budget (taken loop iterations + calls) ran out.
+    FuelExhausted { limit: u64 },
+    /// An allocation would exceed the configured byte budget.
+    MemLimitExceeded {
+        limit: u64,
+        used: u64,
+        requested: u64,
+    },
+    /// A parallel worker faulted and the region could not be safely
+    /// re-executed sequentially.
+    EngineFault { region: u64, detail: String },
 }
 
 impl fmt::Display for RuntimeError {
@@ -61,6 +72,20 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::NonIntegerBound { var, value } => {
                 write!(f, "generator `{var}` bound {value} is not an integer")
+            }
+            RuntimeError::FuelExhausted { limit } => {
+                write!(f, "fuel exhausted: op budget of {limit} spent")
+            }
+            RuntimeError::MemLimitExceeded {
+                limit,
+                used,
+                requested,
+            } => write!(
+                f,
+                "memory limit of {limit} bytes exceeded: {used} bytes in use, {requested} more requested"
+            ),
+            RuntimeError::EngineFault { region, detail } => {
+                write!(f, "engine fault in parallel region {region}: {detail}")
             }
         }
     }

@@ -1,0 +1,380 @@
+//! Resource governance: fuel and memory metering plus deterministic
+//! fault injection.
+//!
+//! The paper's compiler removes *safety* checks (collisions, empties)
+//! where a static proof exists; the production dual is *resource*
+//! checks that cannot be compiled away. A [`Meter`] charges an op
+//! budget ("fuel") at loop heads and call sites and a byte budget on
+//! array/thunk allocation, turning runaway programs into structured
+//! [`RuntimeError`](crate::error::RuntimeError)s instead of hung or
+//! OOM-killed processes.
+//!
+//! Determinism is the design constraint throughout: a metered run must
+//! fail at exactly the same point on every engine and every thread
+//! count, so limits are expressed in engine-independent units (taken
+//! loop iterations, function calls, payload bytes) and the parallel
+//! engine splits budgets per chunk by *static* per-iteration cost.
+//!
+//! [`FaultPlan`] is the matching test harness: a config-injected,
+//! seedable plan that fires worker panics or allocation failures at
+//! chosen (region, chunk) coordinates — no wall clock, no RNG at
+//! runtime — so fault-tolerance paths can be exercised differentially.
+
+use crate::error::RuntimeError;
+
+/// Caps on a single run. `None` means unlimited.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Limits {
+    /// Op budget: one unit per taken loop iteration and per function
+    /// call, identical across engines.
+    pub fuel: Option<u64>,
+    /// Byte budget for array element storage, thunks, and
+    /// accumulators.
+    pub mem_bytes: Option<u64>,
+}
+
+impl Limits {
+    /// No caps at all.
+    pub fn unlimited() -> Self {
+        Limits::default()
+    }
+}
+
+/// Sentinel for "no limit": 2^64 units are unreachable in practice,
+/// so the hot path can decrement unconditionally.
+const UNLIMITED: u64 = u64::MAX;
+
+/// A running budget, charged as the engines execute.
+///
+/// One meter spans a whole pipeline run (all units share the budget).
+/// The parallel engine derives per-chunk sub-meters with
+/// [`Meter::sub_meter`] so exhaustion lands on the same iteration
+/// ordinal as a sequential run.
+#[derive(Debug, Clone)]
+pub struct Meter {
+    fuel_left: u64,
+    fuel_limit: u64,
+    mem_left: u64,
+    mem_limit: u64,
+}
+
+impl Default for Meter {
+    fn default() -> Self {
+        Meter::unlimited()
+    }
+}
+
+impl Meter {
+    /// A meter that never trips.
+    pub fn unlimited() -> Self {
+        Meter {
+            fuel_left: UNLIMITED,
+            fuel_limit: UNLIMITED,
+            mem_left: UNLIMITED,
+            mem_limit: UNLIMITED,
+        }
+    }
+
+    /// A meter enforcing `limits`.
+    pub fn new(limits: Limits) -> Self {
+        Meter {
+            fuel_left: limits.fuel.unwrap_or(UNLIMITED),
+            fuel_limit: limits.fuel.unwrap_or(UNLIMITED),
+            mem_left: limits.mem_bytes.unwrap_or(UNLIMITED),
+            mem_limit: limits.mem_bytes.unwrap_or(UNLIMITED),
+        }
+    }
+
+    /// Whether a finite fuel cap is in force.
+    #[inline]
+    pub fn fuel_limited(&self) -> bool {
+        self.fuel_limit != UNLIMITED
+    }
+
+    /// Fuel remaining (meaningless when unlimited).
+    #[inline]
+    pub fn fuel_left(&self) -> u64 {
+        self.fuel_left
+    }
+
+    /// Charge one fuel unit. The unlimited case still decrements —
+    /// 2^64 charges are unreachable, and skipping the branch keeps
+    /// the hot path to a single compare.
+    #[inline]
+    pub fn charge_fuel(&mut self) -> Result<(), RuntimeError> {
+        if self.fuel_left == 0 {
+            return Err(RuntimeError::FuelExhausted {
+                limit: self.fuel_limit,
+            });
+        }
+        self.fuel_left -= 1;
+        Ok(())
+    }
+
+    /// Deduct `n` fuel units without an exhaustion check (used when a
+    /// parallel region completes and its statically known cost is
+    /// settled against the main meter).
+    #[inline]
+    pub fn consume_fuel(&mut self, n: u64) {
+        self.fuel_left = self.fuel_left.saturating_sub(n);
+    }
+
+    /// Charge `bytes` against the memory budget.
+    #[inline]
+    pub fn charge_mem(&mut self, bytes: u64) -> Result<(), RuntimeError> {
+        if self.mem_limit == UNLIMITED {
+            return Ok(());
+        }
+        if bytes > self.mem_left {
+            return Err(RuntimeError::MemLimitExceeded {
+                limit: self.mem_limit,
+                used: self.mem_limit - self.mem_left,
+                requested: bytes,
+            });
+        }
+        self.mem_left -= bytes;
+        Ok(())
+    }
+
+    /// Overwrite the remaining fuel. Used by the parallel engine when a
+    /// chunk faults: the main meter is settled to the faulting chunk's
+    /// remainder, which equals what a sequential run would have left at
+    /// the same op.
+    #[inline]
+    pub fn set_fuel_left(&mut self, n: u64) {
+        self.fuel_left = n;
+    }
+
+    /// A chunk-local meter holding `fuel_left` units but reporting the
+    /// *original* limit on exhaustion, so the error payload is
+    /// identical to a sequential run's. Memory is never charged inside
+    /// parallel chunks, so the sub-meter carries no memory budget.
+    pub fn sub_meter(&self, fuel_left: u64) -> Meter {
+        Meter {
+            fuel_left,
+            fuel_limit: self.fuel_limit,
+            mem_left: UNLIMITED,
+            mem_limit: UNLIMITED,
+        }
+    }
+}
+
+/// What an injected fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the worker (exercises `catch_unwind` isolation
+    /// and the sequential retry).
+    Panic,
+    /// Simulated allocation failure: the chunk aborts without
+    /// producing output (exercises the discard-and-retry path).
+    AllocFail,
+}
+
+/// A single injection point: fire `kind` when parallel region number
+/// `region` (0-based, in execution order) runs chunk `chunk`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPoint {
+    pub region: u64,
+    pub chunk: u64,
+    pub kind: FaultKind,
+}
+
+/// A deterministic fault-injection plan.
+///
+/// Parsed from `HAC_FAULT_PLAN` / `--fault-plan`:
+/// comma-separated `r<R>c<C>:panic` or `r<R>c<C>:allocfail` points,
+/// the token `nosnapshot` to disable pre-region snapshots, or
+/// `seed:<u64>` to expand a handful of pseudo-random points from an
+/// LCG — everything is fixed before the run starts, nothing consults
+/// the clock or an RNG at runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub points: Vec<FaultPoint>,
+    /// Snapshot written-to buffers before a region that is not
+    /// provably retry-safe, so an injected fault can still fall back
+    /// to sequential re-execution. Defaults to `true`; costs nothing
+    /// when no plan is installed.
+    pub snapshot: bool,
+}
+
+impl Default for FaultPlan {
+    /// An empty plan: no injection points, snapshots enabled. Useful
+    /// to explicitly *override* an ambient `HAC_FAULT_PLAN`.
+    fn default() -> Self {
+        FaultPlan {
+            points: Vec::new(),
+            snapshot: true,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// The fault scheduled for `(region, chunk)`, if any.
+    pub fn lookup(&self, region: u64, chunk: u64) -> Option<FaultKind> {
+        self.points
+            .iter()
+            .find(|p| p.region == region && p.chunk == chunk)
+            .map(|p| p.kind)
+    }
+
+    /// Parse the `HAC_FAULT_PLAN` spec format. Returns `Err` with a
+    /// human-readable message on malformed input.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan {
+            points: Vec::new(),
+            snapshot: true,
+        };
+        for tok in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            if tok == "nosnapshot" {
+                plan.snapshot = false;
+                continue;
+            }
+            if let Some(seed) = tok.strip_prefix("seed:") {
+                let seed: u64 = seed
+                    .parse()
+                    .map_err(|_| format!("bad fault seed `{tok}`"))?;
+                plan.points.extend(seeded_points(seed));
+                continue;
+            }
+            let rest = tok
+                .strip_prefix('r')
+                .ok_or_else(|| format!("bad fault point `{tok}` (want r<R>c<C>:panic)"))?;
+            let (coords, kind) = rest
+                .split_once(':')
+                .ok_or_else(|| format!("bad fault point `{tok}` (missing `:kind`)"))?;
+            let (region, chunk) = coords
+                .split_once('c')
+                .ok_or_else(|| format!("bad fault point `{tok}` (want r<R>c<C>)"))?;
+            let region: u64 = region
+                .parse()
+                .map_err(|_| format!("bad region in `{tok}`"))?;
+            let chunk: u64 = chunk.parse().map_err(|_| format!("bad chunk in `{tok}`"))?;
+            let kind = match kind {
+                "panic" => FaultKind::Panic,
+                "allocfail" => FaultKind::AllocFail,
+                other => return Err(format!("unknown fault kind `{other}`")),
+            };
+            plan.points.push(FaultPoint {
+                region,
+                chunk,
+                kind,
+            });
+        }
+        Ok(plan)
+    }
+}
+
+/// Expand a seed into a small deterministic set of fault points with
+/// an LCG (Knuth's MMIX constants). Regions and chunks are kept small
+/// so the points actually land on real kernels.
+fn seeded_points(seed: u64) -> Vec<FaultPoint> {
+    let mut state = seed;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state
+    };
+    (0..4)
+        .map(|_| {
+            let region = next() % 8;
+            let chunk = next() % 8;
+            let kind = if next() % 2 == 0 {
+                FaultKind::Panic
+            } else {
+                FaultKind::AllocFail
+            };
+            FaultPoint {
+                region,
+                chunk,
+                kind,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fuel_trips_at_zero_with_original_limit() {
+        let mut m = Meter::new(Limits {
+            fuel: Some(3),
+            mem_bytes: None,
+        });
+        assert!(m.charge_fuel().is_ok());
+        assert!(m.charge_fuel().is_ok());
+        assert!(m.charge_fuel().is_ok());
+        assert_eq!(
+            m.charge_fuel(),
+            Err(RuntimeError::FuelExhausted { limit: 3 })
+        );
+        // Exhausted meters stay exhausted.
+        assert!(m.charge_fuel().is_err());
+    }
+
+    #[test]
+    fn unlimited_meter_never_trips() {
+        let mut m = Meter::unlimited();
+        for _ in 0..10_000 {
+            assert!(m.charge_fuel().is_ok());
+            assert!(m.charge_mem(1 << 40).is_ok());
+        }
+        assert!(!m.fuel_limited());
+    }
+
+    #[test]
+    fn mem_reports_used_and_requested() {
+        let mut m = Meter::new(Limits {
+            fuel: None,
+            mem_bytes: Some(100),
+        });
+        assert!(m.charge_mem(64).is_ok());
+        assert_eq!(
+            m.charge_mem(64),
+            Err(RuntimeError::MemLimitExceeded {
+                limit: 100,
+                used: 64,
+                requested: 64,
+            })
+        );
+        // A smaller allocation still fits.
+        assert!(m.charge_mem(36).is_ok());
+    }
+
+    #[test]
+    fn sub_meter_reports_original_limit() {
+        let m = Meter::new(Limits {
+            fuel: Some(1000),
+            mem_bytes: None,
+        });
+        let mut sub = m.sub_meter(0);
+        assert_eq!(
+            sub.charge_fuel(),
+            Err(RuntimeError::FuelExhausted { limit: 1000 })
+        );
+    }
+
+    #[test]
+    fn plan_parses_points_flags_and_seeds() {
+        let plan = FaultPlan::parse("r0c1:panic, r2c3:allocfail").unwrap();
+        assert_eq!(plan.points.len(), 2);
+        assert!(plan.snapshot);
+        assert_eq!(plan.lookup(0, 1), Some(FaultKind::Panic));
+        assert_eq!(plan.lookup(2, 3), Some(FaultKind::AllocFail));
+        assert_eq!(plan.lookup(1, 1), None);
+
+        let plan = FaultPlan::parse("nosnapshot,r1c0:panic").unwrap();
+        assert!(!plan.snapshot);
+
+        let a = FaultPlan::parse("seed:42").unwrap();
+        let b = FaultPlan::parse("seed:42").unwrap();
+        assert_eq!(a, b, "seeded plans are deterministic");
+        assert_eq!(a.points.len(), 4);
+
+        assert!(FaultPlan::parse("bogus").is_err());
+        assert!(FaultPlan::parse("r1c2:fire").is_err());
+        assert!(FaultPlan::parse("seed:x").is_err());
+    }
+}

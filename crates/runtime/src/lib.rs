@@ -41,6 +41,7 @@
 
 pub mod accum;
 pub mod error;
+pub mod governor;
 pub mod group;
 pub mod incremental;
 pub mod list;
@@ -50,6 +51,7 @@ pub mod value;
 
 pub use accum::{eval_accum, eval_accum_def};
 pub use error::RuntimeError;
+pub use governor::{FaultKind, FaultPlan, FaultPoint, Limits, Meter};
 pub use group::ThunkedGroup;
 pub use incremental::{
     bigupd_copy, bigupd_inplace, CopyCounters, CowArray, TrailerArray, TrailerCounters,
@@ -57,4 +59,6 @@ pub use incremental::{
 pub use list::{array_from_list, eval_core_list, ConsList, ListCounters};
 pub use reduce::eval_reduce;
 pub use thunked::{ThunkedArray, ThunkedCounters};
-pub use value::{eval_expr, ArrayBuf, ArrayReader, FuncTable, MapReader, Scalars};
+pub use value::{
+    eval_expr, eval_expr_metered, ArrayBuf, ArrayReader, FuncTable, MapReader, Scalars,
+};

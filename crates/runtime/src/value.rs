@@ -13,6 +13,7 @@ use std::collections::HashMap;
 use hac_lang::ast::{BinOp, Expr, UnOp};
 
 use crate::error::RuntimeError;
+use crate::governor::Meter;
 
 /// A dense row-major array of `f64` with per-dimension inclusive
 /// bounds.
@@ -48,6 +49,19 @@ impl ArrayBuf {
     /// The array's rank.
     pub fn rank(&self) -> usize {
         self.lo.len()
+    }
+
+    /// Element-storage bytes an allocation with `bounds` will occupy —
+    /// the figure charged against a memory-metered run *before* the
+    /// buffer is built. Definedness bitmaps and bookkeeping are
+    /// deliberately not counted: the meter tracks payload bytes so the
+    /// charge is identical across engines.
+    pub fn data_bytes(bounds: &[(i64, i64)]) -> u64 {
+        bounds
+            .iter()
+            .map(|(l, h)| (h - l + 1).max(0) as u64)
+            .product::<u64>()
+            * 8
     }
 
     /// Per-dimension `(lo, hi)` bounds.
@@ -400,7 +414,7 @@ impl Default for IdxBuf {
     }
 }
 
-/// Evaluate a scalar expression.
+/// Evaluate a scalar expression without resource metering.
 ///
 /// # Errors
 /// Propagates unbound names, bad subscripts, and array read failures.
@@ -409,6 +423,23 @@ pub fn eval_expr(
     scalars: &mut Scalars,
     arrays: &mut dyn ArrayReader,
     funcs: &FuncTable,
+) -> Result<f64, RuntimeError> {
+    let mut meter = Meter::unlimited();
+    eval_expr_metered(e, scalars, arrays, funcs, &mut meter)
+}
+
+/// Evaluate a scalar expression, charging one fuel unit per function
+/// call (after the arguments, matching the bytecode tape's `Call` op).
+///
+/// # Errors
+/// Propagates unbound names, bad subscripts, array read failures, and
+/// [`RuntimeError::FuelExhausted`].
+pub fn eval_expr_metered(
+    e: &Expr,
+    scalars: &mut Scalars,
+    arrays: &mut dyn ArrayReader,
+    funcs: &FuncTable,
+    meter: &mut Meter,
 ) -> Result<f64, RuntimeError> {
     match e {
         Expr::Num(v) => Ok(*v),
@@ -419,7 +450,7 @@ pub fn eval_expr(
         Expr::Index { array, subs } => {
             let mut idx = IdxBuf::new();
             for s in subs {
-                let v = eval_expr(s, scalars, arrays, funcs)?;
+                let v = eval_expr_metered(s, scalars, arrays, funcs, meter)?;
                 idx.push(as_int(array, v)?);
             }
             arrays.read_element(array, idx.as_slice())
@@ -428,28 +459,28 @@ pub fn eval_expr(
             // && and || short-circuit.
             match op {
                 BinOp::And => {
-                    let l = eval_expr(lhs, scalars, arrays, funcs)?;
+                    let l = eval_expr_metered(lhs, scalars, arrays, funcs, meter)?;
                     if l == 0.0 {
                         return Ok(0.0);
                     }
-                    return eval_expr(rhs, scalars, arrays, funcs);
+                    return eval_expr_metered(rhs, scalars, arrays, funcs, meter);
                 }
                 BinOp::Or => {
-                    let l = eval_expr(lhs, scalars, arrays, funcs)?;
+                    let l = eval_expr_metered(lhs, scalars, arrays, funcs, meter)?;
                     if l != 0.0 {
                         return Ok(1.0);
                     }
-                    let r = eval_expr(rhs, scalars, arrays, funcs)?;
+                    let r = eval_expr_metered(rhs, scalars, arrays, funcs, meter)?;
                     return Ok(if r != 0.0 { 1.0 } else { 0.0 });
                 }
                 _ => {}
             }
-            let l = eval_expr(lhs, scalars, arrays, funcs)?;
-            let r = eval_expr(rhs, scalars, arrays, funcs)?;
+            let l = eval_expr_metered(lhs, scalars, arrays, funcs, meter)?;
+            let r = eval_expr_metered(rhs, scalars, arrays, funcs, meter)?;
             Ok(apply_bin(*op, l, r))
         }
         Expr::Unary { op, expr } => {
-            let v = eval_expr(expr, scalars, arrays, funcs)?;
+            let v = eval_expr_metered(expr, scalars, arrays, funcs, meter)?;
             Ok(match op {
                 UnOp::Neg => -v,
                 UnOp::Not => {
@@ -468,20 +499,20 @@ pub fn eval_expr(
             })
         }
         Expr::If { cond, then, els } => {
-            let c = eval_expr(cond, scalars, arrays, funcs)?;
+            let c = eval_expr_metered(cond, scalars, arrays, funcs, meter)?;
             if c != 0.0 {
-                eval_expr(then, scalars, arrays, funcs)
+                eval_expr_metered(then, scalars, arrays, funcs, meter)
             } else {
-                eval_expr(els, scalars, arrays, funcs)
+                eval_expr_metered(els, scalars, arrays, funcs, meter)
             }
         }
         Expr::Let { binds, body } => {
             let depth = scalars.depth();
             for (name, rhs) in binds {
-                let v = eval_expr(rhs, scalars, arrays, funcs)?;
+                let v = eval_expr_metered(rhs, scalars, arrays, funcs, meter)?;
                 scalars.push(name.clone(), v);
             }
-            let out = eval_expr(body, scalars, arrays, funcs);
+            let out = eval_expr_metered(body, scalars, arrays, funcs, meter);
             scalars.truncate(depth);
             out
         }
@@ -491,8 +522,9 @@ pub fn eval_expr(
                 .ok_or_else(|| RuntimeError::UnknownFunction(func.clone()))?;
             let mut vs = Vec::with_capacity(args.len());
             for a in args {
-                vs.push(eval_expr(a, scalars, arrays, funcs)?);
+                vs.push(eval_expr_metered(a, scalars, arrays, funcs, meter)?);
             }
+            meter.charge_fuel()?;
             Ok(f(&vs))
         }
     }

@@ -9,21 +9,29 @@
 //!   --engine treewalk|tape|partape  evaluation engine (default partape)
 //!   --threads N                   ParTape worker count (default: all cores)
 //!   --fill zero|random[:SEED]     how to fill `input` arrays (default random)
+//!   --fuel N                      abort after N metered ops (loop iterations + calls)
+//!   --mem-limit BYTES             cap bytes of array payload allocated
+//!   --fault-plan SPEC             inject deterministic worker faults (testing)
 //!   --no-run                      only explain, do not execute
 //!   --quiet                       suppress the compilation report
 //!   --print NAME                  print one array (repeatable; default: results)
 //!   --emit limp                   print the generated loop IR per unit
 //! ```
+//!
+//! Exit codes: 0 success, 1 usage or I/O error, 2 parse or compile
+//! error, 3 runtime error, 4 resource limit exhausted.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use hac::core::pipeline::{
-    compile, default_threads, run_with_threads, CompileOptions, Engine, ExecMode, Unit,
+    compile, default_threads, run_with_options, CompileOptions, Engine, ExecMode, RunOptions, Unit,
 };
 use hac::lang::parser::parse_program;
 use hac::lang::ConstEnv;
+use hac_runtime::governor::{FaultPlan, Limits};
 use hac_runtime::value::{ArrayBuf, FuncTable};
+use hac_runtime::RuntimeError;
 use hac_workloads::XorShift;
 
 struct Options {
@@ -32,6 +40,8 @@ struct Options {
     mode: ExecMode,
     engine: Engine,
     threads: usize,
+    limits: Limits,
+    faults: Option<FaultPlan>,
     fill_random: bool,
     seed: u64,
     run_it: bool,
@@ -44,6 +54,7 @@ fn usage() -> &'static str {
     "usage: hacc PROGRAM.hac [name=value ...] \
      [--mode auto|thunked|checked] [--engine treewalk|tape|partape] \
      [--threads N] [--fill zero|random[:SEED]] \
+     [--fuel N] [--mem-limit BYTES] [--fault-plan SPEC] \
      [--no-run] [--quiet] [--print NAME]"
 }
 
@@ -57,6 +68,8 @@ fn parse_args() -> Result<Options, String> {
         // stays `Engine::Tape` so embedders opt in explicitly.
         engine: Engine::ParTape,
         threads: default_threads(),
+        limits: Limits::default(),
+        faults: None,
         fill_random: true,
         seed: 0xC0FFEE,
         run_it: true,
@@ -104,6 +117,24 @@ fn parse_args() -> Result<Options, String> {
                 } else {
                     return Err(format!("unknown fill `{f}`"));
                 }
+            }
+            "--fuel" => {
+                let n = args.next().ok_or("--fuel needs a value")?;
+                opts.limits.fuel = Some(
+                    n.parse()
+                        .map_err(|_| format!("--fuel needs a non-negative integer, got `{n}`"))?,
+                );
+            }
+            "--mem-limit" => {
+                let n = args.next().ok_or("--mem-limit needs a value")?;
+                opts.limits.mem_bytes = Some(n.parse().map_err(|_| {
+                    format!("--mem-limit needs a non-negative byte count, got `{n}`")
+                })?);
+            }
+            "--fault-plan" => {
+                let spec = args.next().ok_or("--fault-plan needs a value")?;
+                opts.faults =
+                    Some(FaultPlan::parse(&spec).map_err(|e| format!("bad --fault-plan: {e}"))?);
             }
             "--no-run" => opts.run_it = false,
             "--quiet" => opts.quiet = true,
@@ -183,26 +214,33 @@ fn print_array(name: &str, buf: &ArrayBuf) {
     }
 }
 
+/// Distinct nonzero exit codes so callers can tell failure classes
+/// apart without scraping stderr.
+const EXIT_USAGE: u8 = 1;
+const EXIT_COMPILE: u8 = 2;
+const EXIT_RUNTIME: u8 = 3;
+const EXIT_LIMIT: u8 = 4;
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let source = match std::fs::read_to_string(&opts.file) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot read `{}`: {e}", opts.file);
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     let program = match parse_program(&source) {
         Ok(p) => p,
         Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
+            eprintln!("parse error: {e}");
+            return ExitCode::from(EXIT_COMPILE);
         }
     };
     let compiled = match compile(
@@ -217,7 +255,7 @@ fn main() -> ExitCode {
         Ok(c) => c,
         Err(e) => {
             eprintln!("compile error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_COMPILE);
         }
     };
     if !opts.quiet {
@@ -245,11 +283,20 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let inputs = fill_inputs(&compiled, &opts);
-    let out = match run_with_threads(&compiled, &inputs, &FuncTable::new(), opts.threads) {
+    let run_opts = RunOptions {
+        threads: Some(opts.threads),
+        limits: opts.limits,
+        faults: opts.faults.clone(),
+    };
+    let out = match run_with_options(&compiled, &inputs, &FuncTable::new(), &run_opts) {
         Ok(o) => o,
+        Err(e @ (RuntimeError::FuelExhausted { .. } | RuntimeError::MemLimitExceeded { .. })) => {
+            eprintln!("limit exceeded: {e}");
+            return ExitCode::from(EXIT_LIMIT);
+        }
         Err(e) => {
             eprintln!("runtime error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_RUNTIME);
         }
     };
     let names: Vec<String> = if opts.print.is_empty() {
@@ -280,5 +327,11 @@ fn main() -> ExitCode {
         out.counters.vm.elements_copied,
         out.counters.vm.temp_elements
     );
+    if out.counters.vm.engine_faults > 0 {
+        println!(
+            "engine faults: {} parallel region(s) recovered sequentially",
+            out.counters.vm.engine_faults
+        );
+    }
     ExitCode::SUCCESS
 }

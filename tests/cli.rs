@@ -6,6 +6,10 @@ use std::process::Command;
 fn hacc(args: &[&str]) -> std::process::Output {
     Command::new(env!("CARGO_BIN_EXE_hacc"))
         .args(args)
+        // Keep these tests deterministic when the suite itself runs
+        // under an ambient fault-injection plan (the CI fault job);
+        // `env_plan_reaches_the_engine` covers the variable on purpose.
+        .env_remove("HAC_FAULT_PLAN")
         .output()
         .expect("spawn hacc")
 }
@@ -63,7 +67,7 @@ fn explain_only() {
 #[test]
 fn missing_parameter_is_a_clean_error() {
     let out = hacc(&["programs/wavefront.hac"]);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "compile errors exit 2");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
         stderr.contains("not"),
@@ -74,8 +78,126 @@ fn missing_parameter_is_a_clean_error() {
 #[test]
 fn bad_file_is_a_clean_error() {
     let out = hacc(&["no-such-file.hac", "n=3"]);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1), "I/O errors exit 1");
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn failure_classes_get_distinct_exit_codes() {
+    // Usage error: 1.
+    let out = hacc(&["--threads", "zero"]);
+    assert_eq!(out.status.code(), Some(1), "usage errors exit 1");
+
+    // Parse error: 2, with a diagnostic on stderr.
+    std::fs::write("target/cli_parse_err.hac", "let let let := ;;\n").unwrap();
+    let out = hacc(&["target/cli_parse_err.hac", "n=3"]);
+    assert_eq!(out.status.code(), Some(2), "parse errors exit 2");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("parse error"));
+
+    // Runtime error: 3.
+    std::fs::write(
+        "target/cli_runtime_err.hac",
+        "param n;\nlet a = array (1,n) [ i := a!(i-1) | i <- [1..n] ];\nresult a;\n",
+    )
+    .unwrap();
+    let out = hacc(&["target/cli_runtime_err.hac", "n=4", "--quiet"]);
+    assert_eq!(out.status.code(), Some(3), "runtime errors exit 3");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("runtime error"));
+
+    // Limit exhaustion: 4, for fuel and memory alike.
+    let out = hacc(&["programs/wavefront.hac", "n=8", "--quiet", "--fuel", "3"]);
+    assert_eq!(out.status.code(), Some(4), "fuel exhaustion exits 4");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("fuel exhausted"), "{stderr}");
+    assert!(stderr.contains("limit exceeded"), "{stderr}");
+
+    let out = hacc(&[
+        "programs/wavefront.hac",
+        "n=8",
+        "--quiet",
+        "--mem-limit",
+        "100",
+    ]);
+    assert_eq!(out.status.code(), Some(4), "memory exhaustion exits 4");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("memory limit"));
+}
+
+#[test]
+fn generous_limits_do_not_change_the_answer() {
+    let plain = hacc(&["programs/wavefront.hac", "n=5", "--quiet"]);
+    let limited = hacc(&[
+        "programs/wavefront.hac",
+        "n=5",
+        "--quiet",
+        "--fuel",
+        "100000",
+        "--mem-limit",
+        "1000000",
+    ]);
+    assert_eq!(limited.status.code(), Some(0));
+    assert_eq!(
+        String::from_utf8_lossy(&plain.stdout),
+        String::from_utf8_lossy(&limited.stdout),
+        "metering must not perturb results"
+    );
+}
+
+#[test]
+fn injected_fault_is_recovered_and_reported() {
+    let clean = hacc(&["programs/wavefront.hac", "n=32", "--quiet"]);
+    let faulted = hacc(&[
+        "programs/wavefront.hac",
+        "n=32",
+        "--quiet",
+        "--threads",
+        "4",
+        "--fault-plan",
+        "r0c0:panic",
+    ]);
+    assert_eq!(faulted.status.code(), Some(0), "fault must be absorbed");
+    let out = String::from_utf8_lossy(&faulted.stdout);
+    assert!(
+        out.contains("engine faults: 1"),
+        "recovery must be visible: {out}"
+    );
+    // Modulo the fault report line, the output is identical.
+    let sans_fault_line: Vec<&str> = out
+        .lines()
+        .filter(|l| !l.starts_with("engine faults:"))
+        .collect();
+    let clean_out = String::from_utf8_lossy(&clean.stdout);
+    assert_eq!(
+        sans_fault_line.join("\n"),
+        clean_out.trim_end(),
+        "answer identical despite injected panic"
+    );
+
+    let out = hacc(&["programs/wavefront.hac", "n=8", "--fault-plan", "r0c0:zap"]);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "bad fault plans are usage errors"
+    );
+}
+
+#[test]
+fn env_plan_reaches_the_engine() {
+    let out = Command::new(env!("CARGO_BIN_EXE_hacc"))
+        .args([
+            "programs/wavefront.hac",
+            "n=32",
+            "--quiet",
+            "--threads",
+            "4",
+        ])
+        .env("HAC_FAULT_PLAN", "r0c0:panic")
+        .output()
+        .expect("spawn hacc");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("engine faults: 1"),
+        "HAC_FAULT_PLAN must inject without any flag"
+    );
 }
 
 #[test]

@@ -1,0 +1,536 @@
+//! Differential tests for resource governance: a fuel or memory cap
+//! must produce *identical* behaviour on every engine — tree-walker,
+//! sequential tape, and ParTape at 1/2/4/8 threads. Either every
+//! engine completes with bit-identical output, or every engine fails
+//! with the same `RuntimeError` (Debug-rendered, for payload parity).
+//!
+//! The same property is checked at the `Vm` level on randomly
+//! generated programs (fuel splits mid-loop, mid-expression, at call
+//! sites), and fault injection is exercised end-to-end through the
+//! pipeline: an injected worker panic must leave the final answer
+//! bit-identical to a fault-free run, with the recovery visible only
+//! in the `engine_faults` counter.
+
+use std::collections::HashMap;
+
+use hac_codegen::limp::{LProgram, LStmt, StoreCheck, Vm, VmCounters};
+use hac_codegen::partape::plan_tape;
+use hac_codegen::tape::{compile_tape, TapeCtx};
+use hac_core::pipeline::{
+    compile, run_with_options, CompileOptions, Compiled, Engine, ExecOutput, RunOptions,
+};
+use hac_lang::ast::{BinOp, Expr, UnOp};
+use hac_lang::env::ConstEnv;
+use hac_lang::parser::parse_program;
+use hac_runtime::governor::{FaultPlan, Limits, Meter};
+use hac_runtime::value::{ArrayBuf, FuncTable};
+use hac_workloads as wl;
+use proptest::prelude::*;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn buf_bits(b: &ArrayBuf) -> (Vec<(i64, i64)>, Vec<u64>) {
+    (b.bounds(), b.data().iter().map(|v| v.to_bits()).collect())
+}
+
+/// Zero the tape-only counter so tree-walk runs compare exactly.
+fn sans_tape_ops(mut c: VmCounters) -> VmCounters {
+    c.tape_ops = 0;
+    c
+}
+
+/// A run collapsed to a comparable value: sorted array bits + sorted
+/// scalar bits on success, the Debug-rendered error on failure.
+type OkOutcome = (
+    Vec<(String, (Vec<(i64, i64)>, Vec<u64>))>,
+    Vec<(String, u64)>,
+);
+type Outcome = Result<OkOutcome, String>;
+
+fn ok_outcome(out: &ExecOutput) -> OkOutcome {
+    let mut arrays: Vec<_> = out
+        .arrays
+        .iter()
+        .map(|(n, b)| (n.clone(), buf_bits(b)))
+        .collect();
+    arrays.sort();
+    let mut scalars: Vec<_> = out
+        .scalars
+        .iter()
+        .map(|(n, v)| (n.clone(), v.to_bits()))
+        .collect();
+    scalars.sort();
+    (arrays, scalars)
+}
+
+fn outcome(r: &Result<ExecOutput, hac_runtime::RuntimeError>) -> Outcome {
+    match r {
+        Ok(out) => Ok(ok_outcome(out)),
+        Err(e) => Err(format!("{e:?}")),
+    }
+}
+
+/// Compile `src` once per engine; run each build under `limits` and
+/// demand identical outcomes across all engines and thread counts.
+/// Returns the sequential-tape outcome for extra assertions.
+fn diff_limits(
+    label: &str,
+    src: &str,
+    env: &ConstEnv,
+    inputs: &HashMap<String, ArrayBuf>,
+    limits: Limits,
+) -> Outcome {
+    let program = parse_program(src).unwrap();
+    let funcs = FuncTable::new();
+    let build = |engine| -> Compiled {
+        compile(
+            &program,
+            env,
+            &CompileOptions {
+                engine,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap_or_else(|e| panic!("{label}: compile: {e}"))
+    };
+    let tree = build(Engine::TreeWalk);
+    let tape = build(Engine::Tape);
+    let par = build(Engine::ParTape);
+
+    let opts = RunOptions {
+        threads: Some(1),
+        limits,
+        faults: None,
+    };
+    let want = outcome(&run_with_options(&tape, inputs, &funcs, &opts));
+    let tree_got = outcome(&run_with_options(&tree, inputs, &funcs, &opts));
+    assert_eq!(
+        tree_got, want,
+        "{label} {limits:?}: tree-walk vs tape outcome"
+    );
+    for threads in THREADS {
+        let opts = RunOptions {
+            threads: Some(threads),
+            limits,
+            faults: None,
+        };
+        let got = outcome(&run_with_options(&par, inputs, &funcs, &opts));
+        assert_eq!(got, want, "{label} {limits:?}: partape @{threads}t vs tape");
+    }
+    want
+}
+
+fn fuel(n: u64) -> Limits {
+    Limits {
+        fuel: Some(n),
+        mem_bytes: None,
+    }
+}
+
+fn mem(bytes: u64) -> Limits {
+    Limits {
+        fuel: None,
+        mem_bytes: Some(bytes),
+    }
+}
+
+/// Every workload kernel, a ladder of fuel budgets from "trips at the
+/// first loop head" to "comfortably completes", plus tight and roomy
+/// memory caps. The zero-fuel rung must actually exhaust, and the
+/// unlimited rung must actually complete, so both sides of the
+/// differential property are exercised on every kernel.
+#[test]
+fn kernels_hit_limits_identically_on_every_engine() {
+    let kernels: Vec<(&str, &str, ConstEnv, HashMap<String, ArrayBuf>)> = vec![
+        (
+            "wavefront",
+            wl::wavefront_source(),
+            ConstEnv::from_pairs([("n", 10)]),
+            HashMap::new(),
+        ),
+        (
+            "section5_example1",
+            wl::section5_example1_source(),
+            ConstEnv::from_pairs([("n", 30)]),
+            HashMap::new(),
+        ),
+        (
+            "recurrence",
+            wl::recurrence_source(),
+            ConstEnv::from_pairs([("n", 100)]),
+            HashMap::new(),
+        ),
+        (
+            "pascal",
+            wl::pascal_source(),
+            ConstEnv::from_pairs([("n", 12)]),
+            HashMap::new(),
+        ),
+        (
+            "deforest",
+            wl::deforest_source(),
+            ConstEnv::from_pairs([("n", 24)]),
+            HashMap::from([("u".to_string(), wl::random_vector(24, 23))]),
+        ),
+        (
+            "permutation",
+            wl::permutation_source(),
+            ConstEnv::from_pairs([("n", 24)]),
+            HashMap::from([("u".to_string(), wl::random_vector(24, 29))]),
+        ),
+        (
+            "prefix_sum",
+            wl::prefix_sum_source(),
+            ConstEnv::from_pairs([("n", 24)]),
+            HashMap::from([("u".to_string(), wl::random_vector(24, 31))]),
+        ),
+        (
+            "convolution",
+            wl::convolution_source(),
+            ConstEnv::from_pairs([("n", 24)]),
+            HashMap::from([("u".to_string(), wl::random_vector(24, 37))]),
+        ),
+        (
+            "relaxation",
+            wl::relaxation_source(),
+            ConstEnv::from_pairs([("n", 24)]),
+            HashMap::from([("u".to_string(), wl::random_vector(24, 41))]),
+        ),
+        (
+            "thomas",
+            wl::thomas_source(),
+            ConstEnv::from_pairs([("n", 24)]),
+            HashMap::from([("d".to_string(), wl::random_vector(24, 7))]),
+        ),
+        (
+            "jacobi",
+            wl::jacobi_source(),
+            ConstEnv::from_pairs([("n", 8)]),
+            HashMap::from([("a".to_string(), wl::random_matrix(8, 8, 11))]),
+        ),
+        (
+            "jacobi_step",
+            wl::jacobi_step_source(),
+            ConstEnv::from_pairs([("n", 8)]),
+            HashMap::from([("a".to_string(), wl::random_matrix(8, 8, 13))]),
+        ),
+        (
+            "sor",
+            wl::sor_source(),
+            ConstEnv::from_pairs([("n", 8)]),
+            HashMap::from([("a".to_string(), wl::random_matrix(8, 8, 17))]),
+        ),
+        (
+            "matmul",
+            wl::matmul_source(),
+            ConstEnv::from_pairs([("n", 6)]),
+            HashMap::from([
+                ("x".to_string(), wl::random_matrix(6, 6, 31)),
+                ("y".to_string(), wl::random_matrix(6, 6, 37)),
+            ]),
+        ),
+    ];
+    // Kernels that schedule VM-executed (thunkless/update) units burn
+    // fuel and must exhaust at a zero budget; a kernel that compiles
+    // entirely to demand-driven thunked groups (jacobi's carried
+    // reductions) consumes none — the differential property still
+    // holds, there is just nothing to trip.
+    let mut exhausted = 0usize;
+    for (label, src, env, inputs) in &kernels {
+        for f in [0, 1, 7, 23, 101, 1009, 20011] {
+            let got = diff_limits(label, src, env, inputs, fuel(f));
+            if f == 0 && matches!(&got, Err(e) if e.contains("FuelExhausted")) {
+                exhausted += 1;
+            }
+        }
+        let full = diff_limits(label, src, env, inputs, Limits::unlimited());
+        assert!(full.is_ok(), "{label}: unlimited run completes: {full:?}");
+        for m in [0, 64, 1 << 30] {
+            let got = diff_limits(label, src, env, inputs, mem(m));
+            if m == 0 {
+                assert!(
+                    matches!(&got, Err(e) if e.contains("MemLimitExceeded")),
+                    "{label}: zero-byte cap must trip, got {got:?}"
+                );
+            }
+        }
+    }
+    assert!(
+        exhausted >= 10,
+        "most kernels run through a metered VM: {exhausted} exhausted at zero fuel"
+    );
+}
+
+/// An injected worker panic (and an injected allocation failure) at
+/// pipeline level: the run must still succeed with output and meter
+/// state bit-identical to the fault-free run; only `engine_faults`
+/// may differ, and it must record the recovery.
+#[test]
+fn injected_faults_are_invisible_in_the_answer() {
+    let env = ConstEnv::from_pairs([("n", 16)]);
+    let inputs = HashMap::from([("a".to_string(), wl::random_matrix(16, 16, 61))]);
+    let program = parse_program(wl::jacobi_step_source()).unwrap();
+    let funcs = FuncTable::new();
+    let compiled = compile(
+        &program,
+        &env,
+        &CompileOptions {
+            engine: Engine::ParTape,
+            ..CompileOptions::default()
+        },
+    )
+    .unwrap();
+
+    // Pin an explicit empty plan so an ambient `HAC_FAULT_PLAN` (the
+    // fault-injection CI job) cannot perturb the baseline.
+    let clean = run_with_options(
+        &compiled,
+        &inputs,
+        &funcs,
+        &RunOptions {
+            threads: Some(4),
+            limits: Limits::unlimited(),
+            faults: Some(FaultPlan::default()),
+        },
+    )
+    .unwrap();
+    assert_eq!(clean.counters.vm.engine_faults, 0, "fault-free baseline");
+
+    for spec in ["r0c0:panic", "r0c1:allocfail", "seed:7"] {
+        let faulted = run_with_options(
+            &compiled,
+            &inputs,
+            &funcs,
+            &RunOptions {
+                threads: Some(4),
+                limits: Limits::unlimited(),
+                faults: Some(FaultPlan::parse(spec).unwrap()),
+            },
+        )
+        .unwrap_or_else(|e| panic!("fault plan `{spec}` must be absorbed: {e}"));
+        assert_eq!(
+            ok_outcome(&clean),
+            ok_outcome(&faulted),
+            "plan `{spec}`: answer bit-identical despite faults"
+        );
+        assert_eq!(
+            sans_faults(faulted.counters.vm),
+            sans_faults(clean.counters.vm),
+            "plan `{spec}`: work counters identical"
+        );
+        if spec.starts_with('r') {
+            assert!(
+                faulted.counters.vm.engine_faults >= 1,
+                "plan `{spec}`: recovery recorded in counters"
+            );
+        }
+    }
+}
+
+fn sans_faults(mut c: VmCounters) -> VmCounters {
+    c.engine_faults = 0;
+    c
+}
+
+// ---------------------------------------------------------------------
+// Property: on randomly generated programs — loops whose bodies mix
+// arithmetic, short-circuit operators, conditionals, calls, and array
+// reads — a fuel budget trips at exactly the same charge on the
+// tree-walker, the tape, and ParTape at every thread count, leaving
+// identical remaining fuel and identical counter prefixes.
+// ---------------------------------------------------------------------
+
+struct Gen(wl::XorShift);
+
+impl Gen {
+    fn below(&mut self, n: u64) -> u64 {
+        self.0.next_u64() % n
+    }
+
+    fn expr(&mut self, depth: u32) -> Expr {
+        if depth == 0 {
+            return self.leaf();
+        }
+        match self.below(8) {
+            0..=2 => self.leaf(),
+            3..=4 => {
+                let op = [
+                    BinOp::Add,
+                    BinOp::Mul,
+                    BinOp::Sub,
+                    BinOp::Div,
+                    BinOp::Lt,
+                    BinOp::And,
+                    BinOp::Or,
+                    BinOp::Max,
+                ][self.below(8) as usize];
+                Expr::bin(op, self.expr(depth - 1), self.expr(depth - 1))
+            }
+            5 => Expr::Unary {
+                op: [UnOp::Neg, UnOp::Abs, UnOp::Sqrt][self.below(3) as usize],
+                expr: Box::new(self.expr(depth - 1)),
+            },
+            6 => Expr::If {
+                cond: Box::new(self.expr(depth - 1)),
+                then: Box::new(self.expr(depth - 1)),
+                els: Box::new(self.expr(depth - 1)),
+            },
+            // Calls are the other fuel charge point: make them common.
+            _ => match self.below(2) {
+                0 => Expr::Call {
+                    func: "sqrt".to_string(),
+                    args: vec![self.expr(depth - 1)],
+                },
+                _ => Expr::Call {
+                    func: "hypot".to_string(),
+                    args: vec![self.expr(depth - 1), self.expr(depth - 1)],
+                },
+            },
+        }
+    }
+
+    fn leaf(&mut self) -> Expr {
+        match self.below(8) {
+            0..=2 => Expr::int(self.below(9) as i64 - 2),
+            3..=5 => Expr::var("i"),
+            6 => Expr::var("g"),
+            _ => Expr::index1(
+                "u",
+                Expr::add(Expr::var("i"), Expr::int(self.below(3) as i64)),
+            ),
+        }
+    }
+}
+
+/// A 1..=8 loop storing the generated value into `out` — the same
+/// harness shape `partape_equivalence` uses, always injective, so the
+/// loop is a genuine parallel region under ParTape.
+fn harness_program(value: Expr) -> LProgram {
+    LProgram {
+        stmts: vec![
+            LStmt::Alloc {
+                array: "out".to_string(),
+                bounds: vec![(1, 8)],
+                fill: 0.0,
+                temp: false,
+                checked: false,
+            },
+            LStmt::For {
+                var: "i".to_string(),
+                start: 1,
+                end: 8,
+                step: 1,
+                par: true,
+                body: vec![LStmt::Store {
+                    array: "out".to_string(),
+                    subs: vec![Expr::var("i")],
+                    value,
+                    check: StoreCheck::None,
+                }],
+            },
+        ],
+        result: "out".to_string(),
+    }
+}
+
+fn fresh_vm(fuel: u64) -> Vm {
+    let mut vm = Vm::new();
+    let mut u = ArrayBuf::new(&[(1, 12)], 0.0);
+    for i in 1..=12 {
+        u.set("u", &[i], (i * i) as f64 * 0.25 - 3.0).unwrap();
+    }
+    vm.bind("u", u);
+    vm.set_global("n", 8.0);
+    vm.set_global("g", 2.5);
+    vm.with_meter(Meter::new(Limits {
+        fuel: Some(fuel),
+        mem_bytes: None,
+    }));
+    vm
+}
+
+/// One generated program, one fuel budget: the tree-walker, the tape,
+/// and ParTape at every thread count must agree on success/error, the
+/// error payload, the surviving array bits, the counter prefix, and
+/// the *remaining fuel*.
+fn diff_random_fuel(prog: &LProgram, fuel: u64) {
+    let ctx = TapeCtx {
+        shapes: HashMap::from([("u".to_string(), vec![(1i64, 12i64)])]),
+        consts: HashMap::from([("n".to_string(), 8i64)]),
+        globals: vec!["g".to_string()],
+        ..TapeCtx::default()
+    };
+    let tape = compile_tape(prog, &ctx);
+    let plan = plan_tape(&tape);
+
+    let mut wvm = fresh_vm(fuel);
+    let wr = wvm.run(prog).map_err(|e| format!("{e:?}"));
+    let wleft = wvm.take_meter().fuel_left();
+
+    let mut svm = fresh_vm(fuel);
+    let sr = svm.run_tape(&tape).map_err(|e| format!("{e:?}"));
+    let sleft = svm.take_meter().fuel_left();
+
+    let label = |eng: &str| format!("fuel={fuel} {eng}\nprog:\n{}", prog.render());
+    assert_eq!(sr, wr, "{}", label("tape vs tree: same outcome"));
+    assert_eq!(sleft, wleft, "{}", label("tape vs tree: same fuel left"));
+    if sr.is_ok() {
+        assert_eq!(
+            buf_bits(svm.array("out").unwrap()),
+            buf_bits(wvm.array("out").unwrap()),
+            "{}",
+            label("tape vs tree: bits")
+        );
+    }
+    assert_eq!(
+        sans_tape_ops(svm.counters),
+        sans_tape_ops(wvm.counters),
+        "{}",
+        label("tape vs tree: counters")
+    );
+
+    for threads in THREADS {
+        let mut pvm = fresh_vm(fuel);
+        let pr = pvm
+            .run_partape(&tape, &plan, threads)
+            .map_err(|e| format!("{e:?}"));
+        let pleft = pvm.take_meter().fuel_left();
+        assert_eq!(pr, sr, "{}", label(&format!("partape@{threads} outcome")));
+        assert_eq!(
+            pleft,
+            sleft,
+            "{}",
+            label(&format!("partape@{threads} fuel left"))
+        );
+        if pr.is_ok() {
+            assert_eq!(
+                buf_bits(pvm.array("out").unwrap()),
+                buf_bits(svm.array("out").unwrap()),
+                "{}",
+                label(&format!("partape@{threads} bits"))
+            );
+        }
+        assert_eq!(
+            sans_faults(pvm.counters),
+            sans_faults(svm.counters),
+            "{}",
+            label(&format!("partape@{threads} counters"))
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    #[test]
+    fn random_programs_exhaust_fuel_identically(seed in any::<u64>()) {
+        let mut g = Gen(wl::XorShift::new(seed | 1));
+        let depth = 2 + (seed % 3) as u32;
+        let prog = harness_program(g.expr(depth));
+        // Budgets straddling the interesting boundaries: immediate
+        // exhaustion, mid-loop, mid-call, and comfortable completion.
+        for fuel in [0, 1, 2, 3, 5, 9, (seed % 40), 10_000] {
+            diff_random_fuel(&prog, fuel);
+        }
+    }
+}
