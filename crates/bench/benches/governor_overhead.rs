@@ -65,6 +65,7 @@ fn bench_limits(
             threads: Some(1),
             limits,
             faults: None,
+            ceiling: None,
         };
         group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
             b.iter(|| run_with_options(&compiled, ins, &funcs, &opts).expect("bench run"))

@@ -1,0 +1,72 @@
+//! E21 — multi-tenant serving throughput.
+//!
+//! Measures requests/second through the serving layer at 1, 2, and 4
+//! concurrent tenants, split by cache temperature:
+//!
+//!   * `hit`  — the server is pre-warmed, so every request reuses the
+//!     compiled program and skips the front end entirely (parse,
+//!     subscript analysis, scheduling, codegen).
+//!   * `miss` — a fresh server per iteration, so every batch pays one
+//!     full front-end pass before execution.
+//!
+//! The gap between the two is the front-end cost the cache amortises;
+//! the spread across tenant counts shows how batch workers overlap
+//! tenant execution under the shared ceiling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hac_serve::{Request, ServeOptions, Server};
+use hac_workloads as wl;
+
+const TENANTS: [usize; 3] = [1, 2, 4];
+
+fn make_requests(tenants: usize) -> Vec<Request> {
+    (0..tenants)
+        .map(|i| {
+            let mut r = Request::new(format!("t{i}"), wl::wavefront_source());
+            r.params.push(("n".to_string(), 16));
+            r.fuel = Some(10_000);
+            r
+        })
+        .collect()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+
+    for tenants in TENANTS {
+        let reqs = make_requests(tenants);
+
+        // Warm path: compile once up front, then every measured batch
+        // is a pure cache hit.
+        let server = Server::new(ServeOptions::default());
+        let warm = server.run_batch(&reqs, tenants);
+        assert!(warm.iter().all(|r| r.status.as_str() == "ok"));
+        group.bench_with_input(BenchmarkId::new("hit", tenants), &tenants, |b, &workers| {
+            b.iter(|| {
+                let out = server.run_batch(&reqs, workers);
+                assert!(out.iter().all(|r| r.cache_hit == Some(true)));
+                out
+            })
+        });
+
+        // Cold path: a fresh server per iteration forces a full
+        // front-end pass for the batch.
+        group.bench_with_input(
+            BenchmarkId::new("miss", tenants),
+            &tenants,
+            |b, &workers| {
+                b.iter(|| {
+                    let cold = Server::new(ServeOptions::default());
+                    let out = cold.run_batch(&reqs, workers);
+                    assert!(out.iter().any(|r| r.cache_hit == Some(false)));
+                    out
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -451,7 +451,8 @@ impl Vm {
                 temp,
                 checked,
             } => {
-                self.meter.charge_mem(ArrayBuf::data_bytes(bounds))?;
+                self.meter
+                    .charge_mem(ArrayBuf::footprint_bytes(bounds, *checked))?;
                 let buf = ArrayBuf::new(bounds, *fill);
                 self.counters.array_allocs += 1;
                 if *temp {

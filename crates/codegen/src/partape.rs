@@ -382,11 +382,13 @@ fn run_region(
 ) -> Result<(), RuntimeError> {
     let trip = region.trip;
     let fuel_limited = st.meter.fuel_limited();
-    if trip < 2 || (fuel_limited && region.iter_cost.is_none()) {
-        // Nothing to partition — or a fuel budget that cannot be split
-        // exactly (data-dependent per-iteration cost): run the whole
-        // pass (LoopInit, head checks, body, final failing head check)
-        // sequentially.
+    if trip < 2 || (fuel_limited && region.iter_cost.is_none()) || st.meter.draws_lazily() {
+        // Nothing to partition — a fuel budget that cannot be split
+        // exactly (data-dependent per-iteration cost) — or a meter that
+        // draws fuel lazily from the shared ceiling, whose block refills
+        // cannot be replayed deterministically across workers: run the
+        // whole pass (LoopInit, head checks, body, final failing head
+        // check) sequentially.
         let p = tape.dispatch_until(st, tape_ops, region.init_pc, &region.exit_stop)?;
         debug_assert_eq!(p, region.exit_pc);
         return Ok(());

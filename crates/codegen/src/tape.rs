@@ -441,7 +441,8 @@ impl TapeProgram {
                 Op::StoreSlot(s) => frame[*s as usize] = stack.pop().expect("operand"),
                 Op::Alloc(a) => {
                     let entry = &self.allocs[*a as usize];
-                    st.meter.charge_mem(ArrayBuf::data_bytes(&entry.bounds))?;
+                    st.meter
+                        .charge_mem(ArrayBuf::footprint_bytes(&entry.bounds, entry.checked))?;
                     let buf = ArrayBuf::new(&entry.bounds, entry.fill);
                     st.counters.array_allocs += 1;
                     if entry.temp {

@@ -36,9 +36,11 @@
 //! assert_eq!(out.counters.thunked.thunks_allocated, 0); // thunkless!
 //! ```
 
+pub mod deadline;
 pub mod pipeline;
 pub mod report;
 
+pub use deadline::DeadlineGovernor;
 pub use pipeline::{
     compile, compile_and_run, run, CompileError, CompileOptions, Compiled, Engine, ExecCounters,
     ExecMode, ExecOutput, Unit,

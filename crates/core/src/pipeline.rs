@@ -9,8 +9,10 @@
 //! in-place execution per §9. [`run`] executes the units in binding
 //! order inside one instrumented VM.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use hac_analysis::analyze::{analyze_array, analyze_bigupd, AnalysisError, CollisionVerdict};
 use hac_analysis::search::TestPolicy;
@@ -24,7 +26,7 @@ use hac_lang::number::number_comp;
 use hac_lang::Affine;
 use hac_runtime::accum::eval_accum_with_scalars;
 use hac_runtime::error::RuntimeError;
-use hac_runtime::governor::{FaultPlan, Limits, Meter};
+use hac_runtime::governor::{FaultPlan, Limits, Meter, SharedCeiling};
 use hac_runtime::group::ThunkedGroup;
 use hac_runtime::reduce::eval_reduce;
 use hac_runtime::thunked::ThunkedCounters;
@@ -595,6 +597,9 @@ pub struct ExecOutput {
     /// Every scalar reduction result, by name.
     pub scalars: HashMap<String, f64>,
     pub counters: ExecCounters,
+    /// Fuel remaining when the run finished; `None` when the budget
+    /// was unlimited.
+    pub fuel_left: Option<u64>,
 }
 
 impl ExecOutput {
@@ -679,6 +684,11 @@ pub struct RunOptions {
     /// Fault-injection plan for parallel units. `None` defers to the
     /// `HAC_FAULT_PLAN` environment variable.
     pub faults: Option<FaultPlan>,
+    /// Process-wide resource pool shared between concurrent requests.
+    /// When set, the run's meter is admitted against it (reserving its
+    /// `limits` up front) and settled when the run finishes — see
+    /// [`SharedCeiling`] for the settlement rule.
+    pub ceiling: Option<Arc<SharedCeiling>>,
 }
 
 /// [`run`] with full execution options: thread count, resource
@@ -695,8 +705,32 @@ pub fn run_with_options(
     funcs: &FuncTable,
     options: &RunOptions,
 ) -> Result<ExecOutput, RuntimeError> {
+    let mut meter = match &options.ceiling {
+        Some(ceiling) => Meter::admit(options.limits, ceiling)?,
+        None => Meter::new(options.limits),
+    };
+    let out = run_with_meter(compiled, inputs, funcs, options, &mut meter);
+    meter.settle();
+    out
+}
+
+/// [`run_with_options`] charging a caller-owned [`Meter`] — the serving
+/// layer admits one meter per request against a [`SharedCeiling`] and
+/// needs the fuel balance back even when the run fails, then settles
+/// the meter itself. `options.limits` / `options.ceiling` are ignored
+/// here; the meter already embodies them.
+///
+/// # Errors
+/// See [`run_with_options`]. On error the meter still holds the exact
+/// balance at the failure point.
+pub fn run_with_meter(
+    compiled: &Compiled,
+    inputs: &HashMap<String, ArrayBuf>,
+    funcs: &FuncTable,
+    options: &RunOptions,
+    meter: &mut Meter,
+) -> Result<ExecOutput, RuntimeError> {
     let threads = options.threads.unwrap_or_else(default_threads);
-    let mut meter = Meter::new(options.limits);
     let mut arrays: HashMap<String, ArrayBuf> = HashMap::new();
     let mut scalars: Vec<(String, f64)> = Vec::new();
     let mut counters = ExecCounters::default();
@@ -719,7 +753,7 @@ pub fn run_with_options(
             } => {
                 let mut vm = Vm::new();
                 vm.with_funcs(funcs.clone());
-                vm.with_meter(meter);
+                vm.with_meter(std::mem::take(meter));
                 vm.with_faults(options.faults.clone());
                 for (p, v) in compiled.env.iter() {
                     vm.set_global(p, v as f64);
@@ -734,7 +768,7 @@ pub fn run_with_options(
                     (Some(t), None) => vm.run_tape(t),
                     (None, _) => vm.run(prog),
                 };
-                meter = vm.take_meter();
+                *meter = vm.take_meter();
                 out?;
                 counters.vm = add_vm(counters.vm, vm.counters);
                 arrays = vm.into_arrays();
@@ -742,29 +776,38 @@ pub fn run_with_options(
             }
             Unit::Thunked { defs } => {
                 for (_, b, _) in defs {
-                    meter.charge_mem(ArrayBuf::data_bytes(b))?;
+                    // Thunked arrays always track definedness, so the
+                    // bitmap rides along with the element storage.
+                    meter.charge_mem(ArrayBuf::footprint_bytes(b, true))?;
                 }
                 let triples: Vec<hac_runtime::group::GroupDef<'_>> = defs
                     .iter()
                     .map(|(n, b, c)| (n.as_str(), b.clone(), c))
                     .collect();
-                let group = ThunkedGroup::build_with_scalars(
-                    &triples,
-                    &compiled.env,
-                    &scalars,
-                    &arrays,
-                    funcs,
-                )?;
-                let results = {
+                // The group holds `&RefCell<Meter>` for its lifetime, so
+                // park the meter in a cell and take it back afterwards —
+                // including on the error paths, which must report the
+                // exact balance at the failure point.
+                let meter_cell = RefCell::new(std::mem::take(meter));
+                let results = (|| {
+                    let group = ThunkedGroup::build_metered(
+                        &triples,
+                        &compiled.env,
+                        &scalars,
+                        &arrays,
+                        funcs,
+                        Some(&meter_cell),
+                    )?;
                     let out = group.force_elements();
                     let gc = group.counters();
                     counters.thunked.thunks_allocated += gc.thunks_allocated;
                     counters.thunked.demands += gc.demands;
                     counters.thunked.memo_hits += gc.memo_hits;
                     out?;
-                    group.into_strict()?
-                };
-                for (n, b) in results {
+                    group.into_strict()
+                })();
+                *meter = meter_cell.into_inner();
+                for (n, b) in results? {
                     arrays.insert(n, b);
                 }
             }
@@ -806,6 +849,8 @@ pub fn run_with_options(
             } => {
                 let mut vm = Vm::new();
                 vm.with_funcs(funcs.clone());
+                vm.with_meter(std::mem::take(meter));
+                vm.with_faults(options.faults.clone());
                 for (p, v) in compiled.env.iter() {
                     vm.set_global(p, v as f64);
                 }
@@ -816,11 +861,13 @@ pub fn run_with_options(
                 if lowered.in_place {
                     vm.alias(name.clone(), base.clone());
                 }
-                match (tape, par) {
-                    (Some(t), Some(p)) => vm.run_partape(t, p, threads)?,
-                    (Some(t), None) => vm.run_tape(t)?,
-                    (None, _) => vm.run(&lowered.prog)?,
-                }
+                let out = match (tape, par) {
+                    (Some(t), Some(p)) => vm.run_partape(t, p, threads),
+                    (Some(t), None) => vm.run_tape(t),
+                    (None, _) => vm.run(&lowered.prog),
+                };
+                *meter = vm.take_meter();
+                out?;
                 counters.vm = add_vm(counters.vm, vm.counters);
                 arrays = vm.into_arrays();
                 if lowered.in_place {
@@ -838,6 +885,7 @@ pub fn run_with_options(
         arrays,
         scalars: scalars.into_iter().collect(),
         counters,
+        fuel_left: meter.fuel_limited().then(|| meter.fuel_left()),
     })
 }
 

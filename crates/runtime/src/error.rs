@@ -40,6 +40,14 @@ pub enum RuntimeError {
     /// A parallel worker faulted and the region could not be safely
     /// re-executed sequentially.
     EngineFault { region: u64, detail: String },
+    /// The process-wide resource pool (shared by every concurrent
+    /// request) could not cover a reservation or draw.
+    CeilingExhausted {
+        /// `"fuel"` or `"memory"`.
+        resource: &'static str,
+        requested: u64,
+        available: u64,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -87,6 +95,14 @@ impl fmt::Display for RuntimeError {
             RuntimeError::EngineFault { region, detail } => {
                 write!(f, "engine fault in parallel region {region}: {detail}")
             }
+            RuntimeError::CeilingExhausted {
+                resource,
+                requested,
+                available,
+            } => write!(
+                f,
+                "global {resource} ceiling exhausted: {requested} requested, {available} available"
+            ),
         }
     }
 }

@@ -20,6 +20,9 @@
 //! chosen (region, chunk) coordinates — no wall clock, no RNG at
 //! runtime — so fault-tolerance paths can be exercised differentially.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
 use crate::error::RuntimeError;
 
 /// Caps on a single run. `None` means unlimited.
@@ -44,23 +47,265 @@ impl Limits {
 /// so the hot path can decrement unconditionally.
 const UNLIMITED: u64 = u64::MAX;
 
+/// Fuel units a lazily-drawing meter pulls from the ceiling per refill
+/// (see [`Meter::admit`]). The block size never changes *which* charge
+/// exhausts — only how often the shared pool is touched — because a
+/// draw hands every obtained unit to the local counter and the final
+/// failing draw happens exactly when the pool is empty.
+const FUEL_BLOCK: u64 = 1024;
+
+/// One stripe of a [`SharedCeiling`], padded to a cache line so
+/// concurrent requests hitting different stripes never false-share.
+#[repr(align(64))]
+#[derive(Debug)]
+struct Stripe(AtomicU64);
+
+/// A process-wide resource pool shared by every concurrent request.
+///
+/// The pool is *striped*: the total budget is distributed over
+/// cache-padded atomic counters so concurrent reservations mostly touch
+/// disjoint cache lines. Reservations are **all-or-nothing**: a request
+/// either obtains its full amount (gathered across stripes, rolled back
+/// on shortfall) or nothing, so the sum of outstanding grants can never
+/// exceed the initial pool — striping is invisible in the accounting.
+///
+/// **Settlement rule** (what keeps exhaustion bit-identical at any
+/// thread count and stripe width): a request's *own* exhaustion point
+/// is governed solely by its local [`Meter`] counters, which are fixed
+/// at admission — the ceiling is only touched at admission (reserve),
+/// refill (lazy draws, see below), and settlement (refund). On
+/// settlement, unspent **fuel** returns to the pool (spent fuel is
+/// gone: the pool bounds total ops the process executes) and reserved
+/// **memory** returns in full (the pool bounds *concurrent* residency).
+/// After every admitted request settles, `fuel_available()` equals the
+/// initial pool minus the exact sequential fuel spend of each request,
+/// and `mem_available()` equals the initial pool — independent of
+/// stripe width, thread interleaving, or engine.
+///
+/// A request admitted with *no* local fuel cap under a finite fuel
+/// ceiling draws blocks lazily instead; its exhaustion point then
+/// depends on what sibling requests have drawn (documented
+/// admission-order dependence — give requests their own budgets when
+/// isolation matters).
+#[derive(Debug)]
+pub struct SharedCeiling {
+    fuel: Box<[Stripe]>,
+    mem: Box<[Stripe]>,
+    fuel_total: u64,
+    mem_total: u64,
+    /// Round-robin admission hint so concurrent requests start their
+    /// stripe walk at different offsets.
+    hint: AtomicUsize,
+}
+
+impl SharedCeiling {
+    /// A pool holding `limits`, split over `stripes` counters
+    /// (`stripes` is clamped to at least 1). `None` caps are truly
+    /// uncapped: reservations against them always succeed and never
+    /// touch an atomic.
+    pub fn new(limits: Limits, stripes: usize) -> Arc<SharedCeiling> {
+        let n = stripes.max(1);
+        let split = |total: u64| -> Box<[Stripe]> {
+            (0..n as u64)
+                .map(|i| {
+                    let share = total / n as u64 + u64::from(i < total % n as u64);
+                    Stripe(AtomicU64::new(share))
+                })
+                .collect()
+        };
+        Arc::new(SharedCeiling {
+            fuel: split(limits.fuel.unwrap_or(0)),
+            mem: split(limits.mem_bytes.unwrap_or(0)),
+            fuel_total: limits.fuel.unwrap_or(UNLIMITED),
+            mem_total: limits.mem_bytes.unwrap_or(UNLIMITED),
+            hint: AtomicUsize::new(0),
+        })
+    }
+
+    /// Whether the pool caps fuel at all.
+    pub fn fuel_capped(&self) -> bool {
+        self.fuel_total != UNLIMITED
+    }
+
+    /// Whether the pool caps memory at all.
+    pub fn mem_capped(&self) -> bool {
+        self.mem_total != UNLIMITED
+    }
+
+    /// Fuel currently in the pool (racy snapshot; exact when quiescent).
+    pub fn fuel_available(&self) -> u64 {
+        if !self.fuel_capped() {
+            return UNLIMITED;
+        }
+        self.fuel.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Memory currently in the pool (racy snapshot; exact when
+    /// quiescent).
+    pub fn mem_available(&self) -> u64 {
+        if !self.mem_capped() {
+            return UNLIMITED;
+        }
+        self.mem.iter().map(|s| s.0.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Take up to `want` units from one stripe; returns what it got.
+    fn take_upto(stripe: &AtomicU64, want: u64) -> u64 {
+        let mut cur = stripe.load(Ordering::Relaxed);
+        loop {
+            let take = cur.min(want);
+            if take == 0 {
+                return 0;
+            }
+            match stripe.compare_exchange_weak(
+                cur,
+                cur - take,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return take,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// All-or-nothing gather of `amount` across `stripes`; on shortfall
+    /// everything taken is rolled back and the call returns `false`.
+    fn take(&self, stripes: &[Stripe], amount: u64) -> bool {
+        if amount == 0 {
+            return true;
+        }
+        let start = self.hint.fetch_add(1, Ordering::Relaxed) % stripes.len();
+        let mut taken = vec![0u64; stripes.len()];
+        let mut need = amount;
+        for k in 0..stripes.len() {
+            let i = (start + k) % stripes.len();
+            let got = Self::take_upto(&stripes[i].0, need);
+            taken[i] = got;
+            need -= got;
+            if need == 0 {
+                return true;
+            }
+        }
+        for (i, t) in taken.iter().enumerate() {
+            if *t > 0 {
+                stripes[i].0.fetch_add(*t, Ordering::Relaxed);
+            }
+        }
+        false
+    }
+
+    /// Take up to `want` units (not all-or-nothing): the lazy-draw
+    /// path. Returns what it got, possibly 0.
+    fn drain_upto(&self, stripes: &[Stripe], want: u64) -> u64 {
+        let start = self.hint.fetch_add(1, Ordering::Relaxed) % stripes.len();
+        let mut got = 0;
+        for k in 0..stripes.len() {
+            let i = (start + k) % stripes.len();
+            got += Self::take_upto(&stripes[i].0, want - got);
+            if got == want {
+                break;
+            }
+        }
+        got
+    }
+
+    /// Return `amount` units, spread evenly so later cross-stripe
+    /// gathers stay cheap.
+    fn put(&self, stripes: &[Stripe], amount: u64) {
+        if amount == 0 {
+            return;
+        }
+        let n = stripes.len() as u64;
+        for (i, s) in stripes.iter().enumerate() {
+            let share = amount / n + u64::from((i as u64) < amount % n);
+            if share > 0 {
+                s.0.fetch_add(share, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Reserve `amount` fuel units, all-or-nothing.
+    pub fn reserve_fuel(&self, amount: u64) -> bool {
+        !self.fuel_capped() || self.take(&self.fuel, amount)
+    }
+
+    /// Reserve `amount` memory bytes, all-or-nothing.
+    pub fn reserve_mem(&self, amount: u64) -> bool {
+        !self.mem_capped() || self.take(&self.mem, amount)
+    }
+
+    /// Return `amount` fuel units to the pool.
+    pub fn refund_fuel(&self, amount: u64) {
+        if self.fuel_capped() {
+            self.put(&self.fuel, amount);
+        }
+    }
+
+    /// Return `amount` memory bytes to the pool.
+    pub fn refund_mem(&self, amount: u64) {
+        if self.mem_capped() {
+            self.put(&self.mem, amount);
+        }
+    }
+}
+
+/// A [`Meter`]'s hold on a [`SharedCeiling`]: what was reserved at
+/// admission and what has been drawn lazily since, so settlement can
+/// refund exactly the right amount. Deliberately not `Clone` — a
+/// reservation must be settled exactly once.
+#[derive(Debug)]
+struct Lease {
+    ceiling: Arc<SharedCeiling>,
+    /// Fuel reserved all-or-nothing at admission (finite local cap).
+    fuel_reserved: u64,
+    /// Memory reserved all-or-nothing at admission (finite local cap).
+    mem_reserved: u64,
+    /// No local fuel cap: draw [`FUEL_BLOCK`]-sized refills on demand.
+    lazy_fuel: bool,
+    /// No local memory cap: draw exact byte amounts on demand.
+    lazy_mem: bool,
+    /// Total lazily drawn fuel (for settlement accounting).
+    lazy_fuel_drawn: u64,
+    /// Total lazily drawn memory.
+    lazy_mem_drawn: u64,
+}
+
 /// A running budget, charged as the engines execute.
 ///
 /// One meter spans a whole pipeline run (all units share the budget).
 /// The parallel engine derives per-chunk sub-meters with
 /// [`Meter::sub_meter`] so exhaustion lands on the same iteration
-/// ordinal as a sequential run.
-#[derive(Debug, Clone)]
+/// ordinal as a sequential run. A meter admitted against a
+/// [`SharedCeiling`] additionally holds a lease on the global pool;
+/// see [`Meter::admit`] and [`Meter::settle`].
+#[derive(Debug)]
 pub struct Meter {
     fuel_left: u64,
     fuel_limit: u64,
     mem_left: u64,
     mem_limit: u64,
+    lease: Option<Box<Lease>>,
 }
 
 impl Default for Meter {
     fn default() -> Self {
         Meter::unlimited()
+    }
+}
+
+impl Clone for Meter {
+    /// Cloning yields a counter snapshot for deriving chunk sub-meters.
+    /// The ceiling lease stays with the original: a reservation must be
+    /// settled (refunded) exactly once, so a clone never carries one.
+    fn clone(&self) -> Meter {
+        Meter {
+            fuel_left: self.fuel_left,
+            fuel_limit: self.fuel_limit,
+            mem_left: self.mem_left,
+            mem_limit: self.mem_limit,
+            lease: None,
+        }
     }
 }
 
@@ -72,17 +317,111 @@ impl Meter {
             fuel_limit: UNLIMITED,
             mem_left: UNLIMITED,
             mem_limit: UNLIMITED,
+            lease: None,
         }
     }
 
-    /// A meter enforcing `limits`.
+    /// A meter enforcing `limits`, unbacked by any global pool.
     pub fn new(limits: Limits) -> Self {
         Meter {
             fuel_left: limits.fuel.unwrap_or(UNLIMITED),
             fuel_limit: limits.fuel.unwrap_or(UNLIMITED),
             mem_left: limits.mem_bytes.unwrap_or(UNLIMITED),
             mem_limit: limits.mem_bytes.unwrap_or(UNLIMITED),
+            lease: None,
         }
+    }
+
+    /// Admit a request: build a meter enforcing `limits` whose budget
+    /// is covered by `ceiling`.
+    ///
+    /// Finite local caps are reserved from the pool **all-or-nothing
+    /// up front**, so the request's exhaustion point afterwards depends
+    /// only on its own counters — bit-identical at any thread count or
+    /// stripe width, independent of sibling requests. A resource with
+    /// no local cap under a capped pool instead *draws lazily* (fuel in
+    /// [`FUEL_BLOCK`] refills, memory by exact byte amounts); such a
+    /// meter's exhaustion point is admission-order dependent and the
+    /// parallel engine runs its regions sequentially
+    /// ([`Meter::draws_lazily`]).
+    ///
+    /// # Errors
+    /// [`RuntimeError::CeilingExhausted`] when the pool cannot cover a
+    /// requested reservation (nothing is held on failure).
+    pub fn admit(limits: Limits, ceiling: &Arc<SharedCeiling>) -> Result<Meter, RuntimeError> {
+        let mut lease = Lease {
+            ceiling: Arc::clone(ceiling),
+            fuel_reserved: 0,
+            mem_reserved: 0,
+            lazy_fuel: false,
+            lazy_mem: false,
+            lazy_fuel_drawn: 0,
+            lazy_mem_drawn: 0,
+        };
+        let mut m = Meter::new(limits);
+        if ceiling.fuel_capped() {
+            match limits.fuel {
+                Some(f) => {
+                    if !ceiling.reserve_fuel(f) {
+                        return Err(RuntimeError::CeilingExhausted {
+                            resource: "fuel",
+                            requested: f,
+                            available: ceiling.fuel_available(),
+                        });
+                    }
+                    lease.fuel_reserved = f;
+                }
+                None => {
+                    lease.lazy_fuel = true;
+                    m.fuel_left = 0;
+                }
+            }
+        }
+        if ceiling.mem_capped() {
+            match limits.mem_bytes {
+                Some(b) => {
+                    if !ceiling.reserve_mem(b) {
+                        // Roll back the fuel hold: admission is
+                        // all-or-nothing across both resources.
+                        ceiling.refund_fuel(lease.fuel_reserved);
+                        return Err(RuntimeError::CeilingExhausted {
+                            resource: "memory",
+                            requested: b,
+                            available: ceiling.mem_available(),
+                        });
+                    }
+                    lease.mem_reserved = b;
+                }
+                None => lease.lazy_mem = true,
+            }
+        }
+        if lease.fuel_reserved > 0 || lease.mem_reserved > 0 || lease.lazy_fuel || lease.lazy_mem {
+            m.lease = Some(Box::new(lease));
+        }
+        Ok(m)
+    }
+
+    /// Settle the meter's ceiling lease: unspent fuel and *all*
+    /// reserved/drawn memory return to the pool (see the
+    /// [`SharedCeiling`] settlement rule). Idempotent; a no-op for
+    /// meters without a lease.
+    pub fn settle(&mut self) {
+        let Some(lease) = self.lease.take() else {
+            return;
+        };
+        let fuel_held = lease.fuel_reserved + lease.lazy_fuel_drawn;
+        lease.ceiling.refund_fuel(self.fuel_left.min(fuel_held));
+        lease
+            .ceiling
+            .refund_mem(lease.mem_reserved + lease.lazy_mem_drawn);
+    }
+
+    /// Whether this meter refills its fuel from the ceiling on demand
+    /// (no local cap under a capped pool). Such budgets cannot be split
+    /// statically, so parallel regions must run sequentially.
+    #[inline]
+    pub fn draws_lazily(&self) -> bool {
+        self.lease.as_ref().is_some_and(|l| l.lazy_fuel)
     }
 
     /// Whether a finite fuel cap is in force.
@@ -103,12 +442,34 @@ impl Meter {
     #[inline]
     pub fn charge_fuel(&mut self) -> Result<(), RuntimeError> {
         if self.fuel_left == 0 {
-            return Err(RuntimeError::FuelExhausted {
-                limit: self.fuel_limit,
-            });
+            return self.refill_or_exhaust();
         }
         self.fuel_left -= 1;
         Ok(())
+    }
+
+    /// The empty-counter path: refill from a lazy ceiling lease, or
+    /// report exhaustion.
+    #[cold]
+    fn refill_or_exhaust(&mut self) -> Result<(), RuntimeError> {
+        if let Some(lease) = self.lease.as_mut() {
+            if lease.lazy_fuel {
+                let got = lease.ceiling.drain_upto(&lease.ceiling.fuel, FUEL_BLOCK);
+                if got > 0 {
+                    lease.lazy_fuel_drawn += got;
+                    self.fuel_left = got - 1;
+                    return Ok(());
+                }
+                return Err(RuntimeError::CeilingExhausted {
+                    resource: "fuel",
+                    requested: 1,
+                    available: 0,
+                });
+            }
+        }
+        Err(RuntimeError::FuelExhausted {
+            limit: self.fuel_limit,
+        })
     }
 
     /// Deduct `n` fuel units without an exhaustion check (used when a
@@ -123,6 +484,19 @@ impl Meter {
     #[inline]
     pub fn charge_mem(&mut self, bytes: u64) -> Result<(), RuntimeError> {
         if self.mem_limit == UNLIMITED {
+            if let Some(lease) = self.lease.as_mut() {
+                if lease.lazy_mem {
+                    if lease.ceiling.reserve_mem(bytes) {
+                        lease.lazy_mem_drawn += bytes;
+                        return Ok(());
+                    }
+                    return Err(RuntimeError::CeilingExhausted {
+                        resource: "memory",
+                        requested: bytes,
+                        available: lease.ceiling.mem_available(),
+                    });
+                }
+            }
             return Ok(());
         }
         if bytes > self.mem_left {
@@ -148,13 +522,16 @@ impl Meter {
     /// A chunk-local meter holding `fuel_left` units but reporting the
     /// *original* limit on exhaustion, so the error payload is
     /// identical to a sequential run's. Memory is never charged inside
-    /// parallel chunks, so the sub-meter carries no memory budget.
+    /// parallel chunks, so the sub-meter carries no memory budget — and
+    /// no ceiling lease (the parent's reservation already covers the
+    /// chunk's spend).
     pub fn sub_meter(&self, fuel_left: u64) -> Meter {
         Meter {
             fuel_left,
             fuel_limit: self.fuel_limit,
             mem_left: UNLIMITED,
             mem_limit: UNLIMITED,
+            lease: None,
         }
     }
 }
@@ -354,6 +731,190 @@ mod tests {
             sub.charge_fuel(),
             Err(RuntimeError::FuelExhausted { limit: 1000 })
         );
+    }
+
+    fn caps(fuel: u64, mem: u64) -> Limits {
+        Limits {
+            fuel: Some(fuel),
+            mem_bytes: Some(mem),
+        }
+    }
+
+    #[test]
+    fn ceiling_admission_is_all_or_nothing() {
+        let c = SharedCeiling::new(caps(100, 1000), 4);
+        let mut a = Meter::admit(caps(60, 400), &c).unwrap();
+        assert_eq!(c.fuel_available(), 40);
+        assert_eq!(c.mem_available(), 600);
+        // Second request over-asks on fuel: nothing is held.
+        let err = Meter::admit(caps(50, 100), &c).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::CeilingExhausted {
+                resource: "fuel",
+                requested: 50,
+                available: 40,
+            }
+        ));
+        assert_eq!(c.mem_available(), 600, "failed admission holds nothing");
+        // Memory shortfall rolls the fuel hold back too.
+        let err = Meter::admit(caps(10, 700), &c).unwrap_err();
+        assert!(matches!(
+            err,
+            RuntimeError::CeilingExhausted {
+                resource: "memory",
+                ..
+            }
+        ));
+        assert_eq!(c.fuel_available(), 40, "fuel hold rolled back");
+        a.settle();
+    }
+
+    #[test]
+    fn settlement_refunds_unspent_fuel_and_all_memory() {
+        for stripes in [1, 2, 4, 8] {
+            let c = SharedCeiling::new(caps(100, 1000), stripes);
+            let mut m = Meter::admit(caps(60, 400), &c).unwrap();
+            for _ in 0..25 {
+                m.charge_fuel().unwrap();
+            }
+            m.charge_mem(128).unwrap();
+            m.settle();
+            assert_eq!(c.fuel_available(), 75, "spent fuel stays spent");
+            assert_eq!(c.mem_available(), 1000, "memory returns in full");
+            // Settle is idempotent.
+            m.settle();
+            assert_eq!(c.fuel_available(), 75);
+        }
+    }
+
+    #[test]
+    fn local_exhaustion_is_ceiling_independent() {
+        // An admitted meter trips exactly like a plain one: same
+        // charge, same payload — the ceiling never changes the point.
+        for stripes in [1, 3, 8] {
+            let c = SharedCeiling::new(caps(1000, 10_000), stripes);
+            let mut plain = Meter::new(caps(3, 64));
+            let mut admitted = Meter::admit(caps(3, 64), &c).unwrap();
+            for _ in 0..3 {
+                plain.charge_fuel().unwrap();
+                admitted.charge_fuel().unwrap();
+            }
+            assert_eq!(plain.charge_fuel(), admitted.charge_fuel());
+            assert_eq!(plain.charge_mem(100), admitted.charge_mem(100));
+            admitted.settle();
+        }
+    }
+
+    #[test]
+    fn lazy_meter_draws_blocks_and_exhausts_on_empty_pool() {
+        let c = SharedCeiling::new(
+            Limits {
+                fuel: Some(FUEL_BLOCK + 7),
+                mem_bytes: None,
+            },
+            4,
+        );
+        let mut m = Meter::admit(Limits::unlimited(), &c).unwrap();
+        assert!(m.draws_lazily());
+        for _ in 0..(FUEL_BLOCK + 7) {
+            m.charge_fuel().unwrap();
+        }
+        assert_eq!(
+            m.charge_fuel(),
+            Err(RuntimeError::CeilingExhausted {
+                resource: "fuel",
+                requested: 1,
+                available: 0,
+            })
+        );
+        m.settle();
+        assert_eq!(c.fuel_available(), 0, "every drawn unit was spent");
+    }
+
+    #[test]
+    fn lazy_mem_draws_and_refunds_exact_bytes() {
+        let c = SharedCeiling::new(
+            Limits {
+                fuel: None,
+                mem_bytes: Some(256),
+            },
+            2,
+        );
+        let mut m = Meter::admit(Limits::unlimited(), &c).unwrap();
+        m.charge_mem(200).unwrap();
+        assert_eq!(c.mem_available(), 56);
+        assert!(matches!(
+            m.charge_mem(100),
+            Err(RuntimeError::CeilingExhausted {
+                resource: "memory",
+                requested: 100,
+                ..
+            })
+        ));
+        m.settle();
+        assert_eq!(c.mem_available(), 256, "memory returns on settle");
+    }
+
+    #[test]
+    fn clone_and_sub_meter_carry_no_lease() {
+        let c = SharedCeiling::new(caps(100, 100), 2);
+        let mut m = Meter::admit(caps(40, 40), &c).unwrap();
+        let clone = m.clone();
+        let sub = m.sub_meter(10);
+        drop(clone);
+        drop(sub);
+        m.settle();
+        assert_eq!(c.fuel_available(), 100, "only the original refunds");
+        assert_eq!(c.mem_available(), 100);
+    }
+
+    #[test]
+    fn racing_reservations_never_overcommit() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        // Hammer the pool from many threads; an atomic tally of
+        // outstanding grants proves the sum never exceeds the pool.
+        const POOL: u64 = 10_000;
+        for stripes in [1, 4, 8] {
+            let c = SharedCeiling::new(
+                Limits {
+                    fuel: Some(POOL),
+                    mem_bytes: None,
+                },
+                stripes,
+            );
+            let outstanding = AtomicU64::new(0);
+            let granted = AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for t in 0..8u64 {
+                    let c = &c;
+                    let outstanding = &outstanding;
+                    let granted = &granted;
+                    s.spawn(move || {
+                        let mut x = t.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+                        for _ in 0..2000 {
+                            x ^= x << 13;
+                            x ^= x >> 7;
+                            x ^= x << 17;
+                            let amount = x % 700 + 1;
+                            if c.reserve_fuel(amount) {
+                                let now = outstanding.fetch_add(amount, Ordering::SeqCst) + amount;
+                                assert!(now <= POOL, "over-committed: {now} > {POOL}");
+                                granted.fetch_add(amount, Ordering::Relaxed);
+                                outstanding.fetch_sub(amount, Ordering::SeqCst);
+                                c.refund_fuel(amount);
+                            }
+                        }
+                    });
+                }
+            });
+            assert!(granted.load(Ordering::Relaxed) > 0, "some grants happened");
+            assert_eq!(
+                c.fuel_available(),
+                POOL,
+                "full refunds restore the pool exactly (stripes={stripes})"
+            );
+        }
     }
 
     #[test]

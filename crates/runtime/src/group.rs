@@ -14,7 +14,8 @@ use hac_lang::ast::{Comp, Expr};
 use hac_lang::env::ConstEnv;
 
 use crate::error::RuntimeError;
-use crate::thunked::ThunkedCounters;
+use crate::governor::Meter;
+use crate::thunked::{thunk_spine_bytes, ThunkedCounters};
 use crate::value::{as_int, eval_expr, ArrayBuf, ArrayReader, FuncTable, MapReader, Scalars};
 
 #[derive(Debug, Clone)]
@@ -49,6 +50,9 @@ pub struct ThunkedGroup<'a> {
     others: &'a HashMap<String, ArrayBuf>,
     funcs: &'a FuncTable,
     counters: RefCell<ThunkedCounters>,
+    /// Shared resource budget: one fuel unit per forced thunk, spine
+    /// bytes per allocated thunk. `None` = unmetered.
+    meter: Option<&'a RefCell<Meter>>,
 }
 
 impl std::fmt::Debug for ThunkedGroup<'_> {
@@ -92,11 +96,30 @@ impl<'a> ThunkedGroup<'a> {
         others: &'a HashMap<String, ArrayBuf>,
         funcs: &'a FuncTable,
     ) -> Result<ThunkedGroup<'a>, RuntimeError> {
+        ThunkedGroup::build_metered(defs, params, extra_scalars, others, funcs, None)
+    }
+
+    /// [`ThunkedGroup::build_with_scalars`] charging a shared
+    /// [`Meter`]: spine bytes per allocated thunk during collection,
+    /// one fuel unit per thunk forced later (the non-strict analog of
+    /// the compiled engines' per-iteration charge).
+    ///
+    /// # Errors
+    /// As [`ThunkedGroup::build_with_scalars`], plus budget exhaustion.
+    pub fn build_metered(
+        defs: &[GroupDef<'_>],
+        params: &ConstEnv,
+        extra_scalars: &[(String, f64)],
+        others: &'a HashMap<String, ArrayBuf>,
+        funcs: &'a FuncTable,
+        meter: Option<&'a RefCell<Meter>>,
+    ) -> Result<ThunkedGroup<'a>, RuntimeError> {
         let mut group = ThunkedGroup {
             members: Vec::new(),
             others,
             funcs,
             counters: RefCell::new(ThunkedCounters::default()),
+            meter,
         };
         for (name, bounds, _) in defs {
             let shape = ArrayBuf::new(bounds, 0.0);
@@ -204,10 +227,14 @@ impl<'a> ThunkedGroup<'a> {
                         index: idx,
                     });
                 }
+                let snap = scalars.snapshot();
+                if let Some(m) = self.meter {
+                    m.borrow_mut().charge_mem(thunk_spine_bytes(snap.len()))?;
+                }
                 let tid = member.thunks.len();
                 member.thunks.push(Thunk {
                     value: Rc::clone(&values[&sv.id.0]),
-                    scalars: scalars.snapshot(),
+                    scalars: snap,
                 });
                 cells[off] = Cell::Thunk(tid);
                 self.counters.borrow_mut().thunks_allocated += 1;
@@ -255,6 +282,11 @@ impl<'a> ThunkedGroup<'a> {
                 index: idx.to_vec(),
             }),
             Cell::Thunk(tid) => {
+                // One fuel unit per *forced* thunk — the demand-driven
+                // counterpart of a taken loop iteration.
+                if let Some(m) = self.meter {
+                    m.borrow_mut().charge_fuel()?;
+                }
                 member.cells.borrow_mut()[off] = Cell::Evaluating;
                 let thunk = &member.thunks[tid];
                 let mut scalars = Scalars::new();

@@ -26,7 +26,18 @@ use hac_lang::ast::{Comp, Expr};
 use hac_lang::env::ConstEnv;
 
 use crate::error::RuntimeError;
+use crate::governor::Meter;
 use crate::value::{as_int, eval_expr, ArrayBuf, ArrayReader, FuncTable, MapReader, Scalars};
+
+/// Metered bytes for one thunk's spine: the cell discriminant plus the
+/// shared value-expression handle (a fixed overhead) and the captured
+/// scalar snapshot (name handle + value per binding). A *model*, not a
+/// `size_of` — the figure is fixed so the charge sequence is
+/// deterministic and identical wherever thunks are built (single
+/// arrays and `letrec*` groups alike).
+pub fn thunk_spine_bytes(captured_scalars: usize) -> u64 {
+    32 + 16 * captured_scalars as u64
+}
 
 /// Instrumentation for the thunked strategy.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -65,6 +76,9 @@ pub struct ThunkedArray<'a> {
     others: &'a HashMap<String, ArrayBuf>,
     funcs: &'a FuncTable,
     counters: RefCell<ThunkedCounters>,
+    /// Shared resource budget: one fuel unit per forced thunk,
+    /// spine bytes per allocated thunk. `None` = unmetered.
+    meter: Option<&'a RefCell<Meter>>,
 }
 
 impl std::fmt::Debug for ThunkedArray<'_> {
@@ -93,6 +107,26 @@ impl<'a> ThunkedArray<'a> {
         others: &'a HashMap<String, ArrayBuf>,
         funcs: &'a FuncTable,
     ) -> Result<ThunkedArray<'a>, RuntimeError> {
+        ThunkedArray::build_metered(name, bounds, comp, params, others, funcs, None)
+    }
+
+    /// [`ThunkedArray::build`] charging a shared [`Meter`]: spine bytes
+    /// per allocated thunk during collection, one fuel unit per thunk
+    /// forced later (the non-strict analog of the compiled engines'
+    /// per-iteration charge).
+    ///
+    /// # Errors
+    /// As [`ThunkedArray::build`], plus budget exhaustion.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_metered(
+        name: &str,
+        bounds: &[(i64, i64)],
+        comp: &Comp,
+        params: &ConstEnv,
+        others: &'a HashMap<String, ArrayBuf>,
+        funcs: &'a FuncTable,
+        meter: Option<&'a RefCell<Meter>>,
+    ) -> Result<ThunkedArray<'a>, RuntimeError> {
         let shape = ArrayBuf::new(bounds, 0.0);
         let mut arr = ThunkedArray {
             name: name.to_string(),
@@ -103,6 +137,7 @@ impl<'a> ThunkedArray<'a> {
             others,
             funcs,
             counters: RefCell::new(ThunkedCounters::default()),
+            meter,
         };
         let mut scalars = Scalars::new();
         for (p, v) in params.iter() {
@@ -188,10 +223,14 @@ impl<'a> ThunkedArray<'a> {
                         index: idx,
                     });
                 }
+                let snap = scalars.snapshot();
+                if let Some(m) = self.meter {
+                    m.borrow_mut().charge_mem(thunk_spine_bytes(snap.len()))?;
+                }
                 let tid = self.thunks.len();
                 self.thunks.push(Thunk {
                     value: Rc::clone(&values[&sv.id.0]),
-                    scalars: scalars.snapshot(),
+                    scalars: snap,
                 });
                 self.counters.borrow_mut().thunks_allocated += 1;
                 cells[off] = Cell::Thunk(tid);
@@ -248,6 +287,11 @@ impl<'a> ThunkedArray<'a> {
                 index: idx.to_vec(),
             }),
             Cell::Thunk(tid) => {
+                // One fuel unit per *forced* thunk — the demand-driven
+                // counterpart of a taken loop iteration.
+                if let Some(m) = self.meter {
+                    m.borrow_mut().charge_fuel()?;
+                }
                 self.cells.borrow_mut()[off] = Cell::Evaluating;
                 let thunk = &self.thunks[tid];
                 let mut scalars = Scalars::new();

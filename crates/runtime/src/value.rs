@@ -53,15 +53,26 @@ impl ArrayBuf {
 
     /// Element-storage bytes an allocation with `bounds` will occupy —
     /// the figure charged against a memory-metered run *before* the
-    /// buffer is built. Definedness bitmaps and bookkeeping are
-    /// deliberately not counted: the meter tracks payload bytes so the
-    /// charge is identical across engines.
+    /// buffer is built. See [`ArrayBuf::footprint_bytes`] for the full
+    /// metered footprint including the definedness bitmap.
     pub fn data_bytes(bounds: &[(i64, i64)]) -> u64 {
         bounds
             .iter()
             .map(|(l, h)| (h - l + 1).max(0) as u64)
             .product::<u64>()
             * 8
+    }
+
+    /// Metered footprint of an allocation: payload bytes plus, for a
+    /// `checked` array, one byte per element for the definedness
+    /// bitmap (`Vec<bool>`). Charged as a *single* amount before the
+    /// buffer is built so the exhaustion payload (`used`/`requested`)
+    /// is identical across engines. VM bookkeeping (name tables,
+    /// scratch) stays uncounted: it is engine-specific and would make
+    /// the accounting diverge between engines for the same program.
+    pub fn footprint_bytes(bounds: &[(i64, i64)], checked: bool) -> u64 {
+        let data = Self::data_bytes(bounds);
+        data + if checked { data / 8 } else { 0 }
     }
 
     /// Per-dimension `(lo, hi)` bounds.

@@ -1,0 +1,766 @@
+//! # hac-serve
+//!
+//! A multi-tenant serving layer over the `hac` pipeline: one process
+//! hosts many concurrent requests, each compiled once (a cache keyed
+//! by source hash skips parse/schedule/lower on repeats) and executed
+//! under a per-request [`Meter`] admitted against a process-wide
+//! [`SharedCeiling`].
+//!
+//! The layer inherits the repo's determinism contract: a request's
+//! outcome — answer digest, exhaustion point, fuel left, counters — is
+//! a pure function of its own program, inputs, and budget. Admission
+//! happens in queue order; execution may be concurrent, and the
+//! ceiling's settlement rule (see [`SharedCeiling`]) guarantees a
+//! heavy tenant exhausting its budget can never perturb a light
+//! tenant's result. Deadlines are converted to fuel *before* execution
+//! by a [`DeadlineGovernor`], so no engine ever reads the clock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hac_core::deadline::DeadlineGovernor;
+use hac_core::pipeline::{
+    compile, run_with_meter, CompileOptions, Compiled, Engine, ExecMode, RunOptions, Unit,
+};
+use hac_lang::env::ConstEnv;
+use hac_runtime::error::RuntimeError;
+use hac_runtime::governor::{Limits, Meter, SharedCeiling};
+use hac_runtime::value::{ArrayBuf, FuncTable};
+use hac_workloads::XorShift;
+
+pub mod json;
+use json::Json;
+
+/// Server-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Default engine for requests that don't pick one.
+    pub engine: Engine,
+    /// Default execution mode.
+    pub mode: ExecMode,
+    /// ParTape workers *within* one request.
+    pub threads: usize,
+    /// Global resource pool shared by all requests; `None` caps are
+    /// uncapped.
+    pub ceiling: Limits,
+    /// Stripe count for the ceiling's atomic counters.
+    pub stripes: usize,
+    /// Deadline→fuel converter; `None` means `deadline_ms` requests
+    /// are rejected.
+    pub deadline: Option<DeadlineGovernor>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            engine: Engine::ParTape,
+            mode: ExecMode::Auto,
+            threads: 1,
+            ceiling: Limits::unlimited(),
+            stripes: 8,
+            deadline: None,
+        }
+    }
+}
+
+/// One tenant request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub id: String,
+    pub source: String,
+    /// `param` bindings, in the order given.
+    pub params: Vec<(String, i64)>,
+    /// Per-request fuel cap (reserved from the ceiling at admission).
+    pub fuel: Option<u64>,
+    /// Per-request memory cap in bytes.
+    pub mem_bytes: Option<u64>,
+    /// Wall-clock deadline, converted to fuel by the server's
+    /// [`DeadlineGovernor`] before execution.
+    pub deadline_ms: Option<u64>,
+    /// Seed for deterministic `input` array filling.
+    pub seed: u64,
+    pub engine: Option<Engine>,
+    pub mode: Option<ExecMode>,
+}
+
+impl Request {
+    /// A request with defaults for everything but id and source.
+    pub fn new(id: impl Into<String>, source: impl Into<String>) -> Request {
+        Request {
+            id: id.into(),
+            source: source.into(),
+            params: Vec::new(),
+            fuel: None,
+            mem_bytes: None,
+            deadline_ms: None,
+            seed: 0xC0FFEE,
+            engine: None,
+            mode: None,
+        }
+    }
+
+    /// Parse the wire form. Unknown keys are ignored so the schema can
+    /// grow; `file` is *not* resolved here (the CLI reads files and
+    /// substitutes `source` before handing requests over).
+    ///
+    /// # Errors
+    /// A message naming the offending field.
+    pub fn from_json(v: &Json) -> Result<Request, String> {
+        let id = v
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string `id`")?
+            .to_string();
+        let source = v
+            .get("source")
+            .and_then(Json::as_str)
+            .ok_or("request needs a string `source`")?
+            .to_string();
+        let mut req = Request::new(id, source);
+        if let Some(params) = v.get("params") {
+            let obj = params.as_obj().ok_or("`params` must be an object")?;
+            for (k, pv) in obj {
+                let n = pv
+                    .as_i64()
+                    .ok_or_else(|| format!("param `{k}` must be an integer"))?;
+                req.params.push((k.clone(), n));
+            }
+        }
+        if let Some(f) = v.get("fuel") {
+            req.fuel = Some(f.as_u64().ok_or("`fuel` must be a non-negative integer")?);
+        }
+        if let Some(m) = v.get("mem_bytes") {
+            req.mem_bytes = Some(
+                m.as_u64()
+                    .ok_or("`mem_bytes` must be a non-negative integer")?,
+            );
+        }
+        if let Some(d) = v.get("deadline_ms") {
+            req.deadline_ms = Some(
+                d.as_u64()
+                    .ok_or("`deadline_ms` must be a non-negative integer")?,
+            );
+        }
+        if let Some(s) = v.get("seed") {
+            req.seed = s.as_u64().ok_or("`seed` must be a non-negative integer")?;
+        }
+        if let Some(e) = v.get("engine") {
+            let e = e.as_str().ok_or("`engine` must be a string")?;
+            req.engine = Some(engine_from_str(e)?);
+        }
+        if let Some(m) = v.get("mode") {
+            let m = m.as_str().ok_or("`mode` must be a string")?;
+            req.mode = Some(mode_from_str(m)?);
+        }
+        Ok(req)
+    }
+}
+
+/// Parse an engine name (the CLI's `--engine` vocabulary).
+///
+/// # Errors
+/// Unknown names.
+pub fn engine_from_str(s: &str) -> Result<Engine, String> {
+    match s {
+        "treewalk" => Ok(Engine::TreeWalk),
+        "tape" => Ok(Engine::Tape),
+        "partape" => Ok(Engine::ParTape),
+        other => Err(format!("unknown engine `{other}`")),
+    }
+}
+
+/// Parse a mode name (the CLI's `--mode` vocabulary).
+///
+/// # Errors
+/// Unknown names.
+pub fn mode_from_str(s: &str) -> Result<ExecMode, String> {
+    match s {
+        "auto" => Ok(ExecMode::Auto),
+        "thunked" => Ok(ExecMode::ForceThunked),
+        "checked" => Ok(ExecMode::ForceChecked),
+        other => Err(format!("unknown mode `{other}`")),
+    }
+}
+
+/// How a request ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Ran to completion.
+    Ok,
+    /// Its own budget (or the shared pool, for lazily-drawing
+    /// requests) ran out mid-execution.
+    Limit,
+    /// Admission failed: the ceiling could not cover the requested
+    /// reservation, or the request itself was malformed.
+    Rejected,
+    /// Parse or compile failure.
+    CompileError,
+    /// Any other runtime failure.
+    RuntimeError,
+}
+
+impl Status {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Limit => "limit",
+            Status::Rejected => "rejected",
+            Status::CompileError => "compile_error",
+            Status::RuntimeError => "runtime_error",
+        }
+    }
+}
+
+/// Compilation-report verdict counts, echoed per response so tenants
+/// can see what the scheduler did with their program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Verdicts {
+    pub units: usize,
+    pub thunkless: usize,
+    pub thunked: usize,
+    pub updates: usize,
+}
+
+/// One tenant response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub id: String,
+    pub status: Status,
+    /// `Some(true)` = compiled-program cache hit; `None` when the
+    /// request never reached the cache.
+    pub cache_hit: Option<bool>,
+    /// FNV-1a digest over every output array and scalar (sorted by
+    /// name), so equality of answers is checkable without shipping
+    /// arrays.
+    pub answer_digest: Option<String>,
+    /// Fuel remaining at the end, when the request was fuel-limited.
+    pub fuel_left: Option<u64>,
+    /// Parallel regions that faulted and were recovered sequentially.
+    pub engine_faults: u64,
+    pub verdicts: Option<Verdicts>,
+    pub error: Option<String>,
+}
+
+impl Response {
+    fn failed(id: &str, status: Status, cache_hit: Option<bool>, error: String) -> Response {
+        Response {
+            id: id.to_string(),
+            status,
+            cache_hit,
+            answer_digest: None,
+            fuel_left: None,
+            engine_faults: 0,
+            verdicts: None,
+            error: Some(error),
+        }
+    }
+
+    /// The wire form.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("id".to_string(), Json::Str(self.id.clone())),
+            (
+                "status".to_string(),
+                Json::Str(self.status.as_str().to_string()),
+            ),
+            (
+                "cache".to_string(),
+                match self.cache_hit {
+                    Some(true) => Json::Str("hit".to_string()),
+                    Some(false) => Json::Str("miss".to_string()),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "answer_digest".to_string(),
+                self.answer_digest
+                    .as_ref()
+                    .map_or(Json::Null, |d| Json::Str(d.clone())),
+            ),
+            (
+                "fuel_left".to_string(),
+                self.fuel_left.map_or(Json::Null, |f| Json::Num(f as f64)),
+            ),
+            (
+                "engine_faults".to_string(),
+                Json::Num(self.engine_faults as f64),
+            ),
+        ];
+        fields.push((
+            "verdicts".to_string(),
+            self.verdicts.map_or(Json::Null, |v| {
+                Json::Obj(vec![
+                    ("units".to_string(), Json::Num(v.units as f64)),
+                    ("thunkless".to_string(), Json::Num(v.thunkless as f64)),
+                    ("thunked".to_string(), Json::Num(v.thunked as f64)),
+                    ("updates".to_string(), Json::Num(v.updates as f64)),
+                ])
+            }),
+        ));
+        fields.push((
+            "error".to_string(),
+            self.error
+                .as_ref()
+                .map_or(Json::Null, |e| Json::Str(e.clone())),
+        ));
+        Json::Obj(fields)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Digest the outputs of a run: every array and scalar, sorted by
+/// name, values as exact bit patterns. Two runs with equal digests
+/// produced bit-identical answers.
+fn digest_output(out: &hac_core::pipeline::ExecOutput) -> String {
+    let mut h = FNV_OFFSET;
+    let mut names: Vec<&String> = out.arrays.keys().collect();
+    names.sort();
+    for n in names {
+        h = fnv1a(h, n.as_bytes());
+        h = fnv1a(h, &[0]);
+        for v in out.arrays[n].data() {
+            h = fnv1a(h, &v.to_bits().to_le_bytes());
+        }
+    }
+    let mut snames: Vec<&String> = out.scalars.keys().collect();
+    snames.sort();
+    for n in snames {
+        h = fnv1a(h, n.as_bytes());
+        h = fnv1a(h, &[1]);
+        h = fnv1a(h, &out.scalars[n].to_bits().to_le_bytes());
+    }
+    format!("{h:016x}")
+}
+
+fn verdicts_of(compiled: &Compiled) -> Verdicts {
+    let mut v = Verdicts {
+        units: compiled.units.len(),
+        ..Verdicts::default()
+    };
+    for u in &compiled.units {
+        match u {
+            Unit::Thunkless { .. } => v.thunkless += 1,
+            Unit::Thunked { .. } => v.thunked += 1,
+            Unit::Update { .. } => v.updates += 1,
+            _ => {}
+        }
+    }
+    v
+}
+
+/// Fill `input` arrays deterministically from `seed` (the same scheme
+/// as the CLI's `--fill random`).
+fn fill_inputs(compiled: &Compiled, seed: u64) -> HashMap<String, ArrayBuf> {
+    let mut rng = XorShift::new(seed);
+    let mut out = HashMap::new();
+    for unit in &compiled.units {
+        if let Unit::Input { name, bounds } = unit {
+            let mut buf = ArrayBuf::new(bounds, 0.0);
+            for v in buf.data_mut() {
+                *v = (rng.next_f64() * 10.0).round() / 10.0;
+            }
+            out.insert(name.clone(), buf);
+        }
+    }
+    out
+}
+
+/// A multi-tenant server: compiled-program cache + shared ceiling.
+///
+/// `Server` is `Sync`; one instance serves concurrent callers.
+pub struct Server {
+    options: ServeOptions,
+    ceiling: Arc<SharedCeiling>,
+    /// Compiled programs keyed by FNV(source, params, mode, engine).
+    cache: Mutex<HashMap<u64, Arc<Compiled>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A request past compilation and admission, ready to execute.
+struct Admitted {
+    id: String,
+    compiled: Arc<Compiled>,
+    meter: Meter,
+    cache_hit: bool,
+    seed: u64,
+}
+
+impl Server {
+    /// Build a server; the ceiling is allocated once here and shared
+    /// by every request the server ever admits.
+    pub fn new(options: ServeOptions) -> Server {
+        let ceiling = SharedCeiling::new(options.ceiling, options.stripes);
+        Server {
+            options,
+            ceiling,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared pool (tests observe accounting through this).
+    pub fn ceiling(&self) -> &Arc<SharedCeiling> {
+        &self.ceiling
+    }
+
+    /// `(hits, misses)` of the compiled-program cache so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    fn cache_key(&self, req: &Request, mode: ExecMode, engine: Engine) -> u64 {
+        let mut h = fnv1a(FNV_OFFSET, req.source.as_bytes());
+        let mut params = req.params.clone();
+        params.sort();
+        for (k, v) in &params {
+            h = fnv1a(h, k.as_bytes());
+            h = fnv1a(h, &v.to_le_bytes());
+        }
+        h = fnv1a(h, &[mode as u8, engine as u8]);
+        h
+    }
+
+    /// Compile via the cache. Compile *errors* are not cached: they
+    /// are cheap to reproduce (the front end rejects early) and rare.
+    fn compile_cached(
+        &self,
+        req: &Request,
+        mode: ExecMode,
+        engine: Engine,
+    ) -> Result<(Arc<Compiled>, bool), String> {
+        let key = self.cache_key(req, mode, engine);
+        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(hit), true));
+        }
+        let program = hac_lang::parser::parse_program(&req.source)
+            .map_err(|e| format!("parse error: {e}"))?;
+        let mut env = ConstEnv::new();
+        for (k, v) in &req.params {
+            env.bind(k, *v);
+        }
+        let compiled = compile(
+            &program,
+            &env,
+            &CompileOptions {
+                mode,
+                engine,
+                ..CompileOptions::default()
+            },
+        )
+        .map_err(|e| format!("compile error: {e}"))?;
+        let compiled = Arc::new(compiled);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, Arc::clone(&compiled));
+        Ok((compiled, false))
+    }
+
+    /// The request's effective limits: its own caps, with a deadline
+    /// converted to fuel at the calibrated rate (the *tighter* of the
+    /// two fuel numbers wins when both are given).
+    fn effective_limits(&self, req: &Request) -> Result<Limits, String> {
+        let mut fuel = req.fuel;
+        if let Some(ms) = req.deadline_ms {
+            let gov =
+                self.options.deadline.as_ref().ok_or(
+                    "deadline_ms given but the server has no calibrated deadline governor",
+                )?;
+            let budget = gov.fuel_for_deadline(ms);
+            fuel = Some(fuel.map_or(budget, |f| f.min(budget)));
+        }
+        Ok(Limits {
+            fuel,
+            mem_bytes: req.mem_bytes,
+        })
+    }
+
+    /// Compile and admit one request (queue-order phase). `Err` is an
+    /// early response (boxed — it is much larger than the `Ok` arm):
+    /// malformed, compile failure, or rejection.
+    fn admit(&self, req: &Request) -> Result<Admitted, Box<Response>> {
+        let mode = req.mode.unwrap_or(self.options.mode);
+        let engine = req.engine.unwrap_or(self.options.engine);
+        let limits = self
+            .effective_limits(req)
+            .map_err(|e| Box::new(Response::failed(&req.id, Status::Rejected, None, e)))?;
+        let (compiled, cache_hit) = self.compile_cached(req, mode, engine).map_err(|e| {
+            Box::new(Response::failed(
+                &req.id,
+                Status::CompileError,
+                Some(false),
+                e,
+            ))
+        })?;
+        let meter = Meter::admit(limits, &self.ceiling).map_err(|e| {
+            Box::new(Response::failed(
+                &req.id,
+                Status::Rejected,
+                Some(cache_hit),
+                e.to_string(),
+            ))
+        })?;
+        Ok(Admitted {
+            id: req.id.clone(),
+            compiled,
+            meter,
+            cache_hit,
+            seed: req.seed,
+        })
+    }
+
+    /// Execute an admitted request and settle its meter.
+    fn execute(&self, mut adm: Admitted) -> Response {
+        let inputs = fill_inputs(&adm.compiled, adm.seed);
+        let funcs = FuncTable::new();
+        let run_opts = RunOptions {
+            threads: Some(self.options.threads),
+            limits: Limits::unlimited(), // the meter already embodies them
+            faults: None,
+            ceiling: None,
+        };
+        let out = run_with_meter(&adm.compiled, &inputs, &funcs, &run_opts, &mut adm.meter);
+        let fuel_left = adm.meter.fuel_limited().then(|| adm.meter.fuel_left());
+        adm.meter.settle();
+        let verdicts = Some(verdicts_of(&adm.compiled));
+        match out {
+            Ok(out) => Response {
+                id: adm.id,
+                status: Status::Ok,
+                cache_hit: Some(adm.cache_hit),
+                answer_digest: Some(digest_output(&out)),
+                fuel_left: out.fuel_left,
+                engine_faults: out.counters.vm.engine_faults,
+                verdicts,
+                error: None,
+            },
+            Err(e) => {
+                let status = match &e {
+                    RuntimeError::FuelExhausted { .. }
+                    | RuntimeError::MemLimitExceeded { .. }
+                    | RuntimeError::CeilingExhausted { .. } => Status::Limit,
+                    _ => Status::RuntimeError,
+                };
+                Response {
+                    id: adm.id,
+                    status,
+                    cache_hit: Some(adm.cache_hit),
+                    answer_digest: None,
+                    fuel_left,
+                    engine_faults: 0,
+                    verdicts,
+                    error: Some(e.to_string()),
+                }
+            }
+        }
+    }
+
+    /// Serve one request start to finish.
+    pub fn handle(&self, req: &Request) -> Response {
+        match self.admit(req) {
+            Ok(adm) => self.execute(adm),
+            Err(resp) => *resp,
+        }
+    }
+
+    /// Serve a batch: admission strictly in queue order (so rejection
+    /// is deterministic), then execution on up to `workers` threads.
+    /// Each admitted request's outcome is independent of sibling
+    /// scheduling — the settlement rule fixes its budget at admission.
+    pub fn run_batch(&self, reqs: &[Request], workers: usize) -> Vec<Response> {
+        let mut slots: Vec<Option<Response>> = (0..reqs.len()).map(|_| None).collect();
+        let mut jobs: Vec<Option<Admitted>> = Vec::with_capacity(reqs.len());
+        for (i, req) in reqs.iter().enumerate() {
+            match self.admit(req) {
+                Ok(adm) => jobs.push(Some(adm)),
+                Err(resp) => {
+                    slots[i] = Some(*resp);
+                    jobs.push(None);
+                }
+            }
+        }
+        let workers = workers.max(1).min(reqs.len().max(1));
+        if workers == 1 {
+            for (i, job) in jobs.into_iter().enumerate() {
+                if let Some(adm) = job {
+                    slots[i] = Some(self.execute(adm));
+                }
+            }
+        } else {
+            let queue: Vec<Mutex<Option<Admitted>>> = jobs.into_iter().map(Mutex::new).collect();
+            let next = AtomicUsize::new(0);
+            let done = Mutex::new(&mut slots);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= queue.len() {
+                            break;
+                        }
+                        let job = queue[i].lock().expect("job lock").take();
+                        if let Some(adm) = job {
+                            let resp = self.execute(adm);
+                            done.lock().expect("slot lock")[i] = Some(resp);
+                        }
+                    });
+                }
+            });
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every slot filled"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RECURRENCE: &str = "param n;\nletrec* a = array (1,n) \
+        ([ 1 := 1 ] ++ [ i := a!(i-1) * 2 | i <- [2..n] ]);\n";
+
+    fn req(id: &str, n: i64) -> Request {
+        let mut r = Request::new(id, RECURRENCE);
+        r.params.push(("n".to_string(), n));
+        r
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_cache() {
+        let server = Server::new(ServeOptions::default());
+        let a = server.handle(&req("a", 16));
+        let b = server.handle(&req("b", 16));
+        assert_eq!(a.status, Status::Ok);
+        assert_eq!(a.cache_hit, Some(false));
+        assert_eq!(b.cache_hit, Some(true));
+        assert_eq!(a.answer_digest, b.answer_digest);
+        assert_eq!(server.cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn different_params_compile_separately() {
+        let server = Server::new(ServeOptions::default());
+        let a = server.handle(&req("a", 16));
+        let b = server.handle(&req("b", 17));
+        assert_ne!(a.answer_digest, b.answer_digest);
+        assert_eq!(server.cache_stats(), (0, 2));
+    }
+
+    #[test]
+    fn over_budget_requests_are_rejected_at_admission() {
+        let server = Server::new(ServeOptions {
+            ceiling: Limits {
+                fuel: Some(100),
+                mem_bytes: None,
+            },
+            ..ServeOptions::default()
+        });
+        let mut r = req("big", 16);
+        r.fuel = Some(1_000);
+        let resp = server.handle(&r);
+        assert_eq!(resp.status, Status::Rejected);
+        assert!(resp.error.as_deref().unwrap().contains("ceiling"));
+        // Nothing held: a fitting request still runs.
+        let mut ok = req("small", 16);
+        ok.fuel = Some(100);
+        assert_eq!(server.handle(&ok).status, Status::Ok);
+    }
+
+    #[test]
+    fn deadline_without_governor_is_rejected() {
+        let server = Server::new(ServeOptions::default());
+        let mut r = req("d", 16);
+        r.deadline_ms = Some(5);
+        let resp = server.handle(&r);
+        assert_eq!(resp.status, Status::Rejected);
+    }
+
+    #[test]
+    fn deadline_converts_to_fuel_deterministically() {
+        let server = Server::new(ServeOptions {
+            deadline: Some(DeadlineGovernor::with_rate(10)),
+            ..ServeOptions::default()
+        });
+        // 2 ms × 10 ops/ms = 20 fuel: not enough for n=1000.
+        let mut r = req("d", 1000);
+        r.deadline_ms = Some(2);
+        let resp = server.handle(&r);
+        assert_eq!(resp.status, Status::Limit);
+        assert!(resp.error.as_deref().unwrap().contains("fuel"));
+        // Same deadline, tiny program: plenty.
+        let mut ok = req("ok", 8);
+        ok.deadline_ms = Some(2);
+        assert_eq!(server.handle(&ok).status, Status::Ok);
+    }
+
+    #[test]
+    fn batch_preserves_queue_order_and_ids() {
+        let server = Server::new(ServeOptions::default());
+        let reqs: Vec<Request> = (0..6).map(|i| req(&format!("r{i}"), 8 + i)).collect();
+        let out = server.run_batch(&reqs, 3);
+        assert_eq!(out.len(), 6);
+        for (i, resp) in out.iter().enumerate() {
+            assert_eq!(resp.id, format!("r{i}"));
+            assert_eq!(resp.status, Status::Ok);
+        }
+    }
+
+    #[test]
+    fn request_json_round_trip() {
+        let wire = r#"{"id":"r1","source":"param n;","params":{"n":4},
+            "fuel":50,"mem_bytes":4096,"deadline_ms":7,"seed":9,
+            "engine":"tape","mode":"thunked"}"#;
+        let req = Request::from_json(&json::parse(wire).unwrap()).unwrap();
+        assert_eq!(req.id, "r1");
+        assert_eq!(req.params, vec![("n".to_string(), 4)]);
+        assert_eq!(req.fuel, Some(50));
+        assert_eq!(req.mem_bytes, Some(4096));
+        assert_eq!(req.deadline_ms, Some(7));
+        assert_eq!(req.seed, 9);
+        assert_eq!(req.engine, Some(Engine::Tape));
+        assert_eq!(req.mode, Some(ExecMode::ForceThunked));
+    }
+
+    #[test]
+    fn response_json_has_the_full_schema() {
+        let server = Server::new(ServeOptions::default());
+        let resp = server.handle(&req("a", 8));
+        let j = resp.to_json();
+        for key in [
+            "id",
+            "status",
+            "cache",
+            "answer_digest",
+            "fuel_left",
+            "engine_faults",
+            "verdicts",
+            "error",
+        ] {
+            assert!(j.get(key).is_some(), "missing `{key}` in {j}");
+        }
+        assert_eq!(j.get("status").unwrap().as_str(), Some("ok"));
+        let v = j.get("verdicts").unwrap();
+        assert_eq!(v.get("thunkless").unwrap().as_u64(), Some(1));
+    }
+}

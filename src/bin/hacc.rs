@@ -3,6 +3,8 @@
 //!
 //! ```text
 //! hacc PROGRAM.hac [name=value ...] [options]
+//! hacc batch JOBS.json [serve options]    run a batch of requests
+//! hacc serve [serve options]              JSON-lines requests on stdin
 //!
 //! options:
 //!   --mode auto|thunked|checked   execution strategy (default auto)
@@ -11,24 +13,45 @@
 //!   --fill zero|random[:SEED]     how to fill `input` arrays (default random)
 //!   --fuel N                      abort after N metered ops (loop iterations + calls)
 //!   --mem-limit BYTES             cap bytes of array payload allocated
+//!   --deadline-ms N               convert a deadline to fuel before running
 //!   --fault-plan SPEC             inject deterministic worker faults (testing)
 //!   --no-run                      only explain, do not execute
 //!   --quiet                       suppress the compilation report
 //!   --print NAME                  print one array (repeatable; default: results)
 //!   --emit limp                   print the generated loop IR per unit
+//!
+//! serve options:
+//!   --workers N                   concurrent requests (default: all cores)
+//!   --threads N                   ParTape workers within one request (default 1)
+//!   --ceiling-fuel N              global fuel pool shared by all requests
+//!   --ceiling-mem BYTES           global memory pool
+//!   --stripes N                   ceiling stripe count (default 8)
+//!   --ops-per-ms N                inject the deadline rate (skip calibration)
+//!   --engine / --mode             defaults for requests that don't pick
 //! ```
 //!
+//! Deadlines never reach the engines as clocks: `--deadline-ms` (and a
+//! request's `deadline_ms`) is multiplied into a fuel budget by a
+//! `DeadlineGovernor` calibrated once at startup — injectable via
+//! `--ops-per-ms` or the `HAC_OPS_PER_MS` environment variable for
+//! reproducible runs.
+//!
 //! Exit codes: 0 success, 1 usage or I/O error, 2 parse or compile
-//! error, 3 runtime error, 4 resource limit exhausted.
+//! error, 3 runtime error, 4 resource limit exhausted. `batch` and
+//! `serve` report per-request statuses in their JSON output and exit 0
+//! whenever the batch itself was processed.
 
 use std::collections::HashMap;
+use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
+use hac::core::deadline::DeadlineGovernor;
 use hac::core::pipeline::{
     compile, default_threads, run_with_options, CompileOptions, Engine, ExecMode, RunOptions, Unit,
 };
 use hac::lang::parser::parse_program;
 use hac::lang::ConstEnv;
+use hac::serve::{engine_from_str, json, mode_from_str, Request, ServeOptions, Server};
 use hac_runtime::governor::{FaultPlan, Limits};
 use hac_runtime::value::{ArrayBuf, FuncTable};
 use hac_runtime::RuntimeError;
@@ -41,6 +64,8 @@ struct Options {
     engine: Engine,
     threads: usize,
     limits: Limits,
+    deadline_ms: Option<u64>,
+    ops_per_ms: Option<u64>,
     faults: Option<FaultPlan>,
     fill_random: bool,
     seed: u64,
@@ -54,8 +79,11 @@ fn usage() -> &'static str {
     "usage: hacc PROGRAM.hac [name=value ...] \
      [--mode auto|thunked|checked] [--engine treewalk|tape|partape] \
      [--threads N] [--fill zero|random[:SEED]] \
-     [--fuel N] [--mem-limit BYTES] [--fault-plan SPEC] \
-     [--no-run] [--quiet] [--print NAME]"
+     [--fuel N] [--mem-limit BYTES] [--deadline-ms N] [--fault-plan SPEC] \
+     [--no-run] [--quiet] [--print NAME]\n\
+     \x20      hacc batch JOBS.json [--workers N] [--threads N] \
+     [--ceiling-fuel N] [--ceiling-mem BYTES] [--stripes N] [--ops-per-ms N]\n\
+     \x20      hacc serve [same options as batch]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -69,6 +97,8 @@ fn parse_args() -> Result<Options, String> {
         engine: Engine::ParTape,
         threads: default_threads(),
         limits: Limits::default(),
+        deadline_ms: None,
+        ops_per_ms: None,
         faults: None,
         fill_random: true,
         seed: 0xC0FFEE,
@@ -130,6 +160,19 @@ fn parse_args() -> Result<Options, String> {
                 opts.limits.mem_bytes = Some(n.parse().map_err(|_| {
                     format!("--mem-limit needs a non-negative byte count, got `{n}`")
                 })?);
+            }
+            "--deadline-ms" => {
+                let n = args.next().ok_or("--deadline-ms needs a value")?;
+                opts.deadline_ms = Some(n.parse().map_err(|_| {
+                    format!("--deadline-ms needs a non-negative integer, got `{n}`")
+                })?);
+            }
+            "--ops-per-ms" => {
+                let n = args.next().ok_or("--ops-per-ms needs a value")?;
+                opts.ops_per_ms =
+                    Some(n.parse().map_err(|_| {
+                        format!("--ops-per-ms needs a positive integer, got `{n}`")
+                    })?);
             }
             "--fault-plan" => {
                 let spec = args.next().ok_or("--fault-plan needs a value")?;
@@ -221,14 +264,252 @@ const EXIT_COMPILE: u8 = 2;
 const EXIT_RUNTIME: u8 = 3;
 const EXIT_LIMIT: u8 = 4;
 
+/// The deadline governor: injected rate (flag, then environment) or a
+/// one-shot calibration run.
+fn deadline_governor(ops_per_ms: Option<u64>) -> DeadlineGovernor {
+    if let Some(rate) = ops_per_ms {
+        return DeadlineGovernor::with_rate(rate);
+    }
+    if let Ok(v) = std::env::var("HAC_OPS_PER_MS") {
+        if let Ok(rate) = v.parse::<u64>() {
+            return DeadlineGovernor::with_rate(rate);
+        }
+    }
+    DeadlineGovernor::calibrate()
+}
+
+/// Serving-layer options shared by `hacc batch` and `hacc serve`.
+struct ServeCli {
+    options: ServeOptions,
+    workers: usize,
+    /// Positional argument: the jobs file for `batch`.
+    jobs_file: Option<String>,
+}
+
+fn parse_serve_args(mut args: std::env::Args) -> Result<ServeCli, String> {
+    let mut engine = Engine::ParTape;
+    let mut mode = ExecMode::Auto;
+    let mut threads = 1usize;
+    let mut workers = default_threads();
+    let mut ceiling = Limits::default();
+    let mut stripes = 8usize;
+    let mut ops_per_ms: Option<u64> = None;
+    let mut need_deadline = false;
+    let mut jobs_file = None;
+    while let Some(arg) = args.next() {
+        let mut uint = |flag: &str| -> Result<u64, String> {
+            let n = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
+            n.parse()
+                .map_err(|_| format!("{flag} needs a non-negative integer, got `{n}`"))
+        };
+        match arg.as_str() {
+            "--engine" => {
+                let e = args.next().ok_or("--engine needs a value")?;
+                engine = engine_from_str(&e)?;
+            }
+            "--mode" => {
+                let m = args.next().ok_or("--mode needs a value")?;
+                mode = mode_from_str(&m)?;
+            }
+            "--threads" => {
+                let n = args.next().ok_or("--threads needs a value")?;
+                threads = n
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| format!("--threads needs a positive integer, got `{n}`"))?;
+            }
+            "--workers" => {
+                let n = args.next().ok_or("--workers needs a value")?;
+                workers = n
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| format!("--workers needs a positive integer, got `{n}`"))?;
+            }
+            "--ceiling-fuel" => ceiling.fuel = Some(uint("--ceiling-fuel")?),
+            "--ceiling-mem" => ceiling.mem_bytes = Some(uint("--ceiling-mem")?),
+            "--stripes" => stripes = uint("--stripes")?.max(1) as usize,
+            "--ops-per-ms" => ops_per_ms = Some(uint("--ops-per-ms")?),
+            "--deadlines" => need_deadline = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if jobs_file.is_none() && !other.starts_with("--") => {
+                jobs_file = Some(other.to_string());
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    // A governor is built whenever the rate is known without a clock
+    // read; calibration is deferred to first use otherwise (requests
+    // without deadlines shouldn't pay for it — `--deadlines` forces
+    // it at startup).
+    let deadline = if ops_per_ms.is_some() || std::env::var("HAC_OPS_PER_MS").is_ok() {
+        Some(deadline_governor(ops_per_ms))
+    } else if need_deadline {
+        Some(DeadlineGovernor::calibrate())
+    } else {
+        None
+    };
+    Ok(ServeCli {
+        options: ServeOptions {
+            engine,
+            mode,
+            threads,
+            ceiling,
+            stripes,
+            deadline,
+        },
+        workers,
+        jobs_file,
+    })
+}
+
+/// Resolve one request object: a `file` key is read here (the serve
+/// library only understands inline `source`).
+fn resolve_request(v: &json::Json) -> Result<Request, String> {
+    let v = match (v.get("file"), v.get("source")) {
+        (Some(f), None) => {
+            let path = f.as_str().ok_or("`file` must be a string")?;
+            let source =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let json::Json::Obj(fields) = v else {
+                return Err("request must be an object".to_string());
+            };
+            let mut fields = fields.clone();
+            fields.retain(|(k, _)| k != "file");
+            fields.push(("source".to_string(), json::Json::Str(source)));
+            json::Json::Obj(fields)
+        }
+        _ => v.clone(),
+    };
+    Request::from_json(&v)
+}
+
+fn batch_main(cli: ServeCli) -> ExitCode {
+    let Some(jobs_file) = cli.jobs_file.clone() else {
+        eprintln!("batch needs a JOBS.json argument");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let text = match std::fs::read_to_string(&jobs_file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read `{jobs_file}`: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let parsed = match json::parse(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bad jobs file: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    // Either a bare array of requests or {"jobs": [...]}.
+    let jobs = parsed
+        .get("jobs")
+        .and_then(json::Json::as_arr)
+        .or_else(|| parsed.as_arr());
+    let Some(jobs) = jobs else {
+        eprintln!("jobs file must be an array of requests or {{\"jobs\": [...]}}");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let mut reqs = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        match resolve_request(job) {
+            Ok(r) => reqs.push(r),
+            Err(e) => {
+                eprintln!("job {i}: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        }
+    }
+    let server = Server::new(cli.options);
+    let responses = server.run_batch(&reqs, cli.workers);
+    let out = json::Json::Arr(responses.iter().map(|r| r.to_json()).collect());
+    println!("{out}");
+    let (hits, misses) = server.cache_stats();
+    eprintln!(
+        "batch: {} request(s), cache {hits} hit(s) / {misses} miss(es)",
+        responses.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn serve_main(cli: ServeCli) -> ExitCode {
+    let server = Server::new(cli.options);
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("stdin error: {e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match json::parse(&line).and_then(|v| resolve_request(&v)) {
+            Ok(req) => server.handle(&req),
+            Err(e) => {
+                let err = json::Json::Obj(vec![
+                    ("id".to_string(), json::Json::Null),
+                    (
+                        "status".to_string(),
+                        json::Json::Str("rejected".to_string()),
+                    ),
+                    ("error".to_string(), json::Json::Str(e)),
+                ]);
+                let _ = writeln!(stdout, "{err}");
+                let _ = stdout.flush();
+                continue;
+            }
+        };
+        let _ = writeln!(stdout, "{}", response.to_json());
+        let _ = stdout.flush();
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
-    let opts = match parse_args() {
+    // Subcommand dispatch: `hacc serve` / `hacc batch` take their own
+    // flags; everything else is the classic single-program driver.
+    let mut peek = std::env::args();
+    peek.next(); // argv[0]
+    if let Some(sub @ ("serve" | "batch")) = peek.next().as_deref() {
+        let is_batch = sub == "batch";
+        let mut args = std::env::args();
+        args.next();
+        args.next();
+        let cli = match parse_serve_args(args) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        };
+        return if is_batch {
+            batch_main(cli)
+        } else {
+            serve_main(cli)
+        };
+    }
+    let mut opts = match parse_args() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::from(EXIT_USAGE);
         }
     };
+    // Convert a wall-clock deadline into fuel *before* execution: the
+    // engines never read the clock, so the run stays deterministic for
+    // a given rate (inject `--ops-per-ms` / `HAC_OPS_PER_MS` to pin it).
+    if let Some(ms) = opts.deadline_ms {
+        let budget = deadline_governor(opts.ops_per_ms).fuel_for_deadline(ms);
+        opts.limits.fuel = Some(opts.limits.fuel.map_or(budget, |f| f.min(budget)));
+    }
+    let opts = opts;
     let source = match std::fs::read_to_string(&opts.file) {
         Ok(s) => s,
         Err(e) => {
@@ -287,10 +568,15 @@ fn main() -> ExitCode {
         threads: Some(opts.threads),
         limits: opts.limits,
         faults: opts.faults.clone(),
+        ceiling: None,
     };
     let out = match run_with_options(&compiled, &inputs, &FuncTable::new(), &run_opts) {
         Ok(o) => o,
-        Err(e @ (RuntimeError::FuelExhausted { .. } | RuntimeError::MemLimitExceeded { .. })) => {
+        Err(
+            e @ (RuntimeError::FuelExhausted { .. }
+            | RuntimeError::MemLimitExceeded { .. }
+            | RuntimeError::CeilingExhausted { .. }),
+        ) => {
             eprintln!("limit exceeded: {e}");
             return ExitCode::from(EXIT_LIMIT);
         }

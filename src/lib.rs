@@ -28,4 +28,5 @@
 
 pub use hac_core as core;
 pub use hac_lang as lang;
+pub use hac_serve as serve;
 pub use hac_workloads as workloads;

@@ -242,3 +242,114 @@ fn scalar_reductions_printed() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("scalar `s` = 0"), "{stdout}");
 }
+
+#[test]
+fn zero_threads_is_a_usage_error() {
+    let out = hacc(&["programs/wavefront.hac", "n=6", "--threads", "0"]);
+    assert_eq!(out.status.code(), Some(1), "--threads 0 exits 1");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--threads needs a positive integer"),
+        "{stderr}"
+    );
+    // The serve subcommands reject it the same way.
+    let out = hacc(&["serve", "--threads", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+    let out = hacc(&["batch", "jobs.json", "--workers", "0"]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn deadline_converts_to_fuel_without_reading_the_clock() {
+    // A 1 op/ms rate turns a 2 ms deadline into 2 fuel: guaranteed
+    // exhaustion, reproducibly, because the rate is injected — the
+    // run itself involves no clock at all.
+    let run = || {
+        Command::new(env!("CARGO_BIN_EXE_hacc"))
+            .args([
+                "programs/wavefront.hac",
+                "n=8",
+                "--quiet",
+                "--deadline-ms",
+                "2",
+            ])
+            .env_remove("HAC_FAULT_PLAN")
+            .env("HAC_OPS_PER_MS", "1")
+            .output()
+            .expect("spawn hacc")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.status.code(), Some(4), "deadline-derived fuel exhausts");
+    let stderr = String::from_utf8_lossy(&a.stderr);
+    assert!(stderr.contains("fuel exhausted"), "{stderr}");
+    assert_eq!(a.stdout, b.stdout, "bit-identical across runs");
+    assert_eq!(a.stderr, b.stderr);
+
+    // The flag wins over the environment; a huge rate completes.
+    let out = Command::new(env!("CARGO_BIN_EXE_hacc"))
+        .args([
+            "programs/wavefront.hac",
+            "n=8",
+            "--quiet",
+            "--deadline-ms",
+            "1000",
+            "--ops-per-ms",
+            "1000000",
+        ])
+        .env_remove("HAC_FAULT_PLAN")
+        .env("HAC_OPS_PER_MS", "1")
+        .output()
+        .expect("spawn hacc");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn batch_subcommand_serves_jobs_with_statuses() {
+    let jobs = r#"{"jobs": [
+        {"id": "a", "file": "programs/wavefront.hac", "params": {"n": 6}, "fuel": 1000},
+        {"id": "b", "file": "programs/wavefront.hac", "params": {"n": 6}, "fuel": 1000},
+        {"id": "tight", "file": "programs/wavefront.hac", "params": {"n": 6}, "fuel": 2}
+    ]}"#;
+    std::fs::write("target/cli_batch_jobs.json", jobs).unwrap();
+    let out = hacc(&[
+        "batch",
+        "target/cli_batch_jobs.json",
+        "--ceiling-fuel",
+        "100000",
+        "--workers",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(r#""id":"a","status":"ok","cache":"miss""#),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains(r#""id":"b","status":"ok","cache":"hit""#),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains(r#""id":"tight","status":"limit""#),
+        "{stdout}"
+    );
+    assert!(stdout.contains("answer_digest"), "{stdout}");
+    // a and b ran the identical program: identical digests.
+    let digest = |id: &str| -> String {
+        let needle = format!(r#""id":"{id}""#);
+        let at = stdout.find(&needle).unwrap();
+        let rest = &stdout[at..];
+        let key = r#""answer_digest":""#;
+        let d = rest.find(key).map(|i| &rest[i + key.len()..]).unwrap();
+        d[..16].to_string()
+    };
+    assert_eq!(digest("a"), digest("b"));
+}

@@ -134,7 +134,7 @@ proptest! {
                 }
             }
             for threads in [1usize, 4] {
-                let opts = RunOptions { threads: Some(threads), limits, faults: None };
+                let opts = RunOptions { threads: Some(threads), limits, faults: None, ceiling: None };
                 let r = run_with_options(&compiled, &inputs, &funcs, &opts);
                 outcomes.push(match r {
                     Ok(out) => {

@@ -22,7 +22,7 @@ use hac_core::pipeline::{
 use hac_lang::ast::{BinOp, Expr, UnOp};
 use hac_lang::env::ConstEnv;
 use hac_lang::parser::parse_program;
-use hac_runtime::governor::{FaultPlan, Limits, Meter};
+use hac_runtime::governor::{FaultPlan, Limits, Meter, SharedCeiling};
 use hac_runtime::value::{ArrayBuf, FuncTable};
 use hac_workloads as wl;
 use proptest::prelude::*;
@@ -101,6 +101,7 @@ fn diff_limits(
         threads: Some(1),
         limits,
         faults: None,
+        ceiling: None,
     };
     let want = outcome(&run_with_options(&tape, inputs, &funcs, &opts));
     let tree_got = outcome(&run_with_options(&tree, inputs, &funcs, &opts));
@@ -113,6 +114,7 @@ fn diff_limits(
             threads: Some(threads),
             limits,
             faults: None,
+            ceiling: None,
         };
         let got = outcome(&run_with_options(&par, inputs, &funcs, &opts));
         assert_eq!(got, want, "{label} {limits:?}: partape @{threads}t vs tape");
@@ -291,6 +293,7 @@ fn injected_faults_are_invisible_in_the_answer() {
             threads: Some(4),
             limits: Limits::unlimited(),
             faults: Some(FaultPlan::default()),
+            ceiling: None,
         },
     )
     .unwrap();
@@ -305,6 +308,7 @@ fn injected_faults_are_invisible_in_the_answer() {
                 threads: Some(4),
                 limits: Limits::unlimited(),
                 faults: Some(FaultPlan::parse(spec).unwrap()),
+                ceiling: None,
             },
         )
         .unwrap_or_else(|e| panic!("fault plan `{spec}` must be absorbed: {e}"));
@@ -532,5 +536,294 @@ proptest! {
         for fuel in [0, 1, 2, 3, 5, 9, (seed % 40), 10_000] {
             diff_random_fuel(&prog, fuel);
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// SharedCeiling: a per-request budget admitted against the global pool
+// must behave *bit-identically* to the same budget with no pool behind
+// it — on every engine, at every thread count, at every stripe width.
+// That is the settlement rule made testable: admission reserves the
+// whole budget up front, so execution only ever sees local counters.
+// ---------------------------------------------------------------------
+
+const STRIPES: [usize; 4] = [1, 2, 4, 8];
+
+/// Roomy pool: admission always succeeds, so any divergence would come
+/// from the striping/settlement machinery itself.
+fn big_pool() -> Limits {
+    Limits {
+        fuel: Some(1 << 40),
+        mem_bytes: Some(1 << 40),
+    }
+}
+
+/// Run `src` under `limits` admitted against a fresh ceiling, for every
+/// engine × thread count × stripe width, and demand the exact outcome
+/// of the unpooled baseline (which `diff_limits` has already proven
+/// engine-invariant).
+fn diff_ceiling(
+    label: &str,
+    src: &str,
+    env: &ConstEnv,
+    inputs: &HashMap<String, ArrayBuf>,
+    limits: Limits,
+) {
+    let want = diff_limits(label, src, env, inputs, limits);
+    let program = parse_program(src).unwrap();
+    let funcs = FuncTable::new();
+    for engine in [Engine::TreeWalk, Engine::Tape, Engine::ParTape] {
+        let compiled = compile(
+            &program,
+            env,
+            &CompileOptions {
+                engine,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        let threads: &[usize] = if engine == Engine::ParTape {
+            &THREADS
+        } else {
+            &[1]
+        };
+        for &t in threads {
+            for stripes in STRIPES {
+                let opts = RunOptions {
+                    threads: Some(t),
+                    limits,
+                    faults: None,
+                    ceiling: Some(SharedCeiling::new(big_pool(), stripes)),
+                };
+                let got = outcome(&run_with_options(&compiled, inputs, &funcs, &opts));
+                assert_eq!(
+                    got, want,
+                    "{label} {limits:?}: {engine:?}@{t}t stripes={stripes} under ceiling \
+                     vs unpooled baseline"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ceiling_admitted_budgets_exhaust_identically_everywhere() {
+    let kernels: Vec<(&str, &str, ConstEnv, HashMap<String, ArrayBuf>)> = vec![
+        (
+            "wavefront",
+            wl::wavefront_source(),
+            ConstEnv::from_pairs([("n", 10)]),
+            HashMap::new(),
+        ),
+        (
+            "deforest",
+            wl::deforest_source(),
+            ConstEnv::from_pairs([("n", 24)]),
+            HashMap::from([("u".to_string(), wl::random_vector(24, 23))]),
+        ),
+        (
+            "thomas",
+            wl::thomas_source(),
+            ConstEnv::from_pairs([("n", 24)]),
+            HashMap::from([("d".to_string(), wl::random_vector(24, 7))]),
+        ),
+        (
+            "sor",
+            wl::sor_source(),
+            ConstEnv::from_pairs([("n", 8)]),
+            HashMap::from([("a".to_string(), wl::random_matrix(8, 8, 17))]),
+        ),
+    ];
+    for (label, src, env, inputs) in &kernels {
+        for f in [0, 7, 1009] {
+            diff_ceiling(label, src, env, inputs, fuel(f));
+        }
+        for m in [64, 1 << 30] {
+            diff_ceiling(label, src, env, inputs, mem(m));
+        }
+        diff_ceiling(label, src, env, inputs, Limits::unlimited());
+    }
+}
+
+/// A request with *no* local fuel cap under a capped pool draws blocks
+/// lazily. Alone on a fresh pool its exhaustion point is still
+/// deterministic — the pool is drained after exactly `pool` charges —
+/// and must not depend on engine, thread count, or stripe width.
+/// (ParTape runs such meters on the sequential path; the outcome, not
+/// the path, is what's asserted.)
+#[test]
+fn lazy_ceiling_draws_exhaust_identically_everywhere() {
+    let env = ConstEnv::from_pairs([("n", 10)]);
+    let inputs = HashMap::new();
+    let program = parse_program(wl::wavefront_source()).unwrap();
+    let funcs = FuncTable::new();
+    for pool_fuel in [0u64, 23, 1009, 1 << 30] {
+        let mut outcomes: Vec<(String, Outcome)> = Vec::new();
+        for engine in [Engine::TreeWalk, Engine::Tape, Engine::ParTape] {
+            let compiled = compile(
+                &program,
+                &env,
+                &CompileOptions {
+                    engine,
+                    ..CompileOptions::default()
+                },
+            )
+            .unwrap();
+            let threads: &[usize] = if engine == Engine::ParTape {
+                &THREADS
+            } else {
+                &[1]
+            };
+            for &t in threads {
+                for stripes in STRIPES {
+                    // Fresh pool per run: spent fuel never returns, so a
+                    // shared pool would conflate runs.
+                    let pool = SharedCeiling::new(
+                        Limits {
+                            fuel: Some(pool_fuel),
+                            mem_bytes: None,
+                        },
+                        stripes,
+                    );
+                    let opts = RunOptions {
+                        threads: Some(t),
+                        limits: Limits::unlimited(),
+                        faults: None,
+                        ceiling: Some(pool),
+                    };
+                    let got = outcome(&run_with_options(&compiled, &inputs, &funcs, &opts));
+                    outcomes.push((format!("{engine:?}@{t}t stripes={stripes}"), got));
+                }
+            }
+        }
+        let (first_label, want) = outcomes[0].clone();
+        for (label, got) in &outcomes {
+            assert_eq!(
+                got, &want,
+                "pool_fuel={pool_fuel}: `{label}` diverged from `{first_label}`"
+            );
+        }
+        // The n=10 wavefront retires ~100 metered ops, so pools below
+        // that must trip and the roomy ones must complete.
+        if pool_fuel < 100 {
+            assert!(
+                matches!(&want, Err(e) if e.contains("CeilingExhausted")),
+                "pool_fuel={pool_fuel}: tight pool must trip, got {want:?}"
+            );
+        } else {
+            assert!(want.is_ok(), "roomy pool completes: {want:?}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property: per-request meters racing on one SharedCeiling never
+// over-commit the pool, and every request's outcome — success/error,
+// remaining fuel, output bits — equals its *solo* run with the same
+// budget and no pool at all. Sibling scheduling is invisible.
+// ---------------------------------------------------------------------
+
+/// The comparable observables of one harness run: result, remaining
+/// fuel, and (on success) the output array's bounds and value bits.
+type HarnessOutcome = (Result<(), String>, u64, Option<(Vec<(i64, i64)>, Vec<u64>)>);
+
+/// Run the harness program once on the sequential tape engine under
+/// `meter`; returns the comparable outcome and the surviving meter.
+fn run_harness_once(prog: &LProgram, meter: Meter) -> (HarnessOutcome, Meter) {
+    let ctx = TapeCtx {
+        shapes: HashMap::from([("u".to_string(), vec![(1i64, 12i64)])]),
+        consts: HashMap::from([("n".to_string(), 8i64)]),
+        globals: vec!["g".to_string()],
+        ..TapeCtx::default()
+    };
+    let tape = compile_tape(prog, &ctx);
+    let mut vm = Vm::new();
+    let mut u = ArrayBuf::new(&[(1, 12)], 0.0);
+    for i in 1..=12 {
+        u.set("u", &[i], (i * i) as f64 * 0.25 - 3.0).unwrap();
+    }
+    vm.bind("u", u);
+    vm.set_global("n", 8.0);
+    vm.set_global("g", 2.5);
+    vm.with_meter(meter);
+    let r = vm.run_tape(&tape).map_err(|e| format!("{e:?}"));
+    let meter = vm.take_meter();
+    let bits = r.is_ok().then(|| buf_bits(vm.array("out").unwrap()));
+    ((r, meter.fuel_left(), bits), meter)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn racing_request_meters_stay_isolated_and_account_exactly(seed in any::<u64>()) {
+        let mut g = Gen(wl::XorShift::new(seed | 1));
+        let prog = harness_program(g.expr(2));
+
+        // Six tenants with assorted finite fuel budgets (some starved,
+        // some comfortable) and a mix of tight/roomy/absent memory
+        // caps. The harness allocates one 8-element unchecked array:
+        // 64 footprint bytes, so 63 trips and 64 fits.
+        let mut rng = wl::XorShift::new(seed ^ 0x5eed);
+        let budgets: Vec<Limits> = (0..6)
+            .map(|i| Limits {
+                fuel: Some(rng.next_u64() % 60),
+                mem_bytes: match i % 3 {
+                    0 => Some(64),
+                    1 => Some(63),
+                    _ => None,
+                },
+            })
+            .collect();
+
+        // Solo baselines: same budgets, no pool.
+        let solo: Vec<_> = budgets
+            .iter()
+            .map(|l| run_harness_once(&prog, Meter::new(*l)).0)
+            .collect();
+
+        // One pool covering every reservation, striped per the seed.
+        let pool_fuel: u64 = budgets.iter().map(|l| l.fuel.unwrap()).sum();
+        let pool_mem: u64 = budgets.iter().map(|l| l.mem_bytes.unwrap_or(0)).sum();
+        let stripes = STRIPES[(seed % 4) as usize];
+        let ceiling = SharedCeiling::new(
+            Limits {
+                fuel: Some(pool_fuel),
+                mem_bytes: Some(pool_mem),
+            },
+            stripes,
+        );
+
+        let results: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = budgets
+                .iter()
+                .map(|l| {
+                    let ceiling = &ceiling;
+                    let prog = &prog;
+                    scope.spawn(move || {
+                        let meter = Meter::admit(*l, ceiling).expect("pool covers all budgets");
+                        let (got, mut meter) = run_harness_once(prog, meter);
+                        let spent = l.fuel.unwrap() - meter.fuel_left();
+                        meter.settle();
+                        (got, spent)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let mut total_spent = 0u64;
+        for (i, ((got, spent), want)) in results.iter().zip(&solo).enumerate() {
+            prop_assert_eq!(
+                got, want,
+                "tenant {} under racing pool vs solo (budget {:?})", i, budgets[i]
+            );
+            total_spent += spent;
+        }
+
+        // Exact settlement accounting: fuel spent is gone for good,
+        // memory came back in full — at any stripe width.
+        prop_assert_eq!(ceiling.fuel_available(), pool_fuel - total_spent);
+        prop_assert_eq!(ceiling.mem_available(), pool_mem);
     }
 }
