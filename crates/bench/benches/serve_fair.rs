@@ -1,0 +1,106 @@
+//! E22 — fair-scheduling and bounded-cache overhead.
+//!
+//! The weighted-fair admission queue and the eviction machinery sit on
+//! the sequential admission path of every request, so their cost is
+//! pure overhead relative to PR4's queue-order, unbounded-cache
+//! server. This experiment prices them:
+//!
+//!   * `schedule/N` — computing the fair admission order alone for a
+//!     backlog of N requests spread over 4 tenants at mixed weights
+//!     (the scheduler is O(tenants) per admission, so this should grow
+//!     linearly and sit in the tens of nanoseconds per request).
+//!   * `batch_tagged/N` — a full `run_batch` of N tenant-tagged
+//!     cache-warm requests at 4 workers, scheduler and eviction dance
+//!     included.
+//!   * `batch_untagged/N` — the identical batch with no tenant tags:
+//!     the degenerate single-tenant schedule, i.e. PR4's behaviour.
+//!     The gap to `batch_tagged` is the fair-queue premium.
+//!   * `churn/N` — N unique programs through a 64-entry cache: every
+//!     request compiles, inserts, and evicts — the worst-case eviction
+//!     path, dominated by the front end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hac_serve::sched::fair_order;
+use hac_serve::{Request, ServeOptions, Server};
+use hac_workloads as wl;
+
+const SIZES: [usize; 2] = [16, 64];
+
+fn tagged_requests(count: usize) -> Vec<Request> {
+    (0..count)
+        .map(|i| {
+            let mut r = Request::new(format!("r{i}"), wl::wavefront_source());
+            r.params.push(("n".to_string(), 12));
+            r.fuel = Some(10_000);
+            r.tenant = Some(format!("tenant-{}", i % 4));
+            r.weight = Some(1 + (i % 4) as u64);
+            r
+        })
+        .collect()
+}
+
+fn untagged_requests(count: usize) -> Vec<Request> {
+    let mut reqs = tagged_requests(count);
+    for r in &mut reqs {
+        r.tenant = None;
+        r.weight = None;
+    }
+    reqs
+}
+
+fn bench_fair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_fair");
+
+    for size in SIZES {
+        let arrivals: Vec<(String, u64)> = (0..size)
+            .map(|i| (format!("tenant-{}", i % 4), 1 + (i % 4) as u64))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("schedule", size), &size, |b, _| {
+            b.iter(|| {
+                let refs: Vec<(&str, u64)> =
+                    arrivals.iter().map(|(t, w)| (t.as_str(), *w)).collect();
+                fair_order(&refs)
+            })
+        });
+
+        let tagged = tagged_requests(size);
+        let server = Server::new(ServeOptions::default());
+        let warm = server.run_batch(&tagged, 4);
+        assert!(warm.iter().all(|r| r.status.as_str() == "ok"));
+        group.bench_with_input(BenchmarkId::new("batch_tagged", size), &size, |b, _| {
+            b.iter(|| server.run_batch(&tagged, 4))
+        });
+
+        let untagged = untagged_requests(size);
+        let server = Server::new(ServeOptions::default());
+        server.run_batch(&untagged, 4);
+        group.bench_with_input(BenchmarkId::new("batch_untagged", size), &size, |b, _| {
+            b.iter(|| server.run_batch(&untagged, 4))
+        });
+
+        // Churn: unique programs through a small cache — every request
+        // misses, compiles, and (once warm) evicts.
+        let tiny = "param n;\nlet a = array (1,1) [ i := n | i <- [1..1] ];\n";
+        let churn: Vec<Request> = (0..size)
+            .map(|i| {
+                let mut r = Request::new(format!("c{i}"), tiny);
+                r.params.push(("n".to_string(), i as i64));
+                r
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("churn", size), &size, |b, _| {
+            b.iter(|| {
+                let server = Server::new(ServeOptions {
+                    cache_cap: 64,
+                    ..ServeOptions::default()
+                });
+                server.run_batch(&churn, 4)
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fair);
+criterion_main!(benches);

@@ -96,6 +96,9 @@ pub struct SharedCeiling {
     /// Round-robin admission hint so concurrent requests start their
     /// stripe walk at different offsets.
     hint: AtomicUsize,
+    /// Monotonic reservation ordinal handed out per admission attempt
+    /// (see [`SharedCeiling::take_ordinal`]).
+    ordinal: AtomicU64,
 }
 
 impl SharedCeiling {
@@ -119,7 +122,25 @@ impl SharedCeiling {
             fuel_total: limits.fuel.unwrap_or(UNLIMITED),
             mem_total: limits.mem_bytes.unwrap_or(UNLIMITED),
             hint: AtomicUsize::new(0),
+            ordinal: AtomicU64::new(0),
         })
+    }
+
+    /// Hand out the next reservation ordinal (0, 1, 2, …). The serving
+    /// layer stamps every admission attempt with one of these so that
+    /// cache recency, fair-scheduler bookkeeping, and the per-response
+    /// `admitted` field are all expressed in *admission order* — a pure
+    /// function of the request sequence, never the clock. Callers that
+    /// admit sequentially (queue order or a fair schedule) therefore
+    /// get bit-reproducible ordinals across runs.
+    pub fn take_ordinal(&self) -> u64 {
+        self.ordinal.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// How many reservation ordinals have been handed out so far
+    /// (racy snapshot; exact when quiescent).
+    pub fn reservations(&self) -> u64 {
+        self.ordinal.load(Ordering::Relaxed)
     }
 
     /// Whether the pool caps fuel at all.
@@ -915,6 +936,21 @@ mod tests {
                 "full refunds restore the pool exactly (stripes={stripes})"
             );
         }
+    }
+
+    #[test]
+    fn reservation_ordinals_are_dense_and_monotonic() {
+        let c = SharedCeiling::new(caps(100, 100), 4);
+        assert_eq!(c.reservations(), 0);
+        for want in 0..10 {
+            assert_eq!(c.take_ordinal(), want);
+        }
+        assert_eq!(c.reservations(), 10);
+        // Uncapped pools hand out ordinals too — the serving layer
+        // stamps admissions whether or not resources are finite.
+        let open = SharedCeiling::new(Limits::unlimited(), 1);
+        assert_eq!(open.take_ordinal(), 0);
+        assert_eq!(open.take_ordinal(), 1);
     }
 
     #[test]

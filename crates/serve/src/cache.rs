@@ -1,0 +1,223 @@
+//! A bounded, deterministically-evicting compiled-program cache.
+//!
+//! The unbounded `HashMap` the server used before this module was a
+//! footgun: a tenant cycling unique programs grows the process without
+//! limit. `ProgramCache` holds at most `cap` entries and evicts by a
+//! **cost-aware LRU** rule whose clock is the *admission ordinal* —
+//! the dense per-request counter handed out by
+//! [`SharedCeiling::take_ordinal`](hac_runtime::governor::SharedCeiling::take_ordinal)
+//! — never wall time. Eviction is therefore a pure function of the
+//! request sequence: the same workload always evicts the same entries
+//! in the same order, at any worker count (admission is sequential).
+//!
+//! The victim rule: evict the entry minimizing
+//! `(last_used + cost, last_used, key)`, where `cost` is the number of
+//! compiled units in the program — a deterministic proxy for how
+//! expensive the entry is to rebuild. Costlier programs thus survive a
+//! few ordinals longer than cheap ones touched at the same time, and
+//! the final `key` component makes the choice total even for equal
+//! scores.
+//!
+//! Evicting is never incorrect, only slower: a re-admitted evicted
+//! program recompiles from the same source and parameters, and the
+//! repo's determinism contract guarantees the rebuilt program behaves
+//! bit-identically (the eviction proptests pin this).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hac_core::pipeline::Compiled;
+
+/// Counters over the cache's whole life. Reconciliation invariants,
+/// enforced by the eviction proptests:
+/// `hits + misses == lookups` and `insertions - evictions == live`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub lookups: u64,
+    pub hits: u64,
+    pub misses: u64,
+    pub insertions: u64,
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub live: u64,
+    /// The configured capacity (0 = unbounded).
+    pub cap: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    program: Arc<Compiled>,
+    /// Admission ordinal of the last request that looked this entry up
+    /// (or inserted it).
+    last_used: u64,
+    /// Rebuild-cost proxy: compiled unit count, clamped to ≥ 1.
+    cost: u64,
+}
+
+/// The bounded cache. Not internally synchronized — the server wraps
+/// it in a `Mutex` (lookups and insertions happen on the sequential
+/// admission path, so the lock is uncontended in steady state).
+#[derive(Debug)]
+pub struct ProgramCache {
+    cap: usize,
+    entries: HashMap<u64, Entry>,
+    stats: CacheStats,
+}
+
+impl ProgramCache {
+    /// A cache holding at most `cap` entries; `cap == 0` means
+    /// unbounded (the pre-eviction behavior, available via
+    /// `--cache-cap 0` for embedders that key a small closed program
+    /// set).
+    pub fn new(cap: usize) -> ProgramCache {
+        ProgramCache {
+            cap,
+            entries: HashMap::new(),
+            stats: CacheStats {
+                cap: cap as u64,
+                ..CacheStats::default()
+            },
+        }
+    }
+
+    /// Look `key` up, stamping the entry's recency with `ordinal` on a
+    /// hit.
+    pub fn lookup(&mut self, key: u64, ordinal: u64) -> Option<Arc<Compiled>> {
+        self.stats.lookups += 1;
+        match self.entries.get_mut(&key) {
+            Some(e) => {
+                e.last_used = ordinal;
+                self.stats.hits += 1;
+                Some(Arc::clone(&e.program))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly compiled program under `key`, evicting as many
+    /// victims as needed to respect the capacity. Returns how many
+    /// entries were evicted (0 or 1 in steady state; more only after a
+    /// capacity reconfiguration). Re-inserting an existing key
+    /// refreshes it in place and never evicts.
+    pub fn insert(&mut self, key: u64, program: Arc<Compiled>, ordinal: u64) -> u64 {
+        let cost = (program.units.len() as u64).max(1);
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.program = program;
+            e.last_used = ordinal;
+            e.cost = cost;
+            return 0;
+        }
+        let mut evicted = 0;
+        if self.cap > 0 {
+            while self.entries.len() >= self.cap {
+                let victim = self
+                    .entries
+                    .iter()
+                    .map(|(k, e)| (e.last_used + e.cost, e.last_used, *k))
+                    .min()
+                    .expect("cap > 0 and len >= cap imply an entry");
+                self.entries.remove(&victim.2);
+                self.stats.evictions += 1;
+                self.stats.live -= 1;
+                evicted += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            Entry {
+                program,
+                last_used: ordinal,
+                cost,
+            },
+        );
+        self.stats.insertions += 1;
+        self.stats.live += 1;
+        evicted
+    }
+
+    /// A copy of the life-to-date counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hac_core::pipeline::{compile, CompileOptions};
+    use hac_lang::env::ConstEnv;
+
+    fn compiled(n: i64) -> Arc<Compiled> {
+        let src = "param n;\nlet a = array (1,2) [ i := n | i <- [1..2] ];\n";
+        let program = hac_lang::parser::parse_program(src).unwrap();
+        let mut env = ConstEnv::new();
+        env.bind("n", n);
+        Arc::new(compile(&program, &env, &CompileOptions::default()).unwrap())
+    }
+
+    #[test]
+    fn capacity_is_respected_and_counters_reconcile() {
+        let mut c = ProgramCache::new(3);
+        let p = compiled(1);
+        for key in 0..10u64 {
+            assert!(c.lookup(key, key).is_none());
+            c.insert(key, Arc::clone(&p), key);
+            assert!(c.len() <= 3, "cap exceeded at key {key}");
+        }
+        let s = c.stats();
+        assert_eq!(s.lookups, 10);
+        assert_eq!(s.hits + s.misses, s.lookups);
+        assert_eq!(s.insertions - s.evictions, s.live);
+        assert_eq!(s.live, 3);
+        assert_eq!(s.evictions, 7);
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        let mut c = ProgramCache::new(2);
+        let p = compiled(1);
+        c.insert(10, Arc::clone(&p), 0);
+        c.insert(20, Arc::clone(&p), 1);
+        // Touch 10 so 20 becomes the LRU victim.
+        assert!(c.lookup(10, 2).is_some());
+        c.insert(30, Arc::clone(&p), 3);
+        assert!(c.lookup(10, 4).is_some());
+        assert!(c.lookup(20, 5).is_none(), "20 was evicted");
+        assert!(c.lookup(30, 6).is_some());
+    }
+
+    #[test]
+    fn zero_cap_is_unbounded() {
+        let mut c = ProgramCache::new(0);
+        let p = compiled(1);
+        for key in 0..100u64 {
+            c.insert(key, Arc::clone(&p), key);
+        }
+        assert_eq!(c.len(), 100);
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn reinserting_a_key_refreshes_without_eviction() {
+        let mut c = ProgramCache::new(2);
+        let p = compiled(1);
+        c.insert(1, Arc::clone(&p), 0);
+        c.insert(2, Arc::clone(&p), 1);
+        assert_eq!(c.insert(1, Arc::clone(&p), 2), 0);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().insertions, 2, "refresh is not an insertion");
+    }
+}

@@ -1,0 +1,312 @@
+//! A persistent serving daemon over real TCP sockets.
+//!
+//! `hacc daemon --listen ADDR` binds a std-library [`TcpListener`] and
+//! serves the exact JSON-lines protocol `hacc serve` speaks on
+//! stdin/stdout — one request object per line, one response per line —
+//! reusing [`Server`] unchanged underneath, so every determinism
+//! guarantee (admission ordinals, bounded-cache eviction, settlement)
+//! carries over to the socket path verbatim.
+//!
+//! Besides plain requests, a connection may send **control objects**:
+//!
+//! * `{"control":"tenant","tenant":"acme"}` — attribute every later
+//!   request on this connection that names no tenant of its own to
+//!   `acme` (per-connection tenant attribution).
+//! * `{"control":"stats"}` — cache counters plus per-tenant served
+//!   request counts (sorted by tenant name, so the reply is
+//!   reproducible).
+//! * `{"control":"shutdown"}` — graceful shutdown: the daemon replies
+//!   `{"control":"shutdown","ok":true}`, stops accepting, lets every
+//!   in-flight connection finish, and returns.
+//!
+//! The accept loop is **bounded**: at most
+//! [`DaemonOptions::max_conns`] connections are served concurrently;
+//! excess connections wait in the listen backlog until a slot frees.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::json::{self, Json};
+use crate::{Request, Server};
+
+/// Daemon-specific knobs (everything else lives in
+/// [`ServeOptions`](crate::ServeOptions) on the wrapped server).
+#[derive(Debug, Clone)]
+pub struct DaemonOptions {
+    /// Connections served concurrently; further accepts wait until a
+    /// slot frees.
+    pub max_conns: usize,
+}
+
+impl Default for DaemonOptions {
+    fn default() -> Self {
+        DaemonOptions { max_conns: 8 }
+    }
+}
+
+/// State shared between the accept loop and connection handlers.
+struct Shared {
+    server: Arc<Server>,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    active: Mutex<usize>,
+    slot_freed: Condvar,
+    /// Requests served per tenant, in first-seen order.
+    tenants: Mutex<Vec<(String, u64)>>,
+}
+
+impl Shared {
+    fn record_tenant(&self, tenant: &str) {
+        let mut tenants = self.tenants.lock().expect("tenant lock");
+        match tenants.iter_mut().find(|(t, _)| t == tenant) {
+            Some((_, n)) => *n += 1,
+            None => tenants.push((tenant.to_string(), 1)),
+        }
+    }
+}
+
+/// A daemon running on a background thread (the in-process form the
+/// simulator tests drive; the CLI calls [`run`] on its main thread).
+pub struct Daemon {
+    addr: SocketAddr,
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl Daemon {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wait for the daemon to shut down (send `{"control":"shutdown"}`
+    /// over a connection first, or this blocks forever).
+    ///
+    /// # Errors
+    /// Propagates accept-loop I/O errors.
+    ///
+    /// # Panics
+    /// Panics if the daemon thread itself panicked.
+    pub fn join(self) -> std::io::Result<()> {
+        self.thread.join().expect("daemon thread panicked")
+    }
+}
+
+/// Spawn the accept loop on a background thread and return immediately.
+///
+/// # Errors
+/// Fails when the listener's local address cannot be read.
+pub fn spawn(
+    server: Arc<Server>,
+    listener: TcpListener,
+    options: DaemonOptions,
+) -> std::io::Result<Daemon> {
+    let addr = listener.local_addr()?;
+    let thread = std::thread::spawn(move || run(server, listener, options));
+    Ok(Daemon { addr, thread })
+}
+
+/// Serve connections until a `{"control":"shutdown"}` arrives, then
+/// drain in-flight connections and return. Blocking; the CLI's
+/// `hacc daemon` calls this on the main thread.
+///
+/// # Errors
+/// Propagates listener I/O failures.
+pub fn run(
+    server: Arc<Server>,
+    listener: TcpListener,
+    options: DaemonOptions,
+) -> std::io::Result<()> {
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        server,
+        addr,
+        shutdown: AtomicBool::new(false),
+        active: Mutex::new(0),
+        slot_freed: Condvar::new(),
+        tenants: Mutex::new(Vec::new()),
+    });
+    let max_conns = options.max_conns.max(1);
+    let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        // Bounded accept: hold here until a connection slot frees (a
+        // finishing handler notifies; a shutdown handler also frees
+        // its slot, so this wait always wakes).
+        {
+            let mut active = shared.active.lock().expect("active lock");
+            while *active >= max_conns && !shared.shutdown.load(Ordering::SeqCst) {
+                active = shared.slot_freed.wait(active).expect("active lock");
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            *active += 1;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(e) => {
+                *shared.active.lock().expect("active lock") -= 1;
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                return Err(e);
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The wake-up connection a shutdown handler made to
+            // unblock `accept`; nothing will be read from it.
+            drop(stream);
+            *shared.active.lock().expect("active lock") -= 1;
+            break;
+        }
+        // Reap finished handlers so a long-lived daemon's handle list
+        // stays proportional to live connections.
+        handlers.retain(|h| !h.is_finished());
+        let sh = Arc::clone(&shared);
+        handlers.push(std::thread::spawn(move || {
+            serve_connection(&sh, stream);
+            *sh.active.lock().expect("active lock") -= 1;
+            sh.slot_freed.notify_one();
+        }));
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+    Ok(())
+}
+
+/// One error-reply line (requests that never parsed far enough to
+/// carry an id).
+fn error_line(message: String) -> Json {
+    Json::Obj(vec![
+        ("id".to_string(), Json::Null),
+        ("status".to_string(), Json::Str("rejected".to_string())),
+        ("error".to_string(), Json::Str(message)),
+    ])
+}
+
+/// Handle one control object; returns `true` when the connection
+/// should stop reading (shutdown).
+fn handle_control(shared: &Shared, control: &str, v: &Json, out: &mut TcpStream) -> bool {
+    match control {
+        "shutdown" => {
+            let reply = Json::Obj(vec![
+                ("control".to_string(), Json::Str("shutdown".to_string())),
+                ("ok".to_string(), Json::Bool(true)),
+            ]);
+            let _ = writeln!(out, "{reply}");
+            let _ = out.flush();
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Unblock the accept loop; it drops this wake-up
+            // connection on arrival.
+            let _ = TcpStream::connect(shared.addr);
+            shared.slot_freed.notify_one();
+            true
+        }
+        "stats" => {
+            let s = shared.server.cache_stats();
+            let cache = Json::Obj(vec![
+                ("lookups".to_string(), Json::Num(s.lookups as f64)),
+                ("hits".to_string(), Json::Num(s.hits as f64)),
+                ("misses".to_string(), Json::Num(s.misses as f64)),
+                ("insertions".to_string(), Json::Num(s.insertions as f64)),
+                ("evictions".to_string(), Json::Num(s.evictions as f64)),
+                ("live".to_string(), Json::Num(s.live as f64)),
+                ("cap".to_string(), Json::Num(s.cap as f64)),
+            ]);
+            let mut tenants = shared.tenants.lock().expect("tenant lock").clone();
+            tenants.sort();
+            let tenants = Json::Obj(
+                tenants
+                    .into_iter()
+                    .map(|(t, n)| (t, Json::Num(n as f64)))
+                    .collect(),
+            );
+            let reply = Json::Obj(vec![
+                ("control".to_string(), Json::Str("stats".to_string())),
+                ("cache".to_string(), cache),
+                ("tenants".to_string(), tenants),
+            ]);
+            let _ = writeln!(out, "{reply}");
+            let _ = out.flush();
+            false
+        }
+        "tenant" => {
+            // Handled by the caller (needs the connection-local
+            // default); this arm only validates the shape.
+            let ok = v.get("tenant").and_then(Json::as_str).is_some();
+            let reply = if ok {
+                Json::Obj(vec![
+                    ("control".to_string(), Json::Str("tenant".to_string())),
+                    ("ok".to_string(), Json::Bool(true)),
+                ])
+            } else {
+                error_line("`tenant` control needs a string `tenant`".to_string())
+            };
+            let _ = writeln!(out, "{reply}");
+            let _ = out.flush();
+            false
+        }
+        other => {
+            let _ = writeln!(out, "{}", error_line(format!("unknown control `{other}`")));
+            let _ = out.flush();
+            false
+        }
+    }
+}
+
+/// Serve one connection's JSON-lines until EOF or shutdown.
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let Ok(reader) = stream.try_clone() else {
+        return;
+    };
+    let reader = BufReader::new(reader);
+    let mut out = stream;
+    // The connection's default tenant: applied to any request that
+    // names none of its own.
+    let mut conn_tenant: Option<String> = None;
+    for line in reader.lines() {
+        let Ok(line) = line else {
+            break;
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = match json::parse(&line) {
+            Ok(v) => v,
+            Err(e) => {
+                let _ = writeln!(out, "{}", error_line(e));
+                let _ = out.flush();
+                continue;
+            }
+        };
+        if let Some(control) = parsed.get("control").and_then(Json::as_str) {
+            let control = control.to_string();
+            if control == "tenant" {
+                if let Some(t) = parsed.get("tenant").and_then(Json::as_str) {
+                    conn_tenant = Some(t.to_string());
+                }
+            }
+            if handle_control(shared, &control, &parsed, &mut out) {
+                return;
+            }
+            continue;
+        }
+        let mut req = match Request::from_json(&parsed) {
+            Ok(r) => r,
+            Err(e) => {
+                let _ = writeln!(out, "{}", error_line(e));
+                let _ = out.flush();
+                continue;
+            }
+        };
+        if req.tenant.is_none() {
+            req.tenant.clone_from(&conn_tenant);
+        }
+        let resp = shared.server.handle(&req);
+        shared.record_tenant(req.tenant.as_deref().unwrap_or(""));
+        let _ = writeln!(out, "{}", resp.to_json());
+        let _ = out.flush();
+    }
+}

@@ -9,14 +9,17 @@
 //! The layer inherits the repo's determinism contract: a request's
 //! outcome — answer digest, exhaustion point, fuel left, counters — is
 //! a pure function of its own program, inputs, and budget. Admission
-//! happens in queue order; execution may be concurrent, and the
-//! ceiling's settlement rule (see [`SharedCeiling`]) guarantees a
-//! heavy tenant exhausting its budget can never perturb a light
-//! tenant's result. Deadlines are converted to fuel *before* execution
-//! by a [`DeadlineGovernor`], so no engine ever reads the clock.
+//! follows a weighted fair schedule across tenants (see [`sched`]);
+//! execution may be concurrent, and the ceiling's settlement rule (see
+//! [`SharedCeiling`]) guarantees a heavy tenant exhausting its budget
+//! can never perturb a light tenant's result. Deadlines are converted
+//! to fuel *before* execution by a [`DeadlineGovernor`], so no engine
+//! ever reads the clock. The compiled-program cache is bounded
+//! ([`cache`]) and a persistent TCP daemon ([`daemon`]) serves the
+//! same JSON-lines protocol over real sockets.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use hac_core::deadline::DeadlineGovernor;
@@ -29,7 +32,12 @@ use hac_runtime::governor::{Limits, Meter, SharedCeiling};
 use hac_runtime::value::{ArrayBuf, FuncTable};
 use hac_workloads::XorShift;
 
+pub mod cache;
+pub mod daemon;
 pub mod json;
+pub mod sched;
+
+use cache::{CacheStats, ProgramCache};
 use json::Json;
 
 /// Server-wide configuration.
@@ -49,7 +57,14 @@ pub struct ServeOptions {
     /// Deadline→fuel converter; `None` means `deadline_ms` requests
     /// are rejected.
     pub deadline: Option<DeadlineGovernor>,
+    /// Compiled-program cache capacity in entries; 0 means unbounded.
+    /// Defaults to a finite 256 — an unbounded cache lets a tenant
+    /// cycling unique programs grow the process without limit.
+    pub cache_cap: usize,
 }
+
+/// Default [`ServeOptions::cache_cap`].
+pub const DEFAULT_CACHE_CAP: usize = 256;
 
 impl Default for ServeOptions {
     fn default() -> Self {
@@ -60,6 +75,7 @@ impl Default for ServeOptions {
             ceiling: Limits::unlimited(),
             stripes: 8,
             deadline: None,
+            cache_cap: DEFAULT_CACHE_CAP,
         }
     }
 }
@@ -82,6 +98,12 @@ pub struct Request {
     pub seed: u64,
     pub engine: Option<Engine>,
     pub mode: Option<ExecMode>,
+    /// Tenant this request bills to; `None` joins the shared default
+    /// tenant `""` for fair-scheduling purposes.
+    pub tenant: Option<String>,
+    /// Fair-share weight (≥ 1). A tenant's effective weight is the one
+    /// declared on its first-arriving request; see [`sched`].
+    pub weight: Option<u64>,
 }
 
 impl Request {
@@ -97,6 +119,8 @@ impl Request {
             seed: 0xC0FFEE,
             engine: None,
             mode: None,
+            tenant: None,
+            weight: None,
         }
     }
 
@@ -153,7 +177,68 @@ impl Request {
             let m = m.as_str().ok_or("`mode` must be a string")?;
             req.mode = Some(mode_from_str(m)?);
         }
+        if let Some(t) = v.get("tenant") {
+            req.tenant = Some(t.as_str().ok_or("`tenant` must be a string")?.to_string());
+        }
+        // `priority` is accepted as an alias for `weight`.
+        if let Some(w) = v.get("weight").or_else(|| v.get("priority")) {
+            let w = w
+                .as_u64()
+                .filter(|&w| w >= 1)
+                .ok_or("`weight` must be a positive integer")?;
+            req.weight = Some(w);
+        }
         Ok(req)
+    }
+
+    /// The wire form (inverse of [`Request::from_json`]); used by
+    /// clients driving the daemon and by the simulator tests.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("id".to_string(), Json::Str(self.id.clone())),
+            ("source".to_string(), Json::Str(self.source.clone())),
+        ];
+        if !self.params.is_empty() {
+            let params = self
+                .params
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as f64)))
+                .collect();
+            fields.push(("params".to_string(), Json::Obj(params)));
+        }
+        if let Some(f) = self.fuel {
+            fields.push(("fuel".to_string(), Json::Num(f as f64)));
+        }
+        if let Some(m) = self.mem_bytes {
+            fields.push(("mem_bytes".to_string(), Json::Num(m as f64)));
+        }
+        if let Some(d) = self.deadline_ms {
+            fields.push(("deadline_ms".to_string(), Json::Num(d as f64)));
+        }
+        fields.push(("seed".to_string(), Json::Num(self.seed as f64)));
+        if let Some(e) = self.engine {
+            let name = match e {
+                Engine::TreeWalk => "treewalk",
+                Engine::Tape => "tape",
+                Engine::ParTape => "partape",
+            };
+            fields.push(("engine".to_string(), Json::Str(name.to_string())));
+        }
+        if let Some(m) = self.mode {
+            let name = match m {
+                ExecMode::Auto => "auto",
+                ExecMode::ForceThunked => "thunked",
+                ExecMode::ForceChecked => "checked",
+            };
+            fields.push(("mode".to_string(), Json::Str(name.to_string())));
+        }
+        if let Some(t) = &self.tenant {
+            fields.push(("tenant".to_string(), Json::Str(t.clone())));
+        }
+        if let Some(w) = self.weight {
+            fields.push(("weight".to_string(), Json::Num(w as f64)));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -228,9 +313,19 @@ pub struct Verdicts {
 pub struct Response {
     pub id: String,
     pub status: Status,
+    /// Tenant the request billed to (echoed back; daemon connections
+    /// may attribute it).
+    pub tenant: Option<String>,
+    /// Admission ordinal: the position in the server's realized
+    /// admission sequence (dense, starting at 0). `None` only for
+    /// requests rejected before admission processing began.
+    pub admitted: Option<u64>,
     /// `Some(true)` = compiled-program cache hit; `None` when the
     /// request never reached the cache.
     pub cache_hit: Option<bool>,
+    /// Cache entries evicted to make room for this request's program
+    /// (0 on hits and when the cache is under capacity).
+    pub evictions: u64,
     /// FNV-1a digest over every output array and scalar (sorted by
     /// name), so equality of answers is checkable without shipping
     /// arrays.
@@ -239,6 +334,10 @@ pub struct Response {
     pub fuel_left: Option<u64>,
     /// Parallel regions that faulted and were recovered sequentially.
     pub engine_faults: u64,
+    /// FNV-1a digest over every VM and thunked-path work counter, in a
+    /// fixed field order — two runs with equal digests did bit-equal
+    /// metered work. `None` when the run produced no counters.
+    pub counters_digest: Option<String>,
     pub verdicts: Option<Verdicts>,
     pub error: Option<String>,
 }
@@ -248,10 +347,14 @@ impl Response {
         Response {
             id: id.to_string(),
             status,
+            tenant: None,
+            admitted: None,
             cache_hit,
+            evictions: 0,
             answer_digest: None,
             fuel_left: None,
             engine_faults: 0,
+            counters_digest: None,
             verdicts: None,
             error: Some(error),
         }
@@ -266,6 +369,16 @@ impl Response {
                 Json::Str(self.status.as_str().to_string()),
             ),
             (
+                "tenant".to_string(),
+                self.tenant
+                    .as_ref()
+                    .map_or(Json::Null, |t| Json::Str(t.clone())),
+            ),
+            (
+                "admitted".to_string(),
+                self.admitted.map_or(Json::Null, |o| Json::Num(o as f64)),
+            ),
+            (
                 "cache".to_string(),
                 match self.cache_hit {
                     Some(true) => Json::Str("hit".to_string()),
@@ -273,6 +386,7 @@ impl Response {
                     None => Json::Null,
                 },
             ),
+            ("evictions".to_string(), Json::Num(self.evictions as f64)),
             (
                 "answer_digest".to_string(),
                 self.answer_digest
@@ -286,6 +400,12 @@ impl Response {
             (
                 "engine_faults".to_string(),
                 Json::Num(self.engine_faults as f64),
+            ),
+            (
+                "counters_digest".to_string(),
+                self.counters_digest
+                    .as_ref()
+                    .map_or(Json::Null, |d| Json::Str(d.clone())),
             ),
         ];
         fields.push((
@@ -345,6 +465,31 @@ fn digest_output(out: &hac_core::pipeline::ExecOutput) -> String {
     format!("{h:016x}")
 }
 
+/// Digest every work counter in a fixed field order. Engine-fault
+/// recoveries are deliberately included: a run that recovered is
+/// observable in `engine_faults`, never in answers or the other
+/// counters.
+fn digest_counters(c: &hac_core::pipeline::ExecCounters) -> String {
+    let mut h = FNV_OFFSET;
+    for v in [
+        c.vm.stores,
+        c.vm.loads,
+        c.vm.check_ops,
+        c.vm.loop_iterations,
+        c.vm.temp_elements,
+        c.vm.elements_copied,
+        c.vm.array_allocs,
+        c.vm.tape_ops,
+        c.vm.engine_faults,
+        c.thunked.thunks_allocated,
+        c.thunked.demands,
+        c.thunked.memo_hits,
+    ] {
+        h = fnv1a(h, &v.to_le_bytes());
+    }
+    format!("{h:016x}")
+}
+
 fn verdicts_of(compiled: &Compiled) -> Verdicts {
     let mut v = Verdicts {
         units: compiled.units.len(),
@@ -378,24 +523,27 @@ fn fill_inputs(compiled: &Compiled, seed: u64) -> HashMap<String, ArrayBuf> {
     out
 }
 
-/// A multi-tenant server: compiled-program cache + shared ceiling.
+/// A multi-tenant server: bounded compiled-program cache + shared
+/// ceiling + weighted fair admission.
 ///
 /// `Server` is `Sync`; one instance serves concurrent callers.
 pub struct Server {
     options: ServeOptions,
     ceiling: Arc<SharedCeiling>,
-    /// Compiled programs keyed by FNV(source, params, mode, engine).
-    cache: Mutex<HashMap<u64, Arc<Compiled>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Bounded cache of compiled programs keyed by FNV(source, params,
+    /// mode, engine); recency is stamped in admission ordinals.
+    cache: Mutex<ProgramCache>,
 }
 
 /// A request past compilation and admission, ready to execute.
 struct Admitted {
     id: String,
+    tenant: Option<String>,
+    ordinal: u64,
     compiled: Arc<Compiled>,
     meter: Meter,
     cache_hit: bool,
+    evictions: u64,
     seed: u64,
 }
 
@@ -404,13 +552,17 @@ impl Server {
     /// by every request the server ever admits.
     pub fn new(options: ServeOptions) -> Server {
         let ceiling = SharedCeiling::new(options.ceiling, options.stripes);
+        let cache = Mutex::new(ProgramCache::new(options.cache_cap));
         Server {
             options,
             ceiling,
-            cache: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            cache,
         }
+    }
+
+    /// The server-wide configuration (read-only).
+    pub fn options(&self) -> &ServeOptions {
+        &self.options
     }
 
     /// The shared pool (tests observe accounting through this).
@@ -418,12 +570,27 @@ impl Server {
         &self.ceiling
     }
 
-    /// `(hits, misses)` of the compiled-program cache so far.
-    pub fn cache_stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+    /// Life-to-date compiled-program cache counters: lookups, hits,
+    /// misses, insertions, evictions, live entries, capacity.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache lock").stats()
+    }
+
+    /// The fair admission order the scheduler predicts for `reqs` —
+    /// the exact permutation [`Server::run_batch`] realizes. Exposed
+    /// so tests (and capacity planners) can check realized order
+    /// against the prediction.
+    pub fn predicted_order(reqs: &[Request]) -> Vec<usize> {
+        let arrivals: Vec<(&str, u64)> = reqs
+            .iter()
+            .map(|r| {
+                (
+                    r.tenant.as_deref().unwrap_or(""),
+                    r.weight.unwrap_or(sched::DEFAULT_WEIGHT),
+                )
+            })
+            .collect();
+        sched::fair_order(&arrivals)
     }
 
     fn cache_key(&self, req: &Request, mode: ExecMode, engine: Engine) -> u64 {
@@ -438,18 +605,21 @@ impl Server {
         h
     }
 
-    /// Compile via the cache. Compile *errors* are not cached: they
-    /// are cheap to reproduce (the front end rejects early) and rare.
+    /// Compile via the bounded cache, stamping recency (and any
+    /// eviction) with the request's admission ordinal. Returns the
+    /// program, whether it was a hit, and how many entries were
+    /// evicted to make room. Compile *errors* are not cached: they are
+    /// cheap to reproduce (the front end rejects early) and rare.
     fn compile_cached(
         &self,
         req: &Request,
         mode: ExecMode,
         engine: Engine,
-    ) -> Result<(Arc<Compiled>, bool), String> {
+        ordinal: u64,
+    ) -> Result<(Arc<Compiled>, bool, u64), String> {
         let key = self.cache_key(req, mode, engine);
-        if let Some(hit) = self.cache.lock().expect("cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((Arc::clone(hit), true));
+        if let Some(hit) = self.cache.lock().expect("cache lock").lookup(key, ordinal) {
+            return Ok((hit, true, 0));
         }
         let program = hac_lang::parser::parse_program(&req.source)
             .map_err(|e| format!("parse error: {e}"))?;
@@ -468,12 +638,12 @@ impl Server {
         )
         .map_err(|e| format!("compile error: {e}"))?;
         let compiled = Arc::new(compiled);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        self.cache
-            .lock()
-            .expect("cache lock")
-            .insert(key, Arc::clone(&compiled));
-        Ok((compiled, false))
+        let evicted =
+            self.cache
+                .lock()
+                .expect("cache lock")
+                .insert(key, Arc::clone(&compiled), ordinal);
+        Ok((compiled, false, evicted))
     }
 
     /// The request's effective limits: its own caps, with a deadline
@@ -495,36 +665,48 @@ impl Server {
         })
     }
 
-    /// Compile and admit one request (queue-order phase). `Err` is an
+    /// Compile and admit one request (the sequential admission phase).
+    /// Every request that reaches this point consumes one reservation
+    /// ordinal from the ceiling — the deterministic clock that stamps
+    /// cache recency and the response's `admitted` field. `Err` is an
     /// early response (boxed — it is much larger than the `Ok` arm):
     /// malformed, compile failure, or rejection.
     fn admit(&self, req: &Request) -> Result<Admitted, Box<Response>> {
+        let ordinal = self.ceiling.take_ordinal();
+        let stamp = |mut resp: Response| {
+            resp.tenant = req.tenant.clone();
+            resp.admitted = Some(ordinal);
+            Box::new(resp)
+        };
         let mode = req.mode.unwrap_or(self.options.mode);
         let engine = req.engine.unwrap_or(self.options.engine);
         let limits = self
             .effective_limits(req)
-            .map_err(|e| Box::new(Response::failed(&req.id, Status::Rejected, None, e)))?;
-        let (compiled, cache_hit) = self.compile_cached(req, mode, engine).map_err(|e| {
-            Box::new(Response::failed(
-                &req.id,
-                Status::CompileError,
-                Some(false),
-                e,
-            ))
-        })?;
+            .map_err(|e| stamp(Response::failed(&req.id, Status::Rejected, None, e)))?;
+        let (compiled, cache_hit, evictions) = self
+            .compile_cached(req, mode, engine, ordinal)
+            .map_err(|e| {
+                stamp(Response::failed(
+                    &req.id,
+                    Status::CompileError,
+                    Some(false),
+                    e,
+                ))
+            })?;
         let meter = Meter::admit(limits, &self.ceiling).map_err(|e| {
-            Box::new(Response::failed(
-                &req.id,
-                Status::Rejected,
-                Some(cache_hit),
-                e.to_string(),
-            ))
+            let mut resp =
+                Response::failed(&req.id, Status::Rejected, Some(cache_hit), e.to_string());
+            resp.evictions = evictions;
+            stamp(resp)
         })?;
         Ok(Admitted {
             id: req.id.clone(),
+            tenant: req.tenant.clone(),
+            ordinal,
             compiled,
             meter,
             cache_hit,
+            evictions,
             seed: req.seed,
         })
     }
@@ -547,10 +729,14 @@ impl Server {
             Ok(out) => Response {
                 id: adm.id,
                 status: Status::Ok,
+                tenant: adm.tenant,
+                admitted: Some(adm.ordinal),
                 cache_hit: Some(adm.cache_hit),
+                evictions: adm.evictions,
                 answer_digest: Some(digest_output(&out)),
                 fuel_left: out.fuel_left,
                 engine_faults: out.counters.vm.engine_faults,
+                counters_digest: Some(digest_counters(&out.counters)),
                 verdicts,
                 error: None,
             },
@@ -564,10 +750,14 @@ impl Server {
                 Response {
                     id: adm.id,
                     status,
+                    tenant: adm.tenant,
+                    admitted: Some(adm.ordinal),
                     cache_hit: Some(adm.cache_hit),
+                    evictions: adm.evictions,
                     answer_digest: None,
                     fuel_left,
                     engine_faults: 0,
+                    counters_digest: None,
                     verdicts,
                     error: Some(e.to_string()),
                 }
@@ -583,42 +773,45 @@ impl Server {
         }
     }
 
-    /// Serve a batch: admission strictly in queue order (so rejection
-    /// is deterministic), then execution on up to `workers` threads.
-    /// Each admitted request's outcome is independent of sibling
-    /// scheduling — the settlement rule fixes its budget at admission.
+    /// Serve a batch: admission strictly in the weighted fair order
+    /// ([`Server::predicted_order`] — a pure function of the request
+    /// list, so rejection and cache eviction are deterministic), then
+    /// execution on up to `workers` threads, which drain jobs in
+    /// admission order. Responses come back in **input order**. Each
+    /// admitted request's outcome is independent of sibling scheduling
+    /// — the settlement rule fixes its budget at admission.
     pub fn run_batch(&self, reqs: &[Request], workers: usize) -> Vec<Response> {
+        let order = Self::predicted_order(reqs);
         let mut slots: Vec<Option<Response>> = (0..reqs.len()).map(|_| None).collect();
-        let mut jobs: Vec<Option<Admitted>> = Vec::with_capacity(reqs.len());
-        for (i, req) in reqs.iter().enumerate() {
-            match self.admit(req) {
-                Ok(adm) => jobs.push(Some(adm)),
-                Err(resp) => {
-                    slots[i] = Some(*resp);
-                    jobs.push(None);
-                }
+        // `jobs` holds (input index, admitted request) in admission
+        // order; workers pull from its front, so execution starts in
+        // the same fair order admission ran in.
+        let mut jobs: Vec<(usize, Admitted)> = Vec::with_capacity(reqs.len());
+        for &i in &order {
+            match self.admit(&reqs[i]) {
+                Ok(adm) => jobs.push((i, adm)),
+                Err(resp) => slots[i] = Some(*resp),
             }
         }
         let workers = workers.max(1).min(reqs.len().max(1));
         if workers == 1 {
-            for (i, job) in jobs.into_iter().enumerate() {
-                if let Some(adm) = job {
-                    slots[i] = Some(self.execute(adm));
-                }
+            for (i, adm) in jobs {
+                slots[i] = Some(self.execute(adm));
             }
         } else {
-            let queue: Vec<Mutex<Option<Admitted>>> = jobs.into_iter().map(Mutex::new).collect();
+            let queue: Vec<Mutex<Option<(usize, Admitted)>>> =
+                jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
             let next = AtomicUsize::new(0);
             let done = Mutex::new(&mut slots);
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= queue.len() {
+                        let k = next.fetch_add(1, Ordering::Relaxed);
+                        if k >= queue.len() {
                             break;
                         }
-                        let job = queue[i].lock().expect("job lock").take();
-                        if let Some(adm) = job {
+                        let job = queue[k].lock().expect("job lock").take();
+                        if let Some((i, adm)) = job {
                             let resp = self.execute(adm);
                             done.lock().expect("slot lock")[i] = Some(resp);
                         }
@@ -655,7 +848,10 @@ mod tests {
         assert_eq!(a.cache_hit, Some(false));
         assert_eq!(b.cache_hit, Some(true));
         assert_eq!(a.answer_digest, b.answer_digest);
-        assert_eq!(server.cache_stats(), (1, 1));
+        assert_eq!(a.counters_digest, b.counters_digest);
+        let stats = server.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.live, 1);
     }
 
     #[test]
@@ -664,7 +860,8 @@ mod tests {
         let a = server.handle(&req("a", 16));
         let b = server.handle(&req("b", 17));
         assert_ne!(a.answer_digest, b.answer_digest);
-        assert_eq!(server.cache_stats(), (0, 2));
+        let stats = server.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 2));
     }
 
     #[test]
@@ -730,7 +927,7 @@ mod tests {
     fn request_json_round_trip() {
         let wire = r#"{"id":"r1","source":"param n;","params":{"n":4},
             "fuel":50,"mem_bytes":4096,"deadline_ms":7,"seed":9,
-            "engine":"tape","mode":"thunked"}"#;
+            "engine":"tape","mode":"thunked","tenant":"acme","weight":3}"#;
         let req = Request::from_json(&json::parse(wire).unwrap()).unwrap();
         assert_eq!(req.id, "r1");
         assert_eq!(req.params, vec![("n".to_string(), 4)]);
@@ -740,6 +937,47 @@ mod tests {
         assert_eq!(req.seed, 9);
         assert_eq!(req.engine, Some(Engine::Tape));
         assert_eq!(req.mode, Some(ExecMode::ForceThunked));
+        assert_eq!(req.tenant.as_deref(), Some("acme"));
+        assert_eq!(req.weight, Some(3));
+        // `to_json` is the exact inverse.
+        let back = Request::from_json(&req.to_json()).unwrap();
+        assert_eq!(format!("{:?}", back), format!("{:?}", req));
+        // `priority` aliases `weight`; zero weights are malformed.
+        let alias = json::parse(r#"{"id":"p","source":"x","priority":5}"#).unwrap();
+        assert_eq!(Request::from_json(&alias).unwrap().weight, Some(5));
+        let zero = json::parse(r#"{"id":"p","source":"x","weight":0}"#).unwrap();
+        assert!(Request::from_json(&zero).is_err());
+    }
+
+    #[test]
+    fn batch_admits_in_fair_order_and_stamps_ordinals() {
+        let server = Server::new(ServeOptions::default());
+        // Tenant a floods 4 requests ahead of b's 2; weights equal, so
+        // the fair schedule interleaves them: a0 b4 a1 b5 a2 a3.
+        let mut reqs: Vec<Request> = (0..4)
+            .map(|i| {
+                let mut r = req(&format!("a{i}"), 8);
+                r.tenant = Some("a".to_string());
+                r
+            })
+            .collect();
+        for i in 0..2 {
+            let mut r = req(&format!("b{i}"), 8);
+            r.tenant = Some("b".to_string());
+            reqs.push(r);
+        }
+        let predicted = Server::predicted_order(&reqs);
+        assert_eq!(predicted, vec![0, 4, 1, 5, 2, 3]);
+        let out = server.run_batch(&reqs, 2);
+        // Responses in input order; ordinals realize the prediction.
+        let mut realized: Vec<usize> = (0..reqs.len()).collect();
+        realized.sort_by_key(|&i| out[i].admitted.expect("all admitted"));
+        assert_eq!(realized, predicted);
+        for (i, resp) in out.iter().enumerate() {
+            assert_eq!(resp.id, reqs[i].id);
+            assert_eq!(resp.status, Status::Ok);
+            assert_eq!(resp.tenant, reqs[i].tenant);
+        }
     }
 
     #[test]
@@ -750,10 +988,14 @@ mod tests {
         for key in [
             "id",
             "status",
+            "tenant",
+            "admitted",
             "cache",
+            "evictions",
             "answer_digest",
             "fuel_left",
             "engine_faults",
+            "counters_digest",
             "verdicts",
             "error",
         ] {

@@ -5,6 +5,7 @@
 //! hacc PROGRAM.hac [name=value ...] [options]
 //! hacc batch JOBS.json [serve options]    run a batch of requests
 //! hacc serve [serve options]              JSON-lines requests on stdin
+//! hacc daemon --listen ADDR [serve options]  persistent TCP daemon
 //!
 //! options:
 //!   --mode auto|thunked|checked   execution strategy (default auto)
@@ -26,9 +27,24 @@
 //!   --ceiling-fuel N              global fuel pool shared by all requests
 //!   --ceiling-mem BYTES           global memory pool
 //!   --stripes N                   ceiling stripe count (default 8)
+//!   --cache-cap N                 compiled-program cache entries (default 256;
+//!                                 0 = unbounded)
 //!   --ops-per-ms N                inject the deadline rate (skip calibration)
 //!   --engine / --mode             defaults for requests that don't pick
+//!
+//! daemon options (besides the serve options):
+//!   --listen ADDR                 address to bind, e.g. 127.0.0.1:7070
+//!                                 (port 0 picks a free port; the bound
+//!                                 address is printed on stdout)
+//!   --max-conns N                 concurrent connections (default 8)
 //! ```
+//!
+//! Requests carry optional `tenant` and `weight` fields: `hacc batch`
+//! admits in the weighted fair (stride) order across tenants, and a
+//! daemon connection can attribute its requests to a tenant with
+//! `{"control":"tenant","tenant":"acme"}`. `{"control":"shutdown"}`
+//! stops the daemon gracefully; `{"control":"stats"}` reports cache
+//! counters and per-tenant request totals.
 //!
 //! Deadlines never reach the engines as clocks: `--deadline-ms` (and a
 //! request's `deadline_ms`) is multiplied into a fuel budget by a
@@ -82,8 +98,10 @@ fn usage() -> &'static str {
      [--fuel N] [--mem-limit BYTES] [--deadline-ms N] [--fault-plan SPEC] \
      [--no-run] [--quiet] [--print NAME]\n\
      \x20      hacc batch JOBS.json [--workers N] [--threads N] \
-     [--ceiling-fuel N] [--ceiling-mem BYTES] [--stripes N] [--ops-per-ms N]\n\
-     \x20      hacc serve [same options as batch]"
+     [--ceiling-fuel N] [--ceiling-mem BYTES] [--stripes N] [--cache-cap N] \
+     [--ops-per-ms N]\n\
+     \x20      hacc serve [same options as batch]\n\
+     \x20      hacc daemon --listen ADDR [--max-conns N] [same options as batch]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -278,12 +296,17 @@ fn deadline_governor(ops_per_ms: Option<u64>) -> DeadlineGovernor {
     DeadlineGovernor::calibrate()
 }
 
-/// Serving-layer options shared by `hacc batch` and `hacc serve`.
+/// Serving-layer options shared by `hacc batch`, `hacc serve`, and
+/// `hacc daemon`.
 struct ServeCli {
     options: ServeOptions,
     workers: usize,
     /// Positional argument: the jobs file for `batch`.
     jobs_file: Option<String>,
+    /// `--listen` address for `daemon`.
+    listen: Option<String>,
+    /// `--max-conns` for `daemon`.
+    max_conns: usize,
 }
 
 fn parse_serve_args(mut args: std::env::Args) -> Result<ServeCli, String> {
@@ -293,9 +316,12 @@ fn parse_serve_args(mut args: std::env::Args) -> Result<ServeCli, String> {
     let mut workers = default_threads();
     let mut ceiling = Limits::default();
     let mut stripes = 8usize;
+    let mut cache_cap = hac::serve::DEFAULT_CACHE_CAP;
     let mut ops_per_ms: Option<u64> = None;
     let mut need_deadline = false;
     let mut jobs_file = None;
+    let mut listen = None;
+    let mut max_conns = 8usize;
     while let Some(arg) = args.next() {
         let mut uint = |flag: &str| -> Result<u64, String> {
             let n = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
@@ -330,8 +356,13 @@ fn parse_serve_args(mut args: std::env::Args) -> Result<ServeCli, String> {
             "--ceiling-fuel" => ceiling.fuel = Some(uint("--ceiling-fuel")?),
             "--ceiling-mem" => ceiling.mem_bytes = Some(uint("--ceiling-mem")?),
             "--stripes" => stripes = uint("--stripes")?.max(1) as usize,
+            "--cache-cap" => cache_cap = uint("--cache-cap")? as usize,
             "--ops-per-ms" => ops_per_ms = Some(uint("--ops-per-ms")?),
             "--deadlines" => need_deadline = true,
+            "--listen" => {
+                listen = Some(args.next().ok_or("--listen needs an address")?);
+            }
+            "--max-conns" => max_conns = uint("--max-conns")?.max(1) as usize,
             "--help" | "-h" => return Err(usage().to_string()),
             other if jobs_file.is_none() && !other.starts_with("--") => {
                 jobs_file = Some(other.to_string());
@@ -358,9 +389,12 @@ fn parse_serve_args(mut args: std::env::Args) -> Result<ServeCli, String> {
             ceiling,
             stripes,
             deadline,
+            cache_cap,
         },
         workers,
         jobs_file,
+        listen,
+        max_conns,
     })
 }
 
@@ -427,12 +461,57 @@ fn batch_main(cli: ServeCli) -> ExitCode {
     let responses = server.run_batch(&reqs, cli.workers);
     let out = json::Json::Arr(responses.iter().map(|r| r.to_json()).collect());
     println!("{out}");
-    let (hits, misses) = server.cache_stats();
+    let stats = server.cache_stats();
     eprintln!(
-        "batch: {} request(s), cache {hits} hit(s) / {misses} miss(es)",
-        responses.len()
+        "batch: {} request(s), cache {} hit(s) / {} miss(es) / {} eviction(s), {} live of cap {}",
+        responses.len(),
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        stats.live,
+        stats.cap,
     );
     ExitCode::SUCCESS
+}
+
+fn daemon_main(cli: ServeCli) -> ExitCode {
+    let Some(listen) = cli.listen.clone() else {
+        eprintln!("daemon needs --listen ADDR (e.g. --listen 127.0.0.1:7070)");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    let listener = match std::net::TcpListener::bind(&listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind `{listen}`: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let addr = match listener.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cannot read bound address: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    // The one line clients (and the CI smoke) parse to find the port —
+    // printed before the first accept so a scripted parent can connect
+    // as soon as it sees it.
+    println!("daemon listening on {addr}");
+    let _ = std::io::stdout().flush();
+    let server = std::sync::Arc::new(Server::new(cli.options));
+    let opts = hac::serve::daemon::DaemonOptions {
+        max_conns: cli.max_conns,
+    };
+    match hac::serve::daemon::run(server, listener, opts) {
+        Ok(()) => {
+            eprintln!("daemon: shut down cleanly");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("daemon error: {e}");
+            ExitCode::from(EXIT_USAGE)
+        }
+    }
 }
 
 fn serve_main(cli: ServeCli) -> ExitCode {
@@ -477,8 +556,8 @@ fn main() -> ExitCode {
     // flags; everything else is the classic single-program driver.
     let mut peek = std::env::args();
     peek.next(); // argv[0]
-    if let Some(sub @ ("serve" | "batch")) = peek.next().as_deref() {
-        let is_batch = sub == "batch";
+    if let Some(sub @ ("serve" | "batch" | "daemon")) = peek.next().as_deref() {
+        let sub = sub.to_string();
         let mut args = std::env::args();
         args.next();
         args.next();
@@ -489,10 +568,10 @@ fn main() -> ExitCode {
                 return ExitCode::from(EXIT_USAGE);
             }
         };
-        return if is_batch {
-            batch_main(cli)
-        } else {
-            serve_main(cli)
+        return match sub.as_str() {
+            "batch" => batch_main(cli),
+            "daemon" => daemon_main(cli),
+            _ => serve_main(cli),
         };
     }
     let mut opts = match parse_args() {

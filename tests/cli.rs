@@ -330,11 +330,11 @@ fn batch_subcommand_serves_jobs_with_statuses() {
     );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
-        stdout.contains(r#""id":"a","status":"ok","cache":"miss""#),
+        stdout.contains(r#""id":"a","status":"ok","tenant":null,"admitted":0,"cache":"miss""#),
         "{stdout}"
     );
     assert!(
-        stdout.contains(r#""id":"b","status":"ok","cache":"hit""#),
+        stdout.contains(r#""id":"b","status":"ok","tenant":null,"admitted":1,"cache":"hit""#),
         "{stdout}"
     );
     assert!(

@@ -101,18 +101,23 @@ fn cache_hits_skip_the_front_end() {
     let server = Server::new(ServeOptions::default());
     let first = server.handle(&light_request("a"));
     assert_eq!(first.cache_hit, Some(false));
-    assert_eq!(server.cache_stats(), (0, 1));
+    let s = server.cache_stats();
+    assert_eq!((s.hits, s.misses), (0, 1));
     for i in 0..10 {
         let resp = server.handle(&light_request(&format!("r{i}")));
         assert_eq!(resp.cache_hit, Some(true));
         assert_eq!(resp.answer_digest, first.answer_digest);
     }
     // Ten repeats, zero extra compiles.
-    assert_eq!(server.cache_stats(), (10, 1));
+    let s = server.cache_stats();
+    assert_eq!((s.hits, s.misses), (10, 1));
     // A different parameter binding is a different program.
     let other = server.handle(&request("other", wl::wavefront_source(), 9));
     assert_eq!(other.cache_hit, Some(false));
-    assert_eq!(server.cache_stats(), (10, 2));
+    let s = server.cache_stats();
+    assert_eq!((s.hits, s.misses), (10, 2));
+    assert_eq!(s.hits + s.misses, s.lookups);
+    assert_eq!(s.insertions - s.evictions, s.live);
 }
 
 #[test]
@@ -127,7 +132,8 @@ fn cache_is_keyed_by_mode_and_engine_too() {
     let ra = server.handle(&a);
     let rb = server.handle(&b);
     let rc = server.handle(&c);
-    assert_eq!(server.cache_stats(), (0, 3), "three distinct cache keys");
+    let s = server.cache_stats();
+    assert_eq!((s.hits, s.misses), (0, 3), "three distinct cache keys");
     // Engines and modes agree on the answer, of course.
     assert_eq!(ra.answer_digest, rb.answer_digest);
     assert_eq!(ra.answer_digest, rc.answer_digest);

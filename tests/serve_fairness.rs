@@ -1,0 +1,149 @@
+//! The weighted-fair admission scheduler's contract, pinned two ways:
+//! a property test proving the classical stride-scheduling bound —
+//! while both tenants stay backlogged, every admitted prefix holds
+//! each tenant's share within one request of its weight fraction — and
+//! a golden schedule file that freezes the exact interleaving for a
+//! 3:2 weight split, so any change to the scheduler's arithmetic or
+//! tie-breaking shows up as a one-line diff.
+
+use hac::serve::sched::{fair_order, tenant_weights};
+use hac::serve::{Request, Server};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Two backlogged tenants at weights `w1:w2`: for every prefix of
+    /// k admissions (while neither queue has drained), tenant a's
+    /// admitted count stays within one request of the ideal
+    /// `k·w1/(w1+w2)` — i.e. `|a_seen·(w1+w2) − k·w1| ≤ w1+w2`.
+    #[test]
+    fn backlogged_prefixes_track_the_weight_ratio(seed in any::<u64>()) {
+        let w1 = 1 + (seed % 5);
+        let w2 = 1 + ((seed >> 8) % 5);
+        let per_tenant = 4 + ((seed >> 16) % 9) as usize;
+        // Arrival pattern varies with the seed: a-block-first,
+        // b-block-first, or alternating. The bound is arrival-pattern
+        // independent because the whole list is pending from the start.
+        let mut arrivals: Vec<(&str, u64)> = Vec::new();
+        match (seed >> 24) % 3 {
+            0 => {
+                arrivals.extend(std::iter::repeat_n(("a", w1), per_tenant));
+                arrivals.extend(std::iter::repeat_n(("b", w2), per_tenant));
+            }
+            1 => {
+                arrivals.extend(std::iter::repeat_n(("b", w2), per_tenant));
+                arrivals.extend(std::iter::repeat_n(("a", w1), per_tenant));
+            }
+            _ => {
+                for _ in 0..per_tenant {
+                    arrivals.push(("a", w1));
+                    arrivals.push(("b", w2));
+                }
+            }
+        }
+        let a_total = per_tenant;
+        let order = fair_order(&arrivals);
+        prop_assert_eq!(order.len(), arrivals.len());
+
+        let mut a_seen = 0u64;
+        let mut b_seen = 0u64;
+        for (k, &i) in order.iter().enumerate() {
+            if arrivals[i].0 == "a" {
+                a_seen += 1;
+            } else {
+                b_seen += 1;
+            }
+            let k = (k + 1) as u64;
+            if a_seen < a_total as u64 && b_seen < a_total as u64 {
+                let ideal = k * w1;
+                let got = a_seen * (w1 + w2);
+                prop_assert!(
+                    got.abs_diff(ideal) <= w1 + w2,
+                    "seed {}: w {}:{} prefix {}: a={} b={}",
+                    seed, w1, w2, k, a_seen, b_seen
+                );
+            }
+        }
+        prop_assert_eq!(a_seen as usize, a_total, "every request admitted");
+        prop_assert_eq!(b_seen as usize, a_total);
+    }
+
+    /// The schedule is a permutation and a pure function of the list —
+    /// computing it twice, or through `Server::predicted_order`, gives
+    /// the same answer.
+    #[test]
+    fn schedule_is_a_stable_permutation(seed in any::<u64>()) {
+        let tenants = ["", "x", "y", "z"];
+        let arrivals: Vec<(&str, u64)> = (0..12)
+            .map(|i| {
+                let h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(i);
+                (tenants[(h % 4) as usize], 1 + (h >> 8) % 5)
+            })
+            .collect();
+        let a = fair_order(&arrivals);
+        let b = fair_order(&arrivals);
+        prop_assert_eq!(&a, &b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..arrivals.len()).collect::<Vec<_>>());
+
+        // The server-level wrapper agrees with the raw scheduler.
+        let reqs: Vec<Request> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, (t, w))| {
+                let mut r = Request::new(format!("r{i}"), "param n;\n");
+                if !t.is_empty() {
+                    r.tenant = Some((*t).to_string());
+                }
+                r.weight = Some(*w);
+                r
+            })
+            .collect();
+        prop_assert_eq!(Server::predicted_order(&reqs), a);
+    }
+}
+
+/// The frozen 3:2 schedule: tenant `a` (weight 3) and tenant `b`
+/// (weight 2), ten requests each, all pending from the start. The
+/// golden file under `tests/golden/` is the exact admission trace; any
+/// scheduler change that perturbs the interleaving fails this test
+/// with a readable diff.
+#[test]
+fn golden_three_to_two_schedule() {
+    let mut arrivals: Vec<(&str, u64)> = Vec::new();
+    for _ in 0..10 {
+        arrivals.push(("a", 3));
+        arrivals.push(("b", 2));
+    }
+    let weights = tenant_weights(&arrivals);
+    let order = fair_order(&arrivals);
+
+    let mut rendered = String::from("# fair_order admission trace\n");
+    for (t, w) in &weights {
+        rendered.push_str(&format!("# tenant {t} weight {w}\n"));
+    }
+    let mut counts = std::collections::BTreeMap::new();
+    for (k, &i) in order.iter().enumerate() {
+        let tenant = arrivals[i].0;
+        *counts.entry(tenant).or_insert(0u64) += 1;
+        rendered.push_str(&format!(
+            "{k:>2}: arrival {i:>2} tenant {tenant} (a={} b={})\n",
+            counts.get("a").copied().unwrap_or(0),
+            counts.get("b").copied().unwrap_or(0),
+        ));
+    }
+
+    let golden_path = "tests/golden/fair_schedule.txt";
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &rendered).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(golden_path)
+        .expect("golden file exists (regenerate with UPDATE_GOLDEN=1)");
+    assert_eq!(
+        rendered, want,
+        "schedule drifted from {golden_path} (regenerate with UPDATE_GOLDEN=1 if intended)"
+    );
+}

@@ -1,0 +1,295 @@
+//! The deterministic serve simulator: randomly generated multi-tenant
+//! workloads — N tenants with assorted weights sending mixes of the
+//! `programs/*.hac` kernels, some comfortably budgeted, some starved —
+//! are pushed through every serving path the crate offers:
+//!
+//!   (a) sequential `Server::handle` calls in the scheduler's
+//!       predicted admission order,
+//!   (b) `Server::run_batch` at 1, 2, 4, and 8 workers,
+//!   (c) the TCP daemon over a loopback socket.
+//!
+//! Every path must produce **bit-identical responses** per request —
+//! status, cache hit/miss, answer digest, remaining fuel, fault and
+//! work counters, admission ordinal — and the batch path's *realized*
+//! admission order must equal `Server::predicted_order`. Nothing here
+//! reads a clock: the whole simulation is a pure function of the
+//! proptest seed.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use hac::serve::daemon::{self, DaemonOptions};
+use hac::serve::{Request, Response, ServeOptions, Server};
+use hac_workloads::XorShift;
+use proptest::prelude::*;
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// The kernel menu: every `programs/*.hac` file, with a size range
+/// each stays cheap in.
+struct Kernel {
+    path: &'static str,
+    n_lo: i64,
+    n_hi: i64,
+}
+
+const KERNELS: [Kernel; 3] = [
+    Kernel {
+        path: "programs/wavefront.hac",
+        n_lo: 4,
+        n_hi: 9,
+    },
+    Kernel {
+        path: "programs/tridiag.hac",
+        n_lo: 4,
+        n_hi: 16,
+    },
+    Kernel {
+        path: "programs/sor.hac",
+        n_lo: 4,
+        n_hi: 8,
+    },
+];
+
+/// Generate one workload: up to 4 tenants with weights 1..=5, 6..=14
+/// requests mixing kernels, parameters, seeds, and budgets. Roughly a
+/// quarter of the requests are starved (single-digit fuel, guaranteed
+/// `limit`), and one request in each workload is a compile error, so
+/// every status class flows through every path.
+fn workload(seed: u64, sources: &[String; 3]) -> Vec<Request> {
+    let mut rng = XorShift::new(seed | 1);
+    let tenant_count = 1 + (rng.next_u64() % 4) as usize;
+    let tenants: Vec<(String, u64)> = (0..tenant_count)
+        .map(|t| (format!("tenant-{t}"), 1 + rng.next_u64() % 5))
+        .collect();
+    let count = 6 + (rng.next_u64() % 9) as usize;
+    let broken_at = rng.next_u64() % count as u64;
+    (0..count)
+        .map(|i| {
+            let (tenant, weight) = &tenants[(rng.next_u64() % tenant_count as u64) as usize];
+            let which = (rng.next_u64() % 3) as usize;
+            let k = &KERNELS[which];
+            let mut req = if i as u64 == broken_at {
+                Request::new(format!("r{i}"), "param n;\nlet a = ")
+            } else {
+                Request::new(format!("r{i}"), &sources[which])
+            };
+            req.params.push((
+                "n".to_string(),
+                k.n_lo + (rng.next_u64() % (k.n_hi - k.n_lo + 1) as u64) as i64,
+            ));
+            // Keep seeds under 2^32: the wire format carries them as
+            // f64 and the round-trip must be exact.
+            req.seed = rng.next_u64() % (1 << 32);
+            req.fuel = if rng.next_u64().is_multiple_of(4) {
+                Some(3 + rng.next_u64() % 15) // starved: exhausts mid-run
+            } else {
+                Some(100_000) // comfortable
+            };
+            req.tenant = Some(tenant.clone());
+            req.weight = Some(*weight);
+            req
+        })
+        .collect()
+}
+
+fn server() -> Server {
+    // Uncapped ceiling: per-request budgets decide every outcome, so
+    // outcomes are independent of sibling scheduling and the parity
+    // assertion is exact.
+    Server::new(ServeOptions::default())
+}
+
+/// A response collapsed to its wire line — covers every field the
+/// protocol exposes, including ordinal, cache verdict, and digests.
+fn line(resp: &Response) -> String {
+    resp.to_json().to_string()
+}
+
+/// Path (a): fresh server, sequential `handle` in predicted order.
+/// Returns wire lines indexed by the request's position in `reqs`.
+fn run_sequential(reqs: &[Request]) -> Vec<String> {
+    let order = Server::predicted_order(reqs);
+    let server = server();
+    let mut out = vec![String::new(); reqs.len()];
+    for &i in &order {
+        out[i] = line(&server.handle(&reqs[i]));
+    }
+    out
+}
+
+/// Path (c): daemon over a loopback socket, one connection, requests
+/// written in predicted order. Returns wire lines by request position.
+fn run_daemon(reqs: &[Request]) -> Vec<String> {
+    let order = Server::predicted_order(reqs);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let daemon = daemon::spawn(Arc::new(server()), listener, DaemonOptions { max_conns: 2 })
+        .expect("spawn daemon");
+    let stream = TcpStream::connect(daemon.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut out_stream = stream;
+    let mut out = vec![String::new(); reqs.len()];
+    for &i in &order {
+        writeln!(out_stream, "{}", reqs[i].to_json()).expect("send");
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("recv");
+        out[i] = resp.trim_end().to_string();
+    }
+    out_stream
+        .write_all(b"{\"control\":\"shutdown\"}\n")
+        .expect("send shutdown");
+    let mut ack = String::new();
+    reader.read_line(&mut ack).expect("shutdown ack");
+    assert!(ack.contains(r#""ok":true"#), "clean shutdown ack: {ack}");
+    drop(out_stream);
+    daemon.join().expect("daemon exits cleanly");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn all_serving_paths_agree_request_by_request(seed in any::<u64>()) {
+        let sources: [String; 3] = [
+            std::fs::read_to_string(KERNELS[0].path).expect("wavefront.hac"),
+            std::fs::read_to_string(KERNELS[1].path).expect("tridiag.hac"),
+            std::fs::read_to_string(KERNELS[2].path).expect("sor.hac"),
+        ];
+        let reqs = workload(seed, &sources);
+        let predicted = Server::predicted_order(&reqs);
+        let want = run_sequential(&reqs);
+
+        // (b) run_batch at every worker count: responses (returned in
+        // input order) must be bit-identical to the sequential path,
+        // and the realized admission order — the requests sorted by
+        // their stamped ordinals — must equal the prediction.
+        for workers in WORKERS {
+            let srv = server();
+            let out = srv.run_batch(&reqs, workers);
+            for (i, resp) in out.iter().enumerate() {
+                prop_assert_eq!(
+                    &line(resp), &want[i],
+                    "seed {}: batch@{} request {} diverged from sequential",
+                    seed, workers, reqs[i].id
+                );
+            }
+            let mut realized: Vec<usize> = (0..reqs.len()).collect();
+            realized.sort_by_key(|&i| out[i].admitted.expect("every response is stamped"));
+            prop_assert_eq!(
+                &realized, &predicted,
+                "seed {}: batch@{} realized admission order vs predicted", seed, workers
+            );
+        }
+
+        // (c) the daemon path speaks the same lines over TCP.
+        let daemon_lines = run_daemon(&reqs);
+        for (i, got) in daemon_lines.iter().enumerate() {
+            prop_assert_eq!(
+                got, &want[i],
+                "seed {}: daemon request {} diverged from sequential", seed, reqs[i].id
+            );
+        }
+    }
+}
+
+/// The daemon's per-connection tenant attribution: a connection that
+/// declares `{"control":"tenant",...}` stamps that tenant onto every
+/// later request that names none of its own, and `{"control":"stats"}`
+/// reports the served counts per tenant.
+#[test]
+fn daemon_attributes_untagged_requests_to_the_connection_tenant() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let daemon = daemon::spawn(Arc::new(server()), listener, DaemonOptions::default())
+        .expect("spawn daemon");
+    let stream = TcpStream::connect(daemon.addr()).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut out = stream;
+    let mut recv = || {
+        let mut s = String::new();
+        reader.read_line(&mut s).expect("recv");
+        s
+    };
+
+    out.write_all(b"{\"control\":\"tenant\",\"tenant\":\"acme\"}\n")
+        .unwrap();
+    assert!(recv().contains(r#""ok":true"#));
+
+    let src = std::fs::read_to_string("programs/wavefront.hac").unwrap();
+    let mut req = Request::new("conn-default", &src);
+    req.params.push(("n".to_string(), 4));
+    writeln!(out, "{}", req.to_json()).unwrap();
+    let resp = recv();
+    assert!(
+        resp.contains(r#""tenant":"acme""#),
+        "connection tenant applied: {resp}"
+    );
+
+    // An explicit tenant on the request wins over the connection's.
+    req.id = "explicit".to_string();
+    req.tenant = Some("globex".to_string());
+    writeln!(out, "{}", req.to_json()).unwrap();
+    let resp = recv();
+    assert!(
+        resp.contains(r#""tenant":"globex""#),
+        "request tenant wins: {resp}"
+    );
+
+    out.write_all(b"{\"control\":\"stats\"}\n").unwrap();
+    let stats = recv();
+    assert!(
+        stats.contains(r#""acme":1"#) && stats.contains(r#""globex":1"#),
+        "per-tenant counts: {stats}"
+    );
+
+    out.write_all(b"{\"control\":\"shutdown\"}\n").unwrap();
+    assert!(recv().contains(r#""ok":true"#));
+    daemon.join().expect("clean shutdown");
+}
+
+/// The bounded accept loop: more concurrent connections than
+/// `max_conns` all still get served (excess waits in the backlog), and
+/// the daemon drains them before shutting down.
+#[test]
+fn daemon_serves_more_connections_than_slots() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let daemon = daemon::spawn(Arc::new(server()), listener, DaemonOptions { max_conns: 2 })
+        .expect("spawn daemon");
+    let addr = daemon.addr();
+    let src = std::fs::read_to_string("programs/wavefront.hac").unwrap();
+
+    let digests: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|c| {
+                let src = &src;
+                scope.spawn(move || {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+                    let mut out = stream;
+                    let mut req = Request::new(format!("conn{c}"), src);
+                    req.params.push(("n".to_string(), 6));
+                    writeln!(out, "{}", req.to_json()).expect("send");
+                    let mut resp = String::new();
+                    reader.read_line(&mut resp).expect("recv");
+                    assert!(resp.contains(r#""status":"ok""#), "conn {c}: {resp}");
+                    let key = r#""answer_digest":""#;
+                    let at = resp.find(key).expect("digest present") + key.len();
+                    resp[at..at + 16].to_string()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Same program, same params: every connection saw the same answer.
+    assert!(digests.windows(2).all(|w| w[0] == w[1]), "{digests:?}");
+
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut out = stream;
+    out.write_all(b"{\"control\":\"shutdown\"}\n").unwrap();
+    let mut ack = String::new();
+    reader.read_line(&mut ack).expect("ack");
+    assert!(ack.contains(r#""ok":true"#));
+    daemon.join().expect("clean shutdown");
+}
