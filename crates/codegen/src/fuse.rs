@@ -1,0 +1,566 @@
+//! Tape-compile fusion: lower proven-parallel innermost loops into
+//! vector superinstructions.
+//!
+//! The paper's subscript analysis proves comprehension loops
+//! collision-free and thunkless — exactly the precondition for
+//! *vectorizing* them. This pass walks a compiled [`TapeProgram`] and,
+//! for every innermost loop whose §10 verdict is parallel and whose
+//! body is straight-line arithmetic over unchecked strength-reduced
+//! accesses ([`Op::ReadLin`]/[`Op::StoreLin`] with hoisted checks),
+//! overlays the loop's `LoopInit` with an [`Op::VecLoop`]
+//! superinstruction. The scalar head/body/next ops stay in place
+//! directly after it, serving as the run-time fallback (unbound
+//! buffers) and as the differential oracle (`--no-fuse` skips this
+//! pass entirely and nothing else changes).
+//!
+//! Fusion preconditions, all decided here at compile time:
+//!
+//! * the loop's `par` verdict holds (iterations mutually independent),
+//! * no nested loops — fusion targets innermost loops only,
+//! * every array access is a `ReadLin`/`StoreLin` whose bounds checks
+//!   were discharged by the interval proof (`checks: None`) and whose
+//!   store carries no definedness check,
+//! * no calls, branches, allocations, copies, or unresolved names in
+//!   the body, and the body's operand stack and local bindings fit the
+//!   micro-interpreter's fixed scratch.
+//!
+//! Under those conditions every iteration executes the same ops, so
+//! the scalar loop's counters, fuel charges, and post-loop state are
+//! closed-form in the iteration count and can be settled in bulk (see
+//! the accounting contract in [`crate::tape`]). Common body shapes
+//! (fill/copy/elementwise/multiply-add/stencils) additionally classify
+//! to hand-written contiguous-slice kernels that the Rust compiler
+//! autovectorizes; everything else runs a per-element micro-op
+//! interpreter that still amortizes dispatch and metering.
+
+use crate::partape::trip_count;
+use crate::tape::{
+    FusedEntry, FusedStream, KScalar, KSrc, Kernel, MicroOp, Op, TapeProgram, FUSE_MAX_STACK,
+    FUSE_MAX_TEMPS,
+};
+use hac_lang::ast::BinOp;
+
+/// The fusion verdict for one loop, in source (pc) order — rendered
+/// into `--report` so every decision is explained.
+#[derive(Debug, Clone)]
+pub struct FuseDecision {
+    /// Loop variable spelling.
+    pub var: String,
+    pub start: i64,
+    pub end: i64,
+    pub step: i64,
+    /// Kernel shape when fused.
+    pub kernel: Option<String>,
+    /// Decline reason when scalar.
+    pub reason: Option<String>,
+}
+
+impl FuseDecision {
+    /// One-line rendering, e.g. `for j in [2..9]: fused (4-point
+    /// stencil)` or `for i in [1..8]: scalar (contains a nested loop;
+    /// fusion targets innermost loops)`.
+    pub fn render(&self) -> String {
+        let step = if self.step == 1 {
+            String::new()
+        } else {
+            format!(" step {}", self.step)
+        };
+        let head = format!("for {} in [{}..{}]{}", self.var, self.start, self.end, step);
+        match (&self.kernel, &self.reason) {
+            (Some(k), _) => format!("{head}: fused ({k})"),
+            (None, Some(r)) => format!("{head}: scalar ({r})"),
+            (None, None) => head,
+        }
+    }
+}
+
+/// Run the fusion pass over a compiled tape, overlaying every eligible
+/// innermost loop with a vector superinstruction. Returns one decision
+/// per loop, in source order. Idempotent on already-fused tapes
+/// (fused loops report their kernel again).
+pub fn fuse_tape(tape: &mut TapeProgram) -> Vec<FuseDecision> {
+    let mut decisions = Vec::new();
+    let mut pc = 0usize;
+    while pc + 1 < tape.ops.len() {
+        let (Op::LoopInit { ireg, start }, Op::LoopHead { end, step, .. }) =
+            (&tape.ops[pc], &tape.ops[pc + 1])
+        else {
+            if let (Op::VecLoop(k), Op::LoopHead { end, step, .. }) =
+                (&tape.ops[pc], &tape.ops[pc + 1])
+            {
+                let e = &tape.fused[*k as usize];
+                decisions.push(FuseDecision {
+                    var: loop_var(tape, (pc + 1) as u32),
+                    start: e.start,
+                    end: *end,
+                    step: *step,
+                    kernel: Some(e.kernel.shape().to_string()),
+                    reason: None,
+                });
+            }
+            pc += 1;
+            continue;
+        };
+        let (ireg, start, end, step) = (*ireg, *start, *end, *step);
+        let var = loop_var(tape, (pc + 1) as u32);
+        match try_fuse(tape, pc) {
+            Ok(entry) => {
+                let shape = entry.kernel.shape().to_string();
+                debug_assert_eq!(ireg, entry.ireg);
+                let k = tape.fused.len() as u32;
+                tape.fused.push(entry);
+                tape.ops[pc] = Op::VecLoop(k);
+                decisions.push(FuseDecision {
+                    var,
+                    start,
+                    end,
+                    step,
+                    kernel: Some(shape),
+                    reason: None,
+                });
+            }
+            Err(reason) => decisions.push(FuseDecision {
+                var,
+                start,
+                end,
+                step,
+                kernel: None,
+                reason: Some(reason.to_string()),
+            }),
+        }
+        pc += 1;
+    }
+    decisions
+}
+
+fn loop_var(tape: &TapeProgram, head_pc: u32) -> String {
+    tape.loop_vars
+        .iter()
+        .find(|(h, _)| *h == head_pc)
+        .map_or_else(|| "?".to_string(), |(_, v)| v.clone())
+}
+
+/// Attempt to build a [`FusedEntry`] for the loop whose `LoopInit`
+/// sits at `init_pc`. Returns the decline reason otherwise.
+#[allow(clippy::too_many_lines)]
+fn try_fuse(tape: &TapeProgram, init_pc: usize) -> Result<FusedEntry, &'static str> {
+    let Op::LoopInit { ireg, start } = tape.ops[init_pc] else {
+        unreachable!("caller matched LoopInit");
+    };
+    let Op::LoopHead {
+        ireg: hreg,
+        slot,
+        end,
+        step,
+        exit,
+        par,
+    } = tape.ops[init_pc + 1]
+    else {
+        unreachable!("LoopInit is always followed by its LoopHead");
+    };
+    debug_assert_eq!(ireg, hreg);
+    if !par {
+        return Err("not proven parallel (§10 verdict)");
+    }
+    let exit_pc = exit as usize;
+    debug_assert!(matches!(tape.ops[exit_pc - 1], Op::LoopNext { .. }));
+    let body = &tape.ops[init_pc + 2..exit_pc - 1];
+
+    // One classification sweep: find the first structural reason the
+    // closed-form accounting (and therefore fusion) would be unsound.
+    let mut nested = false;
+    let mut dynamic = false;
+    let mut bounds = false;
+    let mut defined = false;
+    let mut call = false;
+    let mut branch = false;
+    let mut unbound = false;
+    let mut other = false;
+    for op in body {
+        match op {
+            Op::LoopInit { .. } | Op::LoopHead { .. } | Op::LoopNext { .. } | Op::VecLoop(_) => {
+                nested = true;
+            }
+            Op::ToIdx(_) | Op::ReadDyn { .. } | Op::StoreDyn { .. } => dynamic = true,
+            Op::ReadLin(l) => {
+                if tape.lins[*l as usize].checks.is_some() {
+                    bounds = true;
+                }
+            }
+            Op::StoreLin { lin, checked } => {
+                if *checked {
+                    defined = true;
+                }
+                if tape.lins[*lin as usize].checks.is_some() {
+                    bounds = true;
+                }
+            }
+            Op::Call { .. } | Op::ResolveFunc(_) => call = true,
+            Op::AndJump(_) | Op::OrJump(_) | Op::OrNorm | Op::JumpIfZero(_) | Op::Jump(_) => {
+                branch = true;
+            }
+            Op::ErrVar(_) => unbound = true,
+            Op::Alloc(_) | Op::Copy { .. } | Op::CheckComplete { .. } | Op::Halt => other = true,
+            Op::Const(_) | Op::LoadSlot(_) | Op::StoreSlot(_) | Op::Bin(_) | Op::Un(_) => {}
+        }
+    }
+    if nested {
+        return Err("contains a nested loop; fusion targets innermost loops");
+    }
+    if dynamic {
+        return Err("non-affine subscript takes the dynamic access path");
+    }
+    if bounds {
+        return Err("bounds checks not discharged by the interval proof");
+    }
+    if defined {
+        return Err("definedness checks active on stores");
+    }
+    if call {
+        return Err("function call in body");
+    }
+    if branch {
+        return Err("conditional control flow in body");
+    }
+    if unbound {
+        return Err("unresolved name in body");
+    }
+    if other {
+        return Err("allocation or copy in body");
+    }
+
+    // Translate the straight-line body into the micro-op string,
+    // resolving slots to the loop variable, invariants, or body-local
+    // temporaries, and linear accesses to streams.
+    let mut streams: Vec<FusedStream> = Vec::new();
+    let mut micro: Vec<MicroOp> = Vec::new();
+    let mut slot_temp: Vec<(u32, u8)> = Vec::new();
+    let mut invariant_reads: Vec<u32> = Vec::new();
+    let mut sp = 0usize;
+    let mut max_sp = 0usize;
+    let mut loads_per_iter = 0u64;
+    let mut stores_per_iter = 0u64;
+
+    let stream_of = |streams: &mut Vec<FusedStream>, l: u32| -> Result<u8, &'static str> {
+        let lin = &tape.lins[l as usize];
+        let mut stride = 0i64;
+        let mut inv = Vec::new();
+        for &(r, s) in &lin.terms {
+            if r == ireg {
+                stride = s;
+            } else {
+                inv.push((r, s));
+            }
+        }
+        let st = FusedStream {
+            array: lin.array,
+            base: lin.base,
+            inv,
+            stride,
+        };
+        if let Some(i) = streams.iter().position(|x| *x == st) {
+            return Ok(i as u8);
+        }
+        if streams.len() >= 256 {
+            return Err("too many distinct access streams");
+        }
+        streams.push(st);
+        Ok((streams.len() - 1) as u8)
+    };
+
+    for op in body {
+        match op {
+            Op::Const(v) => {
+                micro.push(MicroOp::Const(*v));
+                sp += 1;
+            }
+            Op::LoadSlot(s) => {
+                if *s == slot {
+                    micro.push(MicroOp::LoopVar);
+                } else if let Some(&(_, t)) = slot_temp.iter().find(|(sl, _)| sl == s) {
+                    micro.push(MicroOp::Temp(t));
+                } else {
+                    invariant_reads.push(*s);
+                    micro.push(MicroOp::Invariant(*s));
+                }
+                sp += 1;
+            }
+            Op::StoreSlot(s) => {
+                if invariant_reads.contains(s) {
+                    // A slot first read as loop-invariant then written
+                    // would need per-iteration frame traffic.
+                    return Err("body rebinds an enclosing slot");
+                }
+                let t = match slot_temp.iter().find(|(sl, _)| sl == s) {
+                    Some(&(_, t)) => t,
+                    None => {
+                        if slot_temp.len() >= FUSE_MAX_TEMPS {
+                            return Err("too many body-local bindings");
+                        }
+                        let t = slot_temp.len() as u8;
+                        slot_temp.push((*s, t));
+                        t
+                    }
+                };
+                micro.push(MicroOp::SetTemp(t));
+                sp -= 1;
+            }
+            Op::Bin(b) => {
+                micro.push(MicroOp::Bin(*b));
+                sp -= 1;
+            }
+            Op::Un(u) => micro.push(MicroOp::Un(*u)),
+            Op::ReadLin(l) => {
+                let s = stream_of(&mut streams, *l)?;
+                micro.push(MicroOp::Load(s));
+                loads_per_iter += 1;
+                sp += 1;
+            }
+            Op::StoreLin { lin, .. } => {
+                let s = stream_of(&mut streams, *lin)?;
+                micro.push(MicroOp::Store(s));
+                stores_per_iter += 1;
+                sp -= 1;
+            }
+            _ => unreachable!("excluded by the classification sweep"),
+        }
+        max_sp = max_sp.max(sp);
+    }
+    if max_sp > FUSE_MAX_STACK {
+        return Err("body expression too deep for the micro-interpreter");
+    }
+
+    let kernel = classify(&micro, &streams, step);
+    Ok(FusedEntry {
+        ireg,
+        slot,
+        start,
+        step,
+        trip: trip_count(start, end, step),
+        init_pc: init_pc as u32,
+        exit_pc: exit,
+        // head + body + next, dispatched once per complete iteration.
+        iter_ops: (exit_pc - init_pc - 1) as u64,
+        loads_per_iter,
+        stores_per_iter,
+        streams,
+        micro,
+        kernel,
+    })
+}
+
+/// Classify the micro-op string into a hand-written slice kernel when
+/// it matches a known shape on a unit-step loop with stride-1 streams
+/// and a destination array disjoint from every source array. The
+/// operand order and association of the scalar RPN are preserved
+/// exactly, so specialized kernels stay bit-identical.
+fn classify(micro: &[MicroOp], streams: &[FusedStream], step: i64) -> Kernel {
+    if step != 1 {
+        return Kernel::Generic;
+    }
+    let stride = |s: u8| streams[s as usize].stride;
+    let leaf = |m: &MicroOp| -> Option<KSrc> {
+        match m {
+            MicroOp::Const(v) => Some(KSrc::Scalar(KScalar::Const(*v))),
+            MicroOp::Invariant(s) => Some(KSrc::Scalar(KScalar::Slot(*s))),
+            MicroOp::Load(s) if stride(*s) == 0 => Some(KSrc::Scalar(KScalar::Elem(*s))),
+            MicroOp::Load(s) if stride(*s) == 1 => Some(KSrc::Slice(*s)),
+            _ => None,
+        }
+    };
+    // The destination must be a unit-stride store on an array none of
+    // the sources touch (lets sources borrow as slices while the
+    // destination is mutable; aliasing bodies stay on the generic
+    // raw-pointer path).
+    let Some(MicroOp::Store(d)) = micro.last() else {
+        return Kernel::Generic;
+    };
+    let d = *d;
+    if stride(d) != 1 {
+        return Kernel::Generic;
+    }
+    let dst_array = streams[d as usize].array;
+    let disjoint = |srcs: &[KSrc]| {
+        srcs.iter().all(|s| match s {
+            KSrc::Slice(x) | KSrc::Scalar(KScalar::Elem(x)) => {
+                streams[*x as usize].array != dst_array
+            }
+            KSrc::Scalar(_) => true,
+        })
+    };
+    let has_slice = |srcs: &[KSrc]| srcs.iter().any(|s| matches!(s, KSrc::Slice(_)));
+
+    match micro {
+        [x, MicroOp::Store(_)] => match leaf(x) {
+            Some(KSrc::Slice(s)) if streams[s as usize].array != dst_array => {
+                Kernel::Copy { dst: d, src: s }
+            }
+            Some(KSrc::Scalar(v)) if disjoint(&[KSrc::Scalar(v)]) => {
+                Kernel::Fill { dst: d, val: v }
+            }
+            _ => Kernel::Generic,
+        },
+        [a, b, MicroOp::Bin(op), MicroOp::Store(_)]
+            if matches!(
+                op,
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Min | BinOp::Max
+            ) =>
+        {
+            match (leaf(a), leaf(b)) {
+                (Some(a), Some(b)) if disjoint(&[a, b]) && has_slice(&[a, b]) => Kernel::Ewise2 {
+                    dst: d,
+                    a,
+                    b,
+                    op: *op,
+                },
+                _ => Kernel::Generic,
+            }
+        }
+        [a, b, MicroOp::Bin(BinOp::Mul), c, MicroOp::Bin(BinOp::Add), MicroOp::Store(_)] => {
+            match (leaf(a), leaf(b), leaf(c)) {
+                (Some(a), Some(b), Some(c)) if disjoint(&[a, b, c]) && has_slice(&[a, b, c]) => {
+                    Kernel::MulAdd { dst: d, a, b, c }
+                }
+                _ => Kernel::Generic,
+            }
+        }
+        [MicroOp::Load(s0), MicroOp::Load(s1), MicroOp::Bin(BinOp::Add), MicroOp::Load(s2), MicroOp::Bin(BinOp::Add), MicroOp::Load(s3), MicroOp::Bin(BinOp::Add), MicroOp::Const(c), MicroOp::Bin(last), MicroOp::Store(_)]
+            if matches!(last, BinOp::Div | BinOp::Mul) =>
+        {
+            let s = [*s0, *s1, *s2, *s3];
+            let srcs: Vec<KSrc> = s.iter().map(|&x| KSrc::Slice(x)).collect();
+            if s.iter().all(|&x| stride(x) == 1) && disjoint(&srcs) {
+                Kernel::Stencil4 {
+                    dst: d,
+                    s,
+                    c: *c,
+                    div: matches!(last, BinOp::Div),
+                }
+            } else {
+                Kernel::Generic
+            }
+        }
+        [MicroOp::Const(w0), MicroOp::Load(s0), MicroOp::Bin(BinOp::Mul), MicroOp::Const(w1), MicroOp::Load(s1), MicroOp::Bin(BinOp::Mul), MicroOp::Bin(BinOp::Add), MicroOp::Const(w2), MicroOp::Load(s2), MicroOp::Bin(BinOp::Mul), MicroOp::Bin(BinOp::Add), MicroOp::Store(_)] =>
+        {
+            let s = [*s0, *s1, *s2];
+            let srcs: Vec<KSrc> = s.iter().map(|&x| KSrc::Slice(x)).collect();
+            if s.iter().all(|&x| stride(x) == 1) && disjoint(&srcs) {
+                Kernel::Stencil3 {
+                    dst: d,
+                    w: [*w0, *w1, *w2],
+                    s,
+                }
+            } else {
+                Kernel::Generic
+            }
+        }
+        _ => Kernel::Generic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::limp::{LProgram, LStmt};
+    use crate::tape::{compile_tape, TapeCtx};
+    use hac_lang::ast::Expr;
+
+    fn loop_over(par: bool, body: Vec<LStmt>) -> LProgram {
+        LProgram {
+            stmts: vec![
+                LStmt::Alloc {
+                    array: "a".into(),
+                    bounds: vec![(0, 9)],
+                    fill: 0.0,
+                    temp: false,
+                    checked: false,
+                },
+                LStmt::For {
+                    var: "i".into(),
+                    start: 0,
+                    end: 9,
+                    step: 1,
+                    par,
+                    body,
+                },
+            ],
+            result: "a".into(),
+        }
+    }
+
+    fn store_i_sq() -> Vec<LStmt> {
+        vec![LStmt::Store {
+            array: "a".into(),
+            subs: vec![Expr::Var("i".into())],
+            value: Expr::Binary {
+                op: BinOp::Mul,
+                lhs: Box::new(Expr::Var("i".into())),
+                rhs: Box::new(Expr::Var("i".into())),
+            },
+            check: crate::limp::StoreCheck::None,
+        }]
+    }
+
+    #[test]
+    fn parallel_affine_loop_fuses() {
+        let mut t = compile_tape(&loop_over(true, store_i_sq()), &TapeCtx::default());
+        let d = fuse_tape(&mut t);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].kernel.is_some(), "{:?}", d[0]);
+        assert_eq!(t.fused.len(), 1);
+        assert!(matches!(t.ops[t.fused[0].init_pc as usize], Op::VecLoop(0)));
+        // The scalar loop ops survive intact right after the overlay.
+        assert!(matches!(
+            t.ops[t.fused[0].init_pc as usize + 1],
+            Op::LoopHead { .. }
+        ));
+    }
+
+    #[test]
+    fn sequential_loop_declines() {
+        let mut t = compile_tape(&loop_over(false, store_i_sq()), &TapeCtx::default());
+        let d = fuse_tape(&mut t);
+        assert_eq!(d.len(), 1);
+        assert_eq!(
+            d[0].reason.as_deref(),
+            Some("not proven parallel (§10 verdict)")
+        );
+        assert!(t.fused.is_empty());
+    }
+
+    #[test]
+    fn fuse_is_idempotent() {
+        let mut t = compile_tape(&loop_over(true, store_i_sq()), &TapeCtx::default());
+        let d1 = fuse_tape(&mut t);
+        let snapshot = t.clone();
+        let d2 = fuse_tape(&mut t);
+        assert_eq!(t, snapshot);
+        assert_eq!(d1.len(), d2.len());
+        assert_eq!(d1[0].render(), d2[0].render());
+    }
+
+    #[test]
+    fn decision_renders_shape_and_reason() {
+        let fused = FuseDecision {
+            var: "j".into(),
+            start: 2,
+            end: 9,
+            step: 1,
+            kernel: Some("4-point stencil".into()),
+            reason: None,
+        };
+        assert_eq!(fused.render(), "for j in [2..9]: fused (4-point stencil)");
+        let scalar = FuseDecision {
+            var: "i".into(),
+            start: 9,
+            end: 0,
+            step: -1,
+            kernel: None,
+            reason: Some("not proven parallel (§10 verdict)".into()),
+        };
+        assert_eq!(
+            scalar.render(),
+            "for i in [9..0] step -1: scalar (not proven parallel (§10 verdict))"
+        );
+    }
+}

@@ -14,13 +14,17 @@
 //! Limp executes on one of two engines: the recursive tree-walking
 //! evaluator in [`limp`], or the register-slot bytecode tape compiled
 //! by [`tape`] (compile once per binding, then non-recursive dispatch
-//! with all names resolved to dense indices).
+//! with all names resolved to dense indices). An optional fusion pass
+//! ([`fuse`]) overlays proven-parallel innermost affine loops with
+//! vector superinstructions that run as contiguous-slice kernels.
 
+pub mod fuse;
 pub mod limp;
 pub mod lower;
 pub mod partape;
 pub mod tape;
 
+pub use fuse::{fuse_tape, FuseDecision};
 pub use limp::{LProgram, LStmt, StoreCheck, Vm, VmCounters};
 pub use lower::{lower_array, lower_update, CheckMode, LowerError, LoweredUpdate};
 pub use partape::{exec_par, plan_tape, ParPlan};

@@ -212,7 +212,10 @@ pub struct VmCounters {
     pub array_allocs: u64,
     /// Bytecode instructions dispatched by the tape engine. Zero when
     /// the tree-walking evaluator ran; every other counter means the
-    /// same thing under both engines.
+    /// same thing under both engines. A fused `Op::VecLoop`
+    /// superinstruction counts the scalar span it overlays (per the
+    /// accounting contract in `tape`), not the single dispatch it
+    /// took, so fusion never changes this counter.
     pub tape_ops: u64,
     /// Parallel-engine worker faults absorbed by the sequential
     /// fallback. Main-thread bookkeeping only: never merged from

@@ -13,6 +13,12 @@
 //!   synthesized, and redirected reads are rewritten, before the plan's
 //!   loops run on the base buffer;
 //! * `CopyWhole` — one `CopyArray`, then the plan runs on the copy.
+//!
+//! Downstream, the tape compiler ([`crate::tape`]) consumes the `par`
+//! flags and affine subscripts this lowering preserves; the fusion
+//! pass ([`crate::fuse`]) needs both intact to vectorize an innermost
+//! loop, so lowering must keep proven-parallel loops' bodies in the
+//! affine normal form rather than re-materializing subscripts.
 
 use std::collections::HashMap;
 use std::fmt;

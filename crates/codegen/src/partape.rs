@@ -43,7 +43,7 @@ use hac_runtime::governor::{FaultKind, FaultPlan};
 use hac_runtime::value::{ArrayBuf, SharedSlots};
 
 use crate::limp::VmCounters;
-use crate::tape::{ArrayId, Op, TapeProgram, TapeScratch, TapeState};
+use crate::tape::{ArrayId, FusedChunk, FusedEntry, Op, TapeProgram, TapeScratch, TapeState};
 
 /// A parallelizable top-level loop pass of a tape.
 #[derive(Debug, Clone)]
@@ -80,6 +80,11 @@ struct ParRegion {
     /// Arrays the body stores into (sorted, deduped) — what a
     /// pre-region snapshot must capture when `retry_safe` is false.
     write_ids: Vec<ArrayId>,
+    /// When the fusion pass overlaid this pass's init with
+    /// [`Op::VecLoop`], the fused-entry index: chunks then run the
+    /// bulk kernel over their ordinal range instead of per-iteration
+    /// dispatch (same accounting, same bits).
+    fused: Option<u32>,
 }
 
 /// The per-tape parallel execution plan: regions plus the stop bitmap
@@ -126,9 +131,19 @@ pub fn plan_tape(tape: &TapeProgram) -> ParPlan {
     let mut regions = Vec::new();
     let mut pc = 0usize;
     while pc + 1 < ops.len() {
-        let (Op::LoopInit { ireg, start }, op_head) = (&ops[pc], &ops[pc + 1]) else {
-            pc += 1;
-            continue;
+        // A pass entry is either a plain `LoopInit` or the fusion
+        // pass's `VecLoop` overlay (which preserves the init's
+        // register/start and is always followed by the intact head).
+        let (fused, ireg, start) = match &ops[pc] {
+            Op::LoopInit { ireg, start } => (None, *ireg, *start),
+            Op::VecLoop(k) => {
+                let e = &tape.fused[*k as usize];
+                (Some(*k), e.ireg, e.start)
+            }
+            _ => {
+                pc += 1;
+                continue;
+            }
         };
         let Op::LoopHead {
             ireg: hreg,
@@ -137,12 +152,12 @@ pub fn plan_tape(tape: &TapeProgram) -> ParPlan {
             step,
             exit,
             par,
-        } = op_head
+        } = &ops[pc + 1]
         else {
             pc += 1;
             continue;
         };
-        debug_assert_eq!(ireg, hreg, "LoopInit/LoopHead always pair up");
+        debug_assert_eq!(ireg, *hreg, "LoopInit/LoopHead always pair up");
         let (init_pc, head_pc, exit_pc) = (pc, pc + 1, *exit as usize);
         pc = exit_pc; // top-level scan: never descend into a body
         if !*par {
@@ -163,15 +178,15 @@ pub fn plan_tape(tape: &TapeProgram) -> ParPlan {
         if !eligible {
             continue;
         }
-        let trip = trip_count(*start, *end, *step);
+        let trip = trip_count(start, *end, *step);
         let mut head_stop = vec![false; ops.len()];
         head_stop[head_pc] = true;
         let mut exit_stop = vec![false; ops.len()];
         exit_stop[exit_pc] = true;
         // Body charge count (exit_pc - 1 is the LoopNext): exact per
         // iteration, or None when conditionals make it data-dependent.
-        let iter_cost =
-            static_fuel_cost(ops, head_pc + 1, exit_pc - 1).and_then(|body| body.checked_add(1));
+        let iter_cost = static_fuel_cost(ops, &tape.fused, head_pc + 1, exit_pc - 1)
+            .and_then(|body| body.checked_add(1));
         let mut reads = std::collections::BTreeSet::new();
         let mut writes = std::collections::BTreeSet::new();
         for op in body {
@@ -197,9 +212,9 @@ pub fn plan_tape(tape: &TapeProgram) -> ParPlan {
             init_pc,
             head_pc,
             exit_pc,
-            ireg: *ireg as usize,
+            ireg: ireg as usize,
             slot: *slot as usize,
-            start: *start,
+            start,
             step: *step,
             trip,
             head_stop,
@@ -207,6 +222,7 @@ pub fn plan_tape(tape: &TapeProgram) -> ParPlan {
             iter_cost,
             retry_safe,
             write_ids,
+            fused,
         });
     }
     let mut entry_stops = vec![false; ops.len()];
@@ -226,7 +242,7 @@ pub fn plan_tape(tape: &TapeProgram) -> ParPlan {
 /// skippable range — `cond_until` tracks the furthest forward-jump
 /// target seen, and a `Call` or loop before that point makes the
 /// count data-dependent (`None`).
-fn static_fuel_cost(ops: &[Op], from: usize, to: usize) -> Option<u64> {
+fn static_fuel_cost(ops: &[Op], fused: &[FusedEntry], from: usize, to: usize) -> Option<u64> {
     let mut cost = 0u64;
     let mut cond_until = from;
     let mut pc = from;
@@ -255,9 +271,21 @@ fn static_fuel_cost(ops: &[Op], from: usize, to: usize) -> Option<u64> {
                 };
                 let trip = trip_count(*start, *end, *step);
                 let exit_pc = *exit as usize;
-                let inner = static_fuel_cost(ops, pc + 2, exit_pc - 1)?;
+                let inner = static_fuel_cost(ops, fused, pc + 2, exit_pc - 1)?;
                 cost = cost.checked_add(trip.checked_mul(inner.checked_add(1)?)?)?;
                 pc = exit_pc;
+            }
+            Op::VecLoop(k) => {
+                // A fused inner loop charges one head per iteration
+                // and nothing in its body (fusible bodies contain no
+                // charging ops) — `trip` exactly, fused or fallen back
+                // to its scalar ops.
+                if pc < cond_until {
+                    return None;
+                }
+                let e = &fused[*k as usize];
+                cost = cost.checked_add(e.trip)?;
+                pc = e.exit_pc as usize;
             }
             _ => pc += 1,
         }
@@ -265,7 +293,7 @@ fn static_fuel_cost(ops: &[Op], from: usize, to: usize) -> Option<u64> {
     Some(cost)
 }
 
-fn trip_count(start: i64, end: i64, step: i64) -> u64 {
+pub(crate) fn trip_count(start: i64, end: i64, step: i64) -> u64 {
     debug_assert!(step != 0);
     if step > 0 {
         if start > end {
@@ -495,7 +523,27 @@ fn run_region(
                 counters: &mut counters,
                 meter: &mut sub,
             };
-            for ord in lo..hi {
+            // Fused pass: run the chunk's ordinal range as one bulk
+            // kernel (identical accounting — see `fused_chunk`). An
+            // unbound buffer falls back to per-iteration dispatch,
+            // whose scalar ops sit intact after the overlay.
+            let mut scalar_range = Some((lo, hi));
+            if let Some(k) = region.fused {
+                match tape.fused_chunk(k, &mut cst, &mut chunk_ops, lo, hi) {
+                    FusedChunk::Fallback => {}
+                    FusedChunk::Done => scalar_range = None,
+                    FusedChunk::Fuel {
+                        ord,
+                        err: e,
+                        fuel_left,
+                    } => {
+                        scalar_range = None;
+                        min_err.fetch_min(ord, Ordering::Relaxed);
+                        err = Some((ord, e, fuel_left));
+                    }
+                }
+            }
+            for ord in scalar_range.map_or(0..0, |(lo, hi)| lo..hi) {
                 let i = region.start + ord as i64 * region.step;
                 cst.scratch.iregs[region.ireg] = i;
                 // The head op: count it, charge it, count the
@@ -1057,6 +1105,9 @@ mod tests {
         let tape = compile_tape(&prog, &TapeCtx::default());
         let plan = plan_tape(&tape);
         let mut clean = Vm::new();
+        // Pin an empty explicit plan so an ambient `HAC_FAULT_PLAN`
+        // (the CI fault-injection job) cannot fault the baseline.
+        clean.with_faults(Some(FaultPlan::default()));
         clean.run_partape(&tape, &plan, 4).unwrap();
         let mut faulty = Vm::new();
         faulty.with_faults(Some(FaultPlan::parse("r0c1:panic").unwrap()));
@@ -1075,6 +1126,7 @@ mod tests {
         let tape = compile_tape(&prog, &TapeCtx::default());
         let plan = plan_tape(&tape);
         let mut clean = Vm::new();
+        clean.with_faults(Some(FaultPlan::default()));
         clean.run_partape(&tape, &plan, 4).unwrap();
         let mut faulty = Vm::new();
         faulty.with_faults(Some(FaultPlan::parse("r0c0:allocfail").unwrap()));
@@ -1094,6 +1146,7 @@ mod tests {
         let plan = plan_tape(&tape);
         assert!(!plan.regions[0].retry_safe);
         let mut clean = Vm::new();
+        clean.with_faults(Some(FaultPlan::default()));
         clean.run_partape(&tape, &plan, 4).unwrap();
         let mut faulty = Vm::new();
         faulty.with_faults(Some(FaultPlan::parse("r0c0:panic").unwrap()));

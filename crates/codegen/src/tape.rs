@@ -133,8 +133,153 @@ pub enum Op {
     },
     /// Verify every element of a checked array is defined.
     CheckComplete { array: ArrayId, name: u32 },
+    /// Fused vector superinstruction (index into
+    /// [`TapeProgram::fused`]): a proven-parallel innermost loop whose
+    /// body is straight-line arithmetic over unchecked linear accesses,
+    /// executed as one contiguous-slice kernel. The fusion pass
+    /// overlays this on the loop's `LoopInit` only — the scalar
+    /// `LoopHead`/body/`LoopNext` ops stay in place immediately after,
+    /// so when a run-time precondition fails (an unbound buffer) the
+    /// dispatcher simply performs the init and falls through to the
+    /// untouched scalar loop.
+    VecLoop(u32),
     /// End of program.
     Halt,
+}
+
+/// One access stream of a fused loop: offset `base + Σ aᵣ·iregᵣ +
+/// stride·i`, where the `inv` registers belong to enclosing loops
+/// (constant for the duration of one kernel run) and `i` is the fused
+/// loop's register. Streams only exist for accesses whose bounds
+/// checks were discharged at compile time (`LinEntry::checks: None`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedStream {
+    pub array: ArrayId,
+    pub base: i64,
+    /// `(enclosing-loop register, stride)` terms.
+    pub inv: Vec<(u32, i64)>,
+    /// Coefficient of the fused loop's own register.
+    pub stride: i64,
+}
+
+/// Micro-op of a fused loop body — the body's RPN with names resolved
+/// to streams, invariant slots, and body-local temporaries. The
+/// generic kernel interprets this string per element; the specialized
+/// kernels are classified from it at fuse time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MicroOp {
+    /// Push a constant.
+    Const(f64),
+    /// Push the fused loop's variable as `f64`.
+    LoopVar,
+    /// Push a loop-invariant frame slot.
+    Invariant(u32),
+    /// Push body-local temporary `t`.
+    Temp(u8),
+    /// Pop into body-local temporary `t`.
+    SetTemp(u8),
+    /// Push stream `s`'s current element.
+    Load(u8),
+    /// Pop into stream `s`'s current element.
+    Store(u8),
+    Bin(BinOp),
+    Un(UnOp),
+}
+
+/// A loop-invariant scalar operand of a specialized kernel, resolved
+/// once at kernel entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KScalar {
+    Const(f64),
+    /// A frame slot (enclosing binding).
+    Slot(u32),
+    /// A stride-0 stream: the same element every iteration.
+    Elem(u8),
+}
+
+/// One operand of a specialized elementwise kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KSrc {
+    /// A stride-1 stream, walked as a contiguous slice.
+    Slice(u8),
+    /// A broadcast scalar.
+    Scalar(KScalar),
+}
+
+/// The kernel shape a fused loop lowers to. Specialized shapes are
+/// hand-written contiguous-slice loops (autovectorizable); everything
+/// else runs the [`MicroOp`] interpreter, which still amortizes
+/// dispatch, metering, and counter traffic over the whole loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Kernel {
+    /// Interpret the micro-op string per element.
+    Generic,
+    /// `d[i] = k`
+    Fill { dst: u8, val: KScalar },
+    /// `d[i] = s[i]`
+    Copy { dst: u8, src: u8 },
+    /// `d[i] = a[i] op b[i]` (either side may broadcast).
+    Ewise2 {
+        dst: u8,
+        a: KSrc,
+        b: KSrc,
+        op: BinOp,
+    },
+    /// `d[i] = a[i]·b[i] + c[i]` (any operand may broadcast).
+    MulAdd { dst: u8, a: KSrc, b: KSrc, c: KSrc },
+    /// `d[i] = (((s0[i]+s1[i])+s2[i])+s3[i]) ÷ c` (or `· c`): the
+    /// four-point relaxation stencil of §2.
+    Stencil4 {
+        dst: u8,
+        s: [u8; 4],
+        c: f64,
+        div: bool,
+    },
+    /// `d[i] = (w0·s0[i] + w1·s1[i]) + w2·s2[i]`: the weighted
+    /// three-point stencil.
+    Stencil3 { dst: u8, w: [f64; 3], s: [u8; 3] },
+}
+
+impl Kernel {
+    /// Short shape name for reports.
+    pub fn shape(&self) -> &'static str {
+        match self {
+            Kernel::Generic => "generic micro-kernel",
+            Kernel::Fill { .. } => "fill",
+            Kernel::Copy { .. } => "copy",
+            Kernel::Ewise2 { .. } => "elementwise",
+            Kernel::MulAdd { .. } => "multiply-add",
+            Kernel::Stencil4 { .. } => "4-point stencil",
+            Kernel::Stencil3 { .. } => "3-point stencil",
+        }
+    }
+}
+
+/// A fused loop: everything [`Op::VecLoop`] needs to run the loop as a
+/// bulk kernel while remaining observationally identical to the scalar
+/// ops it overlays (which sit untouched at `init_pc + 1 ..= exit_pc -
+/// 1` as the fallback/oracle path).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedEntry {
+    pub ireg: u32,
+    /// The loop variable's frame slot (published per §10 loop
+    /// semantics; the kernel only writes the final value).
+    pub slot: u32,
+    pub start: i64,
+    pub step: i64,
+    /// Trip count (loop ranges are compile-time constants in Limp).
+    pub trip: u64,
+    /// pc of the overlaid `LoopInit` (where the `VecLoop` op sits).
+    pub init_pc: u32,
+    /// First op after the loop (the head's exit target).
+    pub exit_pc: u32,
+    /// Scalar tape ops per complete iteration: head + body + next.
+    pub iter_ops: u64,
+    pub loads_per_iter: u64,
+    pub stores_per_iter: u64,
+    pub streams: Vec<FusedStream>,
+    pub micro: Vec<MicroOp>,
+    pub kernel: Kernel,
 }
 
 /// A strength-reduced array access: all subscripts are affine in loop
@@ -223,6 +368,13 @@ pub struct TapeProgram {
     pub allocs: Vec<AllocEntry>,
     /// Expected runtime globals; slot `i` holds `globals[i]`.
     pub globals: Vec<String>,
+    /// Fused loops, indexed by [`Op::VecLoop`]. Empty until the fusion
+    /// pass ([`crate::fuse::fuse_tape`]) runs; the scalar tape is the
+    /// differential oracle and stays fully intact either way.
+    pub fused: Vec<FusedEntry>,
+    /// `(LoopHead pc, loop variable spelling)` in source order — lets
+    /// the fusion pass report decisions per loop by name.
+    pub loop_vars: Vec<(u32, String)>,
     /// Total frame slots (globals + deepest local scope).
     pub frame_size: usize,
     /// Loop registers.
@@ -357,22 +509,7 @@ impl TapeProgram {
                 }
                 Op::Un(uop) => {
                     let v = stack.pop().expect("operand");
-                    stack.push(match uop {
-                        UnOp::Neg => -v,
-                        UnOp::Not => {
-                            if v == 0.0 {
-                                1.0
-                            } else {
-                                0.0
-                            }
-                        }
-                        UnOp::Abs => v.abs(),
-                        UnOp::Sqrt => v.sqrt(),
-                        UnOp::Exp => v.exp(),
-                        UnOp::Log => v.ln(),
-                        UnOp::Sin => v.sin(),
-                        UnOp::Cos => v.cos(),
-                    });
+                    stack.push(apply_un(*uop, v));
                 }
                 Op::AndJump(t) => {
                     let l = stack.pop().expect("operand");
@@ -571,11 +708,474 @@ impl TapeProgram {
                         });
                     }
                 }
+                Op::VecLoop(f) => {
+                    let e = &self.fused[*f as usize];
+                    if fused_bound(e, st.bufs) {
+                        fused_seq(e, st.bufs, frame, iregs, st.counters, st.meter, tape_ops)?;
+                        pc = e.exit_pc as usize;
+                    } else {
+                        // An unbound buffer must fault through the
+                        // scalar path for the exact lazy error: do the
+                        // overlaid `LoopInit`'s work and fall through
+                        // to the intact loop head at the next pc.
+                        iregs[e.ireg as usize] = e.start;
+                    }
+                }
                 Op::Halt => return Ok(ops.len()),
             }
         }
     }
 }
+
+/// The unary operator semantics shared verbatim between the scalar
+/// dispatcher and the fused micro-op interpreter (single source of
+/// truth for bit-identity).
+#[inline]
+fn apply_un(op: UnOp, v: f64) -> f64 {
+    match op {
+        UnOp::Neg => -v,
+        UnOp::Not => {
+            if v == 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        }
+        UnOp::Abs => v.abs(),
+        UnOp::Sqrt => v.sqrt(),
+        UnOp::Exp => v.exp(),
+        UnOp::Log => v.ln(),
+        UnOp::Sin => v.sin(),
+        UnOp::Cos => v.cos(),
+    }
+}
+
+// ---- fused vector-kernel execution ----
+//
+// The accounting contract: a fused run must leave every observable —
+// values, counters, fuel-left, post-loop register/frame state, and the
+// error (if any) — bit-identical to dispatching the overlaid scalar
+// ops. The scalar loop's observables are closed-form in the number of
+// completed iterations `f`:
+//
+//   tape_ops        init(1) + f·(head + body + next) + final head(1)
+//   loop_iterations f
+//   loads / stores  f · (per-iteration body counts)
+//   fuel            f charges, plus the failing charge on exhaustion
+//   iregs[ireg]     start + f·step
+//   frame[slot]     (start + (f-1)·step) as f64   — only when f > 0
+//
+// so the wrappers bulk-settle those and run the kernel over exactly
+// `f` ordinals. Bodies with calls, branches, allocations, checked
+// accesses, or dynamic subscripts never fuse, which is what makes the
+// closed forms exact.
+
+/// Every array a fused entry touches is bound — the only run-time
+/// precondition for the kernel path (everything else is proven at
+/// fuse time).
+#[inline]
+fn fused_bound(e: &FusedEntry, bufs: &[Option<ArrayBuf>]) -> bool {
+    e.streams.iter().all(|s| bufs[s.array as usize].is_some())
+}
+
+/// Run a whole fused loop sequentially. The caller has already counted
+/// the `VecLoop` fetch itself (standing in for the scalar `LoopInit`).
+fn fused_seq(
+    e: &FusedEntry,
+    bufs: &mut [Option<ArrayBuf>],
+    frame: &mut [f64],
+    iregs: &mut [i64],
+    counters: &mut VmCounters,
+    meter: &mut Meter,
+    tape_ops: &mut u64,
+) -> Result<(), RuntimeError> {
+    let (done, err) = meter.charge_fuel_block(e.trip);
+    counters.loop_iterations += done;
+    counters.loads += done * e.loads_per_iter;
+    counters.stores += done * e.stores_per_iter;
+    // Completed iterations plus the final (or failing) head check.
+    *tape_ops += done * e.iter_ops + 1;
+    run_fused_kernel(e, bufs, frame, iregs, 0, done);
+    iregs[e.ireg as usize] = e.start + done as i64 * e.step;
+    if done > 0 {
+        frame[e.slot as usize] = (e.start + (done as i64 - 1) * e.step) as f64;
+    }
+    match err {
+        None => Ok(()),
+        Some(er) => Err(er),
+    }
+}
+
+/// Outcome of [`TapeProgram::fused_chunk`].
+pub(crate) enum FusedChunk {
+    /// A buffer was unbound — run the chunk on the scalar ops.
+    Fallback,
+    /// All ordinals in the range completed.
+    Done,
+    /// Fuel ran out before `ord`; the meter is settled and the error
+    /// is what the scalar head charge would have raised.
+    Fuel {
+        ord: u64,
+        err: RuntimeError,
+        fuel_left: u64,
+    },
+}
+
+impl TapeProgram {
+    /// Run ordinals `[lo, hi)` of fused loop `k` for a ParTape chunk
+    /// worker, with the chunk's own accounting discipline: no init or
+    /// final-head ops (the region driver owns those), per-iteration
+    /// ops into `chunk_ops`, and no frame/ireg publication (chunk
+    /// scratch is private; the merge path reconstructs post-state).
+    pub(crate) fn fused_chunk(
+        &self,
+        k: u32,
+        st: &mut TapeState<'_>,
+        chunk_ops: &mut u64,
+        lo: u64,
+        hi: u64,
+    ) -> FusedChunk {
+        let e = &self.fused[k as usize];
+        if !fused_bound(e, st.bufs) {
+            return FusedChunk::Fallback;
+        }
+        let (done, err) = st.meter.charge_fuel_block(hi - lo);
+        st.counters.loop_iterations += done;
+        st.counters.loads += done * e.loads_per_iter;
+        st.counters.stores += done * e.stores_per_iter;
+        *chunk_ops += done * e.iter_ops;
+        run_fused_kernel(e, st.bufs, &st.scratch.frame, &st.scratch.iregs, lo, done);
+        match err {
+            None => FusedChunk::Done,
+            Some(er) => {
+                // The failing head fetch is a dispatched op.
+                *chunk_ops += 1;
+                FusedChunk::Fuel {
+                    ord: lo + done,
+                    err: er,
+                    fuel_left: st.meter.fuel_left(),
+                }
+            }
+        }
+    }
+}
+
+/// A stream's offset at the fused loop value `i0`, folding the
+/// enclosing-loop registers (loop-invariant for this run).
+#[inline]
+fn stream_off0(s: &FusedStream, iregs: &[i64], i0: i64) -> i64 {
+    let mut off = s.base;
+    for &(r, a) in &s.inv {
+        off = off.wrapping_add(a.wrapping_mul(iregs[r as usize]));
+    }
+    off.wrapping_add(s.stride.wrapping_mul(i0))
+}
+
+/// Execute `done` ordinals starting at ordinal `lo` of a fused loop.
+/// All buffers are bound (checked by the caller); all accesses are
+/// in bounds (proved at fuse time — specialized kernels still go
+/// through slice bounds checks, the generic interpreter asserts).
+fn run_fused_kernel(
+    e: &FusedEntry,
+    bufs: &mut [Option<ArrayBuf>],
+    frame: &[f64],
+    iregs: &[i64],
+    lo: u64,
+    done: u64,
+) {
+    if done == 0 {
+        return;
+    }
+    match e.kernel {
+        Kernel::Generic => run_fused_generic(e, bufs, frame, iregs, lo, done),
+        _ => run_fused_special(e, bufs, frame, iregs, lo, done),
+    }
+}
+
+/// Resolve a broadcast scalar operand at kernel entry.
+fn kscalar(
+    v: KScalar,
+    e: &FusedEntry,
+    bufs: &[Option<ArrayBuf>],
+    frame: &[f64],
+    iregs: &[i64],
+    i0: i64,
+) -> f64 {
+    match v {
+        KScalar::Const(c) => c,
+        KScalar::Slot(s) => frame[s as usize],
+        KScalar::Elem(s) => {
+            let st = &e.streams[s as usize];
+            let off = stream_off0(st, iregs, i0) as usize;
+            bufs[st.array as usize].as_ref().expect("bound").data()[off]
+        }
+    }
+}
+
+enum RSrc<'a> {
+    S(&'a [f64]),
+    K(f64),
+}
+
+impl RSrc<'_> {
+    #[inline(always)]
+    fn at(&self, q: usize) -> f64 {
+        match self {
+            RSrc::S(s) => s[q],
+            RSrc::K(v) => *v,
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_fused_special(
+    e: &FusedEntry,
+    bufs: &mut [Option<ArrayBuf>],
+    frame: &[f64],
+    iregs: &[i64],
+    lo: u64,
+    done: u64,
+) {
+    // Specialized kernels are only classified for step == 1 loops with
+    // stride-1 streams and a destination array disjoint from every
+    // source array, so source slices borrow immutably while the
+    // destination window is written through a raw pointer. The slot
+    // table itself is never mutated: under ParTape the table is
+    // aliased across chunk workers, and (like the scalar path) only
+    // disjoint `f64` element ranges may be touched concurrently.
+    let i0 = e.start + lo as i64 * e.step;
+    let n = done as usize;
+    let dst = match e.kernel {
+        Kernel::Fill { dst, .. }
+        | Kernel::Copy { dst, .. }
+        | Kernel::Ewise2 { dst, .. }
+        | Kernel::MulAdd { dst, .. }
+        | Kernel::Stencil4 { dst, .. }
+        | Kernel::Stencil3 { dst, .. } => dst,
+        Kernel::Generic => unreachable!("generic kernels take the interpreter path"),
+    };
+    let dstm = &e.streams[dst as usize];
+    let d0 = stream_off0(dstm, iregs, i0) as usize;
+    let (dp, dlen) = {
+        let data = bufs[dstm.array as usize]
+            .as_mut()
+            .expect("bound")
+            .data_mut();
+        (data.as_mut_ptr(), data.len())
+    };
+    assert!(
+        d0 + n <= dlen,
+        "fused destination window out of proven bounds"
+    );
+    // SAFETY: `d0 + n <= dlen` for a live allocation; the destination
+    // array is disjoint from every source array (classifier
+    // precondition), so this window never overlaps a source slice,
+    // and concurrent chunk workers cover disjoint ordinal ranges.
+    let d = unsafe { std::slice::from_raw_parts_mut(dp.add(d0), n) };
+    let bufs = &*bufs;
+    {
+        fn src_slice<'b>(
+            e: &FusedEntry,
+            bufs: &'b [Option<ArrayBuf>],
+            iregs: &[i64],
+            i0: i64,
+            n: usize,
+            sid: u8,
+        ) -> &'b [f64] {
+            let s = &e.streams[sid as usize];
+            let o = stream_off0(s, iregs, i0) as usize;
+            &bufs[s.array as usize].as_ref().expect("bound").data()[o..o + n]
+        }
+        macro_rules! src {
+            ($sid:expr) => {
+                src_slice(e, bufs, iregs, i0, n, $sid)
+            };
+        }
+        macro_rules! rsrc {
+            ($k:expr) => {
+                match $k {
+                    KSrc::Slice(sid) => RSrc::S(src!(sid)),
+                    KSrc::Scalar(v) => RSrc::K(kscalar(v, e, bufs, frame, iregs, i0)),
+                }
+            };
+        }
+        match e.kernel {
+            Kernel::Fill { val, .. } => {
+                let v = kscalar(val, e, bufs, frame, iregs, i0);
+                for x in d.iter_mut() {
+                    *x = v;
+                }
+            }
+            Kernel::Copy { src: sid, .. } => d.copy_from_slice(src!(sid)),
+            Kernel::Ewise2 { a, b, op, .. } => {
+                let (a, b) = (rsrc!(a), rsrc!(b));
+                macro_rules! ew {
+                    ($f:expr) => {
+                        for q in 0..n {
+                            d[q] = $f(a.at(q), b.at(q));
+                        }
+                    };
+                }
+                match op {
+                    BinOp::Add => ew!(|l, r| l + r),
+                    BinOp::Sub => ew!(|l, r| l - r),
+                    BinOp::Mul => ew!(|l, r| l * r),
+                    BinOp::Div => ew!(|l, r| l / r),
+                    BinOp::Min => ew!(f64::min),
+                    BinOp::Max => ew!(f64::max),
+                    // Only the six ops above classify as Ewise2.
+                    _ => unreachable!("unclassifiable elementwise op"),
+                }
+            }
+            Kernel::MulAdd { a, b, c, .. } => {
+                let (a, b, c) = (rsrc!(a), rsrc!(b), rsrc!(c));
+                for (q, x) in d.iter_mut().enumerate() {
+                    *x = a.at(q) * b.at(q) + c.at(q);
+                }
+            }
+            Kernel::Stencil4 { s, c, div, .. } => {
+                let (s0, s1, s2, s3) = (src!(s[0]), src!(s[1]), src!(s[2]), src!(s[3]));
+                if div {
+                    for q in 0..n {
+                        d[q] = (((s0[q] + s1[q]) + s2[q]) + s3[q]) / c;
+                    }
+                } else {
+                    for q in 0..n {
+                        d[q] = (((s0[q] + s1[q]) + s2[q]) + s3[q]) * c;
+                    }
+                }
+            }
+            Kernel::Stencil3 { w, s, .. } => {
+                let (s0, s1, s2) = (src!(s[0]), src!(s[1]), src!(s[2]));
+                let [w0, w1, w2] = w;
+                for q in 0..n {
+                    d[q] = (w0 * s0[q] + w1 * s1[q]) + w2 * s2[q];
+                }
+            }
+            Kernel::Generic => unreachable!(),
+        }
+    }
+}
+
+/// Per-stream raw cursor for the generic interpreter.
+struct RawStream {
+    ptr: *mut f64,
+    len: usize,
+    cur: i64,
+    delta: i64,
+}
+
+impl RawStream {
+    #[inline(always)]
+    fn read(&self) -> f64 {
+        let off = self.cur as usize;
+        assert!(off < self.len, "fused access out of proven bounds");
+        // SAFETY: `off < len` for a live allocation; streams on the
+        // same array alias only through raw pointers (no overlapping
+        // references are ever formed).
+        unsafe { *self.ptr.add(off) }
+    }
+
+    #[inline(always)]
+    fn write(&mut self, v: f64) {
+        let off = self.cur as usize;
+        assert!(off < self.len, "fused access out of proven bounds");
+        // SAFETY: as in `read`.
+        unsafe { *self.ptr.add(off) = v }
+    }
+}
+
+fn run_fused_generic(
+    e: &FusedEntry,
+    bufs: &mut [Option<ArrayBuf>],
+    frame: &[f64],
+    iregs: &[i64],
+    lo: u64,
+    done: u64,
+) {
+    let i0 = e.start + lo as i64 * e.step;
+    // One pass over the slot table collects a raw view per array; the
+    // streams then alias through pointers only (a fused body may read
+    // and write the same array — §4 in-place updates).
+    let mut views: Vec<(ArrayId, *mut f64, usize)> = Vec::with_capacity(e.streams.len());
+    for (id, slot) in bufs.iter_mut().enumerate() {
+        if e.streams.iter().any(|s| s.array as usize == id) {
+            let b = slot.as_mut().expect("bound");
+            let len = b.len();
+            views.push((id as ArrayId, b.data_mut().as_mut_ptr(), len));
+        }
+    }
+    let view = |id: ArrayId| {
+        let &(_, ptr, len) = views.iter().find(|&&(v, _, _)| v == id).expect("collected");
+        (ptr, len)
+    };
+    let mut streams: Vec<RawStream> = e
+        .streams
+        .iter()
+        .map(|s| {
+            let (ptr, len) = view(s.array);
+            RawStream {
+                ptr,
+                len,
+                cur: stream_off0(s, iregs, i0),
+                delta: s.stride.wrapping_mul(e.step),
+            }
+        })
+        .collect();
+    let mut stack = [0f64; FUSE_MAX_STACK];
+    let mut temps = [0f64; FUSE_MAX_TEMPS];
+    let mut i = i0;
+    for _ in 0..done {
+        let mut sp = 0usize;
+        for m in &e.micro {
+            match m {
+                MicroOp::Const(v) => {
+                    stack[sp] = *v;
+                    sp += 1;
+                }
+                MicroOp::LoopVar => {
+                    stack[sp] = i as f64;
+                    sp += 1;
+                }
+                MicroOp::Invariant(s) => {
+                    stack[sp] = frame[*s as usize];
+                    sp += 1;
+                }
+                MicroOp::Temp(t) => {
+                    stack[sp] = temps[*t as usize];
+                    sp += 1;
+                }
+                MicroOp::SetTemp(t) => {
+                    sp -= 1;
+                    temps[*t as usize] = stack[sp];
+                }
+                MicroOp::Load(s) => {
+                    stack[sp] = streams[*s as usize].read();
+                    sp += 1;
+                }
+                MicroOp::Store(s) => {
+                    sp -= 1;
+                    streams[*s as usize].write(stack[sp]);
+                }
+                MicroOp::Bin(op) => {
+                    sp -= 1;
+                    stack[sp - 1] = apply_bin(*op, stack[sp - 1], stack[sp]);
+                }
+                MicroOp::Un(op) => stack[sp - 1] = apply_un(*op, stack[sp - 1]),
+            }
+        }
+        for s in streams.iter_mut() {
+            s.cur = s.cur.wrapping_add(s.delta);
+        }
+        i += e.step;
+    }
+}
+
+/// Micro-interpreter operand-stack depth limit (bodies deeper than
+/// this stay scalar).
+pub const FUSE_MAX_STACK: usize = 16;
+/// Body-local temporary limit for fused bodies.
+pub const FUSE_MAX_TEMPS: usize = 8;
 
 /// Compute a linear access's offset, running the per-dimension checks
 /// when the compile-time proof did not discharge them.
@@ -692,6 +1292,7 @@ struct Compiler<'a> {
     max_stack: usize,
     cur_idx: usize,
     max_idx: usize,
+    loop_vars: Vec<(u32, String)>,
 }
 
 impl<'a> Compiler<'a> {
@@ -718,6 +1319,7 @@ impl<'a> Compiler<'a> {
             max_stack: 0,
             cur_idx: 0,
             max_idx: 0,
+            loop_vars: vec![],
         };
         for (name, shape) in &ctx.shapes {
             let canon = c.canonical(name).to_string();
@@ -743,6 +1345,8 @@ impl<'a> Compiler<'a> {
             lins: self.lins,
             allocs: self.allocs,
             globals: self.ctx.globals.clone(),
+            fused: vec![],
+            loop_vars: self.loop_vars,
             frame_size: self.frame_size,
             ireg_count: self.ireg_count,
             max_stack: self.max_stack,
@@ -1284,6 +1888,7 @@ impl<'a> Compiler<'a> {
                     0,
                 );
                 let head = self.here();
+                self.loop_vars.push((head, var.clone()));
                 self.emit(
                     Op::LoopHead {
                         ireg,

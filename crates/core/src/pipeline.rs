@@ -16,6 +16,7 @@ use std::sync::Arc;
 
 use hac_analysis::analyze::{analyze_array, analyze_bigupd, AnalysisError, CollisionVerdict};
 use hac_analysis::search::TestPolicy;
+use hac_codegen::fuse::{fuse_tape, FuseDecision};
 use hac_codegen::limp::{LProgram, Vm, VmCounters};
 use hac_codegen::lower::{lower_array, lower_update, CheckMode, LowerError, LoweredUpdate};
 use hac_codegen::partape::{plan_tape, ParPlan};
@@ -69,11 +70,27 @@ pub enum Engine {
 }
 
 /// Compiler options.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CompileOptions {
     pub policy: TestPolicy,
     pub mode: ExecMode,
     pub engine: Engine,
+    /// Run the vector-fusion pass over compiled tapes, lowering
+    /// proven-parallel innermost affine loops into contiguous-slice
+    /// kernels (on by default; `--no-fuse` turns it off, leaving the
+    /// scalar tape — the differential oracle — as the only path).
+    pub fuse: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            policy: TestPolicy::default(),
+            mode: ExecMode::default(),
+            engine: Engine::default(),
+            fuse: true,
+        }
+    }
 }
 
 /// A compilation failure.
@@ -416,6 +433,7 @@ pub fn compile(
                 if lowered.in_place {
                     consumed.push(base.clone());
                 }
+                let mut fusion = Vec::new();
                 let tape = (options.engine != Engine::TreeWalk).then(|| {
                     let mut tctx = known.clone();
                     if lowered.in_place {
@@ -423,8 +441,15 @@ pub fn compile(
                         // time, mirroring the VM's runtime alias.
                         tctx.aliases.insert(name.clone(), base.clone());
                     }
-                    compile_tape(&lowered.prog, &tctx)
+                    let mut t = compile_tape(&lowered.prog, &tctx);
+                    if options.fuse {
+                        fusion = fuse_tape(&mut t).iter().map(FuseDecision::render).collect();
+                    }
+                    t
                 });
+                if let Some(u) = report.updates.last_mut() {
+                    u.fusion = fusion;
+                }
                 let par = match (&tape, options.engine) {
                     (Some(t), Engine::ParTape) => Some(plan_tape(t)),
                     _ => None,
@@ -550,7 +575,17 @@ fn compile_group(
                     checks == CheckMode::Elide,
                 ));
                 report.stats.absorb(&analysis.stats);
-                let tape = (options.engine != Engine::TreeWalk).then(|| compile_tape(&prog, known));
+                let mut fusion = Vec::new();
+                let tape = (options.engine != Engine::TreeWalk).then(|| {
+                    let mut t = compile_tape(&prog, known);
+                    if options.fuse {
+                        fusion = fuse_tape(&mut t).iter().map(FuseDecision::render).collect();
+                    }
+                    t
+                });
+                if let Some(a) = report.arrays.last_mut() {
+                    a.fusion = fusion;
+                }
                 let par = match (&tape, options.engine) {
                     (Some(t), Engine::ParTape) => Some(plan_tape(t)),
                     _ => None,

@@ -42,6 +42,10 @@ pub struct ArrayReport {
     /// §10: per-verdict loop lists (vectorizable / parallelizable /
     /// sequential).
     pub parallelism: Vec<(String, Vec<String>)>,
+    /// Per-loop fusion verdicts from the tape fusion pass (kernel
+    /// shape, or the reason fusion was declined). Empty when the pass
+    /// did not run (tree-walk engine or `--no-fuse`).
+    pub fusion: Vec<String>,
 }
 
 fn parallelism_lines(comp: &Comp, edges: &[DepEdge]) -> Vec<(String, Vec<String>)> {
@@ -107,6 +111,7 @@ impl ArrayReport {
             outcome: format!("thunkless\n{}", indent(&plan.render())),
             checks_elided,
             parallelism: parallelism_lines(&def.comp, &analysis.flow.edges),
+            fusion: Vec::new(),
         }
     }
 
@@ -121,6 +126,7 @@ impl ArrayReport {
             outcome: format!("thunked ({reason})"),
             checks_elided: false,
             parallelism: parallelism_lines(&def.comp, &analysis.flow.edges),
+            fusion: Vec::new(),
         }
     }
 
@@ -135,6 +141,7 @@ impl ArrayReport {
             outcome: "accumulated (strict, list order)".to_string(),
             checks_elided: true,
             parallelism: Vec::new(),
+            fusion: Vec::new(),
         }
     }
 }
@@ -152,6 +159,8 @@ pub struct UpdateReport {
     /// `Engine::ParTape` consults, so a loop listed `sequential` here
     /// explains why the pass falls back to one worker.
     pub parallelism: Vec<(String, Vec<String>)>,
+    /// Per-loop fusion verdicts from the tape fusion pass.
+    pub fusion: Vec<String>,
 }
 
 impl UpdateReport {
@@ -191,6 +200,7 @@ impl UpdateReport {
             strategy,
             in_place: lowered.in_place,
             parallelism: parallelism_lines(comp, &full),
+            fusion: Vec::new(),
         }
     }
 }
@@ -226,6 +236,9 @@ impl Report {
             for (verdict, loops) in &a.parallelism {
                 let _ = writeln!(out, "  loops {verdict}: {}", loops.join(", "));
             }
+            for f in &a.fusion {
+                let _ = writeln!(out, "  fusion {f}");
+            }
         }
         for r in &self.reductions {
             let _ = writeln!(out, "{r}");
@@ -242,6 +255,9 @@ impl Report {
             let _ = writeln!(out, "  in place: {}", u.in_place);
             for (verdict, loops) in &u.parallelism {
                 let _ = writeln!(out, "  loops {verdict}: {}", loops.join(", "));
+            }
+            for f in &u.fusion {
+                let _ = writeln!(out, "  fusion {f}");
             }
         }
         let _ = writeln!(

@@ -501,6 +501,51 @@ impl Meter {
         self.fuel_left = self.fuel_left.saturating_sub(n);
     }
 
+    /// Charge fuel for `n` loop iterations in one settlement, exactly
+    /// as `n` consecutive [`Meter::charge_fuel`] calls would. Returns
+    /// the number of iterations covered; when short of `n`, also the
+    /// error the `(covered + 1)`-th per-iteration charge would have
+    /// raised, with the meter left in the identical state. The fused
+    /// vector kernels use this so bulk charging is observationally
+    /// indistinguishable from the scalar dispatch loop.
+    ///
+    /// Lazily-drawing meters (serve-layer ceiling leases) cannot be
+    /// settled in one subtraction without replaying refill boundaries,
+    /// so for those the charges are simply taken one at a time.
+    pub fn charge_fuel_block(&mut self, n: u64) -> (u64, Option<RuntimeError>) {
+        if !self.fuel_limited() {
+            // Unlimited meters never observe `fuel_left`; skip the
+            // sentinel decrements (the scalar loop performs them, but
+            // no report or settlement ever reads them back).
+            return (n, None);
+        }
+        if self.draws_lazily() {
+            for k in 0..n {
+                if let Err(e) = self.charge_fuel() {
+                    return (k, Some(e));
+                }
+            }
+            return (n, None);
+        }
+        if self.fuel_left >= n {
+            self.fuel_left -= n;
+            return (n, None);
+        }
+        let done = self.fuel_left;
+        self.fuel_left = 0;
+        // The failing charge goes through the real path so the error
+        // (and any ceiling bookkeeping) matches the scalar loop.
+        match self.charge_fuel() {
+            Err(e) => (done, Some(e)),
+            Ok(()) => {
+                // A refill landed (meter gained a lease mid-run); settle
+                // the remainder against the refreshed balance.
+                let (more, err) = self.charge_fuel_block(n - done - 1);
+                (done + 1 + more, err)
+            }
+        }
+    }
+
     /// Charge `bytes` against the memory budget.
     #[inline]
     pub fn charge_mem(&mut self, bytes: u64) -> Result<(), RuntimeError> {
@@ -720,6 +765,40 @@ mod tests {
             assert!(m.charge_mem(1 << 40).is_ok());
         }
         assert!(!m.fuel_limited());
+    }
+
+    #[test]
+    fn block_charge_matches_per_iteration_charges() {
+        // Every (limit, n) pair must leave the block-charged meter in
+        // the same state as n sequential charge_fuel calls, returning
+        // the same error at the same iteration.
+        for limit in [0u64, 1, 3, 7, 100] {
+            for n in [0u64, 1, 3, 7, 8, 250] {
+                let mut a = Meter::new(Limits {
+                    fuel: Some(limit),
+                    mem_bytes: None,
+                });
+                let mut b = a.clone();
+                let (done, err) = a.charge_fuel_block(n);
+                let mut want_done = n;
+                let mut want_err = None;
+                for k in 0..n {
+                    if let Err(e) = b.charge_fuel() {
+                        want_done = k;
+                        want_err = Some(e);
+                        break;
+                    }
+                }
+                assert_eq!((done, err), (want_done, want_err), "limit {limit} n {n}");
+                assert_eq!(a.fuel_left(), b.fuel_left(), "limit {limit} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn block_charge_on_unlimited_meter_covers_everything() {
+        let mut m = Meter::unlimited();
+        assert_eq!(m.charge_fuel_block(u64::MAX), (u64::MAX, None));
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //!   --deadline-ms N               convert a deadline to fuel before running
 //!   --fault-plan SPEC             inject deterministic worker faults (testing)
 //!   --no-run                      only explain, do not execute
+//!   --no-fuse                     disable vector-kernel fusion of parallel
+//!                                 affine loops (scalar tape dispatch)
 //!   --quiet                       suppress the compilation report
 //!   --print NAME                  print one array (repeatable; default: results)
 //!   --emit limp                   print the generated loop IR per unit
@@ -87,6 +89,7 @@ struct Options {
     seed: u64,
     run_it: bool,
     quiet: bool,
+    fuse: bool,
     emit_limp: bool,
     print: Vec<String>,
 }
@@ -96,7 +99,7 @@ fn usage() -> &'static str {
      [--mode auto|thunked|checked] [--engine treewalk|tape|partape] \
      [--threads N] [--fill zero|random[:SEED]] \
      [--fuel N] [--mem-limit BYTES] [--deadline-ms N] [--fault-plan SPEC] \
-     [--no-run] [--quiet] [--print NAME]\n\
+     [--no-run] [--no-fuse] [--quiet] [--print NAME]\n\
      \x20      hacc batch JOBS.json [--workers N] [--threads N] \
      [--ceiling-fuel N] [--ceiling-mem BYTES] [--stripes N] [--cache-cap N] \
      [--ops-per-ms N]\n\
@@ -122,6 +125,7 @@ fn parse_args() -> Result<Options, String> {
         seed: 0xC0FFEE,
         run_it: true,
         quiet: false,
+        fuse: true,
         emit_limp: false,
         print: Vec::new(),
     };
@@ -198,6 +202,7 @@ fn parse_args() -> Result<Options, String> {
                     Some(FaultPlan::parse(&spec).map_err(|e| format!("bad --fault-plan: {e}"))?);
             }
             "--no-run" => opts.run_it = false,
+            "--no-fuse" => opts.fuse = false,
             "--quiet" => opts.quiet = true,
             "--emit" => {
                 let what = args.next().ok_or("--emit needs a value")?;
@@ -609,6 +614,7 @@ fn main() -> ExitCode {
         &CompileOptions {
             mode: opts.mode,
             engine: opts.engine,
+            fuse: opts.fuse,
             ..CompileOptions::default()
         },
     ) {

@@ -1,0 +1,85 @@
+//! Golden test for the per-loop fusion verdicts in `--report` output.
+//! Every loop the tape compiler sees gets exactly one `fusion for ...`
+//! line — either `fused (<kernel shape>)` or `scalar (<reason>)` — and
+//! the wording is part of the user-facing surface, so drift is an
+//! intentional act: regenerate with `UPDATE_GOLDEN=1 cargo test --test
+//! fuse_report`.
+
+use hac_core::pipeline::{compile, CompileOptions, Engine};
+use hac_lang::env::ConstEnv;
+use hac_lang::parser::parse_program;
+use hac_workloads as wl;
+
+#[test]
+fn fusion_verdicts_match_golden_report() {
+    let kernels: &[(&str, &str, i64)] = &[
+        // Out-of-place stencil: inner loop fuses as a 4-point stencil.
+        ("jacobi_step", wl::jacobi_step_source(), 8),
+        // Weighted 3-point relaxation: fuses as a 3-point stencil.
+        ("relaxation", wl::relaxation_source(), 24),
+        // In-place update: aliasing pushes the inner loop to the
+        // generic micro-kernel.
+        ("jacobi", wl::jacobi_source(), 8),
+        // Gauss–Seidel carries a flow dependence: not proven parallel.
+        ("sor", wl::sor_source(), 8),
+        // Recurrence over partial sums: the init clause fuses, the
+        // k-accumulation stays scalar.
+        ("matmul", wl::matmul_source(), 6),
+    ];
+
+    let mut rendered = String::from("# per-loop fusion verdicts (ParTape engine, fuse on)\n");
+    for (name, src, n) in kernels {
+        let program = parse_program(src).unwrap();
+        let compiled = compile(
+            &program,
+            &ConstEnv::from_pairs([("n", *n)]),
+            &CompileOptions {
+                engine: Engine::ParTape,
+                ..CompileOptions::default()
+            },
+        )
+        .unwrap();
+        rendered.push_str(&format!("## {name} (n={n})\n"));
+        for line in compiled.report.render().lines() {
+            let t = line.trim_start();
+            if t.starts_with("fusion ") || t.starts_with("loops ") {
+                rendered.push_str(line);
+                rendered.push('\n');
+            }
+        }
+    }
+
+    let golden_path = "tests/golden/fuse_report.txt";
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &rendered).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(golden_path)
+        .expect("golden file exists (regenerate with UPDATE_GOLDEN=1)");
+    assert_eq!(
+        rendered, want,
+        "fusion verdicts drifted from {golden_path} (regenerate with UPDATE_GOLDEN=1 if intended)"
+    );
+}
+
+/// `fuse: false` must leave the report free of fusion lines — the
+/// verdicts report what the pass did, not what it would have done.
+#[test]
+fn no_fuse_reports_no_fusion_lines() {
+    let program = parse_program(wl::jacobi_step_source()).unwrap();
+    let compiled = compile(
+        &program,
+        &ConstEnv::from_pairs([("n", 8)]),
+        &CompileOptions {
+            engine: Engine::ParTape,
+            fuse: false,
+            ..CompileOptions::default()
+        },
+    )
+    .unwrap();
+    let report = compiled.report.render();
+    assert!(
+        !report.contains("fusion "),
+        "fuse:false must not emit verdicts:\n{report}"
+    );
+}

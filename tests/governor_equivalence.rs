@@ -540,6 +540,105 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Fusion × governance: a fuel or memory cap must trip at *exactly* the
+// same charge whether the innermost loops run as scalar tape ops or as
+// fused `Op::VecLoop` kernels. The fused path bulk-charges a block of
+// fuel up front and settles the shortfall through the same meter call
+// the scalar loop would have made, so mid-kernel exhaustion leaves
+// identical remaining fuel, identical counters, and the identical
+// error payload — at every thread count.
+// ---------------------------------------------------------------------
+
+/// Fusion-rich kernels under a fuel ladder dense around the exhaustion
+/// points of their innermost loops, plus memory caps. Each rung runs
+/// `fuse: true` and `fuse: false` builds on both tape engines at
+/// 1/2/4/8 threads and demands the same outcome (values, errors,
+/// counters, fuel left — `ExecOutput::fuel_left` is part of the
+/// compared surface via `diff_limits`'s per-engine assertions below).
+#[test]
+fn fused_and_unfused_builds_hit_limits_identically() {
+    let kernels: Vec<(&str, &str, ConstEnv, HashMap<String, ArrayBuf>)> = vec![
+        (
+            "jacobi_step",
+            wl::jacobi_step_source(),
+            ConstEnv::from_pairs([("n", 10)]),
+            HashMap::from([("a".to_string(), wl::random_matrix(10, 10, 13))]),
+        ),
+        (
+            "relaxation",
+            wl::relaxation_source(),
+            ConstEnv::from_pairs([("n", 32)]),
+            HashMap::from([("u".to_string(), wl::random_vector(32, 41))]),
+        ),
+        (
+            "matmul",
+            wl::matmul_source(),
+            ConstEnv::from_pairs([("n", 6)]),
+            HashMap::from([
+                ("x".to_string(), wl::random_matrix(6, 6, 31)),
+                ("y".to_string(), wl::random_matrix(6, 6, 37)),
+            ]),
+        ),
+    ];
+    let funcs = FuncTable::new();
+    for (label, src, env, inputs) in &kernels {
+        let program = parse_program(src).unwrap();
+        let mut builds = Vec::new();
+        for engine in [Engine::Tape, Engine::ParTape] {
+            for fuse in [false, true] {
+                let compiled = compile(
+                    &program,
+                    env,
+                    &CompileOptions {
+                        engine,
+                        fuse,
+                        ..CompileOptions::default()
+                    },
+                )
+                .unwrap();
+                builds.push((engine, fuse, compiled));
+            }
+        }
+        // A ladder dense around small budgets (mid-kernel exhaustion on
+        // every rung below completion) plus memory caps.
+        let rungs: Vec<Limits> = [0u64, 1, 2, 3, 5, 8, 13, 37, 99, 100, 257, 1000, 100_000]
+            .iter()
+            .map(|&f| fuel(f))
+            .chain([mem(0), mem(64), mem(1 << 30), Limits::unlimited()])
+            .collect();
+        for limits in rungs {
+            let mut want: Option<(Outcome, Option<u64>)> = None;
+            for (engine, fuse, compiled) in &builds {
+                let threads: &[usize] = if *engine == Engine::ParTape {
+                    &THREADS
+                } else {
+                    &[1]
+                };
+                for &t in threads {
+                    let opts = RunOptions {
+                        threads: Some(t),
+                        limits,
+                        faults: None,
+                        ceiling: None,
+                    };
+                    let r = run_with_options(compiled, inputs, &funcs, &opts);
+                    let fuel_left = r.as_ref().ok().and_then(|o| o.fuel_left);
+                    let got = (outcome(&r), fuel_left);
+                    match &want {
+                        None => want = Some(got),
+                        Some(w) => assert_eq!(
+                            &got, w,
+                            "{label} {limits:?}: {engine:?} fuse={fuse} @{t}t \
+                             diverged from the scalar-tape baseline"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // SharedCeiling: a per-request budget admitted against the global pool
 // must behave *bit-identically* to the same budget with no pool behind
 // it — on every engine, at every thread count, at every stripe width.
