@@ -154,13 +154,14 @@ fn try_fuse(tape: &TapeProgram, init_pc: usize) -> Result<FusedEntry, &'static s
         step,
         exit,
         par,
+        red,
     } = tape.ops[init_pc + 1]
     else {
         unreachable!("LoopInit is always followed by its LoopHead");
     };
     debug_assert_eq!(ireg, hreg);
-    if !par {
-        return Err("not proven parallel (§10 verdict)");
+    if !par && !red {
+        return Err("non-reassociable carry");
     }
     let exit_pc = exit as usize;
     debug_assert!(matches!(tape.ops[exit_pc - 1], Op::LoopNext { .. }));
@@ -330,7 +331,7 @@ fn try_fuse(tape: &TapeProgram, init_pc: usize) -> Result<FusedEntry, &'static s
         return Err("body expression too deep for the micro-interpreter");
     }
 
-    let kernel = classify(&micro, &streams, step);
+    let kernel = classify(&micro, &streams, step, red);
     Ok(FusedEntry {
         ireg,
         slot,
@@ -349,50 +350,65 @@ fn try_fuse(tape: &TapeProgram, init_pc: usize) -> Result<FusedEntry, &'static s
     })
 }
 
-/// Classify the micro-op string into a hand-written slice kernel when
-/// it matches a known shape on a unit-step loop with stride-1 streams
-/// and a destination array disjoint from every source array. The
-/// operand order and association of the scalar RPN are preserved
-/// exactly, so specialized kernels stay bit-identical.
-fn classify(micro: &[MicroOp], streams: &[FusedStream], step: i64) -> Kernel {
-    if step != 1 {
-        return Kernel::Generic;
+/// Classify the micro-op string into a hand-written kernel when it
+/// matches a known shape with a destination array disjoint from every
+/// source array. Streams are classified by *delta* — the per-ordinal
+/// offset advance `stride·step` — so backward loops and strided
+/// columns classify too: delta 1 walks as a contiguous slice, any
+/// other nonzero delta as an explicit strided stream. The operand
+/// order and association of the scalar RPN are preserved exactly, so
+/// specialized kernels stay bit-identical.
+///
+/// Loops fused under the `red` verdict take [`classify_reduction`]
+/// instead: their bodies *must* read the destination array (the
+/// carried accumulator), and any reduction body the specializer does
+/// not recognize falls back to [`Kernel::Generic`] — the micro-op
+/// interpreter is the reduction arm of last resort, executing
+/// iterations strictly in order over raw aliasing-safe cursors.
+fn classify(micro: &[MicroOp], streams: &[FusedStream], step: i64, red: bool) -> Kernel {
+    if red {
+        return classify_reduction(micro, streams, step).unwrap_or(Kernel::Generic);
     }
     let stride = |s: u8| streams[s as usize].stride;
+    let delta = |s: u8| streams[s as usize].stride.wrapping_mul(step);
     let leaf = |m: &MicroOp| -> Option<KSrc> {
         match m {
             MicroOp::Const(v) => Some(KSrc::Scalar(KScalar::Const(*v))),
             MicroOp::Invariant(s) => Some(KSrc::Scalar(KScalar::Slot(*s))),
             MicroOp::Load(s) if stride(*s) == 0 => Some(KSrc::Scalar(KScalar::Elem(*s))),
-            MicroOp::Load(s) if stride(*s) == 1 => Some(KSrc::Slice(*s)),
+            MicroOp::Load(s) if delta(*s) == 1 => Some(KSrc::Slice(*s)),
+            MicroOp::Load(s) => Some(KSrc::Strided(*s)),
             _ => None,
         }
     };
-    // The destination must be a unit-stride store on an array none of
-    // the sources touch (lets sources borrow as slices while the
-    // destination is mutable; aliasing bodies stay on the generic
-    // raw-pointer path).
+    // The destination must be a store with nonzero delta (offsets
+    // injective in the ordinal) on an array none of the sources touch
+    // (lets sources borrow while the destination is written raw;
+    // aliasing bodies stay on the generic raw-pointer path).
     let Some(MicroOp::Store(d)) = micro.last() else {
         return Kernel::Generic;
     };
     let d = *d;
-    if stride(d) != 1 {
+    if delta(d) == 0 {
         return Kernel::Generic;
     }
     let dst_array = streams[d as usize].array;
     let disjoint = |srcs: &[KSrc]| {
         srcs.iter().all(|s| match s {
-            KSrc::Slice(x) | KSrc::Scalar(KScalar::Elem(x)) => {
+            KSrc::Slice(x) | KSrc::Strided(x) | KSrc::Scalar(KScalar::Elem(x)) => {
                 streams[*x as usize].array != dst_array
             }
             KSrc::Scalar(_) => true,
         })
     };
-    let has_slice = |srcs: &[KSrc]| srcs.iter().any(|s| matches!(s, KSrc::Slice(_)));
+    let has_slice = |srcs: &[KSrc]| {
+        srcs.iter()
+            .any(|s| matches!(s, KSrc::Slice(_) | KSrc::Strided(_)))
+    };
 
     match micro {
         [x, MicroOp::Store(_)] => match leaf(x) {
-            Some(KSrc::Slice(s)) if streams[s as usize].array != dst_array => {
+            Some(KSrc::Slice(s)) if streams[s as usize].array != dst_array && delta(d) == 1 => {
                 Kernel::Copy { dst: d, src: s }
             }
             Some(KSrc::Scalar(v)) if disjoint(&[KSrc::Scalar(v)]) => {
@@ -429,7 +445,7 @@ fn classify(micro: &[MicroOp], streams: &[FusedStream], step: i64) -> Kernel {
         {
             let s = [*s0, *s1, *s2, *s3];
             let srcs: Vec<KSrc> = s.iter().map(|&x| KSrc::Slice(x)).collect();
-            if s.iter().all(|&x| stride(x) == 1) && disjoint(&srcs) {
+            if delta(d) == 1 && s.iter().all(|&x| delta(x) == 1) && disjoint(&srcs) {
                 Kernel::Stencil4 {
                     dst: d,
                     s,
@@ -444,7 +460,7 @@ fn classify(micro: &[MicroOp], streams: &[FusedStream], step: i64) -> Kernel {
         {
             let s = [*s0, *s1, *s2];
             let srcs: Vec<KSrc> = s.iter().map(|&x| KSrc::Slice(x)).collect();
-            if s.iter().all(|&x| stride(x) == 1) && disjoint(&srcs) {
+            if delta(d) == 1 && s.iter().all(|&x| delta(x) == 1) && disjoint(&srcs) {
                 Kernel::Stencil3 {
                     dst: d,
                     w: [*w0, *w1, *w2],
@@ -455,6 +471,79 @@ fn classify(micro: &[MicroOp], streams: &[FusedStream], step: i64) -> Kernel {
             }
         }
         _ => Kernel::Generic,
+    }
+}
+
+/// Classify a reduction-verdict body into a specialized fold kernel.
+///
+/// The scalar shape is `d[i] = d[i-1] ⊕ e(i)` with `⊕ ∈ {+, min,
+/// max}`, compiled to the RPN `[Load(c), e…, Bin(⊕), Store(d)]` where
+/// stream `c` reads *exactly* the cell `d` wrote one iteration ago
+/// (same array, same stride, same invariant terms, base shifted back
+/// by one ordinal delta). The carried load coming **first** means the
+/// accumulator is the left operand of `apply_bin` — the orientation
+/// [`Kernel::Sum`]'s register fold preserves, which is what makes the
+/// overlay bit-identical for non-commutative corner cases (`min`/`max`
+/// with signed zeros or NaNs).
+///
+/// `e` must be a pure stream/scalar expression over arrays disjoint
+/// from the accumulator array. Anything else — the accumulator on the
+/// right, other stores, temps, further reads of the destination —
+/// returns `None` and the loop runs the order-faithful generic
+/// micro-interpreter instead.
+fn classify_reduction(micro: &[MicroOp], streams: &[FusedStream], step: i64) -> Option<Kernel> {
+    let delta = |s: u8| streams[s as usize].stride.wrapping_mul(step);
+    let [MicroOp::Load(c), mid @ .., MicroOp::Bin(op), MicroOp::Store(d)] = micro else {
+        return None;
+    };
+    let (c, d, op) = (*c, *d, *op);
+    if !matches!(op, BinOp::Add | BinOp::Min | BinOp::Max) {
+        return None;
+    }
+    let dd = delta(d);
+    if dd == 0 {
+        return None;
+    }
+    let (sc, sd) = (&streams[c as usize], &streams[d as usize]);
+    if sc.array != sd.array
+        || sc.stride != sd.stride
+        || sc.inv != sd.inv
+        || sc.base != sd.base.wrapping_sub(dd)
+    {
+        return None;
+    }
+    let dst_array = sd.array;
+    let leaf = |m: &MicroOp| -> Option<KSrc> {
+        match m {
+            MicroOp::Const(v) => Some(KSrc::Scalar(KScalar::Const(*v))),
+            MicroOp::Invariant(s) => Some(KSrc::Scalar(KScalar::Slot(*s))),
+            MicroOp::Load(s) if streams[*s as usize].array != dst_array => {
+                Some(if streams[*s as usize].stride == 0 {
+                    KSrc::Scalar(KScalar::Elem(*s))
+                } else if delta(*s) == 1 {
+                    KSrc::Slice(*s)
+                } else {
+                    KSrc::Strided(*s)
+                })
+            }
+            _ => None,
+        }
+    };
+    match mid {
+        [x] => leaf(x).map(|src| Kernel::Sum { dst: d, src, op }),
+        [a, b, MicroOp::Bin(BinOp::Mul)] if op == BinOp::Add => {
+            let (ka, kb) = (leaf(a)?, leaf(b)?);
+            if let (KSrc::Slice(a), KSrc::Slice(b)) = (ka, kb) {
+                Some(Kernel::Dot { dst: d, a, b })
+            } else {
+                Some(Kernel::MulAddAcc {
+                    dst: d,
+                    a: ka,
+                    b: kb,
+                })
+            }
+        }
+        _ => None,
     }
 }
 
@@ -481,6 +570,7 @@ mod tests {
                     end: 9,
                     step: 1,
                     par,
+                    red: false,
                     body,
                 },
             ],
@@ -499,6 +589,185 @@ mod tests {
             },
             check: crate::limp::StoreCheck::None,
         }]
+    }
+
+    fn idx(a: &str, s: Expr) -> Expr {
+        Expr::Index {
+            array: a.into(),
+            subs: vec![s],
+        }
+    }
+
+    /// `a!(i-1)` — the carried accumulator cell.
+    fn acc() -> Expr {
+        idx("a", Expr::sub(Expr::var("i"), Expr::int(1)))
+    }
+
+    fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            lhs: Box::new(l),
+            rhs: Box::new(r),
+        }
+    }
+
+    /// A scan loop `for i in [1..9]: a!i := value` over arrays `a`,
+    /// `u`, `v`, carrying the `red` verdict.
+    fn scan_over(red: bool, value: Expr) -> LProgram {
+        let alloc = |name: &str| LStmt::Alloc {
+            array: name.into(),
+            bounds: vec![(0, 9)],
+            fill: 1.0,
+            temp: false,
+            checked: false,
+        };
+        LProgram {
+            stmts: vec![
+                alloc("a"),
+                alloc("u"),
+                alloc("v"),
+                LStmt::For {
+                    var: "i".into(),
+                    start: 1,
+                    end: 9,
+                    step: 1,
+                    par: false,
+                    red,
+                    body: vec![LStmt::Store {
+                        array: "a".into(),
+                        subs: vec![Expr::var("i")],
+                        value,
+                        check: crate::limp::StoreCheck::None,
+                    }],
+                },
+            ],
+            result: "a".into(),
+        }
+    }
+
+    /// Compile + fuse, returning the scan loop's kernel shape name (or
+    /// the decline reason prefixed with `scalar: `).
+    fn scan_kernel(red: bool, value: Expr) -> String {
+        let mut t = compile_tape(&scan_over(red, value), &TapeCtx::default());
+        let d = fuse_tape(&mut t);
+        assert_eq!(d.len(), 1);
+        match (&d[0].kernel, &d[0].reason) {
+            (Some(k), _) => k.clone(),
+            (None, Some(r)) => format!("scalar: {r}"),
+            (None, None) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn prefix_sum_classifies_as_running_sum() {
+        let v = bin(BinOp::Add, acc(), idx("u", Expr::var("i")));
+        assert_eq!(scan_kernel(true, v), "running sum");
+    }
+
+    #[test]
+    fn max_scan_classifies_as_running_max() {
+        let v = bin(BinOp::Max, acc(), idx("u", Expr::var("i")));
+        assert_eq!(scan_kernel(true, v), "running max");
+    }
+
+    #[test]
+    fn dot_recurrence_classifies_as_dot() {
+        let prod = bin(
+            BinOp::Mul,
+            idx("u", Expr::var("i")),
+            idx("v", Expr::var("i")),
+        );
+        let v = bin(BinOp::Add, acc(), prod);
+        assert_eq!(scan_kernel(true, v), "dot");
+    }
+
+    #[test]
+    fn strided_operand_classifies_as_mul_add_accumulate() {
+        // `u!(2i-9)` walks with delta 2 (offsets 0,2,..,16 ⊆ [0,9]
+        // rebased): a strided stream, so the dot specialization
+        // degrades to the general multiply-add accumulate.
+        let stretched = idx(
+            "u",
+            Expr::sub(
+                Expr::bin(BinOp::Mul, Expr::int(2), Expr::var("i")),
+                Expr::int(2),
+            ),
+        );
+        let n = 5; // i in [1..5] keeps 2i-2 within [0,9]
+        let mut prog = scan_over(
+            true,
+            bin(
+                BinOp::Add,
+                acc(),
+                bin(BinOp::Mul, stretched, idx("v", Expr::var("i"))),
+            ),
+        );
+        let Some(LStmt::For { end, .. }) = prog.stmts.last_mut() else {
+            unreachable!()
+        };
+        *end = n;
+        let mut t = compile_tape(&prog, &TapeCtx::default());
+        let d = fuse_tape(&mut t);
+        assert_eq!(d[0].kernel.as_deref(), Some("multiply-add accumulate"));
+    }
+
+    #[test]
+    fn accumulator_on_the_right_falls_back_to_generic() {
+        // `u!i + a!(i-1)` folds with the accumulator as the *right*
+        // operand — a shape the register kernels cannot reproduce
+        // bit-identically, so it runs the order-faithful interpreter.
+        let v = bin(BinOp::Add, idx("u", Expr::var("i")), acc());
+        assert_eq!(scan_kernel(true, v), "generic micro-kernel");
+    }
+
+    #[test]
+    fn non_adjacent_carry_falls_back_to_generic() {
+        // Reads `a!(i-2)`: not the cell written one iteration ago, so
+        // the specialized scan is unsound — generic interpreter.
+        let lag2 = idx("a", Expr::sub(Expr::var("i"), Expr::int(2)));
+        let mut prog = scan_over(true, bin(BinOp::Add, lag2, idx("u", Expr::var("i"))));
+        let Some(LStmt::For { start, .. }) = prog.stmts.last_mut() else {
+            unreachable!()
+        };
+        *start = 2;
+        let mut t = compile_tape(&prog, &TapeCtx::default());
+        let d = fuse_tape(&mut t);
+        assert_eq!(d[0].kernel.as_deref(), Some("generic micro-kernel"));
+    }
+
+    #[test]
+    fn strided_destination_classifies_as_fill() {
+        // `a!(2i) := 7` for i in [0..4] on a par loop: a strided
+        // destination window (delta 2) inside bounds (0..=9).
+        let prog = LProgram {
+            stmts: vec![
+                LStmt::Alloc {
+                    array: "a".into(),
+                    bounds: vec![(0, 9)],
+                    fill: 0.0,
+                    temp: false,
+                    checked: false,
+                },
+                LStmt::For {
+                    var: "i".into(),
+                    start: 0,
+                    end: 4,
+                    step: 1,
+                    par: true,
+                    red: false,
+                    body: vec![LStmt::Store {
+                        array: "a".into(),
+                        subs: vec![Expr::bin(BinOp::Mul, Expr::int(2), Expr::var("i"))],
+                        value: Expr::Num(7.0),
+                        check: crate::limp::StoreCheck::None,
+                    }],
+                },
+            ],
+            result: "a".into(),
+        };
+        let mut t = compile_tape(&prog, &TapeCtx::default());
+        let d = fuse_tape(&mut t);
+        assert_eq!(d[0].kernel.as_deref(), Some("fill"), "{:?}", d[0]);
     }
 
     #[test]
@@ -521,10 +790,7 @@ mod tests {
         let mut t = compile_tape(&loop_over(false, store_i_sq()), &TapeCtx::default());
         let d = fuse_tape(&mut t);
         assert_eq!(d.len(), 1);
-        assert_eq!(
-            d[0].reason.as_deref(),
-            Some("not proven parallel (§10 verdict)")
-        );
+        assert_eq!(d[0].reason.as_deref(), Some("non-reassociable carry"));
         assert!(t.fused.is_empty());
     }
 
@@ -556,11 +822,11 @@ mod tests {
             end: 0,
             step: -1,
             kernel: None,
-            reason: Some("not proven parallel (§10 verdict)".into()),
+            reason: Some("non-reassociable carry".into()),
         };
         assert_eq!(
             scalar.render(),
-            "for i in [9..0] step -1: scalar (not proven parallel (§10 verdict))"
+            "for i in [9..0] step -1: scalar (non-reassociable carry)"
         );
     }
 }

@@ -27,5 +27,5 @@ pub mod tape;
 pub use fuse::{fuse_tape, FuseDecision};
 pub use limp::{LProgram, LStmt, StoreCheck, Vm, VmCounters};
 pub use lower::{lower_array, lower_update, CheckMode, LowerError, LoweredUpdate};
-pub use partape::{exec_par, plan_tape, ParPlan};
+pub use partape::{exec_par, plan_tape, suppress_env_fault_plan, ParPlan};
 pub use tape::{compile_tape, Op, TapeCtx, TapeProgram};

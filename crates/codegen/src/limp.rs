@@ -53,6 +53,12 @@ pub enum LStmt {
         /// an engine may execute them in any order or concurrently.
         /// Purely an enabling annotation — `false` is always safe.
         par: bool,
+        /// Reduction verdict: every carried dependence is a
+        /// reassociable accumulator recurrence, so a fused engine may
+        /// stream the fold left-to-right in one dispatch (preserving
+        /// the scalar operation order). Like `par`, an enabling
+        /// annotation only — `false` is always safe.
+        red: bool,
         body: Vec<LStmt>,
     },
     /// `array!(subs) := value`.
@@ -135,9 +141,16 @@ fn render(s: &LStmt, indent: usize, out: &mut String) {
             end,
             step,
             par,
+            red,
             body,
         } => {
-            let tag = if *par { " par" } else { "" };
+            let tag = if *par {
+                " par"
+            } else if *red {
+                " red"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
                 "{pad}for {var} = {start},{},..{end}{tag}:",
@@ -473,6 +486,7 @@ impl Vm {
                 end,
                 step,
                 par: _,
+                red: _,
                 body,
             } => {
                 debug_assert!(*step != 0);
@@ -664,6 +678,7 @@ mod tests {
                     end: 5,
                     step: 1,
                     par: false,
+                    red: false,
                     body: vec![store("a", "i", "i * i", StoreCheck::None)],
                 },
             ],
@@ -695,6 +710,7 @@ mod tests {
                     end: 1,
                     step: -1,
                     par: false,
+                    red: false,
                     body: vec![store("a", "i", "a!(i+1) * 2", StoreCheck::None)],
                 },
             ],
@@ -808,6 +824,7 @@ mod tests {
                 end: 4,
                 step: 1,
                 par: false,
+                red: false,
                 body: vec![store("zzz", "i", "1", StoreCheck::None)],
             }],
             result: String::new(),
@@ -826,6 +843,7 @@ mod tests {
                 end: 3,
                 step: 1,
                 par: false,
+                red: false,
                 body: vec![store("a", "i", "i", StoreCheck::Monolithic)],
             }],
             result: "a".into(),

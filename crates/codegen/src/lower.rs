@@ -126,6 +126,7 @@ pub fn lower_array(
         },
         splits,
         par_loops: &plan.par_loops,
+        red_loops: &plan.red_loops,
     };
     for s in &plan.steps {
         stmts.extend(ctx.lower_step(s, 0)?);
@@ -184,6 +185,7 @@ pub fn lower_update(
         check: StoreCheck::None,
         splits,
         par_loops: &update.plan.par_loops,
+        red_loops: &update.plan.red_loops,
     };
     for s in &update.plan.steps {
         stmts.extend(ctx.lower_step(s, 0)?);
@@ -207,6 +209,9 @@ struct Lowerer<'a> {
     /// Loop ids the plan proved carry no dependence (§10); passes over
     /// these are marked `par` in the emitted Limp.
     par_loops: &'a [hac_lang::ast::LoopId],
+    /// Loop ids whose carried dependences are all reassociable
+    /// accumulator recurrences; passes over these are marked `red`.
+    red_loops: &'a [hac_lang::ast::LoopId],
 }
 
 impl Lowerer<'_> {
@@ -307,6 +312,7 @@ impl Lowerer<'_> {
                     end,
                     step,
                     par: self.par_loops.contains(id) && !injected,
+                    red: self.red_loops.contains(id) && !injected,
                     body: lowered,
                 }])
             }
@@ -507,6 +513,7 @@ fn lower_path(path: &[PathStep], leaf: LStmt, env: &ConstEnv) -> Result<LStmt, L
                 end,
                 step,
                 par: false,
+                red: false,
                 body: vec![inner],
             })
         }

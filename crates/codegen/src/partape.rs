@@ -152,6 +152,7 @@ pub fn plan_tape(tape: &TapeProgram) -> ParPlan {
             step,
             exit,
             par,
+            red: _,
         } = &ops[pc + 1]
         else {
             pc += 1;
@@ -681,10 +682,33 @@ fn add_counters(main: &mut VmCounters, c: &VmCounters, tape_ops: &mut u64) {
     // stay bit-identical to the sequential engine on every counter.
 }
 
+/// When set, [`env_fault_plan`] returns `None` unconditionally: the
+/// process ignores any ambient `HAC_FAULT_PLAN`. See
+/// [`suppress_env_fault_plan`].
+static SUPPRESS_ENV_PLAN: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Make this process ignore any ambient `HAC_FAULT_PLAN`, permanently.
+///
+/// Test harnesses call this so unit tests stay hermetic under the CI
+/// fault-injection job, which exports `HAC_FAULT_PLAN` for CLI smoke
+/// runs: a test that wants faults injects them explicitly via
+/// [`Vm::with_faults`](crate::limp::Vm::with_faults) (an explicit plan
+/// always wins over the environment), and every other test must see a
+/// fault-free baseline regardless of the environment it inherited.
+/// Process-global and sticky by design — tests in one binary share the
+/// process, so per-test pinning would leave every *other* test exposed.
+pub fn suppress_env_fault_plan() {
+    SUPPRESS_ENV_PLAN.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// The process-wide fault plan from `HAC_FAULT_PLAN`, parsed once.
 /// A malformed spec is reported to stderr and ignored — a bad test
 /// harness variable must not change program behaviour silently.
+/// Returns `None` after [`suppress_env_fault_plan`].
 pub(crate) fn env_fault_plan() -> Option<&'static FaultPlan> {
+    if SUPPRESS_ENV_PLAN.load(std::sync::atomic::Ordering::Relaxed) {
+        return None;
+    }
     static PLAN: OnceLock<Option<FaultPlan>> = OnceLock::new();
     PLAN.get_or_init(|| {
         let spec = std::env::var("HAC_FAULT_PLAN").ok()?;
@@ -864,6 +888,15 @@ mod tests {
         c
     }
 
+    /// Every test constructs its VM through this: the harness is
+    /// hermetic to an ambient `HAC_FAULT_PLAN` by default, and a test
+    /// that wants faults injects them explicitly via `with_faults`
+    /// (which always wins over the environment).
+    fn vm() -> Vm {
+        suppress_env_fault_plan();
+        Vm::new()
+    }
+
     fn squares(par: bool, n: i64) -> LProgram {
         LProgram {
             stmts: vec![
@@ -880,6 +913,7 @@ mod tests {
                     end: n,
                     step: 1,
                     par,
+                    red: false,
                     body: vec![LStmt::Store {
                         array: "a".into(),
                         subs: vec![parse_expr("i").unwrap()],
@@ -906,9 +940,9 @@ mod tests {
             let prog = squares(true, 100);
             let tape = compile_tape(&prog, &TapeCtx::default());
             let plan = plan_tape(&tape);
-            let mut seq = Vm::new();
+            let mut seq = vm();
             seq.run_tape(&tape).unwrap();
-            let mut par = Vm::new();
+            let mut par = vm();
             par.run_partape(&tape, &plan, threads).unwrap();
             assert_eq!(
                 seq.array("a").unwrap().data(),
@@ -940,6 +974,7 @@ mod tests {
                     end: n,
                     step: 1,
                     par: true,
+                    red: false,
                     body: vec![LStmt::Store {
                         array: "a".into(),
                         subs: vec![parse_expr("if i < 40 then i else i + 1000").unwrap()],
@@ -953,10 +988,10 @@ mod tests {
         let tape = compile_tape(&prog, &TapeCtx::default());
         let plan = plan_tape(&tape);
         assert!(plan.has_regions(), "dynamic subscript stays eligible");
-        let mut seq = Vm::new();
+        let mut seq = vm();
         let want = seq.run_tape(&tape).unwrap_err();
         for threads in [1, 2, 4, 8] {
-            let mut par = Vm::new();
+            let mut par = vm();
             let got = par.run_partape(&tape, &plan, threads).unwrap_err();
             assert_eq!(format!("{want:?}"), format!("{got:?}"), "threads={threads}");
             assert_eq!(seq.counters, sans_faults(par.counters), "threads={threads}");
@@ -1001,6 +1036,7 @@ mod tests {
                     end: n,
                     step: 1,
                     par: true,
+                    red: false,
                     body: vec![LStmt::Store {
                         array: "a".into(),
                         subs: vec![parse_expr("i").unwrap()],
@@ -1041,6 +1077,7 @@ mod tests {
                     end: 50,
                     step: 1,
                     par: true,
+                    red: false,
                     body: vec![LStmt::Store {
                         array: "a".into(),
                         subs: vec![parse_expr("i").unwrap()],
@@ -1071,11 +1108,11 @@ mod tests {
                 fuel: Some(fuel),
                 mem_bytes: None,
             };
-            let mut seq = Vm::new();
+            let mut seq = vm();
             seq.with_meter(Meter::new(limits));
             let want = seq.run_tape(&tape);
             for threads in [2, 4, 8] {
-                let mut par = Vm::new();
+                let mut par = vm();
                 par.with_meter(Meter::new(limits));
                 let got = par.run_partape(&tape, &plan, threads);
                 assert_eq!(
@@ -1099,17 +1136,129 @@ mod tests {
         }
     }
 
+    /// The matvec shape: an outer proven-parallel `i` loop whose body
+    /// is a reduction over `k` — `p!(i,k) := p!(i,k-1) + u!(i,k)`.
+    fn row_prefix_sums(n: i64) -> LProgram {
+        LProgram {
+            stmts: vec![
+                LStmt::Alloc {
+                    array: "u".into(),
+                    bounds: vec![(1, n), (1, n)],
+                    fill: 2.0,
+                    temp: false,
+                    checked: false,
+                },
+                LStmt::Alloc {
+                    array: "p".into(),
+                    bounds: vec![(1, n), (0, n)],
+                    fill: 0.0,
+                    temp: false,
+                    checked: false,
+                },
+                LStmt::For {
+                    var: "i".into(),
+                    start: 1,
+                    end: n,
+                    step: 1,
+                    par: true,
+                    red: false,
+                    body: vec![LStmt::For {
+                        var: "k".into(),
+                        start: 1,
+                        end: n,
+                        step: 1,
+                        par: false,
+                        red: true,
+                        body: vec![LStmt::Store {
+                            array: "p".into(),
+                            subs: vec![parse_expr("i").unwrap(), parse_expr("k").unwrap()],
+                            value: parse_expr("p!(i, k - 1) + u!(i, k)").unwrap(),
+                            check: StoreCheck::None,
+                        }],
+                    }],
+                },
+            ],
+            result: "p".into(),
+        }
+    }
+
+    #[test]
+    fn fused_reduction_runs_inside_parallel_chunks() {
+        // A fused reduction kernel nested in a par region's chunk body:
+        // values, counters, and fuel must match the sequential engine
+        // bit-for-bit at every thread count, with fusion on and off.
+        let n = 24i64;
+        let prog = row_prefix_sums(n);
+        let plain = compile_tape(&prog, &TapeCtx::default());
+        let mut fused = plain.clone();
+        let decisions = crate::fuse::fuse_tape(&mut fused);
+        assert!(
+            decisions
+                .iter()
+                .any(|d| d.kernel.as_deref() == Some("running sum")),
+            "inner k loop must fuse as a reduction: {decisions:?}"
+        );
+        let plan = plan_tape(&fused);
+        assert!(
+            plan.has_regions(),
+            "outer i loop must stay a parallel region around the fused reduction"
+        );
+
+        let mut seq = vm();
+        seq.run_tape(&plain).unwrap();
+        for threads in [1, 2, 4, 8] {
+            let mut par = vm();
+            par.run_partape(&fused, &plan, threads).unwrap();
+            assert_eq!(
+                seq.array("p").unwrap().data(),
+                par.array("p").unwrap().data(),
+                "threads={threads}"
+            );
+            assert_eq!(seq.counters, sans_faults(par.counters), "threads={threads}");
+        }
+
+        // Fuel ladder: budgets tripping before, inside, and after the
+        // region must fail (or pass) identically, including mid-kernel.
+        for fuel in [0u64, 1, 7, n as u64, (n * n) as u64 / 2, (n * n + n) as u64] {
+            let limits = Limits {
+                fuel: Some(fuel),
+                mem_bytes: None,
+            };
+            let mut seq = vm();
+            seq.with_meter(Meter::new(limits));
+            let want = seq.run_tape(&plain);
+            let want_fuel = seq.take_meter().fuel_left();
+            for threads in [2, 4] {
+                let mut par = vm();
+                par.with_meter(Meter::new(limits));
+                let got = par.run_partape(&fused, &plan, threads);
+                assert_eq!(
+                    format!("{want:?}"),
+                    format!("{got:?}"),
+                    "fuel={fuel} threads={threads}"
+                );
+                assert_eq!(
+                    seq.counters,
+                    sans_faults(par.counters),
+                    "fuel={fuel} threads={threads}"
+                );
+                assert_eq!(
+                    want_fuel,
+                    par.take_meter().fuel_left(),
+                    "fuel={fuel} threads={threads}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn injected_panic_degrades_to_sequential() {
         let prog = squares(true, 100);
         let tape = compile_tape(&prog, &TapeCtx::default());
         let plan = plan_tape(&tape);
-        let mut clean = Vm::new();
-        // Pin an empty explicit plan so an ambient `HAC_FAULT_PLAN`
-        // (the CI fault-injection job) cannot fault the baseline.
-        clean.with_faults(Some(FaultPlan::default()));
+        let mut clean = vm();
         clean.run_partape(&tape, &plan, 4).unwrap();
-        let mut faulty = Vm::new();
+        let mut faulty = vm();
         faulty.with_faults(Some(FaultPlan::parse("r0c1:panic").unwrap()));
         faulty.run_partape(&tape, &plan, 4).unwrap();
         assert_eq!(
@@ -1125,10 +1274,9 @@ mod tests {
         let prog = squares(true, 100);
         let tape = compile_tape(&prog, &TapeCtx::default());
         let plan = plan_tape(&tape);
-        let mut clean = Vm::new();
-        clean.with_faults(Some(FaultPlan::default()));
+        let mut clean = vm();
         clean.run_partape(&tape, &plan, 4).unwrap();
-        let mut faulty = Vm::new();
+        let mut faulty = vm();
         faulty.with_faults(Some(FaultPlan::parse("r0c0:allocfail").unwrap()));
         faulty.run_partape(&tape, &plan, 4).unwrap();
         assert_eq!(
@@ -1145,10 +1293,9 @@ mod tests {
         let tape = compile_tape(&prog, &TapeCtx::default());
         let plan = plan_tape(&tape);
         assert!(!plan.regions[0].retry_safe);
-        let mut clean = Vm::new();
-        clean.with_faults(Some(FaultPlan::default()));
+        let mut clean = vm();
         clean.run_partape(&tape, &plan, 4).unwrap();
-        let mut faulty = Vm::new();
+        let mut faulty = vm();
         faulty.with_faults(Some(FaultPlan::parse("r0c0:panic").unwrap()));
         faulty.run_partape(&tape, &plan, 4).unwrap();
         assert_eq!(
@@ -1164,7 +1311,7 @@ mod tests {
         let prog = incr_in_place(100);
         let tape = compile_tape(&prog, &TapeCtx::default());
         let plan = plan_tape(&tape);
-        let mut vm = Vm::new();
+        let mut vm = vm();
         vm.with_faults(Some(FaultPlan::parse("nosnapshot,r0c0:panic").unwrap()));
         let err = vm.run_partape(&tape, &plan, 4).unwrap_err();
         assert!(

@@ -112,6 +112,11 @@ pub enum Op {
         /// independent (see [`crate::partape`]). Ignored by the
         /// sequential dispatcher.
         par: bool,
+        /// Reduction verdict: the only carried dependence is a
+        /// reassociable accumulator recurrence, so the fuser may
+        /// overlay a strict left-to-right fold kernel. Ignored by the
+        /// sequential dispatcher.
+        red: bool,
     },
     /// Advance the loop register and jump back to the head.
     LoopNext { ireg: u32, step: i64, head: u32 },
@@ -200,8 +205,13 @@ pub enum KScalar {
 /// One operand of a specialized elementwise kernel.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum KSrc {
-    /// A stride-1 stream, walked as a contiguous slice.
+    /// A unit-delta stream (`stride·step == 1`), walked as a
+    /// contiguous slice.
     Slice(u8),
+    /// A non-unit-delta stream, walked by explicit offset arithmetic
+    /// (`off(q) = off₀ + q·stride·step`) — e.g. a column of a
+    /// row-major matrix.
+    Strided(u8),
     /// A broadcast scalar.
     Scalar(KScalar),
 }
@@ -238,6 +248,19 @@ pub enum Kernel {
     /// `d[i] = (w0·s0[i] + w1·s1[i]) + w2·s2[i]`: the weighted
     /// three-point stencil.
     Stencil3 { dst: u8, w: [f64; 3], s: [u8; 3] },
+    /// `d[i] = acc ⊕= s(i)` — a running fold (prefix scan) whose
+    /// accumulator is the destination cell written one iteration ago,
+    /// kept in a register across the whole kernel. `⊕ ∈ {+, min,
+    /// max}`; the fold is executed strictly left-to-right with the
+    /// accumulator as the *left* operand, exactly like the scalar
+    /// tape, so no FP operation is reordered or reassociated.
+    Sum { dst: u8, src: KSrc, op: BinOp },
+    /// `d[i] = acc += a[i]·b[i]` over two contiguous streams: the
+    /// dot-product recurrence.
+    Dot { dst: u8, a: u8, b: u8 },
+    /// `d[i] = acc += a(i)·b(i)` with arbitrary operand streams (the
+    /// matmul inner loop — one operand walks a strided column).
+    MulAddAcc { dst: u8, a: KSrc, b: KSrc },
 }
 
 impl Kernel {
@@ -251,6 +274,11 @@ impl Kernel {
             Kernel::MulAdd { .. } => "multiply-add",
             Kernel::Stencil4 { .. } => "4-point stencil",
             Kernel::Stencil3 { .. } => "3-point stencil",
+            Kernel::Sum { op: BinOp::Min, .. } => "running min",
+            Kernel::Sum { op: BinOp::Max, .. } => "running max",
+            Kernel::Sum { .. } => "running sum",
+            Kernel::Dot { .. } => "dot",
+            Kernel::MulAddAcc { .. } => "multiply-add accumulate",
         }
     }
 }
@@ -598,6 +626,7 @@ impl TapeProgram {
                     step,
                     exit,
                     par: _,
+                    red: _,
                 } => {
                     let i = iregs[*ireg as usize];
                     if (*step > 0 && i > *end) || (*step < 0 && i < *end) {
@@ -888,6 +917,9 @@ fn run_fused_kernel(
     }
     match e.kernel {
         Kernel::Generic => run_fused_generic(e, bufs, frame, iregs, lo, done),
+        Kernel::Sum { .. } | Kernel::Dot { .. } | Kernel::MulAddAcc { .. } => {
+            run_fused_reduce(e, bufs, frame, iregs, lo, done);
+        }
         _ => run_fused_special(e, bufs, frame, iregs, lo, done),
     }
 }
@@ -914,6 +946,13 @@ fn kscalar(
 
 enum RSrc<'a> {
     S(&'a [f64]),
+    /// A strided walk over a whole array buffer: element `q` lives at
+    /// `o0 + q·dlt` (every access slice-bounds-checked).
+    St {
+        data: &'a [f64],
+        o0: i64,
+        dlt: i64,
+    },
     K(f64),
 }
 
@@ -922,9 +961,51 @@ impl RSrc<'_> {
     fn at(&self, q: usize) -> f64 {
         match self {
             RSrc::S(s) => s[q],
+            RSrc::St { data, o0, dlt } => data[(o0 + q as i64 * dlt) as usize],
             RSrc::K(v) => *v,
         }
     }
+}
+
+/// The destination window of a specialized kernel: a raw pointer plus
+/// the proven extent, with contiguous (`dd == 1`) and strided walks.
+/// Extracted once so every kernel arm shares the bounds assertion.
+struct DstWin {
+    dp: *mut f64,
+    d0: i64,
+    dd: i64,
+}
+
+/// Assert that offsets `d0 + q·dd` for `q ∈ extra..n` (plus, when
+/// `extra < 0`, the carried-in cell at `d0 + extra·dd`) all lie inside
+/// `len`. Returns the window parameters.
+fn dst_window(
+    e: &FusedEntry,
+    bufs: &mut [Option<ArrayBuf>],
+    iregs: &[i64],
+    dst: u8,
+    i0: i64,
+    n: usize,
+    extra: i64,
+) -> DstWin {
+    let dstm = &e.streams[dst as usize];
+    let dd = dstm.stride.wrapping_mul(e.step);
+    let d0 = stream_off0(dstm, iregs, i0);
+    let (dp, dlen) = {
+        let data = bufs[dstm.array as usize]
+            .as_mut()
+            .expect("bound")
+            .data_mut();
+        (data.as_mut_ptr(), data.len())
+    };
+    let first = d0 + extra * dd;
+    let last = d0 + (n as i64 - 1) * dd;
+    let (wmin, wmax) = (first.min(last), first.max(last));
+    assert!(
+        wmin >= 0 && (wmax as usize) < dlen,
+        "fused destination window out of proven bounds"
+    );
+    DstWin { dp, d0, dd }
 }
 
 #[allow(clippy::too_many_lines)]
@@ -936,13 +1017,14 @@ fn run_fused_special(
     lo: u64,
     done: u64,
 ) {
-    // Specialized kernels are only classified for step == 1 loops with
-    // stride-1 streams and a destination array disjoint from every
-    // source array, so source slices borrow immutably while the
-    // destination window is written through a raw pointer. The slot
-    // table itself is never mutated: under ParTape the table is
-    // aliased across chunk workers, and (like the scalar path) only
-    // disjoint `f64` element ranges may be touched concurrently.
+    // Specialized kernels are only classified for bodies whose
+    // destination array is disjoint from every source array, so source
+    // slices borrow immutably while the destination window is written
+    // through a raw pointer. The slot table itself is never mutated:
+    // under ParTape the table is aliased across chunk workers, and
+    // (like the scalar path) only disjoint `f64` element ranges may be
+    // touched concurrently — the window's per-ordinal offsets are
+    // injective (`dd ≠ 0`).
     let i0 = e.start + lo as i64 * e.step;
     let n = done as usize;
     let dst = match e.kernel {
@@ -952,40 +1034,13 @@ fn run_fused_special(
         | Kernel::MulAdd { dst, .. }
         | Kernel::Stencil4 { dst, .. }
         | Kernel::Stencil3 { dst, .. } => dst,
-        Kernel::Generic => unreachable!("generic kernels take the interpreter path"),
+        Kernel::Generic | Kernel::Sum { .. } | Kernel::Dot { .. } | Kernel::MulAddAcc { .. } => {
+            unreachable!("dispatched to the interpreter / reduce paths")
+        }
     };
-    let dstm = &e.streams[dst as usize];
-    let d0 = stream_off0(dstm, iregs, i0) as usize;
-    let (dp, dlen) = {
-        let data = bufs[dstm.array as usize]
-            .as_mut()
-            .expect("bound")
-            .data_mut();
-        (data.as_mut_ptr(), data.len())
-    };
-    assert!(
-        d0 + n <= dlen,
-        "fused destination window out of proven bounds"
-    );
-    // SAFETY: `d0 + n <= dlen` for a live allocation; the destination
-    // array is disjoint from every source array (classifier
-    // precondition), so this window never overlaps a source slice,
-    // and concurrent chunk workers cover disjoint ordinal ranges.
-    let d = unsafe { std::slice::from_raw_parts_mut(dp.add(d0), n) };
+    let DstWin { dp, d0, dd } = dst_window(e, bufs, iregs, dst, i0, n, 0);
     let bufs = &*bufs;
     {
-        fn src_slice<'b>(
-            e: &FusedEntry,
-            bufs: &'b [Option<ArrayBuf>],
-            iregs: &[i64],
-            i0: i64,
-            n: usize,
-            sid: u8,
-        ) -> &'b [f64] {
-            let s = &e.streams[sid as usize];
-            let o = stream_off0(s, iregs, i0) as usize;
-            &bufs[s.array as usize].as_ref().expect("bound").data()[o..o + n]
-        }
         macro_rules! src {
             ($sid:expr) => {
                 src_slice(e, bufs, iregs, i0, n, $sid)
@@ -993,67 +1048,203 @@ fn run_fused_special(
         }
         macro_rules! rsrc {
             ($k:expr) => {
-                match $k {
-                    KSrc::Slice(sid) => RSrc::S(src!(sid)),
-                    KSrc::Scalar(v) => RSrc::K(kscalar(v, e, bufs, frame, iregs, i0)),
+                rsrc(e, bufs, frame, iregs, i0, n, $k)
+            };
+        }
+        // One store loop per kernel arm: the contiguous fast path
+        // recovers a `&mut [f64]` slice (autovectorizable), the
+        // strided path writes through explicit offsets.
+        // SAFETY: every offset `d0 + q·dd`, `q < n`, was asserted
+        // in-bounds by `dst_window`; the destination array is disjoint
+        // from every source array (classifier precondition), so the
+        // window never overlaps a source slice.
+        macro_rules! wloop {
+            (|$q:ident| $val:expr) => {
+                if dd == 1 {
+                    let d = unsafe { std::slice::from_raw_parts_mut(dp.add(d0 as usize), n) };
+                    for $q in 0..n {
+                        d[$q] = $val;
+                    }
+                } else {
+                    for $q in 0..n {
+                        unsafe { *dp.add((d0 + $q as i64 * dd) as usize) = $val }
+                    }
                 }
             };
         }
         match e.kernel {
             Kernel::Fill { val, .. } => {
                 let v = kscalar(val, e, bufs, frame, iregs, i0);
-                for x in d.iter_mut() {
-                    *x = v;
-                }
+                wloop!(|_q| v);
             }
-            Kernel::Copy { src: sid, .. } => d.copy_from_slice(src!(sid)),
+            Kernel::Copy { src: sid, .. } => {
+                // Classified only with a unit-delta destination.
+                debug_assert_eq!(dd, 1);
+                let s = src!(sid);
+                // SAFETY: as in `wloop!`.
+                let d = unsafe { std::slice::from_raw_parts_mut(dp.add(d0 as usize), n) };
+                d.copy_from_slice(s);
+            }
             Kernel::Ewise2 { a, b, op, .. } => {
                 let (a, b) = (rsrc!(a), rsrc!(b));
-                macro_rules! ew {
-                    ($f:expr) => {
-                        for q in 0..n {
-                            d[q] = $f(a.at(q), b.at(q));
-                        }
-                    };
-                }
                 match op {
-                    BinOp::Add => ew!(|l, r| l + r),
-                    BinOp::Sub => ew!(|l, r| l - r),
-                    BinOp::Mul => ew!(|l, r| l * r),
-                    BinOp::Div => ew!(|l, r| l / r),
-                    BinOp::Min => ew!(f64::min),
-                    BinOp::Max => ew!(f64::max),
+                    BinOp::Add => wloop!(|q| a.at(q) + b.at(q)),
+                    BinOp::Sub => wloop!(|q| a.at(q) - b.at(q)),
+                    BinOp::Mul => wloop!(|q| a.at(q) * b.at(q)),
+                    BinOp::Div => wloop!(|q| a.at(q) / b.at(q)),
+                    BinOp::Min => wloop!(|q| a.at(q).min(b.at(q))),
+                    BinOp::Max => wloop!(|q| a.at(q).max(b.at(q))),
                     // Only the six ops above classify as Ewise2.
                     _ => unreachable!("unclassifiable elementwise op"),
                 }
             }
             Kernel::MulAdd { a, b, c, .. } => {
                 let (a, b, c) = (rsrc!(a), rsrc!(b), rsrc!(c));
-                for (q, x) in d.iter_mut().enumerate() {
-                    *x = a.at(q) * b.at(q) + c.at(q);
-                }
+                wloop!(|q| a.at(q) * b.at(q) + c.at(q));
             }
             Kernel::Stencil4 { s, c, div, .. } => {
                 let (s0, s1, s2, s3) = (src!(s[0]), src!(s[1]), src!(s[2]), src!(s[3]));
                 if div {
-                    for q in 0..n {
-                        d[q] = (((s0[q] + s1[q]) + s2[q]) + s3[q]) / c;
-                    }
+                    wloop!(|q| (((s0[q] + s1[q]) + s2[q]) + s3[q]) / c);
                 } else {
-                    for q in 0..n {
-                        d[q] = (((s0[q] + s1[q]) + s2[q]) + s3[q]) * c;
-                    }
+                    wloop!(|q| (((s0[q] + s1[q]) + s2[q]) + s3[q]) * c);
                 }
             }
             Kernel::Stencil3 { w, s, .. } => {
                 let (s0, s1, s2) = (src!(s[0]), src!(s[1]), src!(s[2]));
                 let [w0, w1, w2] = w;
-                for q in 0..n {
-                    d[q] = (w0 * s0[q] + w1 * s1[q]) + w2 * s2[q];
+                wloop!(|q| (w0 * s0[q] + w1 * s1[q]) + w2 * s2[q]);
+            }
+            Kernel::Generic
+            | Kernel::Sum { .. }
+            | Kernel::Dot { .. }
+            | Kernel::MulAddAcc { .. } => {
+                unreachable!()
+            }
+        }
+    }
+}
+
+/// Borrow stream `sid`'s elements for ordinals `0..n` as a contiguous
+/// slice (unit-delta streams only).
+fn src_slice<'b>(
+    e: &FusedEntry,
+    bufs: &'b [Option<ArrayBuf>],
+    iregs: &[i64],
+    i0: i64,
+    n: usize,
+    sid: u8,
+) -> &'b [f64] {
+    let s = &e.streams[sid as usize];
+    let o = stream_off0(s, iregs, i0) as usize;
+    &bufs[s.array as usize].as_ref().expect("bound").data()[o..o + n]
+}
+
+/// Resolve a [`KSrc`] operand for a kernel run starting at loop value
+/// `i0`.
+fn rsrc<'b>(
+    e: &FusedEntry,
+    bufs: &'b [Option<ArrayBuf>],
+    frame: &[f64],
+    iregs: &[i64],
+    i0: i64,
+    n: usize,
+    k: KSrc,
+) -> RSrc<'b> {
+    match k {
+        KSrc::Slice(sid) => RSrc::S(src_slice(e, bufs, iregs, i0, n, sid)),
+        KSrc::Strided(sid) => {
+            let s = &e.streams[sid as usize];
+            RSrc::St {
+                data: bufs[s.array as usize].as_ref().expect("bound").data(),
+                o0: stream_off0(s, iregs, i0),
+                dlt: s.stride.wrapping_mul(e.step),
+            }
+        }
+        KSrc::Scalar(v) => RSrc::K(kscalar(v, e, bufs, frame, iregs, i0)),
+    }
+}
+
+/// Execute a reduction kernel: a strict left-to-right fold whose
+/// accumulator is the destination cell written one iteration ago.
+///
+/// The scalar body is `d[i] = d[i-1] ⊕ e(i)` — per iteration it loads
+/// the previous cell, folds, and stores. The kernel loads the carried
+/// cell **once** (at `d0 - dd`, exactly where iteration `lo`'s scalar
+/// load would hit), keeps the accumulator in a register, and still
+/// stores every intermediate (the array is the scan's output). The
+/// accumulator is always the *left* operand of the fold — the same
+/// `apply_bin(op, acc, e)` orientation the classifier verified against
+/// the RPN — so every FP operation happens in the scalar order with
+/// the scalar operand order: bit-identity needs no reassociation
+/// argument at all.
+fn run_fused_reduce(
+    e: &FusedEntry,
+    bufs: &mut [Option<ArrayBuf>],
+    frame: &[f64],
+    iregs: &[i64],
+    lo: u64,
+    done: u64,
+) {
+    let i0 = e.start + lo as i64 * e.step;
+    let n = done as usize;
+    let dst = match e.kernel {
+        Kernel::Sum { dst, .. } | Kernel::Dot { dst, .. } | Kernel::MulAddAcc { dst, .. } => dst,
+        _ => unreachable!("only reduce kernels dispatch here"),
+    };
+    // `extra: -1` widens the asserted window to the carried-in cell.
+    let DstWin { dp, d0, dd } = dst_window(e, bufs, iregs, dst, i0, n, -1);
+    let bufs = &*bufs;
+    // SAFETY: `d0 - dd` is inside the asserted window.
+    let mut acc = unsafe { *dp.add((d0 - dd) as usize) };
+    // SAFETY (stores below): every offset `d0 + q·dd`, `q < n`, was
+    // asserted in-bounds; sources live on arrays disjoint from the
+    // destination (classifier precondition), so the borrows never
+    // overlap the written cells.
+    macro_rules! scan {
+        (|$q:ident, $acc:ident| $fold:expr) => {
+            if dd == 1 {
+                let d = unsafe { std::slice::from_raw_parts_mut(dp.add(d0 as usize), n) };
+                for $q in 0..n {
+                    let $acc = acc;
+                    acc = $fold;
+                    d[$q] = acc;
+                }
+            } else {
+                for $q in 0..n {
+                    let $acc = acc;
+                    acc = $fold;
+                    unsafe { *dp.add((d0 + $q as i64 * dd) as usize) = acc }
                 }
             }
-            Kernel::Generic => unreachable!(),
+        };
+    }
+    match e.kernel {
+        Kernel::Sum { src, op, .. } => {
+            let s = rsrc(e, bufs, frame, iregs, i0, n, src);
+            match op {
+                BinOp::Add => scan!(|q, acc| acc + s.at(q)),
+                BinOp::Min => scan!(|q, acc| acc.min(s.at(q))),
+                BinOp::Max => scan!(|q, acc| acc.max(s.at(q))),
+                // Only the three ops above classify as Sum.
+                _ => unreachable!("unclassifiable fold op"),
+            }
         }
+        Kernel::Dot { a, b, .. } => {
+            let (a, b) = (
+                src_slice(e, bufs, iregs, i0, n, a),
+                src_slice(e, bufs, iregs, i0, n, b),
+            );
+            scan!(|q, acc| acc + a[q] * b[q]);
+        }
+        Kernel::MulAddAcc { a, b, .. } => {
+            let (a, b) = (
+                rsrc(e, bufs, frame, iregs, i0, n, a),
+                rsrc(e, bufs, frame, iregs, i0, n, b),
+            );
+            scan!(|q, acc| acc + a.at(q) * b.at(q));
+        }
+        _ => unreachable!(),
     }
 }
 
@@ -1873,6 +2064,7 @@ impl<'a> Compiler<'a> {
                 end,
                 step,
                 par,
+                red,
                 body,
             } => {
                 let slot = self.alloc_slot();
@@ -1897,6 +2089,7 @@ impl<'a> Compiler<'a> {
                         step: *step,
                         exit: 0,
                         par: *par,
+                        red: *red,
                     },
                     0,
                     0,
@@ -2042,6 +2235,7 @@ mod tests {
                     end: 5,
                     step: 1,
                     par: false,
+                    red: false,
                     body: vec![store("a", "i", "i * i", StoreCheck::None)],
                 },
             ],
@@ -2111,6 +2305,7 @@ mod tests {
                 end: 4,
                 step: 1,
                 par: false,
+                red: false,
                 body: vec![store("zzz", "i", "nope + 1", StoreCheck::None)],
             }],
             result: String::new(),

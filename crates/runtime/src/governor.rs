@@ -512,19 +512,34 @@ impl Meter {
     /// Lazily-drawing meters (serve-layer ceiling leases) cannot be
     /// settled in one subtraction without replaying refill boundaries,
     /// so for those the charges are simply taken one at a time.
+    ///
+    /// Reduction kernels (`Sum`/`Dot`/`MulAddAcc` and the reduction
+    /// arm of the generic micro-kernel) price exactly like the
+    /// elementwise ones: one unit per taken iteration, nothing extra
+    /// for the carried fold — the scalar tape charges the `LoopHead`
+    /// once per iteration and the body ops are free, so the closed
+    /// form for any fused shape is just the iteration count. On a
+    /// shortfall the kernel is obliged to have stored exactly
+    /// `covered` partial results and to leave the carried cell equal
+    /// to the scalar tape's after `covered` iterations; this method
+    /// guarantees the meter half of that bargain — identical error,
+    /// identical residual fuel, identical ceiling bookkeeping.
     pub fn charge_fuel_block(&mut self, n: u64) -> (u64, Option<RuntimeError>) {
-        if !self.fuel_limited() {
-            // Unlimited meters never observe `fuel_left`; skip the
-            // sentinel decrements (the scalar loop performs them, but
-            // no report or settlement ever reads them back).
-            return (n, None);
-        }
+        // Lazy leases have `fuel_limit == UNLIMITED` (the ceiling is
+        // the cap, not a local budget), so this test must come before
+        // the unlimited fast path or the pool never sees the draws.
         if self.draws_lazily() {
             for k in 0..n {
                 if let Err(e) = self.charge_fuel() {
                     return (k, Some(e));
                 }
             }
+            return (n, None);
+        }
+        if !self.fuel_limited() {
+            // Unlimited meters never observe `fuel_left`; skip the
+            // sentinel decrements (the scalar loop performs them, but
+            // no report or settlement ever reads them back).
             return (n, None);
         }
         if self.fuel_left >= n {
@@ -799,6 +814,100 @@ mod tests {
     fn block_charge_on_unlimited_meter_covers_everything() {
         let mut m = Meter::unlimited();
         assert_eq!(m.charge_fuel_block(u64::MAX), (u64::MAX, None));
+    }
+
+    #[test]
+    fn reduction_block_charge_prices_one_unit_per_iteration() {
+        // A fused reduction over n iterations costs exactly n — the
+        // fold itself is free, matching the scalar tape where only the
+        // LoopHead charges. A budget of exactly n covers the kernel
+        // and leaves the meter on its last legal unit... spent.
+        let n = 37u64;
+        let mut m = Meter::new(Limits {
+            fuel: Some(n),
+            mem_bytes: None,
+        });
+        assert_eq!(m.charge_fuel_block(n), (n, None));
+        assert_eq!(m.fuel_left(), 0);
+        assert_eq!(
+            m.charge_fuel(),
+            Err(RuntimeError::FuelExhausted { limit: n })
+        );
+    }
+
+    #[test]
+    fn reduction_block_shortfall_issues_one_genuine_failing_charge() {
+        // Mid-kernel exhaustion: the block covers `limit` iterations,
+        // then surfaces the error the (limit+1)-th scalar charge would
+        // raise — so a dot kernel that dies mid-fold reports the same
+        // payload at the same iteration as the dispatch loop, and the
+        // kernel must have stored exactly `limit` partial sums.
+        let mut m = Meter::new(Limits {
+            fuel: Some(5),
+            mem_bytes: None,
+        });
+        let (done, err) = m.charge_fuel_block(12);
+        assert_eq!(done, 5);
+        assert_eq!(err, Some(RuntimeError::FuelExhausted { limit: 5 }));
+        assert_eq!(m.fuel_left(), 0);
+        // Exhausted meters stay exhausted for the retry.
+        assert!(m.charge_fuel().is_err());
+    }
+
+    #[test]
+    fn sub_meter_block_charge_reports_original_limit() {
+        // A reduction running inside one chunk of an outer parallel
+        // region (the matvec shape) charges the chunk's sub-meter; a
+        // shortfall there must carry the *run's* limit, not the
+        // chunk's share, so the structured error is engine-invariant.
+        let parent = Meter::new(Limits {
+            fuel: Some(1000),
+            mem_bytes: None,
+        });
+        let mut chunk = parent.sub_meter(8);
+        assert_eq!(chunk.charge_fuel_block(8), (8, None));
+        let (done, err) = chunk.charge_fuel_block(3);
+        assert_eq!(done, 0);
+        assert_eq!(err, Some(RuntimeError::FuelExhausted { limit: 1000 }));
+    }
+
+    #[test]
+    fn lazy_meter_block_charge_replays_refill_boundaries() {
+        // Lease-backed meters draw fuel in FUEL_BLOCK slabs; a bulk
+        // charge must replay those refill boundaries so the pool sees
+        // the same draws as n scalar charges. Sweep block sizes that
+        // land before, on, and after a slab edge, plus pool
+        // exhaustion mid-kernel.
+        for n in [
+            1u64,
+            FUEL_BLOCK - 1,
+            FUEL_BLOCK,
+            FUEL_BLOCK + 3,
+            3 * FUEL_BLOCK,
+        ] {
+            let pool = Limits {
+                fuel: Some(2 * FUEL_BLOCK + 7),
+                mem_bytes: None,
+            };
+            let ca = SharedCeiling::new(pool, 2);
+            let cb = SharedCeiling::new(pool, 2);
+            let mut a = Meter::admit(Limits::unlimited(), &ca).unwrap();
+            let mut b = Meter::admit(Limits::unlimited(), &cb).unwrap();
+            assert!(a.draws_lazily());
+            let got = a.charge_fuel_block(n);
+            let mut want = (n, None);
+            for k in 0..n {
+                if let Err(e) = b.charge_fuel() {
+                    want = (k, Some(e));
+                    break;
+                }
+            }
+            assert_eq!(got, want, "n {n}");
+            assert_eq!(a.fuel_left(), b.fuel_left(), "n {n}");
+            a.settle();
+            b.settle();
+            assert_eq!(ca.fuel_available(), cb.fuel_available(), "n {n}");
+        }
     }
 
     #[test]

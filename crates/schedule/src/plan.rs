@@ -103,6 +103,12 @@ pub struct Plan {
     /// under (flow for monolithic arrays; the *full* flow + anti set
     /// for in-place updates, see `split::plan_update`).
     pub par_loops: Vec<LoopId>,
+    /// Loops whose only carried dependence is a reassociable
+    /// accumulator recurrence (`acc = acc + e`, `min`, `max`): a fused
+    /// backend may stream the fold left-to-right without per-iteration
+    /// dispatch, but must preserve the scalar order of operations.
+    /// Computed against the same edge set as `par_loops`.
+    pub red_loops: Vec<LoopId>,
 }
 
 impl Plan {
@@ -246,6 +252,7 @@ mod tests {
                 Step::Clause(ClauseId(2)),
             ],
             par_loops: Vec::new(),
+            red_loops: Vec::new(),
         };
         assert_eq!(plan.clauses(), vec![ClauseId(1), ClauseId(0), ClauseId(2)]);
         assert_eq!(plan.loop_count(), 1);
@@ -265,6 +272,7 @@ mod tests {
                 }],
             }],
             par_loops: Vec::new(),
+            red_loops: Vec::new(),
         };
         let r = plan.render();
         assert!(r.contains("for i (L0) backward:"));

@@ -176,6 +176,7 @@ pub fn schedule_with(comp: &Comp, edges: &[DepEdge], opts: &SchedOptions) -> Sch
         Ok(steps) => ScheduleOutcome::Thunkless(Plan {
             steps,
             par_loops: par_loops(comp, edges),
+            red_loops: reduction_loops(comp, edges),
         }),
         Err(reason) => ScheduleOutcome::NeedsThunks(reason),
     }
@@ -189,6 +190,17 @@ pub fn par_loops(comp: &Comp, edges: &[DepEdge]) -> Vec<LoopId> {
     hac_analysis::parallel::loop_parallelism(comp, edges)
         .into_iter()
         .filter(|l| l.parallelizable())
+        .map(|l| l.id)
+        .collect()
+}
+
+/// Reduction verdicts for the same edge set: ids of every generator
+/// whose carried dependences are all reassociable accumulator
+/// recurrences (see [`hac_analysis::parallel::LoopParallelism::reducible`]).
+pub fn reduction_loops(comp: &Comp, edges: &[DepEdge]) -> Vec<LoopId> {
+    hac_analysis::parallel::loop_parallelism(comp, edges)
+        .into_iter()
+        .filter(|l| l.reducible())
         .map(|l| l.id)
         .collect()
 }

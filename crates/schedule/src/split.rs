@@ -365,8 +365,9 @@ pub fn plan_update_with(
             let has_carry = actions
                 .iter()
                 .any(|a| matches!(a, SplitAction::CarryBuffer { .. }));
-            plan.par_loops = if has_carry || !analysis.collisions.checks_elidable() {
-                Vec::new()
+            if has_carry || !analysis.collisions.checks_elidable() {
+                plan.par_loops = Vec::new();
+                plan.red_loops = Vec::new();
             } else {
                 let full: Vec<DepEdge> = analysis
                     .flow
@@ -375,8 +376,9 @@ pub fn plan_update_with(
                     .chain(analysis.anti.edges.iter())
                     .cloned()
                     .collect();
-                crate::scheduler::par_loops(comp, &full)
-            };
+                plan.par_loops = crate::scheduler::par_loops(comp, &full);
+                plan.red_loops = crate::scheduler::reduction_loops(comp, &full);
+            }
             let strategy = if actions.is_empty() {
                 UpdateStrategy::InPlace
             } else {
@@ -401,6 +403,7 @@ fn finish_with_copy(
         ScheduleOutcome::Thunkless(mut plan) => {
             if !analysis.collisions.checks_elidable() {
                 plan.par_loops = Vec::new();
+                plan.red_loops = Vec::new();
             }
             Ok(UpdatePlan {
                 plan,

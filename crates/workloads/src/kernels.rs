@@ -487,6 +487,61 @@ pub fn matmul_oracle(x: &ArrayBuf, y: &ArrayBuf, n: i64) -> ArrayBuf {
     })
 }
 
+/// Dot product as a running-sum recurrence (`programs/dot.hac`): the
+/// `k` loop's only carried dependence is the accumulator cell written
+/// one iteration ago, so the fusion pass overlays a register-
+/// accumulator dot kernel.
+pub fn dot_source() -> &'static str {
+    r#"
+param n;
+input a (1,n);
+input b (1,n);
+letrec* s = array (1,n)
+   ([ 1 := a!1 * b!1 ] ++
+    [ k := s!(k-1) + a!k * b!k | k <- [2..n] ]);
+let r = array (1,1) [ 1 := s!n ];
+result r;
+"#
+}
+
+/// Hand-coded dot product, folding strictly left-to-right like the
+/// scalar tape (same FP op order, so the comparison is bit-exact).
+pub fn dot_oracle(a: &ArrayBuf, b: &ArrayBuf, n: i64) -> ArrayBuf {
+    let mut acc = a.get("a", &[1]).unwrap() * b.get("b", &[1]).unwrap();
+    for k in 2..=n {
+        acc += a.get("a", &[k]).unwrap() * b.get("b", &[k]).unwrap();
+    }
+    vector(1, |_| acc)
+}
+
+/// Matrix–vector product via per-row partial sums
+/// (`programs/matvec.hac`): the outer `i` loop is proven parallel, the
+/// inner `k` loop is a reduction — so a fused dot kernel runs inside
+/// each chunk of the parallel region.
+pub fn matvec_source() -> &'static str {
+    r#"
+param n;
+input m ((1,1),(n,n));
+input x (1,n);
+letrec* p = array ((1,1),(n,n))
+   ([ (i,1) := m!(i,1) * x!1 | i <- [1..n] ] ++
+    [ (i,k) := p!(i,k-1) + m!(i,k) * x!k | i <- [1..n], k <- [2..n] ]);
+let y = array (1,n) [ i := p!(i,n) | i <- [1..n] ];
+result y;
+"#
+}
+
+/// Hand-coded matvec, left-to-right per row (bit-exact vs the tape).
+pub fn matvec_oracle(m: &ArrayBuf, x: &ArrayBuf, n: i64) -> ArrayBuf {
+    vector(n, |i| {
+        let mut acc = m.get("m", &[i, 1]).unwrap() * x.get("x", &[1]).unwrap();
+        for k in 2..=n {
+            acc += m.get("m", &[i, k]).unwrap() * x.get("x", &[k]).unwrap();
+        }
+        acc
+    })
+}
+
 /// The wavefront program constructed through the builder DSL — kept
 /// structurally identical to [`wavefront_source`] (tested below), for
 /// hosts that generate programs programmatically.
@@ -545,6 +600,8 @@ mod tests {
             ("permutation", permutation_source()),
             ("histogram", histogram_source()),
             ("matmul", matmul_source()),
+            ("dot", dot_source()),
+            ("matvec", matvec_source()),
         ] {
             parse_program(src).unwrap_or_else(|e| panic!("{name}: {e}"));
         }

@@ -137,3 +137,41 @@ fn pascal_with_guards() {
     // all pass.
     assert!(a.counters.vm.check_ops > 0, "{:?}", a.counters.vm);
 }
+
+#[test]
+fn dot_and_matvec_match_oracles_bit_exactly() {
+    // The fused reduction kernels fold strictly left-to-right — the
+    // same FP op order as the oracles — so the comparison is exact
+    // (tolerance 0.0), not merely close.
+    let n = 48;
+    let env = ConstEnv::from_pairs([("n", n)]);
+    let a = wl::random_vector(n, 91);
+    let b = wl::random_vector(n, 92);
+    let inputs = HashMap::from([("a".to_string(), a.clone()), ("b".to_string(), b.clone())]);
+    let (auto, thunked) = both_modes(wl::dot_source(), &env, &inputs);
+    let oracle = wl::dot_oracle(&a, &b, n);
+    wl::assert_close(auto.array("r"), &oracle, 0.0);
+    wl::assert_close(thunked.array("r"), &oracle, 0.0);
+
+    let m = wl::random_matrix(n, n, 93);
+    let x = wl::random_vector(n, 94);
+    let inputs = HashMap::from([("m".to_string(), m.clone()), ("x".to_string(), x.clone())]);
+    let (auto, thunked) = both_modes(wl::matvec_source(), &env, &inputs);
+    let oracle = wl::matvec_oracle(&m, &x, n);
+    wl::assert_close(auto.array("y"), &oracle, 0.0);
+    wl::assert_close(thunked.array("y"), &oracle, 0.0);
+
+    // The reduction verdict surfaces in the report: matvec's inner k
+    // loop reduces while its outer i loop stays parallel.
+    let program = parse_program(wl::matvec_source()).unwrap();
+    let compiled = compile(&program, &env, &CompileOptions::default()).unwrap();
+    let par = &compiled.report.arrays[0].parallelism;
+    assert!(
+        par.iter().any(|(k, _)| k == "reduction"),
+        "matvec inner loop must carry the reduction verdict: {par:?}"
+    );
+    assert!(
+        par.iter().any(|(k, _)| k == "parallelizable"),
+        "matvec outer loop must stay parallel: {par:?}"
+    );
+}

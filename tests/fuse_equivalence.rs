@@ -73,6 +73,15 @@ fn snapshot(r: &Result<ExecOutput, hac_runtime::RuntimeError>) -> Snapshot {
     }
 }
 
+/// Harness hermeticity: every run driver calls this first, so the
+/// whole binary ignores an ambient `HAC_FAULT_PLAN` (the CI
+/// fault-injection job exports one for CLI smoke runs). A test that
+/// wants faults injects them explicitly via `RunOptions::faults` /
+/// `Vm::with_faults`, which always override the environment.
+fn hermetic() {
+    hac_codegen::suppress_env_fault_plan();
+}
+
 fn build(program: &hac_lang::ast::Program, env: &ConstEnv, engine: Engine, fuse: bool) -> Compiled {
     compile(
         program,
@@ -248,7 +257,46 @@ fn kernels_agree_fused_vs_unfused_under_budgets() {
             ConstEnv::from_pairs([("n", 24)]),
             HashMap::from([("d".to_string(), wl::random_vector(24, 7))]),
         ),
+        (
+            "dot",
+            wl::dot_source(),
+            ConstEnv::from_pairs([("n", 24)]),
+            HashMap::from([
+                ("a".to_string(), wl::random_vector(24, 43)),
+                ("b".to_string(), wl::random_vector(24, 47)),
+            ]),
+        ),
+        (
+            "matvec",
+            wl::matvec_source(),
+            ConstEnv::from_pairs([("n", 12)]),
+            HashMap::from([
+                ("m".to_string(), wl::random_matrix(12, 12, 53)),
+                ("x".to_string(), wl::random_vector(12, 59)),
+            ]),
+        ),
+        (
+            "running_max",
+            wl::running_max_source(),
+            ConstEnv::from_pairs([("n", 24)]),
+            HashMap::from([("u".to_string(), wl::random_vector(24, 67))]),
+        ),
+        (
+            // Stride-2 reads against a unit-stride destination.
+            "downsample",
+            DOWNSAMPLE_SOURCE,
+            ConstEnv::from_pairs([("n", 16)]),
+            HashMap::from([("u".to_string(), wl::random_vector(32, 71))]),
+        ),
+        (
+            // Stride-2 destinations (two interleaved clauses).
+            "interleave",
+            INTERLEAVE_SOURCE,
+            ConstEnv::from_pairs([("n", 16)]),
+            HashMap::from([("u".to_string(), wl::random_vector(16, 73))]),
+        ),
     ];
+    let total = kernels.len();
     let mut fused = 0usize;
     for (label, src, env, inputs) in &kernels {
         let mut any = false;
@@ -264,10 +312,29 @@ fn kernels_agree_fused_vs_unfused_under_budgets() {
         }
     }
     assert!(
-        fused >= 6,
-        "fusion must actually engage on the affine kernels: {fused} of 12 fused"
+        fused >= 9,
+        "fusion must actually engage on the affine kernels: {fused} of {total} fused"
     );
 }
+
+/// `d!i := u!(2i) - u!(2i-1)`: stride-2 source streams feeding a
+/// unit-stride destination — the strided `ReadLin` contract.
+const DOWNSAMPLE_SOURCE: &str = r#"
+param n;
+input u (1,2*n);
+let d = array (1,n) [ i := u!(2*i) - u!(2*i-1) | i <- [1..n] ];
+result d;
+"#;
+
+/// Two interleaved clauses with stride-2 destination windows.
+const INTERLEAVE_SOURCE: &str = r#"
+param n;
+input u (1,n);
+let d = array (1,2*n)
+   ([ 2*i-1 := u!i | i <- [1..n] ] ++
+    [ 2*i := u!i + 1.0 | i <- [1..n] ]);
+result d;
+"#;
 
 /// Injected worker panics and allocation failures with fusion on: the
 /// answer, counters, and meter state must match the unfused fault-free
@@ -281,8 +348,8 @@ fn fused_runs_absorb_injected_faults_identically() {
     let plain = build(&program, &env, Engine::ParTape, false);
     let fused = build(&program, &env, Engine::ParTape, true);
 
-    // Pin an explicit empty plan so an ambient `HAC_FAULT_PLAN` (the
-    // fault-injection CI job) cannot perturb the baseline.
+    // The harness is hermetic to an ambient `HAC_FAULT_PLAN`, so the
+    // default (no explicit plan) is a genuinely fault-free baseline.
     let baseline = snapshot(&run_with_options(
         &plain,
         &inputs,
@@ -290,7 +357,7 @@ fn fused_runs_absorb_injected_faults_identically() {
         &RunOptions {
             threads: Some(4),
             limits: Limits::unlimited(),
-            faults: Some(FaultPlan::default()),
+            faults: None,
             ceiling: None,
         },
     ));
@@ -400,6 +467,7 @@ fn harness_program(value: Expr) -> LProgram {
                 end: 8,
                 step: 1,
                 par: true,
+                red: false,
                 body: vec![LStmt::Store {
                     array: "out".to_string(),
                     subs: vec![Expr::var("i")],
@@ -413,6 +481,7 @@ fn harness_program(value: Expr) -> LProgram {
 }
 
 fn fresh_vm(fuel: u64) -> Vm {
+    hermetic();
     let mut vm = Vm::new();
     let mut u = ArrayBuf::new(&[(1, 12)], 0.0);
     for i in 1..=12 {
@@ -507,6 +576,77 @@ fn diff_random_fusion(prog: &LProgram, fuel: u64) {
     }
 }
 
+/// A sequential 1..=8 loop carrying `out!(i-1)` — the reduction shape.
+/// `acc_left` picks the side of the fold the carried cell sits on:
+/// only acc-left folds over `+`/`min`/`max` classify as reduction
+/// kernels; everything else (acc-right, `-`, `/`, `*`) must run on the
+/// order-faithful generic micro-kernel — bit-identically either way.
+/// The `red` mark is an enabling annotation, so setting it on a
+/// non-reassociable fold must never change observable behaviour.
+fn harness_reduction_program(op: BinOp, acc_left: bool, e: Expr) -> LProgram {
+    let acc = Expr::index1("out", Expr::sub(Expr::var("i"), Expr::int(1)));
+    let value = if acc_left {
+        Expr::bin(op, acc, e)
+    } else {
+        Expr::bin(op, e, acc)
+    };
+    LProgram {
+        stmts: vec![
+            LStmt::Alloc {
+                array: "out".to_string(),
+                bounds: vec![(0, 8)],
+                fill: 1.0,
+                temp: false,
+                checked: false,
+            },
+            LStmt::For {
+                var: "i".to_string(),
+                start: 1,
+                end: 8,
+                step: 1,
+                par: false,
+                red: true,
+                body: vec![LStmt::Store {
+                    array: "out".to_string(),
+                    subs: vec![Expr::var("i")],
+                    value,
+                    check: StoreCheck::None,
+                }],
+            },
+        ],
+        result: "out".to_string(),
+    }
+}
+
+/// The deterministic anchor for the sweep below: the classifying
+/// shapes land on their named kernels, and the carried fold keeps its
+/// kernel overlay out of ParTape regions (red ⟹ not a region).
+#[test]
+fn reduction_harness_classifies_as_expected() {
+    let u_at = |off: i64| Expr::index1("u", Expr::add(Expr::var("i"), Expr::int(off)));
+    let kernel = |op, acc_left, e| {
+        let prog = harness_reduction_program(op, acc_left, e);
+        let ctx = TapeCtx {
+            shapes: HashMap::from([("u".to_string(), vec![(1i64, 12i64)])]),
+            ..TapeCtx::default()
+        };
+        let mut tape = compile_tape(&prog, &ctx);
+        let decisions = fuse_tape(&mut tape);
+        assert!(
+            !plan_tape(&tape).has_regions(),
+            "a carried fold must never become a parallel region"
+        );
+        decisions[0].kernel.clone().unwrap()
+    };
+    assert_eq!(kernel(BinOp::Add, true, u_at(0)), "running sum");
+    assert_eq!(kernel(BinOp::Min, true, u_at(0)), "running min");
+    assert_eq!(kernel(BinOp::Add, true, Expr::mul(u_at(0), u_at(1))), "dot");
+    // Acc-on-right and non-reassociable ops fall back to the
+    // order-faithful generic micro-kernel.
+    assert_eq!(kernel(BinOp::Add, false, u_at(0)), "generic micro-kernel");
+    assert_eq!(kernel(BinOp::Sub, true, u_at(0)), "generic micro-kernel");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(120))]
 
@@ -517,6 +657,32 @@ proptest! {
         // Odd seeds generate strictly fusable bodies; even seeds mix in
         // conditionals and calls so the decline path is covered too.
         let prog = harness_program(g.expr(depth, seed % 2 == 1));
+        for fuel in [0, 1, 2, 3, 5, 9, (seed % 40), 10_000] {
+            diff_random_fusion(&prog, fuel);
+        }
+    }
+
+    /// Random carried folds: every generated reduction loop — whether
+    /// it lands on a named reduction kernel, the generic micro-kernel,
+    /// or a decline — must pin exact `tape_ops` and fuel parity with
+    /// the scalar tape at every budget, including ones that exhaust
+    /// mid-kernel (fuel 2..9 lands inside the 8-trip loop).
+    #[test]
+    fn random_reduction_loops_fuse_without_observable_change(seed in any::<u64>()) {
+        let mut g = Gen(wl::XorShift::new(seed | 3));
+        let op = [
+            BinOp::Add,
+            BinOp::Min,
+            BinOp::Max,
+            BinOp::Sub,
+            BinOp::Div,
+            BinOp::Mul,
+        ][g.below(6) as usize];
+        // Mostly acc-left (the classifying shape); sometimes acc-right.
+        let acc_left = g.below(4) > 0;
+        let depth = 1 + (seed % 2) as u32;
+        let e = g.expr(depth, seed % 2 == 1);
+        let prog = harness_reduction_program(op, acc_left, e);
         for fuel in [0, 1, 2, 3, 5, 9, (seed % 40), 10_000] {
             diff_random_fusion(&prog, fuel);
         }

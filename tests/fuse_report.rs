@@ -20,11 +20,18 @@ fn fusion_verdicts_match_golden_report() {
         // In-place update: aliasing pushes the inner loop to the
         // generic micro-kernel.
         ("jacobi", wl::jacobi_source(), 8),
-        // Gauss–Seidel carries a flow dependence: not proven parallel.
+        // Gauss–Seidel carries a flow dependence: a non-reassociable
+        // carry, so both loops stay scalar.
         ("sor", wl::sor_source(), 8),
-        // Recurrence over partial sums: the init clause fuses, the
-        // k-accumulation stays scalar.
+        // Recurrence over partial sums: the init clause fuses
+        // elementwise, the k-accumulation is a reduction over a
+        // stride-n operand (multiply-add accumulate).
         ("matmul", wl::matmul_source(), 6),
+        // Running-sum recurrence: the k loop fuses as a dot kernel.
+        ("dot", wl::dot_source(), 8),
+        // Outer i parallel, inner k a reduction: the dot kernel runs
+        // inside each chunk of the parallel region.
+        ("matvec", wl::matvec_source(), 8),
     ];
 
     let mut rendered = String::from("# per-loop fusion verdicts (ParTape engine, fuse on)\n");

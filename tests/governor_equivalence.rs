@@ -73,6 +73,15 @@ fn outcome(r: &Result<ExecOutput, hac_runtime::RuntimeError>) -> Outcome {
 /// Compile `src` once per engine; run each build under `limits` and
 /// demand identical outcomes across all engines and thread counts.
 /// Returns the sequential-tape outcome for extra assertions.
+/// Harness hermeticity: every run driver calls this first, so the
+/// whole binary ignores an ambient `HAC_FAULT_PLAN` (the CI
+/// fault-injection job exports one for CLI smoke runs). A test that
+/// wants faults injects them explicitly via `RunOptions::faults` /
+/// `Vm::with_faults`, which always override the environment.
+fn hermetic() {
+    hac_codegen::suppress_env_fault_plan();
+}
+
 fn diff_limits(
     label: &str,
     src: &str,
@@ -80,6 +89,7 @@ fn diff_limits(
     inputs: &HashMap<String, ArrayBuf>,
     limits: Limits,
 ) -> Outcome {
+    hermetic();
     let program = parse_program(src).unwrap();
     let funcs = FuncTable::new();
     let build = |engine| -> Compiled {
@@ -283,8 +293,9 @@ fn injected_faults_are_invisible_in_the_answer() {
     )
     .unwrap();
 
-    // Pin an explicit empty plan so an ambient `HAC_FAULT_PLAN` (the
-    // fault-injection CI job) cannot perturb the baseline.
+    // The harness is hermetic to an ambient `HAC_FAULT_PLAN`, so the
+    // default (no explicit plan) is a genuinely fault-free baseline.
+    hermetic();
     let clean = run_with_options(
         &compiled,
         &inputs,
@@ -292,7 +303,7 @@ fn injected_faults_are_invisible_in_the_answer() {
         &RunOptions {
             threads: Some(4),
             limits: Limits::unlimited(),
-            faults: Some(FaultPlan::default()),
+            faults: None,
             ceiling: None,
         },
     )
@@ -425,6 +436,7 @@ fn harness_program(value: Expr) -> LProgram {
                 end: 8,
                 step: 1,
                 par: true,
+                red: false,
                 body: vec![LStmt::Store {
                     array: "out".to_string(),
                     subs: vec![Expr::var("i")],
@@ -438,6 +450,7 @@ fn harness_program(value: Expr) -> LProgram {
 }
 
 fn fresh_vm(fuel: u64) -> Vm {
+    hermetic();
     let mut vm = Vm::new();
     let mut u = ArrayBuf::new(&[(1, 12)], 0.0);
     for i in 1..=12 {
@@ -829,6 +842,7 @@ type HarnessOutcome = (Result<(), String>, u64, Option<(Vec<(i64, i64)>, Vec<u64
 /// Run the harness program once on the sequential tape engine under
 /// `meter`; returns the comparable outcome and the surviving meter.
 fn run_harness_once(prog: &LProgram, meter: Meter) -> (HarnessOutcome, Meter) {
+    hermetic();
     let ctx = TapeCtx {
         shapes: HashMap::from([("u".to_string(), vec![(1i64, 12i64)])]),
         consts: HashMap::from([("n".to_string(), 8i64)]),

@@ -31,10 +31,10 @@ fn buf_bits(b: &ArrayBuf) -> (Vec<(i64, i64)>, Vec<u64>) {
     (b.bounds(), b.data().iter().map(|v| v.to_bits()).collect())
 }
 
-/// Zero the fault-recovery counter before comparing: when the suite
-/// runs under an ambient `HAC_FAULT_PLAN` (the fault-injection CI
-/// job), ParTape absorbs injected faults — everything else must still
-/// merge exactly, and that is precisely what these tests prove.
+/// Zero the fault-recovery counter before comparing. The harness is
+/// hermetic to an ambient `HAC_FAULT_PLAN` (see [`hermetic`]), so this
+/// only matters for tests that inject faults explicitly — everything
+/// other than the recovery count must still merge exactly.
 fn sans_faults(mut c: VmCounters) -> VmCounters {
     c.engine_faults = 0;
     c
@@ -88,12 +88,21 @@ fn par_regions(compiled: &Compiled) -> usize {
 /// Compile under `Engine::Tape` and `Engine::ParTape`, run the parallel
 /// build at every thread count against the sequential baseline, and
 /// return the parallel compilation for region assertions.
+/// Harness hermeticity: every run driver calls this first, so the
+/// whole binary ignores an ambient `HAC_FAULT_PLAN` (the CI
+/// fault-injection job exports one for CLI smoke runs). Faults in
+/// equivalence tests are only ever injected explicitly.
+fn hermetic() {
+    hac_codegen::suppress_env_fault_plan();
+}
+
 fn diff_kernel(
     label: &str,
     src: &str,
     env: &ConstEnv,
     inputs: &HashMap<String, ArrayBuf>,
 ) -> Compiled {
+    hermetic();
     let program = parse_program(src).unwrap();
     let funcs = FuncTable::new();
     let opts = |engine| CompileOptions {
@@ -383,6 +392,7 @@ fn harness_program(value: Expr, variant: u64) -> LProgram {
                 end: 8,
                 step: 1,
                 par: injective,
+                red: false,
                 body: vec![LStmt::Store {
                     array: "out".to_string(),
                     subs: vec![sub],
@@ -400,6 +410,7 @@ fn harness_program(value: Expr, variant: u64) -> LProgram {
 }
 
 fn fresh_vm() -> Vm {
+    hermetic();
     let mut vm = Vm::new();
     let mut u = ArrayBuf::new(&[(1, 12)], 0.0);
     for i in 1..=12 {

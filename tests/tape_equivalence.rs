@@ -338,6 +338,7 @@ fn harness_program(value: Expr, variant: u64) -> (LProgram, bool) {
                 end: 4,
                 step: 1,
                 par: false,
+                red: false,
                 body: vec![LStmt::Store {
                     array: "out".to_string(),
                     subs: vec![sub],
