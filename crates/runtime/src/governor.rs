@@ -683,42 +683,55 @@ impl FaultPlan {
             snapshot: true,
         };
         for tok in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
-            if tok == "nosnapshot" {
-                plan.snapshot = false;
-                continue;
-            }
-            if let Some(seed) = tok.strip_prefix("seed:") {
-                let seed: u64 = seed
-                    .parse()
-                    .map_err(|_| format!("bad fault seed `{tok}`"))?;
-                plan.points.extend(seeded_points(seed));
-                continue;
-            }
-            let rest = tok
-                .strip_prefix('r')
-                .ok_or_else(|| format!("bad fault point `{tok}` (want r<R>c<C>:panic)"))?;
-            let (coords, kind) = rest
-                .split_once(':')
-                .ok_or_else(|| format!("bad fault point `{tok}` (missing `:kind`)"))?;
-            let (region, chunk) = coords
-                .split_once('c')
-                .ok_or_else(|| format!("bad fault point `{tok}` (want r<R>c<C>)"))?;
-            let region: u64 = region
-                .parse()
-                .map_err(|_| format!("bad region in `{tok}`"))?;
-            let chunk: u64 = chunk.parse().map_err(|_| format!("bad chunk in `{tok}`"))?;
-            let kind = match kind {
-                "panic" => FaultKind::Panic,
-                "allocfail" => FaultKind::AllocFail,
-                other => return Err(format!("unknown fault kind `{other}`")),
-            };
-            plan.points.push(FaultPoint {
-                region,
-                chunk,
-                kind,
-            });
+            plan.parse_token(tok)?;
         }
         Ok(plan)
+    }
+
+    /// Parse one comma-separated token of the fault-plan grammar into
+    /// this plan: `r<R>c<C>:panic|allocfail`, `nosnapshot`, or
+    /// `seed:<u64>`. Exposed so layered grammars (the serve crate's
+    /// connection-coordinate chaos plan) can forward the engine-level
+    /// tokens of a combined spec here and keep one vocabulary.
+    ///
+    /// # Errors
+    /// A human-readable message on a malformed token.
+    pub fn parse_token(&mut self, tok: &str) -> Result<(), String> {
+        if tok == "nosnapshot" {
+            self.snapshot = false;
+            return Ok(());
+        }
+        if let Some(seed) = tok.strip_prefix("seed:") {
+            let seed: u64 = seed
+                .parse()
+                .map_err(|_| format!("bad fault seed `{tok}`"))?;
+            self.points.extend(seeded_points(seed));
+            return Ok(());
+        }
+        let rest = tok
+            .strip_prefix('r')
+            .ok_or_else(|| format!("bad fault point `{tok}` (want r<R>c<C>:panic)"))?;
+        let (coords, kind) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("bad fault point `{tok}` (missing `:kind`)"))?;
+        let (region, chunk) = coords
+            .split_once('c')
+            .ok_or_else(|| format!("bad fault point `{tok}` (want r<R>c<C>)"))?;
+        let region: u64 = region
+            .parse()
+            .map_err(|_| format!("bad region in `{tok}`"))?;
+        let chunk: u64 = chunk.parse().map_err(|_| format!("bad chunk in `{tok}`"))?;
+        let kind = match kind {
+            "panic" => FaultKind::Panic,
+            "allocfail" => FaultKind::AllocFail,
+            other => return Err(format!("unknown fault kind `{other}`")),
+        };
+        self.points.push(FaultPoint {
+            region,
+            chunk,
+            kind,
+        });
+        Ok(())
     }
 }
 

@@ -12,9 +12,9 @@
 //! * `{"control":"tenant","tenant":"acme"}` — attribute every later
 //!   request on this connection that names no tenant of its own to
 //!   `acme` (per-connection tenant attribution).
-//! * `{"control":"stats"}` — cache counters plus per-tenant served
-//!   request counts (sorted by tenant name, so the reply is
-//!   reproducible).
+//! * `{"control":"stats"}` — cache counters, per-tenant served request
+//!   counts (sorted by tenant name, so the reply is reproducible), the
+//!   daemon's armor ledger, and the server's overload/retry counters.
 //! * `{"control":"shutdown"}` — graceful shutdown: the daemon replies
 //!   `{"control":"shutdown","ok":true}`, stops accepting, lets every
 //!   in-flight connection finish, and returns.
@@ -22,14 +22,44 @@
 //! The accept loop is **bounded**: at most
 //! [`DaemonOptions::max_conns`] connections are served concurrently;
 //! excess connections wait in the listen backlog until a slot frees.
+//!
+//! ## Connection armor
+//!
+//! A public listener must survive clients that are slow, hostile, or
+//! broken, without perturbing any other tenant's outcome:
+//!
+//! * **Deadlines** — [`DaemonOptions::io_timeout_ms`] arms
+//!   `set_read_timeout`/`set_write_timeout` on every accepted socket.
+//!   A fired read deadline produces a structured
+//!   `{"error":"io-timeout"}` line and closes that one connection.
+//! * **Bounded lines** — request lines are accumulated through a
+//!   [`BufReader`] but never past
+//!   [`DaemonOptions::max_line_bytes`]; an oversized line is drained
+//!   and answered with `{"error":"line-too-long"}`, and the
+//!   connection keeps serving. Malformed JSON and bad requests get
+//!   `{"error":"bad-request"}` the same way — a parse failure never
+//!   kills the connection, let alone the process.
+//! * **Panic isolation** — each connection handler runs under
+//!   [`catch_unwind`](std::panic::catch_unwind); a panicking handler
+//!   is counted in `panics_recovered` and its slot freed, and the
+//!   accept loop keeps serving.
+//!
+//! Every armor action increments exactly one counter in the `stats`
+//! ledger, and connection/request ordinals (dense, assigned at accept
+//! and per line read) drive the deterministic chaos plans of
+//! [`chaos`](crate::chaos) — see `HAC_CHAOS_PLAN` / `--chaos-plan`.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
+use crate::chaos::{ChaosPlan, ConnFaultKind};
 use crate::json::{self, Json};
 use crate::{Request, Server};
+
+/// Default [`DaemonOptions::max_line_bytes`]: 1 MiB.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Daemon-specific knobs (everything else lives in
 /// [`ServeOptions`](crate::ServeOptions) on the wrapped server).
@@ -38,23 +68,86 @@ pub struct DaemonOptions {
     /// Connections served concurrently; further accepts wait until a
     /// slot frees.
     pub max_conns: usize,
+    /// Per-connection read/write deadline in milliseconds; `None`
+    /// disarms both (a dead client can then hold a slot forever —
+    /// fine for tests, not for a public listener).
+    pub io_timeout_ms: Option<u64>,
+    /// Hard cap on one request line's bytes (newline excluded). An
+    /// oversized line is drained, answered with a structured
+    /// `line-too-long` error, and the connection keeps serving. Also
+    /// the bound on the per-connection read buffer the daemon will
+    /// hold for a single line.
+    pub max_line_bytes: usize,
+    /// Deterministic I/O fault plan (see [`chaos`](crate::chaos));
+    /// `None` injects nothing.
+    pub chaos: Option<ChaosPlan>,
 }
 
 impl Default for DaemonOptions {
     fn default() -> Self {
-        DaemonOptions { max_conns: 8 }
+        DaemonOptions {
+            max_conns: 8,
+            io_timeout_ms: None,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            chaos: None,
+        }
     }
+}
+
+/// The daemon's armor ledger: every counter is bumped by exactly one
+/// event kind, so chaos tests can assert the whole ledger exactly.
+#[derive(Debug, Default)]
+struct Counters {
+    /// Connections accepted (also the source of dense connection
+    /// ordinals for chaos coordinates).
+    conns: AtomicU64,
+    /// Handler panics contained by `catch_unwind`.
+    panics_recovered: AtomicU64,
+    /// Lines refused before reaching the server: oversized, malformed
+    /// JSON, bad request shapes, unknown controls, injected garbage.
+    lines_rejected: AtomicU64,
+    /// Request-line bytes consumed off sockets, newlines included
+    /// (oversized lines count in full — the bytes were read, then
+    /// discarded).
+    line_bytes_read: AtomicU64,
+    /// Read deadlines that fired.
+    io_timeouts: AtomicU64,
+    /// Chaos: responses computed and then deliberately not written.
+    dropped: AtomicU64,
+    /// Chaos: simulated read-deadline firings.
+    stalled: AtomicU64,
+    /// Chaos: garbage lines injected ahead of real requests.
+    garbage_injected: AtomicU64,
+    /// Chaos: responses truncated to their first half.
+    short_writes: AtomicU64,
+}
+
+/// A snapshot of the armor ledger (exposed for tests; the wire form is
+/// the `daemon` object in the `stats` control reply).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonStats {
+    pub conns: u64,
+    pub panics_recovered: u64,
+    pub lines_rejected: u64,
+    pub line_bytes_read: u64,
+    pub io_timeouts: u64,
+    pub dropped: u64,
+    pub stalled: u64,
+    pub garbage_injected: u64,
+    pub short_writes: u64,
 }
 
 /// State shared between the accept loop and connection handlers.
 struct Shared {
     server: Arc<Server>,
+    options: DaemonOptions,
     addr: SocketAddr,
     shutdown: AtomicBool,
     active: Mutex<usize>,
     slot_freed: Condvar,
     /// Requests served per tenant, in first-seen order.
     tenants: Mutex<Vec<(String, u64)>>,
+    counters: Counters,
 }
 
 impl Shared {
@@ -63,6 +156,21 @@ impl Shared {
         match tenants.iter_mut().find(|(t, _)| t == tenant) {
             Some((_, n)) => *n += 1,
             None => tenants.push((tenant.to_string(), 1)),
+        }
+    }
+
+    fn stats(&self) -> DaemonStats {
+        let c = &self.counters;
+        DaemonStats {
+            conns: c.conns.load(Ordering::SeqCst),
+            panics_recovered: c.panics_recovered.load(Ordering::SeqCst),
+            lines_rejected: c.lines_rejected.load(Ordering::SeqCst),
+            line_bytes_read: c.line_bytes_read.load(Ordering::SeqCst),
+            io_timeouts: c.io_timeouts.load(Ordering::SeqCst),
+            dropped: c.dropped.load(Ordering::SeqCst),
+            stalled: c.stalled.load(Ordering::SeqCst),
+            garbage_injected: c.garbage_injected.load(Ordering::SeqCst),
+            short_writes: c.short_writes.load(Ordering::SeqCst),
         }
     }
 }
@@ -119,15 +227,20 @@ pub fn run(
     options: DaemonOptions,
 ) -> std::io::Result<()> {
     let addr = listener.local_addr()?;
+    let max_conns = options.max_conns.max(1);
+    let io_timeout = options
+        .io_timeout_ms
+        .map(|ms| std::time::Duration::from_millis(ms.max(1)));
     let shared = Arc::new(Shared {
         server,
+        options,
         addr,
         shutdown: AtomicBool::new(false),
         active: Mutex::new(0),
         slot_freed: Condvar::new(),
         tenants: Mutex::new(Vec::new()),
+        counters: Counters::default(),
     });
-    let max_conns = options.max_conns.max(1);
     let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
     loop {
         // Bounded accept: hold here until a connection slot frees (a
@@ -160,12 +273,30 @@ pub fn run(
             *shared.active.lock().expect("active lock") -= 1;
             break;
         }
+        if let Some(t) = io_timeout {
+            // Failure to arm a deadline is not fatal: the connection
+            // is still served, just unarmored against slow peers.
+            let _ = stream.set_read_timeout(Some(t));
+            let _ = stream.set_write_timeout(Some(t));
+        }
+        // Dense connection ordinal: the accept loop is sequential, so
+        // ordinals are assigned in accept order — the coordinate
+        // system chaos plans aim at.
+        let conn = shared.counters.conns.fetch_add(1, Ordering::SeqCst);
         // Reap finished handlers so a long-lived daemon's handle list
         // stays proportional to live connections.
         handlers.retain(|h| !h.is_finished());
         let sh = Arc::clone(&shared);
         handlers.push(std::thread::spawn(move || {
-            serve_connection(&sh, stream);
+            // Panic isolation: a handler panic (a bug, or an injected
+            // `cN:panic` chaos fault) closes its own socket and frees
+            // its slot; the daemon keeps serving everyone else.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                serve_connection(&sh, stream, conn);
+            }));
+            if outcome.is_err() {
+                sh.counters.panics_recovered.fetch_add(1, Ordering::SeqCst);
+            }
             *sh.active.lock().expect("active lock") -= 1;
             sh.slot_freed.notify_one();
         }));
@@ -176,13 +307,15 @@ pub fn run(
     Ok(())
 }
 
-/// One error-reply line (requests that never parsed far enough to
-/// carry an id).
-fn error_line(message: String) -> Json {
+/// One structured error line: `error` is a stable machine-readable
+/// code (`bad-request`, `line-too-long`, `io-timeout`), `detail` the
+/// human-readable specifics.
+fn error_line(code: &str, detail: String) -> Json {
     Json::Obj(vec![
         ("id".to_string(), Json::Null),
         ("status".to_string(), Json::Str("rejected".to_string())),
-        ("error".to_string(), Json::Str(message)),
+        ("error".to_string(), Json::Str(code.to_string())),
+        ("detail".to_string(), Json::Str(detail)),
     ])
 }
 
@@ -223,10 +356,45 @@ fn handle_control(shared: &Shared, control: &str, v: &Json, out: &mut TcpStream)
                     .map(|(t, n)| (t, Json::Num(n as f64)))
                     .collect(),
             );
+            let d = shared.stats();
+            let daemon = Json::Obj(vec![
+                ("conns".to_string(), Json::Num(d.conns as f64)),
+                (
+                    "panics_recovered".to_string(),
+                    Json::Num(d.panics_recovered as f64),
+                ),
+                (
+                    "lines_rejected".to_string(),
+                    Json::Num(d.lines_rejected as f64),
+                ),
+                (
+                    "line_bytes_read".to_string(),
+                    Json::Num(d.line_bytes_read as f64),
+                ),
+                (
+                    "max_line_bytes".to_string(),
+                    Json::Num(shared.options.max_line_bytes as f64),
+                ),
+                ("io_timeouts".to_string(), Json::Num(d.io_timeouts as f64)),
+                ("dropped".to_string(), Json::Num(d.dropped as f64)),
+                ("stalled".to_string(), Json::Num(d.stalled as f64)),
+                (
+                    "garbage_injected".to_string(),
+                    Json::Num(d.garbage_injected as f64),
+                ),
+                ("short_writes".to_string(), Json::Num(d.short_writes as f64)),
+            ]);
+            let sv = shared.server.server_stats();
+            let server = Json::Obj(vec![
+                ("shed".to_string(), Json::Num(sv.shed as f64)),
+                ("retried".to_string(), Json::Num(sv.retried as f64)),
+            ]);
             let reply = Json::Obj(vec![
                 ("control".to_string(), Json::Str("stats".to_string())),
                 ("cache".to_string(), cache),
                 ("tenants".to_string(), tenants),
+                ("daemon".to_string(), daemon),
+                ("server".to_string(), server),
             ]);
             let _ = writeln!(out, "{reply}");
             let _ = out.flush();
@@ -242,42 +410,247 @@ fn handle_control(shared: &Shared, control: &str, v: &Json, out: &mut TcpStream)
                     ("ok".to_string(), Json::Bool(true)),
                 ])
             } else {
-                error_line("`tenant` control needs a string `tenant`".to_string())
+                shared
+                    .counters
+                    .lines_rejected
+                    .fetch_add(1, Ordering::SeqCst);
+                error_line(
+                    "bad-request",
+                    "`tenant` control needs a string `tenant`".to_string(),
+                )
             };
             let _ = writeln!(out, "{reply}");
             let _ = out.flush();
             false
         }
         other => {
-            let _ = writeln!(out, "{}", error_line(format!("unknown control `{other}`")));
+            shared
+                .counters
+                .lines_rejected
+                .fetch_add(1, Ordering::SeqCst);
+            let _ = writeln!(
+                out,
+                "{}",
+                error_line("bad-request", format!("unknown control `{other}`"))
+            );
             let _ = out.flush();
             false
         }
     }
 }
 
-/// Serve one connection's JSON-lines until EOF or shutdown.
-fn serve_connection(shared: &Shared, stream: TcpStream) {
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A complete line (newline and any trailing `\r` stripped;
+    /// invalid UTF-8 replaced, so it fails JSON parsing downstream
+    /// with a structured error instead of killing the read loop).
+    Line(String),
+    /// The line exceeded the cap; its bytes were drained and dropped.
+    TooLong,
+    /// The read deadline fired.
+    TimedOut,
+    /// EOF or a hard socket error.
+    Closed,
+}
+
+/// Read one newline-terminated line without ever buffering more than
+/// `max` payload bytes, no matter how much the peer sends.
+/// `bytes_read` is credited with every byte consumed (newlines and
+/// discarded overflow included — they were read off the socket).
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+    bytes_read: &AtomicU64,
+) -> LineRead {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflow = false;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(c) => c,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                return LineRead::TimedOut;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return LineRead::Closed,
+        };
+        if chunk.is_empty() {
+            // EOF. A partial unterminated line is served as-is (the
+            // same contract as `BufRead::lines`); nothing pending is
+            // a clean close.
+            return if overflow {
+                LineRead::TooLong
+            } else if buf.is_empty() {
+                LineRead::Closed
+            } else {
+                LineRead::Line(String::from_utf8_lossy(&buf).into_owned())
+            };
+        }
+        let nl = chunk.iter().position(|&b| b == b'\n');
+        let take = nl.map_or(chunk.len(), |p| p + 1);
+        bytes_read.fetch_add(take as u64, Ordering::SeqCst);
+        if !overflow {
+            let keep = nl.map_or(take, |p| p);
+            if buf.len() + keep > max {
+                // Stop accumulating; keep draining to the newline so
+                // the connection can resynchronize on the next line.
+                overflow = true;
+                buf = Vec::new();
+            } else {
+                buf.extend_from_slice(&chunk[..keep]);
+            }
+        }
+        reader.consume(take);
+        if nl.is_some() {
+            if overflow {
+                return LineRead::TooLong;
+            }
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            return LineRead::Line(String::from_utf8_lossy(&buf).into_owned());
+        }
+    }
+}
+
+/// Write one reply line, honoring any write-path chaos fault aimed at
+/// it. Returns `false` when the connection must close (fault fired or
+/// the write failed).
+fn write_reply(
+    shared: &Shared,
+    out: &mut TcpStream,
+    line: &str,
+    fault: Option<ConnFaultKind>,
+) -> bool {
+    match fault {
+        Some(ConnFaultKind::Drop) => {
+            shared.counters.dropped.fetch_add(1, Ordering::SeqCst);
+            false
+        }
+        Some(ConnFaultKind::ShortWrite) => {
+            shared.counters.short_writes.fetch_add(1, Ordering::SeqCst);
+            let bytes = line.as_bytes();
+            let _ = out.write_all(&bytes[..bytes.len() / 2]);
+            let _ = out.flush();
+            false
+        }
+        _ => {
+            let ok = writeln!(out, "{line}").is_ok();
+            out.flush().is_ok() && ok
+        }
+    }
+}
+
+/// Serve one connection's JSON-lines until EOF, a deadline, a chaos
+/// fault that closes it, or shutdown.
+fn serve_connection(shared: &Shared, stream: TcpStream, conn: u64) {
     let Ok(reader) = stream.try_clone() else {
         return;
     };
-    let reader = BufReader::new(reader);
+    let mut reader = BufReader::new(reader);
     let mut out = stream;
     // The connection's default tenant: applied to any request that
     // names none of its own.
     let mut conn_tenant: Option<String> = None;
-    for line in reader.lines() {
-        let Ok(line) = line else {
-            break;
+    // Skip per-line chaos lookups entirely on untouched connections.
+    let chaos = shared
+        .options
+        .chaos
+        .as_ref()
+        .filter(|p| p.touches_conn(conn));
+    // Dense request ordinal: every non-empty line this connection
+    // sends, in arrival order (controls and rejected lines included).
+    let mut request: u64 = 0;
+    loop {
+        let line = match read_bounded_line(
+            &mut reader,
+            shared.options.max_line_bytes,
+            &shared.counters.line_bytes_read,
+        ) {
+            LineRead::Line(l) => l,
+            LineRead::TooLong => {
+                shared
+                    .counters
+                    .lines_rejected
+                    .fetch_add(1, Ordering::SeqCst);
+                request += 1;
+                let reply = error_line(
+                    "line-too-long",
+                    format!(
+                        "request line exceeds {} bytes",
+                        shared.options.max_line_bytes
+                    ),
+                );
+                let _ = writeln!(out, "{reply}");
+                let _ = out.flush();
+                continue;
+            }
+            LineRead::TimedOut => {
+                shared.counters.io_timeouts.fetch_add(1, Ordering::SeqCst);
+                let reply = error_line("io-timeout", "read deadline elapsed".to_string());
+                let _ = writeln!(out, "{reply}");
+                let _ = out.flush();
+                return;
+            }
+            LineRead::Closed => return,
         };
         if line.trim().is_empty() {
             continue;
         }
+        let ordinal = request;
+        request += 1;
+        let fault = chaos.and_then(|p| p.lookup(conn, ordinal));
+        match fault {
+            Some(ConnFaultKind::Stall) => {
+                // The read deadline "fires" on this request — same
+                // wire behavior as a real timeout, no clock involved.
+                shared.counters.stalled.fetch_add(1, Ordering::SeqCst);
+                let reply = error_line("io-timeout", "read deadline elapsed".to_string());
+                let _ = writeln!(out, "{reply}");
+                let _ = out.flush();
+                return;
+            }
+            Some(ConnFaultKind::Panic) => {
+                // Contained by the accept loop's catch_unwind.
+                panic!("chaos: injected connection panic at c{conn}r{ordinal}");
+            }
+            Some(ConnFaultKind::Garbage) => {
+                // A garbage line "arrived" just ahead of this request:
+                // the malformed-line path fires, then the real request
+                // is served completely unperturbed.
+                shared
+                    .counters
+                    .garbage_injected
+                    .fetch_add(1, Ordering::SeqCst);
+                shared
+                    .counters
+                    .lines_rejected
+                    .fetch_add(1, Ordering::SeqCst);
+                let reply = error_line("bad-request", "chaos: injected garbage line".to_string());
+                let _ = writeln!(out, "{reply}");
+                let _ = out.flush();
+            }
+            _ => {}
+        }
         let parsed = match json::parse(&line) {
             Ok(v) => v,
             Err(e) => {
-                let _ = writeln!(out, "{}", error_line(e));
-                let _ = out.flush();
+                shared
+                    .counters
+                    .lines_rejected
+                    .fetch_add(1, Ordering::SeqCst);
+                if !write_reply(
+                    shared,
+                    &mut out,
+                    &error_line("bad-request", e).to_string(),
+                    fault,
+                ) {
+                    return;
+                }
                 continue;
             }
         };
@@ -296,8 +669,18 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
         let mut req = match Request::from_json(&parsed) {
             Ok(r) => r,
             Err(e) => {
-                let _ = writeln!(out, "{}", error_line(e));
-                let _ = out.flush();
+                shared
+                    .counters
+                    .lines_rejected
+                    .fetch_add(1, Ordering::SeqCst);
+                if !write_reply(
+                    shared,
+                    &mut out,
+                    &error_line("bad-request", e).to_string(),
+                    fault,
+                ) {
+                    return;
+                }
                 continue;
             }
         };
@@ -306,7 +689,8 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
         }
         let resp = shared.server.handle(&req);
         shared.record_tenant(req.tenant.as_deref().unwrap_or(""));
-        let _ = writeln!(out, "{}", resp.to_json());
-        let _ = out.flush();
+        if !write_reply(shared, &mut out, &resp.to_json().to_string(), fault) {
+            return;
+        }
     }
 }

@@ -92,7 +92,11 @@ impl Json {
 /// A human-readable message with a byte offset.
 pub fn parse(input: &str) -> Result<Json, String> {
     let bytes = input.as_bytes();
-    let mut p = Parser { bytes, pos: 0 };
+    let mut p = Parser {
+        bytes,
+        pos: 0,
+        depth: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -102,9 +106,17 @@ pub fn parse(input: &str) -> Result<Json, String> {
     Ok(v)
 }
 
+/// Maximum container nesting. The parser recurses per `{`/`[`, so
+/// without a cap a pathological line like `[[[[…` overflows the
+/// stack — a panic the daemon's armor must never see. The protocol's
+/// real shapes nest 3 deep.
+pub const MAX_DEPTH: usize = 64;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting (bounded by [`MAX_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -129,6 +141,19 @@ impl Parser<'_> {
         } else {
             Err(format!("expected `{}` at byte {}", b as char, self.pos))
         }
+    }
+
+    /// Record one level of container nesting; errors past the cap
+    /// (parsing aborts, so error paths never unwind the count).
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
     }
 
     fn value(&mut self) -> Result<Json, String> {
@@ -224,10 +249,12 @@ impl Parser<'_> {
 
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Arr(items));
         }
         loop {
@@ -238,6 +265,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
@@ -247,10 +275,12 @@ impl Parser<'_> {
 
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -266,6 +296,7 @@ impl Parser<'_> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Json::Obj(fields));
                 }
                 _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
@@ -366,5 +397,27 @@ mod tests {
     fn huge_budgets_clamp_instead_of_rounding() {
         let v = parse("18446744073709551615").unwrap();
         assert_eq!(v.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn pathological_nesting_errors_instead_of_overflowing_the_stack() {
+        // Well past any sane stack budget if the cap were absent.
+        let deep = "[".repeat(200_000);
+        let err = parse(&deep).expect_err("must not recurse unboundedly");
+        assert!(err.contains("nesting"), "{err}");
+        // Mixed container spam is caught too.
+        let mixed = "[{\"a\":".repeat(100_000);
+        assert!(parse(&mixed).is_err());
+        // Depth within the cap still parses, and siblings don't
+        // accumulate depth.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&ok).is_ok());
+        assert!(parse(r#"[[1],[2],[3],{"a":[4]}]"#).is_ok());
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(parse(&over).is_err());
     }
 }

@@ -19,7 +19,7 @@
 //! same JSON-lines protocol over real sockets.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use hac_core::deadline::DeadlineGovernor;
@@ -28,11 +28,12 @@ use hac_core::pipeline::{
 };
 use hac_lang::env::ConstEnv;
 use hac_runtime::error::RuntimeError;
-use hac_runtime::governor::{Limits, Meter, SharedCeiling};
+use hac_runtime::governor::{FaultPlan, Limits, Meter, SharedCeiling};
 use hac_runtime::value::{ArrayBuf, FuncTable};
 use hac_workloads::XorShift;
 
 pub mod cache;
+pub mod chaos;
 pub mod daemon;
 pub mod json;
 pub mod sched;
@@ -61,10 +62,33 @@ pub struct ServeOptions {
     /// Defaults to a finite 256 — an unbounded cache lets a tenant
     /// cycling unique programs grow the process without limit.
     pub cache_cap: usize,
+    /// Queue-depth watermark for overload shedding in
+    /// [`Server::run_batch`]: past this many pending requests, new
+    /// arrivals from the lowest-stride-share tenant are shed with a
+    /// structured `"overloaded"` response carrying a clock-free
+    /// `retry_after_ops` hint (see [`sched::fair_schedule`]). `0`
+    /// (the default) disables shedding.
+    pub shed_watermark: usize,
+    /// Default per-request retry budget for [`EngineFault`] outcomes
+    /// the engine layer could not absorb: the server re-admits and
+    /// re-executes up to this many extra attempts before surfacing
+    /// the fault (requests override with their own `retry_budget`).
+    ///
+    /// [`EngineFault`]: RuntimeError::EngineFault
+    pub retry_budget: u32,
+    /// Engine fault plan applied to every request's *first* attempt;
+    /// `None` defers to the ambient `HAC_FAULT_PLAN` environment.
+    /// The daemon routes a chaos plan's engine tokens here, and tests
+    /// use it to inject faults hermetically. Retries always run the
+    /// empty plan (the injected fault is modeled as transient).
+    pub faults: Option<FaultPlan>,
 }
 
 /// Default [`ServeOptions::cache_cap`].
 pub const DEFAULT_CACHE_CAP: usize = 256;
+
+/// Default [`ServeOptions::retry_budget`].
+pub const DEFAULT_RETRY_BUDGET: u32 = 1;
 
 impl Default for ServeOptions {
     fn default() -> Self {
@@ -76,6 +100,9 @@ impl Default for ServeOptions {
             stripes: 8,
             deadline: None,
             cache_cap: DEFAULT_CACHE_CAP,
+            shed_watermark: 0,
+            retry_budget: DEFAULT_RETRY_BUDGET,
+            faults: None,
         }
     }
 }
@@ -104,6 +131,11 @@ pub struct Request {
     /// Fair-share weight (≥ 1). A tenant's effective weight is the one
     /// declared on its first-arriving request; see [`sched`].
     pub weight: Option<u64>,
+    /// Extra execution attempts granted when a run dies with an
+    /// [`EngineFault`](RuntimeError::EngineFault) the engine layer
+    /// could not absorb; `None` takes the server's
+    /// [`ServeOptions::retry_budget`].
+    pub retry_budget: Option<u32>,
 }
 
 impl Request {
@@ -121,6 +153,7 @@ impl Request {
             mode: None,
             tenant: None,
             weight: None,
+            retry_budget: None,
         }
     }
 
@@ -188,6 +221,13 @@ impl Request {
                 .ok_or("`weight` must be a positive integer")?;
             req.weight = Some(w);
         }
+        if let Some(r) = v.get("retry_budget") {
+            let r = r
+                .as_u64()
+                .filter(|&r| r <= u64::from(u32::MAX))
+                .ok_or("`retry_budget` must be a non-negative integer")?;
+            req.retry_budget = Some(r as u32);
+        }
         Ok(req)
     }
 
@@ -238,6 +278,9 @@ impl Request {
         if let Some(w) = self.weight {
             fields.push(("weight".to_string(), Json::Num(w as f64)));
         }
+        if let Some(r) = self.retry_budget {
+            fields.push(("retry_budget".to_string(), Json::Num(f64::from(r))));
+        }
         Json::Obj(fields)
     }
 }
@@ -283,6 +326,11 @@ pub enum Status {
     CompileError,
     /// Any other runtime failure.
     RuntimeError,
+    /// Shed before admission: the batch queue was past the server's
+    /// [`shed watermark`](ServeOptions::shed_watermark) and this was a
+    /// newest arrival of the lowest-share tenant. The response carries
+    /// a `retry_after_ops` hint.
+    Overloaded,
 }
 
 impl Status {
@@ -294,6 +342,7 @@ impl Status {
             Status::Rejected => "rejected",
             Status::CompileError => "compile_error",
             Status::RuntimeError => "runtime_error",
+            Status::Overloaded => "overloaded",
         }
     }
 }
@@ -339,6 +388,13 @@ pub struct Response {
     /// metered work. `None` when the run produced no counters.
     pub counters_digest: Option<String>,
     pub verdicts: Option<Verdicts>,
+    /// Execution attempts consumed (1 = no retry). Stays 1 for
+    /// requests that never reached execution.
+    pub attempts: u64,
+    /// Only on `overloaded` responses: the admitted fuel of the
+    /// backlog that displaced this request. Clock-free; dividing by a
+    /// calibrated ops/ms rate yields a wall-clock backoff.
+    pub retry_after_ops: Option<u64>,
     pub error: Option<String>,
 }
 
@@ -356,6 +412,8 @@ impl Response {
             engine_faults: 0,
             counters_digest: None,
             verdicts: None,
+            attempts: 1,
+            retry_after_ops: None,
             error: Some(error),
         }
     }
@@ -418,6 +476,12 @@ impl Response {
                     ("updates".to_string(), Json::Num(v.updates as f64)),
                 ])
             }),
+        ));
+        fields.push(("attempts".to_string(), Json::Num(self.attempts as f64)));
+        fields.push((
+            "retry_after_ops".to_string(),
+            self.retry_after_ops
+                .map_or(Json::Null, |r| Json::Num(r as f64)),
         ));
         fields.push((
             "error".to_string(),
@@ -533,6 +597,20 @@ pub struct Server {
     /// Bounded cache of compiled programs keyed by FNV(source, params,
     /// mode, engine); recency is stamped in admission ordinals.
     cache: Mutex<ProgramCache>,
+    /// Life-to-date requests shed by the overload watermark.
+    shed: AtomicU64,
+    /// Life-to-date engine-fault retries executed (attempts beyond
+    /// the first, across all requests).
+    retried: AtomicU64,
+}
+
+/// Life-to-date overload/retry counters (see [`Server::server_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests shed with an `overloaded` response.
+    pub shed: u64,
+    /// Extra execution attempts spent recovering engine faults.
+    pub retried: u64,
 }
 
 /// A request past compilation and admission, ready to execute.
@@ -542,6 +620,11 @@ struct Admitted {
     ordinal: u64,
     compiled: Arc<Compiled>,
     meter: Meter,
+    /// Effective limits the meter was admitted under, kept so a retry
+    /// can re-admit an identical meter from the ceiling.
+    limits: Limits,
+    /// Extra attempts allowed on an unabsorbed engine fault.
+    retry_budget: u32,
     cache_hit: bool,
     evictions: u64,
     seed: u64,
@@ -557,6 +640,8 @@ impl Server {
             options,
             ceiling,
             cache,
+            shed: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
         }
     }
 
@@ -576,11 +661,28 @@ impl Server {
         self.cache.lock().expect("cache lock").stats()
     }
 
+    /// Life-to-date overload/retry counters.
+    pub fn server_stats(&self) -> ServerStats {
+        ServerStats {
+            shed: self.shed.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+        }
+    }
+
     /// The fair admission order the scheduler predicts for `reqs` —
     /// the exact permutation [`Server::run_batch`] realizes. Exposed
     /// so tests (and capacity planners) can check realized order
     /// against the prediction.
     pub fn predicted_order(reqs: &[Request]) -> Vec<usize> {
+        Self::predicted_schedule(reqs, 0).order
+    }
+
+    /// The full schedule — admission order *and* shed set — the server
+    /// realizes for `reqs` under `shed_watermark` (0 disables
+    /// shedding). A pure function of the request list, so a simulator
+    /// predicts sheds exactly; [`Server::run_batch`] realizes this
+    /// with the server's own watermark.
+    pub fn predicted_schedule(reqs: &[Request], shed_watermark: usize) -> sched::Schedule {
         let arrivals: Vec<(&str, u64)> = reqs
             .iter()
             .map(|r| {
@@ -590,7 +692,7 @@ impl Server {
                 )
             })
             .collect();
-        sched::fair_order(&arrivals)
+        sched::fair_schedule(&arrivals, shed_watermark)
     }
 
     fn cache_key(&self, req: &Request, mode: ExecMode, engine: Engine) -> u64 {
@@ -705,61 +807,100 @@ impl Server {
             ordinal,
             compiled,
             meter,
+            limits,
+            retry_budget: req.retry_budget.unwrap_or(self.options.retry_budget),
             cache_hit,
             evictions,
             seed: req.seed,
         })
     }
 
-    /// Execute an admitted request and settle its meter.
+    /// Execute an admitted request and settle its meter. A run that
+    /// dies with an [`EngineFault`](RuntimeError::EngineFault) the
+    /// engine layer could not absorb is treated as transient: the
+    /// meter is settled (refunding the pool), a fresh one is
+    /// re-admitted under the same limits, and the run repeats — up to
+    /// `retry_budget` extra attempts. Retries pin the *empty* fault
+    /// plan (overriding `HAC_FAULT_PLAN`): a plan-driven fault would
+    /// recur at the same coordinates forever, and the retry models the
+    /// fault not recurring. A successful retry is therefore
+    /// byte-identical to a fault-free run except for `attempts`.
     fn execute(&self, mut adm: Admitted) -> Response {
         let inputs = fill_inputs(&adm.compiled, adm.seed);
         let funcs = FuncTable::new();
-        let run_opts = RunOptions {
-            threads: Some(self.options.threads),
-            limits: Limits::unlimited(), // the meter already embodies them
-            faults: None,
-            ceiling: None,
-        };
-        let out = run_with_meter(&adm.compiled, &inputs, &funcs, &run_opts, &mut adm.meter);
-        let fuel_left = adm.meter.fuel_limited().then(|| adm.meter.fuel_left());
-        adm.meter.settle();
         let verdicts = Some(verdicts_of(&adm.compiled));
-        match out {
-            Ok(out) => Response {
-                id: adm.id,
-                status: Status::Ok,
-                tenant: adm.tenant,
-                admitted: Some(adm.ordinal),
-                cache_hit: Some(adm.cache_hit),
-                evictions: adm.evictions,
-                answer_digest: Some(digest_output(&out)),
-                fuel_left: out.fuel_left,
-                engine_faults: out.counters.vm.engine_faults,
-                counters_digest: Some(digest_counters(&out.counters)),
-                verdicts,
-                error: None,
-            },
-            Err(e) => {
-                let status = match &e {
-                    RuntimeError::FuelExhausted { .. }
-                    | RuntimeError::MemLimitExceeded { .. }
-                    | RuntimeError::CeilingExhausted { .. } => Status::Limit,
-                    _ => Status::RuntimeError,
-                };
-                Response {
-                    id: adm.id,
-                    status,
-                    tenant: adm.tenant,
-                    admitted: Some(adm.ordinal),
-                    cache_hit: Some(adm.cache_hit),
-                    evictions: adm.evictions,
-                    answer_digest: None,
-                    fuel_left,
-                    engine_faults: 0,
-                    counters_digest: None,
-                    verdicts,
-                    error: Some(e.to_string()),
+        let mut attempts: u64 = 1;
+        loop {
+            let run_opts = RunOptions {
+                threads: Some(self.options.threads),
+                limits: Limits::unlimited(), // the meter already embodies them
+                faults: if attempts == 1 {
+                    // `None` defers to the ambient HAC_FAULT_PLAN.
+                    self.options.faults.clone()
+                } else {
+                    Some(FaultPlan::default())
+                },
+                ceiling: None,
+            };
+            let out = run_with_meter(&adm.compiled, &inputs, &funcs, &run_opts, &mut adm.meter);
+            let fuel_left = adm.meter.fuel_limited().then(|| adm.meter.fuel_left());
+            adm.meter.settle();
+            match out {
+                Ok(out) => {
+                    return Response {
+                        id: adm.id,
+                        status: Status::Ok,
+                        tenant: adm.tenant,
+                        admitted: Some(adm.ordinal),
+                        cache_hit: Some(adm.cache_hit),
+                        evictions: adm.evictions,
+                        answer_digest: Some(digest_output(&out)),
+                        fuel_left: out.fuel_left,
+                        engine_faults: out.counters.vm.engine_faults,
+                        counters_digest: Some(digest_counters(&out.counters)),
+                        verdicts,
+                        attempts,
+                        retry_after_ops: None,
+                        error: None,
+                    }
+                }
+                Err(e) => {
+                    if matches!(e, RuntimeError::EngineFault { .. })
+                        && attempts <= u64::from(adm.retry_budget)
+                    {
+                        // The settle above refunded the pool; if the
+                        // re-admission loses a race for that budget,
+                        // surface the original fault rather than a
+                        // confusing rejection.
+                        if let Ok(meter) = Meter::admit(adm.limits, &self.ceiling) {
+                            adm.meter = meter;
+                            attempts += 1;
+                            self.retried.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                    }
+                    let status = match &e {
+                        RuntimeError::FuelExhausted { .. }
+                        | RuntimeError::MemLimitExceeded { .. }
+                        | RuntimeError::CeilingExhausted { .. } => Status::Limit,
+                        _ => Status::RuntimeError,
+                    };
+                    return Response {
+                        id: adm.id,
+                        status,
+                        tenant: adm.tenant,
+                        admitted: Some(adm.ordinal),
+                        cache_hit: Some(adm.cache_hit),
+                        evictions: adm.evictions,
+                        answer_digest: None,
+                        fuel_left,
+                        engine_faults: 0,
+                        counters_digest: None,
+                        verdicts,
+                        attempts,
+                        retry_after_ops: None,
+                        error: Some(e.to_string()),
+                    };
                 }
             }
         }
@@ -780,14 +921,48 @@ impl Server {
     /// admission order. Responses come back in **input order**. Each
     /// admitted request's outcome is independent of sibling scheduling
     /// — the settlement rule fixes its budget at admission.
+    ///
+    /// When the batch exceeds [`ServeOptions::shed_watermark`] (and
+    /// the watermark is non-zero), the excess is shed per
+    /// [`sched::fair_schedule`] with `overloaded` responses carrying a
+    /// `retry_after_ops` hint — the summed fuel caps of the surviving
+    /// backlog. Survivors are then scheduled **as if the shed requests
+    /// never arrived**: their responses are byte-identical (ordinals
+    /// included) to a batch of only the survivors.
     pub fn run_batch(&self, reqs: &[Request], workers: usize) -> Vec<Response> {
-        let order = Self::predicted_order(reqs);
+        let schedule = Self::predicted_schedule(reqs, self.options.shed_watermark);
         let mut slots: Vec<Option<Response>> = (0..reqs.len()).map(|_| None).collect();
+        if !schedule.shed.is_empty() {
+            // The hint is the admitted backlog's declared fuel —
+            // uncapped survivors contribute 0, so the hint is a floor,
+            // never an overestimate of the queue ahead.
+            let backlog_ops: u64 = schedule
+                .order
+                .iter()
+                .map(|&i| reqs[i].fuel.unwrap_or(0))
+                .sum();
+            for &i in &schedule.shed {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                let mut resp = Response::failed(
+                    &reqs[i].id,
+                    Status::Overloaded,
+                    None,
+                    format!(
+                        "shed: queue depth {} past watermark {}",
+                        reqs.len(),
+                        self.options.shed_watermark
+                    ),
+                );
+                resp.tenant = reqs[i].tenant.clone();
+                resp.retry_after_ops = Some(backlog_ops);
+                slots[i] = Some(resp);
+            }
+        }
         // `jobs` holds (input index, admitted request) in admission
         // order; workers pull from its front, so execution starts in
         // the same fair order admission ran in.
         let mut jobs: Vec<(usize, Admitted)> = Vec::with_capacity(reqs.len());
-        for &i in &order {
+        for &i in &schedule.order {
             match self.admit(&reqs[i]) {
                 Ok(adm) => jobs.push((i, adm)),
                 Err(resp) => slots[i] = Some(*resp),
@@ -997,12 +1172,129 @@ mod tests {
             "engine_faults",
             "counters_digest",
             "verdicts",
+            "attempts",
+            "retry_after_ops",
             "error",
         ] {
             assert!(j.get(key).is_some(), "missing `{key}` in {j}");
         }
         assert_eq!(j.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(j.get("attempts").unwrap().as_u64(), Some(1));
         let v = j.get("verdicts").unwrap();
         assert_eq!(v.get("thunkless").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn batch_sheds_past_the_watermark_with_a_backlog_hint() {
+        let server = Server::new(ServeOptions {
+            shed_watermark: 3,
+            ..ServeOptions::default()
+        });
+        // Tenant a floods 4 requests, b sends 1: depth 5 is 2 past the
+        // watermark, and a (the diluted share) loses its two newest.
+        let mut reqs: Vec<Request> = (0..4)
+            .map(|i| {
+                let mut r = req(&format!("a{i}"), 8);
+                r.tenant = Some("a".to_string());
+                r.fuel = Some(1_000);
+                r
+            })
+            .collect();
+        let mut b = req("b0", 8);
+        b.tenant = Some("b".to_string());
+        b.fuel = Some(500);
+        reqs.push(b);
+        let schedule = Server::predicted_schedule(&reqs, 3);
+        assert_eq!(schedule.shed, vec![2, 3]);
+        let out = server.run_batch(&reqs, 2);
+        for &i in &schedule.shed {
+            assert_eq!(out[i].status, Status::Overloaded, "{}", out[i].id);
+            assert_eq!(out[i].admitted, None, "shed before admission");
+            // The hint is the surviving backlog's declared fuel.
+            assert_eq!(out[i].retry_after_ops, Some(1_000 + 1_000 + 500));
+            assert_eq!(out[i].tenant.as_deref(), Some("a"));
+        }
+        assert_eq!(server.server_stats().shed, 2);
+        // Survivors are byte-identical to a batch of only the
+        // survivors on a fresh server — the shed never happened, as
+        // far as they can tell.
+        let survivors: Vec<usize> = (0..reqs.len())
+            .filter(|i| !schedule.shed.contains(i))
+            .collect();
+        let alone: Vec<Request> = survivors.iter().map(|&i| reqs[i].clone()).collect();
+        let fresh = Server::new(ServeOptions {
+            shed_watermark: 3,
+            ..ServeOptions::default()
+        });
+        let alone_out = fresh.run_batch(&alone, 2);
+        for (k, &i) in survivors.iter().enumerate() {
+            assert_eq!(
+                out[i].to_json().to_string(),
+                alone_out[k].to_json().to_string()
+            );
+        }
+        assert_eq!(fresh.server_stats().shed, 0);
+    }
+
+    #[test]
+    fn watermark_zero_never_sheds() {
+        let server = Server::new(ServeOptions::default());
+        let reqs: Vec<Request> = (0..8).map(|i| req(&format!("r{i}"), 8)).collect();
+        let out = server.run_batch(&reqs, 2);
+        assert!(out.iter().all(|r| r.status == Status::Ok));
+        assert_eq!(server.server_stats().shed, 0);
+    }
+
+    #[test]
+    fn engine_fault_retry_restores_the_fault_free_outcome() {
+        // An in-place update region (write set ∩ read set ≠ ∅) is not
+        // retry-safe; with `nosnapshot` an injected worker panic
+        // surfaces as an EngineFault the engine layer cannot absorb.
+        let mut r = Request::new("s", hac_workloads::saxpy_source());
+        r.params = vec![("m".to_string(), 4), ("n".to_string(), 64)];
+        // The clean baseline pins an empty plan so an ambient
+        // HAC_FAULT_PLAN (CI's fault-injection job) cannot leak
+        // absorbed faults into its counters digest.
+        let clean_server = Server::new(ServeOptions {
+            threads: 2,
+            faults: Some(FaultPlan::default()),
+            ..ServeOptions::default()
+        });
+        let clean = clean_server.handle(&r);
+        assert_eq!(clean.status, Status::Ok);
+        assert_eq!(clean.attempts, 1);
+
+        let faulty = ServeOptions {
+            threads: 2,
+            faults: Some(FaultPlan::parse("nosnapshot,r0c0:panic").unwrap()),
+            ..ServeOptions::default()
+        };
+
+        // Budget 0: the fault surfaces as a runtime error.
+        let no_retry = Server::new(ServeOptions {
+            retry_budget: 0,
+            ..faulty.clone()
+        });
+        let resp = no_retry.handle(&r);
+        assert_eq!(resp.status, Status::RuntimeError);
+        assert!(resp.error.as_deref().unwrap().contains("engine fault"));
+        assert_eq!(resp.attempts, 1);
+        assert_eq!(no_retry.server_stats().retried, 0);
+
+        // Default budget (1): the retry runs the empty plan and the
+        // outcome is the clean one, except `attempts`.
+        let retrying = Server::new(faulty.clone());
+        let resp = retrying.handle(&r);
+        assert_eq!(resp.status, Status::Ok);
+        assert_eq!(resp.attempts, 2);
+        assert_eq!(resp.answer_digest, clean.answer_digest);
+        assert_eq!(resp.counters_digest, clean.counters_digest);
+        assert_eq!(retrying.server_stats().retried, 1);
+
+        // A request's own budget overrides the server default.
+        let server = Server::new(faulty);
+        let mut stubborn = r.clone();
+        stubborn.retry_budget = Some(0);
+        assert_eq!(server.handle(&stubborn).status, Status::RuntimeError);
     }
 }

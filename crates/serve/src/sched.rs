@@ -93,6 +93,107 @@ pub fn fair_order(arrivals: &[(&str, u64)]) -> Vec<usize> {
     order
 }
 
+/// A fair schedule with overload shedding applied: the admission
+/// `order` over the surviving arrivals, and the `shed` set — both
+/// permutation-disjoint index lists into the original arrival list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Arrival ordinals admitted, in fair admission order.
+    pub order: Vec<usize>,
+    /// Arrival ordinals shed before admission, ascending.
+    pub shed: Vec<usize>,
+}
+
+/// Compute the fair admission order for `arrivals` after shedding down
+/// to `shed_watermark` pending requests (`0` disables shedding).
+///
+/// **Shed rule** — a pure function of the arrival list and the
+/// watermark, so the simulator can predict shed sets exactly: while
+/// more than `shed_watermark` arrivals remain, shed the **newest
+/// pending arrival of the tenant with the lowest stride share per
+/// pending request** — the tenant minimizing `weight / pending`,
+/// compared exactly by cross-multiplication. A tenant flooding the
+/// queue dilutes its own per-request share and therefore loses its
+/// newest requests first; a light tenant's backlog is untouched until
+/// the flooder has been pared back to parity. Ties break toward the
+/// tenant holding the globally newest pending arrival, so the choice
+/// is total. Survivors are then ordered by [`fair_order`] exactly as
+/// if the shed requests had never arrived.
+pub fn fair_schedule(arrivals: &[(&str, u64)], shed_watermark: usize) -> Schedule {
+    let mut shed: Vec<usize> = Vec::new();
+    if shed_watermark > 0 && arrivals.len() > shed_watermark {
+        // Per-tenant pending stacks (newest last) and effective weights.
+        let weights = tenant_weights(arrivals);
+        let mut pending: Vec<(usize, Vec<usize>)> = weights
+            .iter()
+            .enumerate()
+            .map(|(slot, _)| (slot, Vec::new()))
+            .collect();
+        for (ordinal, (tenant, _)) in arrivals.iter().enumerate() {
+            let slot = weights
+                .iter()
+                .position(|(t, _)| t == tenant)
+                .expect("tenant table covers every arrival");
+            pending[slot].1.push(ordinal);
+        }
+        for _ in 0..arrivals.len() - shed_watermark {
+            // victim tenant: min weight/pending, exact comparison
+            // w_a/p_a < w_b/p_b  ⇔  w_a·p_b < w_b·p_a; ties go to the
+            // tenant whose newest pending arrival is globally newest.
+            let mut victim: Option<(u64, usize, usize)> = None; // (weight, pending, slot)
+            for &(slot, ref stack) in &pending {
+                if stack.is_empty() {
+                    continue;
+                }
+                let w = weights[slot].1;
+                let p = stack.len();
+                let newest = *stack.last().expect("nonempty");
+                let better = match victim {
+                    None => true,
+                    Some((bw, bp, bslot)) => {
+                        let lhs = u128::from(w) * bp as u128;
+                        let rhs = u128::from(bw) * p as u128;
+                        let b_newest = *pending
+                            .iter()
+                            .find(|(s, _)| *s == bslot)
+                            .expect("slot exists")
+                            .1
+                            .last()
+                            .expect("nonempty");
+                        lhs < rhs || (lhs == rhs && newest > b_newest)
+                    }
+                };
+                if better {
+                    victim = Some((w, p, slot));
+                }
+            }
+            let (_, _, slot) = victim.expect("watermark < arrivals ⇒ someone pending");
+            let stack = &mut pending
+                .iter_mut()
+                .find(|(s, _)| *s == slot)
+                .expect("slot exists")
+                .1;
+            shed.push(stack.pop().expect("nonempty"));
+        }
+        shed.sort_unstable();
+    }
+    // Order the survivors exactly as if the shed requests never
+    // arrived: filter, schedule, map back to original ordinals.
+    let mut survivors: Vec<usize> = Vec::with_capacity(arrivals.len() - shed.len());
+    let mut filtered: Vec<(&str, u64)> = Vec::with_capacity(arrivals.len() - shed.len());
+    for (ordinal, arr) in arrivals.iter().enumerate() {
+        if shed.binary_search(&ordinal).is_err() {
+            survivors.push(ordinal);
+            filtered.push(*arr);
+        }
+    }
+    let order = fair_order(&filtered)
+        .into_iter()
+        .map(|i| survivors[i])
+        .collect();
+    Schedule { order, shed }
+}
+
 /// The effective `(tenant, weight)` table for `arrivals` — each tenant
 /// once, in first-arrival order, with its effective (first-declared,
 /// clamped) weight. Useful for reporting and golden files.
@@ -164,6 +265,77 @@ mod tests {
         // Weight 0 clamps to 1.
         let arrivals = vec![("z", 0)];
         assert_eq!(tenant_weights(&arrivals), vec![("z", 1)]);
+    }
+
+    #[test]
+    fn shedding_disabled_at_watermark_zero_or_under_capacity() {
+        let arrivals = vec![("a", 1), ("b", 1), ("a", 1)];
+        let s = fair_schedule(&arrivals, 0);
+        assert!(s.shed.is_empty());
+        assert_eq!(s.order, fair_order(&arrivals));
+        let s = fair_schedule(&arrivals, 3);
+        assert!(s.shed.is_empty());
+        let s = fair_schedule(&arrivals, 8);
+        assert!(s.shed.is_empty());
+    }
+
+    #[test]
+    fn flooding_tenant_sheds_its_newest_arrivals_first() {
+        // Tenant a floods 6 requests, b sends 2; equal weights, so a's
+        // per-request share (1/6) is lowest and a's newest arrivals
+        // are shed until parity.
+        let mut arrivals: Vec<(&str, u64)> = (0..6).map(|_| ("a", 1)).collect();
+        arrivals.push(("b", 1));
+        arrivals.push(("b", 1));
+        let s = fair_schedule(&arrivals, 5);
+        assert_eq!(s.shed, vec![3, 4, 5], "a's newest arrivals go first");
+        assert_eq!(s.order.len(), 5);
+        // Survivors are ordered exactly as if the shed never arrived.
+        let survivors = vec![("a", 1), ("a", 1), ("a", 1), ("b", 1), ("b", 1)];
+        let want: Vec<usize> = fair_order(&survivors)
+            .into_iter()
+            .map(|i| [0, 1, 2, 6, 7][i])
+            .collect();
+        assert_eq!(s.order, want);
+    }
+
+    #[test]
+    fn heavier_tenant_keeps_more_of_its_backlog() {
+        // a (weight 3) and b (weight 1), 4 requests each, watermark 4:
+        // b's share per pending request is lower throughout, so b
+        // sheds until its backlog is small enough for the ratio to
+        // flip (3/4 vs 1/p flips at p=1: 3·p < 1·4 ⇔ p < 4/3).
+        let mut arrivals: Vec<(&str, u64)> = Vec::new();
+        for _ in 0..4 {
+            arrivals.push(("a", 3));
+            arrivals.push(("b", 1));
+        }
+        let s = fair_schedule(&arrivals, 4);
+        let shed_b = s.shed.iter().filter(|&&i| i % 2 == 1).count();
+        let shed_a = s.shed.len() - shed_b;
+        assert_eq!(s.shed.len(), 4);
+        assert_eq!((shed_a, shed_b), (1, 3), "weight 3:1 ⇒ shed ratio ~1:3");
+        let mut all: Vec<usize> = s.order.iter().chain(&s.shed).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>(), "partition is exact");
+    }
+
+    #[test]
+    fn shed_set_is_a_pure_function_of_the_list() {
+        let arrivals = vec![
+            ("x", 5),
+            ("y", 2),
+            ("x", 5),
+            ("", 1),
+            ("y", 2),
+            ("x", 5),
+            ("", 1),
+        ];
+        for watermark in 0..=arrivals.len() + 1 {
+            let a = fair_schedule(&arrivals, watermark);
+            let b = fair_schedule(&arrivals, watermark);
+            assert_eq!(a, b, "watermark {watermark}");
+        }
     }
 
     #[test]

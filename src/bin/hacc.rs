@@ -33,12 +33,26 @@
 //!                                 0 = unbounded)
 //!   --ops-per-ms N                inject the deadline rate (skip calibration)
 //!   --engine / --mode             defaults for requests that don't pick
+//!   --shed-watermark N            batch queue depth past which the lowest-
+//!                                 share tenant's newest arrivals are shed
+//!                                 with `overloaded` + a `retry_after_ops`
+//!                                 hint (default 0 = never shed)
+//!   --retry-budget N              extra attempts granted on an unabsorbed
+//!                                 engine fault (default 1)
 //!
 //! daemon options (besides the serve options):
 //!   --listen ADDR                 address to bind, e.g. 127.0.0.1:7070
 //!                                 (port 0 picks a free port; the bound
 //!                                 address is printed on stdout)
 //!   --max-conns N                 concurrent connections (default 8)
+//!   --io-timeout-ms N             per-connection read/write deadline
+//!                                 (default: none)
+//!   --max-line-bytes N            request-line byte cap (default 1 MiB)
+//!   --chaos-plan SPEC             deterministic I/O fault plan, e.g.
+//!                                 `c1:drop,c2r1:garbage` (or the
+//!                                 HAC_CHAOS_PLAN environment variable);
+//!                                 engine tokens like `r0c0:panic` ride in
+//!                                 the same spec
 //! ```
 //!
 //! Requests carry optional `tenant` and `weight` fields: `hacc batch`
@@ -103,8 +117,10 @@ fn usage() -> &'static str {
      \x20      hacc batch JOBS.json [--workers N] [--threads N] \
      [--ceiling-fuel N] [--ceiling-mem BYTES] [--stripes N] [--cache-cap N] \
      [--ops-per-ms N]\n\
+     [--shed-watermark N] [--retry-budget N]\n\
      \x20      hacc serve [same options as batch]\n\
-     \x20      hacc daemon --listen ADDR [--max-conns N] [same options as batch]"
+     \x20      hacc daemon --listen ADDR [--max-conns N] [--io-timeout-ms N] \
+     [--max-line-bytes N] [--chaos-plan SPEC] [same options as batch]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -312,6 +328,13 @@ struct ServeCli {
     listen: Option<String>,
     /// `--max-conns` for `daemon`.
     max_conns: usize,
+    /// `--io-timeout-ms` for `daemon`.
+    io_timeout_ms: Option<u64>,
+    /// `--max-line-bytes` for `daemon`.
+    max_line_bytes: usize,
+    /// `--chaos-plan` for `daemon` (the flag form; the
+    /// `HAC_CHAOS_PLAN` environment variable is the fallback).
+    chaos_plan: Option<String>,
 }
 
 fn parse_serve_args(mut args: std::env::Args) -> Result<ServeCli, String> {
@@ -327,6 +350,11 @@ fn parse_serve_args(mut args: std::env::Args) -> Result<ServeCli, String> {
     let mut jobs_file = None;
     let mut listen = None;
     let mut max_conns = 8usize;
+    let mut shed_watermark = 0usize;
+    let mut retry_budget = hac::serve::DEFAULT_RETRY_BUDGET;
+    let mut io_timeout_ms = None;
+    let mut max_line_bytes = hac::serve::daemon::DEFAULT_MAX_LINE_BYTES;
+    let mut chaos_plan = None;
     while let Some(arg) = args.next() {
         let mut uint = |flag: &str| -> Result<u64, String> {
             let n = args.next().ok_or_else(|| format!("{flag} needs a value"))?;
@@ -368,6 +396,18 @@ fn parse_serve_args(mut args: std::env::Args) -> Result<ServeCli, String> {
                 listen = Some(args.next().ok_or("--listen needs an address")?);
             }
             "--max-conns" => max_conns = uint("--max-conns")?.max(1) as usize,
+            "--shed-watermark" => shed_watermark = uint("--shed-watermark")? as usize,
+            "--retry-budget" => {
+                retry_budget = u32::try_from(uint("--retry-budget")?)
+                    .map_err(|_| "--retry-budget is too large".to_string())?;
+            }
+            "--io-timeout-ms" => io_timeout_ms = Some(uint("--io-timeout-ms")?.max(1)),
+            "--max-line-bytes" => {
+                max_line_bytes = uint("--max-line-bytes")?.max(1) as usize;
+            }
+            "--chaos-plan" => {
+                chaos_plan = Some(args.next().ok_or("--chaos-plan needs a spec")?);
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other if jobs_file.is_none() && !other.starts_with("--") => {
                 jobs_file = Some(other.to_string());
@@ -395,11 +435,17 @@ fn parse_serve_args(mut args: std::env::Args) -> Result<ServeCli, String> {
             stripes,
             deadline,
             cache_cap,
+            shed_watermark,
+            retry_budget,
+            faults: None,
         },
         workers,
         jobs_file,
         listen,
         max_conns,
+        io_timeout_ms,
+        max_line_bytes,
+        chaos_plan,
     })
 }
 
@@ -463,27 +509,76 @@ fn batch_main(cli: ServeCli) -> ExitCode {
         }
     }
     let server = Server::new(cli.options);
-    let responses = server.run_batch(&reqs, cli.workers);
+    let mut responses = server.run_batch(&reqs, cli.workers);
+    // Honor `retry_after_ops`: an overloaded response asks the client
+    // to come back once the admitted backlog's fuel has drained, and
+    // `run_batch` returns only after that backlog completed — so one
+    // immediate resubmission of the shed requests honors the hint
+    // exactly (no clock involved). Requests shed twice stay
+    // overloaded: the queue is genuinely past capacity.
+    let shed: Vec<usize> = (0..responses.len())
+        .filter(|&i| responses[i].status == hac::serve::Status::Overloaded)
+        .collect();
+    if !shed.is_empty() {
+        let hint = responses[shed[0]].retry_after_ops.unwrap_or(0);
+        eprintln!(
+            "batch: {} overloaded response(s), resubmitting after a backlog of {} op(s)",
+            shed.len(),
+            hint,
+        );
+        let again: Vec<Request> = shed.iter().map(|&i| reqs[i].clone()).collect();
+        let retried = server.run_batch(&again, cli.workers);
+        for (resp, &i) in retried.into_iter().zip(&shed) {
+            responses[i] = resp;
+        }
+    }
     let out = json::Json::Arr(responses.iter().map(|r| r.to_json()).collect());
     println!("{out}");
     let stats = server.cache_stats();
+    let sv = server.server_stats();
     eprintln!(
-        "batch: {} request(s), cache {} hit(s) / {} miss(es) / {} eviction(s), {} live of cap {}",
+        "batch: {} request(s), cache {} hit(s) / {} miss(es) / {} eviction(s), {} live of cap {}, \
+         {} shed, {} retried",
         responses.len(),
         stats.hits,
         stats.misses,
         stats.evictions,
         stats.live,
         stats.cap,
+        sv.shed,
+        sv.retried,
     );
     ExitCode::SUCCESS
 }
 
-fn daemon_main(cli: ServeCli) -> ExitCode {
+fn daemon_main(mut cli: ServeCli) -> ExitCode {
     let Some(listen) = cli.listen.clone() else {
         eprintln!("daemon needs --listen ADDR (e.g. --listen 127.0.0.1:7070)");
         return ExitCode::from(EXIT_USAGE);
     };
+    // `--chaos-plan` wins over the environment; either way the plan's
+    // engine-level tokens are routed to the server so one spec faults
+    // both the sockets and the engines.
+    let chaos_spec = cli
+        .chaos_plan
+        .clone()
+        .or_else(|| std::env::var("HAC_CHAOS_PLAN").ok());
+    let chaos = match chaos_spec
+        .as_deref()
+        .map(hac::serve::chaos::ChaosPlan::parse)
+    {
+        None => None,
+        Some(Ok(plan)) => Some(plan),
+        Some(Err(e)) => {
+            eprintln!("bad chaos plan: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    if let Some(plan) = &chaos {
+        if !plan.engine.points.is_empty() || !plan.engine.snapshot {
+            cli.options.faults = Some(plan.engine.clone());
+        }
+    }
     let listener = match std::net::TcpListener::bind(&listen) {
         Ok(l) => l,
         Err(e) => {
@@ -506,6 +601,9 @@ fn daemon_main(cli: ServeCli) -> ExitCode {
     let server = std::sync::Arc::new(Server::new(cli.options));
     let opts = hac::serve::daemon::DaemonOptions {
         max_conns: cli.max_conns,
+        io_timeout_ms: cli.io_timeout_ms,
+        max_line_bytes: cli.max_line_bytes,
+        chaos,
     };
     match hac::serve::daemon::run(server, listener, opts) {
         Ok(()) => {
@@ -537,13 +635,19 @@ fn serve_main(cli: ServeCli) -> ExitCode {
         let response = match json::parse(&line).and_then(|v| resolve_request(&v)) {
             Ok(req) => server.handle(&req),
             Err(e) => {
+                // The same structured shape the daemon's armor uses:
+                // a stable code in `error`, specifics in `detail`.
                 let err = json::Json::Obj(vec![
                     ("id".to_string(), json::Json::Null),
                     (
                         "status".to_string(),
                         json::Json::Str("rejected".to_string()),
                     ),
-                    ("error".to_string(), json::Json::Str(e)),
+                    (
+                        "error".to_string(),
+                        json::Json::Str("bad-request".to_string()),
+                    ),
+                    ("detail".to_string(), json::Json::Str(e)),
                 ]);
                 let _ = writeln!(stdout, "{err}");
                 let _ = stdout.flush();

@@ -124,8 +124,15 @@ fn run_sequential(reqs: &[Request]) -> Vec<String> {
 fn run_daemon(reqs: &[Request]) -> Vec<String> {
     let order = Server::predicted_order(reqs);
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
-    let daemon = daemon::spawn(Arc::new(server()), listener, DaemonOptions { max_conns: 2 })
-        .expect("spawn daemon");
+    let daemon = daemon::spawn(
+        Arc::new(server()),
+        listener,
+        DaemonOptions {
+            max_conns: 2,
+            ..DaemonOptions::default()
+        },
+    )
+    .expect("spawn daemon");
     let stream = TcpStream::connect(daemon.addr()).expect("connect");
     let mut reader = BufReader::new(stream.try_clone().expect("clone"));
     let mut out_stream = stream;
@@ -194,6 +201,86 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Overload shedding is part of the simulator contract: with a
+    /// watermark armed, `run_batch` sheds exactly the requests
+    /// `Server::predicted_schedule` says it will (`overloaded` status,
+    /// clock-free `retry_after_ops` hint equal to the survivors' total
+    /// fuel), and every survivor's response is byte-identical to a
+    /// batch in which the shed requests never arrived at all.
+    #[test]
+    fn shedding_matches_the_prediction_and_spares_survivors_byte_for_byte(seed in any::<u64>()) {
+        let sources: [String; 3] = [
+            std::fs::read_to_string(KERNELS[0].path).expect("wavefront.hac"),
+            std::fs::read_to_string(KERNELS[1].path).expect("tridiag.hac"),
+            std::fs::read_to_string(KERNELS[2].path).expect("sor.hac"),
+        ];
+        let reqs = workload(seed, &sources);
+        let watermark = reqs.len() / 2 + 1;
+        let schedule = hac::serve::Server::predicted_schedule(&reqs, watermark);
+        prop_assert_eq!(
+            schedule.shed.len(), reqs.len() - watermark,
+            "seed {}: shed down to exactly the watermark", seed
+        );
+        let backlog: u64 = schedule.order.iter().map(|&i| reqs[i].fuel.unwrap_or(0)).sum();
+        let kept: Vec<Request> = (0..reqs.len())
+            .filter(|i| !schedule.shed.contains(i))
+            .map(|i| reqs[i].clone())
+            .collect();
+
+        for workers in WORKERS {
+            let srv = Server::new(ServeOptions {
+                shed_watermark: watermark,
+                ..ServeOptions::default()
+            });
+            let out = srv.run_batch(&reqs, workers);
+            for &i in &schedule.shed {
+                prop_assert_eq!(
+                    out[i].status, hac::serve::Status::Overloaded,
+                    "seed {}: batch@{} request {} predicted shed", seed, workers, reqs[i].id
+                );
+                prop_assert_eq!(
+                    out[i].retry_after_ops, Some(backlog),
+                    "seed {}: batch@{} shed hint for {}", seed, workers, reqs[i].id
+                );
+            }
+            let stats = srv.server_stats();
+            prop_assert_eq!(stats.shed, schedule.shed.len() as u64);
+
+            // Survivors must be untouched by the sheds: byte-identical
+            // to a fresh batch of only the survivors.
+            let srv2 = Server::new(ServeOptions {
+                shed_watermark: watermark,
+                ..ServeOptions::default()
+            });
+            let kept_out = srv2.run_batch(&kept, workers);
+            let mut k = 0;
+            for i in 0..reqs.len() {
+                if schedule.shed.contains(&i) {
+                    continue;
+                }
+                prop_assert_eq!(
+                    &line(&out[i]), &line(&kept_out[k]),
+                    "seed {}: batch@{} survivor {} perturbed by sheds",
+                    seed, workers, reqs[i].id
+                );
+                k += 1;
+            }
+
+            // Realized admission order over the survivors equals the
+            // watermarked prediction.
+            let mut realized: Vec<usize> = schedule.order.clone();
+            realized.sort_by_key(|&i| out[i].admitted.expect("survivors are stamped"));
+            prop_assert_eq!(
+                &realized, &schedule.order,
+                "seed {}: batch@{} realized survivor order vs predicted", seed, workers
+            );
+        }
+    }
+}
+
 /// The daemon's per-connection tenant attribution: a connection that
 /// declares `{"control":"tenant",...}` stamps that tenant onto every
 /// later request that names none of its own, and `{"control":"stats"}`
@@ -254,8 +341,15 @@ fn daemon_attributes_untagged_requests_to_the_connection_tenant() {
 #[test]
 fn daemon_serves_more_connections_than_slots() {
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
-    let daemon = daemon::spawn(Arc::new(server()), listener, DaemonOptions { max_conns: 2 })
-        .expect("spawn daemon");
+    let daemon = daemon::spawn(
+        Arc::new(server()),
+        listener,
+        DaemonOptions {
+            max_conns: 2,
+            ..DaemonOptions::default()
+        },
+    )
+    .expect("spawn daemon");
     let addr = daemon.addr();
     let src = std::fs::read_to_string("programs/wavefront.hac").unwrap();
 
