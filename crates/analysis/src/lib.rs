@@ -46,6 +46,7 @@
 
 pub mod analyze;
 pub mod banerjee;
+pub mod cost;
 pub mod depgraph;
 pub mod direction;
 pub mod equation;
@@ -61,6 +62,7 @@ pub use analyze::{
     EmptiesVerdict, OobSite, UpdateAnalysis,
 };
 pub use banerjee::{banerjee_test, banerjee_test_dim};
+pub use cost::{Bound, CostCert, Poly};
 pub use depgraph::{
     anti_dependences, constant_distance, flow_dependences, output_dependences, DepEdge, DepKind,
     DependenceGraph,

@@ -1,0 +1,75 @@
+//! E25 — certificate admission: what a proved cost bound saves.
+//!
+//! Three prices for a starved request (a fuel budget the program can
+//! certifiably never finish under), all cache-warm so the front end is
+//! out of the picture:
+//!
+//!   * `certified-reject` — wavefront carries an *exact* certificate,
+//!     so the server proves the shortfall at admission and rejects
+//!     with `over-certificate` before executing a single op.
+//!   * `metered-limit` — Gauss–Seidel's certificate is only an upper
+//!     bound, so the same starvation runs on the metered path until
+//!     the meter trips mid-flight: the work a certificate avoids.
+//!   * `admit-at-cert` — the control: a budget exactly at the
+//!     certificate admits and runs to completion with zero fuel left,
+//!     pricing the certificate check itself on the happy path.
+//!
+//! `CRITERION_JSON=BENCH_cert.json cargo bench -p hac-bench --bench
+//! cert_admission` records the medians EXPERIMENTS.md E25 quotes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hac_serve::{Request, ServeOptions, Server};
+use hac_workloads as wl;
+
+fn request(src: &str, n: i64, fuel: u64) -> Request {
+    let mut r = Request::new("r", src);
+    r.params.push(("n".to_string(), n));
+    r.fuel = Some(fuel);
+    r
+}
+
+/// A server pre-warmed on the request's program so every measured
+/// `handle` is a cache hit.
+fn warm_server(src: &str, n: i64) -> Server {
+    let server = Server::new(ServeOptions::default());
+    let warmup = request(src, n, u64::MAX);
+    assert_eq!(server.handle(&warmup).status.as_str(), "ok");
+    server
+}
+
+fn bench_cert_admission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cert_admission");
+    for n in [16i64, 64] {
+        // Wavefront certifies fuel n^2 + n - 1 exactly.
+        let cert_fuel = (n * n + n - 1) as u64;
+
+        let server = warm_server(wl::wavefront_source(), n);
+        let starved = request(wl::wavefront_source(), n, 3);
+        assert_eq!(server.handle(&starved).status.as_str(), "over-certificate");
+        group.bench_with_input(BenchmarkId::new("certified-reject", n), &n, |b, _| {
+            b.iter(|| server.handle(&starved))
+        });
+
+        let at_cert = request(wl::wavefront_source(), n, cert_fuel);
+        let resp = server.handle(&at_cert);
+        assert_eq!(resp.status.as_str(), "ok");
+        assert_eq!(resp.fuel_left, Some(0), "the certificate is tight");
+        group.bench_with_input(BenchmarkId::new("admit-at-cert", n), &n, |b, _| {
+            b.iter(|| server.handle(&at_cert))
+        });
+
+        // Gauss–Seidel: inexact certificate, so the identical
+        // starvation burns its whole 3-op budget plus the allocation
+        // and settle machinery before failing.
+        let sor = warm_server(wl::sor_source(), n);
+        let metered = request(wl::sor_source(), n, 3);
+        assert_eq!(sor.handle(&metered).status.as_str(), "limit");
+        group.bench_with_input(BenchmarkId::new("metered-limit", n), &n, |b, _| {
+            b.iter(|| sor.handle(&metered))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cert_admission);
+criterion_main!(benches);

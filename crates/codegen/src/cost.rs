@@ -1,0 +1,334 @@
+//! Concrete worst-case cost of a lowered Limp program.
+//!
+//! [`program_cost`] walks an [`LProgram`] and reproduces the metering
+//! contract *statically*: it charges exactly what the VM's
+//! `exec_one`/`eval_expr_metered` pair would charge on a successful
+//! run — one fuel unit per taken loop iteration, one per evaluated
+//! scalar-function call, allocation footprints and array-copy bytes
+//! for memory — taking the worst case wherever control can branch.
+//! Because the tape and parallel-tape engines charge the same totals
+//! as the tree walk (the differential suites pin this), and the fusion
+//! passes bulk-charge by closed forms equal to the scalar schedule,
+//! one walk covers every engine at every thread count.
+//!
+//! Limp loop bounds are concrete here (parameters fold during
+//! lowering), so the result is a number, not a polynomial; the
+//! symbolic form is assembled a layer up in `hac_core::cost` and
+//! calibrated against these figures.
+
+use std::collections::HashMap;
+
+use hac_lang::ast::{BinOp, Expr};
+use hac_runtime::value::ArrayBuf;
+
+use crate::limp::{LProgram, LStmt, StoreCheck};
+use crate::partape::trip_count;
+
+/// Worst-case resource use of one Limp program on the compiled
+/// parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConcreteCost {
+    /// Fuel a successful run draws (worst case over branches).
+    pub fuel: u64,
+    /// Memory a successful run charges, in bytes. The meter never
+    /// credits memory back, so total charged == peak.
+    pub mem: u64,
+    /// `true` when every run that completes draws *exactly* these
+    /// amounts on every engine: no runtime store checks (which can
+    /// stop a run early), no branches whose sides cost differently.
+    pub exact: bool,
+}
+
+impl ConcreteCost {
+    fn zero() -> ConcreteCost {
+        ConcreteCost {
+            fuel: 0,
+            mem: 0,
+            exact: true,
+        }
+    }
+}
+
+/// Cost the program against the metering contract. `shapes` maps every
+/// array the program may `CopyArray` from (inputs and earlier bindings)
+/// to its bounds; arrays the program allocates itself are tracked
+/// during the walk. Returns `None` when a copied array's shape is
+/// unknown — the bound does not close.
+pub fn program_cost(
+    prog: &LProgram,
+    shapes: &HashMap<String, Vec<(i64, i64)>>,
+) -> Option<ConcreteCost> {
+    let mut shapes = shapes.clone();
+    stmts_cost(&prog.stmts, &mut shapes)
+}
+
+fn stmts_cost(
+    stmts: &[LStmt],
+    shapes: &mut HashMap<String, Vec<(i64, i64)>>,
+) -> Option<ConcreteCost> {
+    let mut total = ConcreteCost::zero();
+    for s in stmts {
+        let c = stmt_cost(s, shapes)?;
+        total.fuel = total.fuel.saturating_add(c.fuel);
+        total.mem = total.mem.saturating_add(c.mem);
+        total.exact &= c.exact;
+    }
+    Some(total)
+}
+
+fn stmt_cost(s: &LStmt, shapes: &mut HashMap<String, Vec<(i64, i64)>>) -> Option<ConcreteCost> {
+    match s {
+        LStmt::Alloc {
+            array,
+            bounds,
+            checked,
+            ..
+        } => {
+            shapes.insert(array.clone(), bounds.clone());
+            Some(ConcreteCost {
+                fuel: 0,
+                mem: ArrayBuf::footprint_bytes(bounds, *checked),
+                exact: true,
+            })
+        }
+        LStmt::For {
+            start,
+            end,
+            step,
+            body,
+            ..
+        } => {
+            let trip = trip_count(*start, *end, *step);
+            let b = stmts_cost(body, shapes)?;
+            Some(ConcreteCost {
+                // The VM charges one fuel unit per taken iteration,
+                // then the body; `static_fuel_cost` uses the same
+                // `trip * (1 + body)` form.
+                fuel: trip.saturating_mul(b.fuel.saturating_add(1)),
+                mem: trip.saturating_mul(b.mem),
+                exact: b.exact,
+            })
+        }
+        LStmt::Store {
+            subs, value, check, ..
+        } => {
+            let mut fuel = 0u64;
+            let mut exact = true;
+            for e in subs {
+                let (c, ex) = expr_calls(e);
+                fuel = fuel.saturating_add(c);
+                exact &= ex;
+            }
+            let (c, ex) = expr_calls(value);
+            Some(ConcreteCost {
+                fuel: fuel.saturating_add(c),
+                mem: 0,
+                // A monolithic check can abort the run partway (write
+                // collision), leaving the bound sound but not exact.
+                exact: exact && ex && *check == StoreCheck::None,
+            })
+        }
+        LStmt::If { cond, then, els } => {
+            let (cc, ce) = expr_calls(cond);
+            let t = stmts_cost(then, shapes)?;
+            let e = stmts_cost(els, shapes)?;
+            Some(ConcreteCost {
+                fuel: cc.saturating_add(t.fuel.max(e.fuel)),
+                mem: t.mem.max(e.mem),
+                // Equal-cost sides keep the figure exact: whichever
+                // branch runs charges the same amounts.
+                exact: ce && t.exact && e.exact && t.fuel == e.fuel && t.mem == e.mem,
+            })
+        }
+        LStmt::Let { binds, body } => {
+            let mut fuel = 0u64;
+            let mut exact = true;
+            for (_, e) in binds {
+                let (c, ex) = expr_calls(e);
+                fuel = fuel.saturating_add(c);
+                exact &= ex;
+            }
+            let b = stmts_cost(body, shapes)?;
+            Some(ConcreteCost {
+                fuel: fuel.saturating_add(b.fuel),
+                mem: b.mem,
+                exact: exact && b.exact,
+            })
+        }
+        LStmt::CopyArray { dst, src } => {
+            let bounds = shapes.get(src)?.clone();
+            let mem = ArrayBuf::data_bytes(&bounds);
+            shapes.insert(dst.clone(), bounds);
+            Some(ConcreteCost {
+                fuel: 0,
+                mem,
+                exact: true,
+            })
+        }
+        // Charges nothing, but can stop a run partway (undefined
+        // element), so a failing run may draw less than the bound.
+        LStmt::CheckComplete { .. } => Some(ConcreteCost {
+            fuel: 0,
+            mem: 0,
+            exact: false,
+        }),
+    }
+}
+
+/// Worst-case scalar-function calls an expression evaluation charges,
+/// and whether every evaluation charges exactly that many.
+pub fn expr_calls(e: &Expr) -> (u64, bool) {
+    match e {
+        Expr::Num(_) | Expr::Int(_) | Expr::Var(_) => (0, true),
+        Expr::Index { subs, .. } => subs.iter().map(expr_calls).fold((0, true), join_seq),
+        Expr::Binary { op, lhs, rhs } => {
+            let l = expr_calls(lhs);
+            let r = expr_calls(rhs);
+            match op {
+                // Short-circuit: the right side may be skipped, so the
+                // sum is a worst case, exact only when it costs 0.
+                BinOp::And | BinOp::Or => (l.0.saturating_add(r.0), l.1 && r.1 && r.0 == 0),
+                _ => join_seq(l, r),
+            }
+        }
+        Expr::Unary { expr, .. } => expr_calls(expr),
+        Expr::If { cond, then, els } => {
+            let c = expr_calls(cond);
+            let t = expr_calls(then);
+            let e = expr_calls(els);
+            (
+                c.0.saturating_add(t.0.max(e.0)),
+                c.1 && t.1 && e.1 && t.0 == e.0,
+            )
+        }
+        Expr::Let { binds, body } => binds
+            .iter()
+            .map(|(_, e)| expr_calls(e))
+            .fold(expr_calls(body), join_seq),
+        Expr::Call { args, .. } => {
+            let (c, exact) = args.iter().map(expr_calls).fold((0, true), join_seq);
+            (c.saturating_add(1), exact)
+        }
+    }
+}
+
+fn join_seq(a: (u64, bool), b: (u64, bool)) -> (u64, bool) {
+    (a.0.saturating_add(b.0), a.1 && b.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn for_loop(start: i64, end: i64, body: Vec<LStmt>) -> LStmt {
+        LStmt::For {
+            var: "i".to_string(),
+            start,
+            end,
+            step: 1,
+            par: false,
+            red: false,
+            body,
+        }
+    }
+
+    fn store(check: StoreCheck) -> LStmt {
+        LStmt::Store {
+            array: "a".to_string(),
+            subs: vec![Expr::Var("i".to_string())],
+            value: Expr::Int(1),
+            check,
+        }
+    }
+
+    #[test]
+    fn loop_fuel_matches_the_vm_contract() {
+        // for i in 1..=10 { store } charges 10 iterations, 0 calls.
+        let prog = LProgram {
+            stmts: vec![
+                LStmt::Alloc {
+                    array: "a".to_string(),
+                    bounds: vec![(1, 10)],
+                    fill: 0.0,
+                    temp: false,
+                    checked: false,
+                },
+                for_loop(1, 10, vec![store(StoreCheck::None)]),
+            ],
+            result: "a".to_string(),
+        };
+        let c = program_cost(&prog, &HashMap::new()).unwrap();
+        assert_eq!(c.fuel, 10);
+        assert_eq!(c.mem, 80);
+        assert!(c.exact);
+    }
+
+    #[test]
+    fn nested_loops_multiply() {
+        let inner = for_loop(1, 4, vec![store(StoreCheck::None)]);
+        let prog = LProgram {
+            stmts: vec![for_loop(1, 3, vec![inner])],
+            result: "a".to_string(),
+        };
+        let c = program_cost(&prog, &HashMap::new()).unwrap();
+        // 3 * (1 + 4 * (1 + 0)) = 15
+        assert_eq!(c.fuel, 15);
+        assert!(c.exact);
+    }
+
+    #[test]
+    fn calls_charge_one_each_worst_case_over_branches() {
+        let call = Expr::Call {
+            func: "omega".to_string(),
+            args: vec![Expr::Var("i".to_string())],
+        };
+        let branchy = Expr::If {
+            cond: Box::new(Expr::Int(1)),
+            then: Box::new(call.clone()),
+            els: Box::new(Expr::Int(0)),
+        };
+        assert_eq!(expr_calls(&call), (1, true));
+        assert_eq!(expr_calls(&branchy), (1, false));
+    }
+
+    #[test]
+    fn monolithic_checks_and_checkcomplete_clear_exact() {
+        let prog = LProgram {
+            stmts: vec![
+                LStmt::Alloc {
+                    array: "a".to_string(),
+                    bounds: vec![(1, 4)],
+                    fill: 0.0,
+                    temp: false,
+                    checked: true,
+                },
+                for_loop(1, 4, vec![store(StoreCheck::Monolithic)]),
+                LStmt::CheckComplete {
+                    array: "a".to_string(),
+                },
+            ],
+            result: "a".to_string(),
+        };
+        let c = program_cost(&prog, &HashMap::new()).unwrap();
+        assert_eq!(c.fuel, 4);
+        assert_eq!(c.mem, ArrayBuf::footprint_bytes(&[(1, 4)], true));
+        assert!(!c.exact);
+    }
+
+    #[test]
+    fn copy_needs_a_known_source_shape() {
+        let copy = LProgram {
+            stmts: vec![LStmt::CopyArray {
+                dst: "d".to_string(),
+                src: "u".to_string(),
+            }],
+            result: "d".to_string(),
+        };
+        assert!(program_cost(&copy, &HashMap::new()).is_none());
+        let mut shapes = HashMap::new();
+        shapes.insert("u".to_string(), vec![(1, 8)]);
+        let c = program_cost(&copy, &shapes).unwrap();
+        assert_eq!(c.mem, 64);
+        assert!(c.exact);
+    }
+}

@@ -18,12 +18,14 @@
 //! ([`fuse`]) overlays proven-parallel innermost affine loops with
 //! vector superinstructions that run as contiguous-slice kernels.
 
+pub mod cost;
 pub mod fuse;
 pub mod limp;
 pub mod lower;
 pub mod partape;
 pub mod tape;
 
+pub use cost::{expr_calls, program_cost, ConcreteCost};
 pub use fuse::{fuse_tape, FuseDecision};
 pub use limp::{LProgram, LStmt, StoreCheck, Vm, VmCounters};
 pub use lower::{lower_array, lower_update, CheckMode, LowerError, LoweredUpdate};

@@ -36,6 +36,7 @@
 //! assert_eq!(out.counters.thunked.thunks_allocated, 0); // thunkless!
 //! ```
 
+mod cost;
 pub mod deadline;
 pub mod pipeline;
 pub mod report;

@@ -15,7 +15,9 @@ use std::fmt;
 use std::sync::Arc;
 
 use hac_analysis::analyze::{analyze_array, analyze_bigupd, AnalysisError, CollisionVerdict};
+use hac_analysis::cost::{CostCert, Poly};
 use hac_analysis::search::TestPolicy;
+use hac_codegen::cost::program_cost;
 use hac_codegen::fuse::{fuse_tape, FuseDecision};
 use hac_codegen::limp::{LProgram, Vm, VmCounters};
 use hac_codegen::lower::{lower_array, lower_update, CheckMode, LowerError, LoweredUpdate};
@@ -36,6 +38,7 @@ use hac_schedule::plan::ScheduleOutcome;
 use hac_schedule::scheduler::schedule;
 use hac_schedule::split::plan_update;
 
+use crate::cost::{bounds_mem_poly, plan_fuel_poly, CertBuilder};
 use crate::report::{ArrayReport, Report, UpdateReport};
 
 /// Execution strategy selection.
@@ -238,6 +241,9 @@ pub struct Compiled {
     pub env: ConstEnv,
     pub units: Vec<Unit>,
     pub report: Report,
+    /// Static worst-case fuel/memory certificate, exact-or-over for
+    /// every engine at any thread count (see `hac_analysis::cost`).
+    pub cert: CostCert,
 }
 
 fn fold_bounds_i64(
@@ -295,6 +301,7 @@ pub fn compile(
     let mut consumed: Vec<String> = Vec::new();
     let mut units = Vec::new();
     let mut report = Report::default();
+    let mut cert = CertBuilder::new();
     // Accumulated tape-compilation context: shapes of every array bound
     // so far, reduction scalars (runtime globals) in binding order, and
     // the parameter environment as compile-time constants.
@@ -354,7 +361,18 @@ pub fn compile(
         match b {
             Binding::Input { name, bounds } => {
                 check_dup(&mut seen, name)?;
+                // The executor charges `len * 8` bytes when the input
+                // is bound (no definedness bitmap for inputs).
+                let mem_poly = bounds_mem_poly(bounds, false);
                 let bounds = fold_bounds_i64(name, bounds, env)?;
+                cert.add(
+                    env,
+                    0,
+                    ArrayBuf::data_bytes(&bounds),
+                    true,
+                    Some(Poly::zero()),
+                    mem_poly,
+                );
                 known.shapes.insert(name.clone(), bounds.clone());
                 units.push(Unit::Input {
                     name: name.clone(),
@@ -371,6 +389,7 @@ pub fn compile(
                     &mut known,
                     &mut units,
                     &mut report,
+                    &mut cert,
                 )?;
             }
             Binding::LetrecStar(defs) => {
@@ -378,7 +397,15 @@ pub fn compile(
                     check_dup(&mut seen, &d.name)?;
                     check_consumed(&consumed, &d.name, &d.comp)?;
                 }
-                compile_group(defs, env, options, &mut known, &mut units, &mut report)?;
+                compile_group(
+                    defs,
+                    env,
+                    options,
+                    &mut known,
+                    &mut units,
+                    &mut report,
+                    &mut cert,
+                )?;
             }
             Binding::Reduce {
                 name,
@@ -391,6 +418,10 @@ pub fn compile(
                 report
                     .reductions
                     .push(format!("scalar `{name}` = fold ({op}) over comprehension"));
+                // Scalar reductions run unmetered: zero contribution,
+                // but their failures can stop a run early, so the
+                // certificate is no longer exact.
+                cert.add(env, 0, 0, false, None, None);
                 known.globals.push(name.clone());
                 units.push(Unit::Reduce {
                     name: name.clone(),
@@ -457,6 +488,14 @@ pub fn compile(
                 if let Some(b) = known.shapes.get(base).cloned() {
                     known.shapes.insert(name.clone(), b);
                 }
+                // Update costs are always upper bounds: the in-place
+                // machinery's checks can stop a run partway.
+                match program_cost(&lowered.prog, &known.shapes) {
+                    Some(c) => cert.add(env, c.fuel, c.mem, false, None, None),
+                    None => {
+                        cert.mark_open(&format!("update `{name}` copies an unknown-shape array"));
+                    }
+                }
                 units.push(Unit::Update {
                     name: name.clone(),
                     base: base.clone(),
@@ -467,13 +506,17 @@ pub fn compile(
             }
         }
     }
+    let cert = cert.finish();
+    report.cost = Some(cert.render());
     Ok(Compiled {
         env: env.clone(),
         units,
         report,
+        cert,
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn compile_group(
     defs: &[ArrayDef],
     env: &ConstEnv,
@@ -481,6 +524,7 @@ fn compile_group(
     known: &mut TapeCtx,
     units: &mut Vec<Unit>,
     report: &mut Report,
+    cert: &mut CertBuilder,
 ) -> Result<(), CompileError> {
     // Accumulated arrays evaluate strictly on their own.
     if defs.len() == 1 {
@@ -491,6 +535,9 @@ fn compile_group(
             report.stats.absorb(&analysis.stats);
             let bounds = analysis.bounds.clone();
             known.shapes.insert(def.name.clone(), bounds.clone());
+            // Accumulations run unmetered: zero contribution, but the
+            // certificate stops being exact (see `Reduce`).
+            cert.add(env, 0, 0, false, None, None);
             units.push(Unit::Accum {
                 def: def.clone(),
                 bounds,
@@ -513,6 +560,11 @@ fn compile_group(
         });
 
     if mutual || options.mode == ExecMode::ForceThunked {
+        cert.mark_open(if mutual {
+            "thunked: mutually recursive letrec* group"
+        } else {
+            "thunked: demand-driven execution forced"
+        });
         let mut group = Vec::new();
         for def in defs {
             let analysis = analyze_array(def, env, &options.policy)?;
@@ -568,6 +620,17 @@ fn compile_group(
                     env,
                     checks,
                 )?;
+                match program_cost(&prog, &known.shapes) {
+                    Some(c) => {
+                        let fuel_poly = plan_fuel_poly(&plan, &def.comp);
+                        let mem_poly = bounds_mem_poly(&def.bounds, checks == CheckMode::Checked);
+                        cert.add(env, c.fuel, c.mem, c.exact, fuel_poly, mem_poly);
+                    }
+                    None => cert.mark_open(&format!(
+                        "array `{}` copies an unknown-shape array",
+                        def.name
+                    )),
+                }
                 report.arrays.push(ArrayReport::thunkless(
                     def,
                     &analysis,
@@ -601,6 +664,7 @@ fn compile_group(
                 });
             }
             ScheduleOutcome::NeedsThunks(reason) => {
+                cert.mark_open(&format!("thunked: {reason}"));
                 report
                     .arrays
                     .push(ArrayReport::thunked(def, &analysis, &reason.to_string()));

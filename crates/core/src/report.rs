@@ -212,6 +212,12 @@ pub struct Report {
     pub updates: Vec<UpdateReport>,
     /// Scalar reductions (§3.1 folds compiled to DO loops).
     pub reductions: Vec<String>,
+    /// The rendered cost certificate — `cost fuel: n-1 = 999, mem: 8n
+    /// = 8000` when the bound closed, `cost: open (<reason>)` when it
+    /// did not. `None` only for reports built outside [`compile`].
+    ///
+    /// [`compile`]: crate::pipeline::compile
+    pub cost: Option<String>,
     pub stats: TestStats,
 }
 
@@ -259,6 +265,9 @@ impl Report {
             for f in &u.fusion {
                 let _ = writeln!(out, "  fusion {f}");
             }
+        }
+        if let Some(cost) = &self.cost {
+            let _ = writeln!(out, "{cost}");
         }
         let _ = writeln!(
             out,

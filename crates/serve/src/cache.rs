@@ -22,6 +22,11 @@
 //! program recompiles from the same source and parameters, and the
 //! repo's determinism contract guarantees the rebuilt program behaves
 //! bit-identically (the eviction proptests pin this).
+//!
+//! Each cached [`Compiled`] carries its cost certificate
+//! (`Compiled::cert`), so a cache hit reuses the certificate along
+//! with the tape — certificate admission never recompiles or re-derives
+//! bounds on the hot path.
 
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -389,12 +389,19 @@ fn handle_control(shared: &Shared, control: &str, v: &Json, out: &mut TcpStream)
                 ("shed".to_string(), Json::Num(sv.shed as f64)),
                 ("retried".to_string(), Json::Num(sv.retried as f64)),
             ]);
+            let cs = shared.server.cert_stats();
+            let certificates = Json::Obj(vec![
+                ("certified".to_string(), Json::Num(cs.certified as f64)),
+                ("open".to_string(), Json::Num(cs.open as f64)),
+                ("rejected".to_string(), Json::Num(cs.rejected as f64)),
+            ]);
             let reply = Json::Obj(vec![
                 ("control".to_string(), Json::Str("stats".to_string())),
                 ("cache".to_string(), cache),
                 ("tenants".to_string(), tenants),
                 ("daemon".to_string(), daemon),
                 ("server".to_string(), server),
+                ("certificates".to_string(), certificates),
             ]);
             let _ = writeln!(out, "{reply}");
             let _ = out.flush();

@@ -331,6 +331,11 @@ pub enum Status {
     /// newest arrival of the lowest-share tenant. The response carries
     /// a `retry_after_ops` hint.
     Overloaded,
+    /// Rejected at admission by the cost certificate: the compiler
+    /// proved the declared budget cannot cover the program's exact
+    /// cost, so the run never started. The error carries the evaluated
+    /// bound.
+    OverCertificate,
 }
 
 impl Status {
@@ -343,6 +348,7 @@ impl Status {
             Status::CompileError => "compile_error",
             Status::RuntimeError => "runtime_error",
             Status::Overloaded => "overloaded",
+            Status::OverCertificate => "over-certificate",
         }
     }
 }
@@ -602,6 +608,13 @@ pub struct Server {
     /// Life-to-date engine-fault retries executed (attempts beyond
     /// the first, across all requests).
     retried: AtomicU64,
+    /// Life-to-date certificate ledger: admissions whose program had a
+    /// closed certificate.
+    cert_certified: AtomicU64,
+    /// Admissions whose certificate was open (metered fallback).
+    cert_open: AtomicU64,
+    /// Requests rejected by the certificate before execution.
+    cert_rejected: AtomicU64,
 }
 
 /// Life-to-date overload/retry counters (see [`Server::server_stats`]).
@@ -611,6 +624,19 @@ pub struct ServerStats {
     pub shed: u64,
     /// Extra execution attempts spent recovering engine faults.
     pub retried: u64,
+}
+
+/// Life-to-date certificate-admission counters (see
+/// [`Server::cert_stats`]). `rejected` counts a subset of `certified`:
+/// a rejection requires a closed certificate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CertStats {
+    /// Admissions whose compiled program carried a closed certificate.
+    pub certified: u64,
+    /// Admissions that fell back to the metered path (`cost: open`).
+    pub open: u64,
+    /// Requests rejected before execution with `over-certificate`.
+    pub rejected: u64,
 }
 
 /// A request past compilation and admission, ready to execute.
@@ -642,6 +668,9 @@ impl Server {
             cache,
             shed: AtomicU64::new(0),
             retried: AtomicU64::new(0),
+            cert_certified: AtomicU64::new(0),
+            cert_open: AtomicU64::new(0),
+            cert_rejected: AtomicU64::new(0),
         }
     }
 
@@ -666,6 +695,15 @@ impl Server {
         ServerStats {
             shed: self.shed.load(Ordering::Relaxed),
             retried: self.retried.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Life-to-date certificate-admission counters.
+    pub fn cert_stats(&self) -> CertStats {
+        CertStats {
+            certified: self.cert_certified.load(Ordering::Relaxed),
+            open: self.cert_open.load(Ordering::Relaxed),
+            rejected: self.cert_rejected.load(Ordering::Relaxed),
         }
     }
 
@@ -782,7 +820,7 @@ impl Server {
         };
         let mode = req.mode.unwrap_or(self.options.mode);
         let engine = req.engine.unwrap_or(self.options.engine);
-        let limits = self
+        let mut limits = self
             .effective_limits(req)
             .map_err(|e| stamp(Response::failed(&req.id, Status::Rejected, None, e)))?;
         let (compiled, cache_hit, evictions) = self
@@ -795,6 +833,49 @@ impl Server {
                     e,
                 ))
             })?;
+        // Certificate admission: when the compiler proved an exact
+        // cost, a budget below it certifiably cannot finish — reject
+        // before spending any execution, quoting the evaluated bound.
+        // A request that declared no fuel under a fuel-capped ceiling
+        // is admitted all-or-nothing at exactly its certified cost
+        // instead of drawing lazy blocks from the pool. Inexact
+        // (upper-bound) and open certificates never reject: the
+        // metered path remains the authority there.
+        let cert = &compiled.cert;
+        if cert.is_closed() {
+            self.cert_certified.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.cert_open.fetch_add(1, Ordering::Relaxed);
+        }
+        if cert.is_exact() {
+            let cert_fuel = cert.fuel_value().unwrap_or(u64::MAX);
+            let cert_mem = cert.mem_value().unwrap_or(u64::MAX);
+            let mut why = Vec::new();
+            if let Some(f) = limits.fuel {
+                if f < cert_fuel {
+                    why.push(format!("fuel budget {f} < certified cost {cert_fuel}"));
+                }
+            }
+            if let Some(m) = limits.mem_bytes {
+                if m < cert_mem {
+                    why.push(format!("mem budget {m} < certified peak {cert_mem} bytes"));
+                }
+            }
+            if !why.is_empty() {
+                self.cert_rejected.fetch_add(1, Ordering::Relaxed);
+                let mut resp = Response::failed(
+                    &req.id,
+                    Status::OverCertificate,
+                    Some(cache_hit),
+                    format!("over certificate: {}", why.join("; ")),
+                );
+                resp.evictions = evictions;
+                return Err(stamp(resp));
+            }
+            if limits.fuel.is_none() && self.ceiling.fuel_capped() {
+                limits.fuel = Some(cert_fuel);
+            }
+        }
         let meter = Meter::admit(limits, &self.ceiling).map_err(|e| {
             let mut resp =
                 Response::failed(&req.id, Status::Rejected, Some(cache_hit), e.to_string());
@@ -925,21 +1006,51 @@ impl Server {
     /// When the batch exceeds [`ServeOptions::shed_watermark`] (and
     /// the watermark is non-zero), the excess is shed per
     /// [`sched::fair_schedule`] with `overloaded` responses carrying a
-    /// `retry_after_ops` hint — the summed fuel caps of the surviving
-    /// backlog. Survivors are then scheduled **as if the shed requests
-    /// never arrived**: their responses are byte-identical (ordinals
-    /// included) to a batch of only the survivors.
+    /// `retry_after_ops` hint — the surviving backlog priced by
+    /// effective fuel caps, with certified-but-uncapped survivors
+    /// priced at their evaluated certificate bound. Survivors are then
+    /// scheduled **as if the shed requests never arrived**: their
+    /// responses are byte-identical (ordinals included) to a batch of
+    /// only the survivors.
     pub fn run_batch(&self, reqs: &[Request], workers: usize) -> Vec<Response> {
         let schedule = Self::predicted_schedule(reqs, self.options.shed_watermark);
         let mut slots: Vec<Option<Response>> = (0..reqs.len()).map(|_| None).collect();
+        // `jobs` holds (input index, admitted request) in admission
+        // order; workers pull from its front, so execution starts in
+        // the same fair order admission ran in.
+        let mut jobs: Vec<(usize, Admitted)> = Vec::with_capacity(reqs.len());
+        for &i in &schedule.order {
+            match self.admit(&reqs[i]) {
+                Ok(adm) => jobs.push((i, adm)),
+                Err(resp) => slots[i] = Some(*resp),
+            }
+        }
         if !schedule.shed.is_empty() {
-            // The hint is the admitted backlog's declared fuel —
-            // uncapped survivors contribute 0, so the hint is a floor,
-            // never an overestimate of the queue ahead.
+            // The hint prices the surviving backlog: an admitted
+            // request contributes its effective fuel cap, falling back
+            // to its certificate's evaluated fuel bound when it ran
+            // uncapped (certified survivors no longer count as 0); a
+            // request that failed admission contributes its declared
+            // fuel — it was part of the queue when the shed decision
+            // was made, and nothing tighter was proved for it.
+            let mut admitted_fuel: HashMap<usize, u64> = HashMap::new();
+            for (i, adm) in &jobs {
+                let fuel = adm
+                    .limits
+                    .fuel
+                    .or_else(|| adm.compiled.cert.fuel_value())
+                    .unwrap_or(0);
+                admitted_fuel.insert(*i, fuel);
+            }
             let backlog_ops: u64 = schedule
                 .order
                 .iter()
-                .map(|&i| reqs[i].fuel.unwrap_or(0))
+                .map(|&i| {
+                    admitted_fuel
+                        .get(&i)
+                        .copied()
+                        .unwrap_or_else(|| reqs[i].fuel.unwrap_or(0))
+                })
                 .sum();
             for &i in &schedule.shed {
                 self.shed.fetch_add(1, Ordering::Relaxed);
@@ -956,16 +1067,6 @@ impl Server {
                 resp.tenant = reqs[i].tenant.clone();
                 resp.retry_after_ops = Some(backlog_ops);
                 slots[i] = Some(resp);
-            }
-        }
-        // `jobs` holds (input index, admitted request) in admission
-        // order; workers pull from its front, so execution starts in
-        // the same fair order admission ran in.
-        let mut jobs: Vec<(usize, Admitted)> = Vec::with_capacity(reqs.len());
-        for &i in &schedule.order {
-            match self.admit(&reqs[i]) {
-                Ok(adm) => jobs.push((i, adm)),
-                Err(resp) => slots[i] = Some(*resp),
             }
         }
         let workers = workers.max(1).min(reqs.len().max(1));
@@ -1074,16 +1175,131 @@ mod tests {
             deadline: Some(DeadlineGovernor::with_rate(10)),
             ..ServeOptions::default()
         });
-        // 2 ms × 10 ops/ms = 20 fuel: not enough for n=1000.
+        // 2 ms × 10 ops/ms = 20 fuel: not enough for n=1000 — and the
+        // recurrence has an exact certificate (n-1 = 999 fuel), so the
+        // shortfall is proved at admission, before any execution.
         let mut r = req("d", 1000);
         r.deadline_ms = Some(2);
         let resp = server.handle(&r);
-        assert_eq!(resp.status, Status::Limit);
-        assert!(resp.error.as_deref().unwrap().contains("fuel"));
+        assert_eq!(resp.status, Status::OverCertificate);
+        assert!(resp.error.as_deref().unwrap().contains("fuel budget 20"));
         // Same deadline, tiny program: plenty.
         let mut ok = req("ok", 8);
         ok.deadline_ms = Some(2);
         assert_eq!(server.handle(&ok).status, Status::Ok);
+    }
+
+    #[test]
+    fn exact_certificates_reject_before_execution() {
+        let server = Server::new(ServeOptions::default());
+        // RECURRENCE at n=16 certifies fuel n-1 = 15 and mem 8n = 128.
+        let mut short_fuel = req("f", 16);
+        short_fuel.fuel = Some(10);
+        let resp = server.handle(&short_fuel);
+        assert_eq!(resp.status, Status::OverCertificate);
+        assert_eq!(
+            resp.error.as_deref(),
+            Some("over certificate: fuel budget 10 < certified cost 15")
+        );
+        // Never executed: no digests, no verdicts, no fuel accounting.
+        assert_eq!(resp.answer_digest, None);
+        assert_eq!(resp.counters_digest, None);
+        assert_eq!(resp.verdicts, None);
+        assert_eq!(resp.fuel_left, None);
+
+        let mut short_mem = req("m", 16);
+        short_mem.mem_bytes = Some(100);
+        let resp = server.handle(&short_mem);
+        assert_eq!(resp.status, Status::OverCertificate);
+        assert_eq!(
+            resp.error.as_deref(),
+            Some("over certificate: mem budget 100 < certified peak 128 bytes")
+        );
+
+        // Budgets exactly at the certificate run — and run to zero.
+        let mut at = req("at", 16);
+        at.fuel = Some(15);
+        at.mem_bytes = Some(128);
+        let resp = server.handle(&at);
+        assert_eq!(resp.status, Status::Ok, "{:?}", resp.error);
+        assert_eq!(resp.fuel_left, Some(0), "the certificate is tight");
+
+        let cs = server.cert_stats();
+        assert_eq!((cs.certified, cs.open, cs.rejected), (3, 0, 2));
+    }
+
+    #[test]
+    fn uncapped_requests_admit_all_or_nothing_at_their_certificate() {
+        let server = Server::new(ServeOptions {
+            ceiling: Limits {
+                fuel: Some(100),
+                mem_bytes: None,
+            },
+            ..ServeOptions::default()
+        });
+        // No declared fuel under a fuel-capped ceiling: admission
+        // draws exactly the certified cost from the pool instead of
+        // lazy blocks — all-or-nothing, and tight.
+        let resp = server.handle(&req("u", 16));
+        assert_eq!(resp.status, Status::Ok, "{:?}", resp.error);
+        assert_eq!(resp.fuel_left, Some(0));
+        assert_eq!(server.ceiling().fuel_available(), 100 - 15);
+        // The pool has 85 left; a certified 15-op run still fits …
+        assert_eq!(server.handle(&req("u2", 16)).status, Status::Ok);
+        assert_eq!(server.ceiling().fuel_available(), 100 - 30);
+        // … and one certified past the remaining pool is rejected by
+        // the ceiling at admission, not run partially.
+        let big = req("big", 1000); // certifies 999 > 70 remaining
+        let resp = server.handle(&big);
+        assert_eq!(resp.status, Status::Rejected);
+        assert!(resp.error.as_deref().unwrap().contains("ceiling"));
+    }
+
+    #[test]
+    fn open_certificates_fall_back_to_the_metered_path() {
+        // Mutually recursive groups are thunked: demand-driven cost,
+        // so the certificate is open and starved budgets surface as
+        // plain runtime limits, not certificate rejections.
+        const MUTUAL: &str = "param n;\nletrec* a = array (1,n) \
+            ([ 1 := 1 ] ++ [ i := b!(i-1) + 1 | i <- [2..n] ])\n\
+            and b = array (1,n) [ i := a!i * 2 | i <- [1..n] ];\n";
+        let server = Server::new(ServeOptions::default());
+        let mut r = Request::new("open", MUTUAL);
+        r.params.push(("n".to_string(), 64));
+        r.fuel = Some(1);
+        let resp = server.handle(&r);
+        assert_eq!(resp.status, Status::Limit, "{:?}", resp.error);
+        let cs = server.cert_stats();
+        assert_eq!((cs.certified, cs.open, cs.rejected), (0, 1, 0));
+    }
+
+    #[test]
+    fn shed_hint_prices_uncapped_survivors_by_certificate() {
+        let server = Server::new(ServeOptions {
+            shed_watermark: 3,
+            ..ServeOptions::default()
+        });
+        // Four undeclared-budget requests from one tenant, one from
+        // another: two shed. Under an uncapped ceiling the survivors
+        // run meterless — but their certificates still price the
+        // backlog, so the hint is 3 × (n-1) instead of 0.
+        let mut reqs: Vec<Request> = (0..4)
+            .map(|i| {
+                let mut r = req(&format!("a{i}"), 16);
+                r.tenant = Some("a".to_string());
+                r
+            })
+            .collect();
+        let mut b = req("b0", 16);
+        b.tenant = Some("b".to_string());
+        reqs.push(b);
+        let schedule = Server::predicted_schedule(&reqs, 3);
+        assert_eq!(schedule.shed, vec![2, 3]);
+        let out = server.run_batch(&reqs, 2);
+        for &i in &schedule.shed {
+            assert_eq!(out[i].status, Status::Overloaded);
+            assert_eq!(out[i].retry_after_ops, Some(15 * 3));
+        }
     }
 
     #[test]

@@ -337,8 +337,14 @@ fn batch_subcommand_serves_jobs_with_statuses() {
         stdout.contains(r#""id":"b","status":"ok","tenant":null,"admitted":1,"cache":"hit""#),
         "{stdout}"
     );
+    // Wavefront has an exact cost certificate, so the 2-fuel request
+    // is proven short at admission and never executes.
     assert!(
-        stdout.contains(r#""id":"tight","status":"limit""#),
+        stdout.contains(r#""id":"tight","status":"over-certificate""#),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("fuel budget 2 < certified cost 41"),
         "{stdout}"
     );
     assert!(stdout.contains("answer_digest"), "{stdout}");

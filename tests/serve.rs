@@ -25,7 +25,10 @@ fn light_request(id: &str) -> Request {
 }
 
 fn heavy_request(id: &str) -> Request {
-    let mut r = request(id, wl::wavefront_source(), 24);
+    // Gauss–Seidel's certificate is inexact (the bigupd unit), so
+    // admission cannot prove the shortfall — the request really runs
+    // and exhausts mid-flight, hammering the settle path.
+    let mut r = request(id, wl::sor_source(), 24);
     // Nowhere near enough for n=24: exhausts mid-run, every time.
     r.fuel = Some(50);
     r.mem_bytes = Some(16384);
@@ -150,7 +153,9 @@ fn injected_deadlines_are_reproducible() {
             ..ServeOptions::default()
         })
     };
-    let mut tight = request("t", wl::wavefront_source(), 24);
+    // Gauss–Seidel: its inexact certificate cannot preempt the run,
+    // so the deadline-derived budget genuinely exhausts at runtime.
+    let mut tight = request("t", wl::sor_source(), 24);
     tight.deadline_ms = Some(3); // 30 fuel: exhausts
     let mut roomy = request("r", wl::wavefront_source(), 8);
     roomy.deadline_ms = Some(50); // 500 fuel: completes
@@ -169,7 +174,7 @@ fn injected_deadlines_are_reproducible() {
     assert_eq!(r1.answer_digest, r2.answer_digest);
 
     // An explicit fuel cap tighter than the deadline wins.
-    let mut both = request("b", wl::wavefront_source(), 24);
+    let mut both = request("b", wl::sor_source(), 24);
     both.deadline_ms = Some(1_000_000);
     both.fuel = Some(5);
     let resp = s1.handle(&both);
@@ -190,23 +195,41 @@ fn batch_covers_every_status_class() {
     over.fuel = Some(100_000); // bigger than the whole pool: rejected
     let mut broken = Request::new("broken", "param n;\nlet a = ");
     broken.params.push(("n".to_string(), 4));
+    // Wavefront's exact certificate proves 3 fuel cannot finish n=8:
+    // rejected at admission, before any execution.
     let mut starved = request("starved", wl::wavefront_source(), 8);
     starved.fuel = Some(3);
+    // Gauss–Seidel's certificate is only an upper bound, so the same
+    // starvation is discovered the old way — metered, mid-run.
+    let mut metered = request("metered", wl::sor_source(), 10);
+    metered.fuel = Some(3);
     let ok = light_request("ok");
 
-    let out = server.run_batch(&[ok, starved, over, broken], 2);
+    let out = server.run_batch(&[ok, starved, over, broken, metered], 2);
     assert_eq!(out[0].status, Status::Ok);
-    assert_eq!(out[1].status, Status::Limit);
+    assert_eq!(out[1].status, Status::OverCertificate);
     assert_eq!(out[2].status, Status::Rejected);
     assert_eq!(out[3].status, Status::CompileError);
+    assert_eq!(out[4].status, Status::Limit);
     // Statuses land on the right ids even with concurrent workers.
     assert_eq!(out[0].id, "ok");
     assert_eq!(out[1].id, "starved");
     assert_eq!(out[2].id, "over");
     assert_eq!(out[3].id, "broken");
+    assert_eq!(out[4].id, "metered");
     // The wire form spells them as the CI smoke expects.
     assert_eq!(
         out.iter().map(|r| r.status.as_str()).collect::<Vec<_>>(),
-        vec!["ok", "limit", "rejected", "compile_error"]
+        vec![
+            "ok",
+            "over-certificate",
+            "rejected",
+            "compile_error",
+            "limit"
+        ]
     );
+    // The certificate ledger saw every admission that compiled.
+    let cs = server.cert_stats();
+    assert_eq!(cs.rejected, 1);
+    assert!(cs.certified >= 1);
 }

@@ -109,7 +109,9 @@ fn evicted_limit_outcomes_are_bit_identical_too() {
         ..ServeOptions::default()
     });
     let starved = || {
-        let mut r = Request::new("s", hac_workloads::wavefront_source());
+        // Gauss–Seidel: its certificate is only an upper bound, so the
+        // shortfall is found by the meter mid-run, not at admission.
+        let mut r = Request::new("s", hac_workloads::sor_source());
         r.params.push(("n".to_string(), 8));
         r.fuel = Some(17);
         r
