@@ -701,6 +701,16 @@ pub fn suppress_env_fault_plan() {
     SUPPRESS_ENV_PLAN.store(true, std::sync::atomic::Ordering::Relaxed);
 }
 
+/// Whether an ambient `HAC_FAULT_PLAN` is in force for this process:
+/// parsed, effective (at least one injection point or snapshots
+/// disabled), and not suppressed. The serving layer's result cache
+/// consults this gate — cached outcomes must never be filled from runs
+/// an environment plan could perturb, since injected faults land on
+/// positional coordinates that differ between full and delta runs.
+pub fn ambient_fault_plan_active() -> bool {
+    env_fault_plan().is_some_and(|p| !p.points.is_empty() || !p.snapshot)
+}
+
 /// The process-wide fault plan from `HAC_FAULT_PLAN`, parsed once.
 /// A malformed spec is reported to stderr and ignored — a bad test
 /// harness variable must not change program behaviour silently.

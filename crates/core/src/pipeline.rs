@@ -235,6 +235,32 @@ pub enum Unit {
     },
 }
 
+/// Static delta-recomputation plan: present when the program ends in
+/// its *only* `bigupd` and the update's write footprint is provably
+/// bounded — every clause unguarded with affine (normalized) write
+/// subscripts, so the dirty set is exactly the statically-counted
+/// write instances from the §4 dependence analysis. The serving layer
+/// uses the plan to answer sliding-parameter requests by replaying
+/// just the final update unit over a cached prefix state (see
+/// [`run_delta`]); an unbounded footprint means no plan, and such
+/// requests fall back to a full run.
+#[derive(Debug, Clone)]
+pub struct DeltaPlan {
+    /// Parameters that occur syntactically *only* inside the final
+    /// update's comprehension: sliding any subset of them leaves every
+    /// prefix unit's code and values unchanged. Computed from the
+    /// source AST — value-independent, so every compilation of the
+    /// same source agrees on the set.
+    pub params: Vec<String>,
+    /// Statically-counted write footprint of the update under this
+    /// parameter environment: the dirty-element count a delta
+    /// recomputation touches.
+    pub writes: u64,
+    /// Data bytes of every array live before the update unit runs —
+    /// what a cached prefix snapshot costs the memory ledger.
+    pub prefix_bytes: u64,
+}
+
 /// A compiled program.
 #[derive(Debug, Clone)]
 pub struct Compiled {
@@ -244,6 +270,95 @@ pub struct Compiled {
     /// Static worst-case fuel/memory certificate, exact-or-over for
     /// every engine at any thread count (see `hac_analysis::cost`).
     pub cert: CostCert,
+    /// Delta-recomputation plan for the trailing `bigupd`, when the
+    /// program has exactly one and its footprint is provably bounded.
+    pub delta: Option<DeltaPlan>,
+}
+
+/// Every variable name an expression mentions, deduplicated. Local
+/// bindings are *not* resolved: a `let`- or generator-bound name equal
+/// to a parameter counts as an occurrence of that parameter, which only
+/// shrinks the delta-parameter set — conservative, never wrong.
+fn collect_vars(e: &hac_lang::ast::Expr, out: &mut Vec<String>) {
+    e.walk(&mut |x| {
+        if let hac_lang::ast::Expr::Var(n) = x {
+            if !out.iter().any(|s| s == n) {
+                out.push(n.clone());
+            }
+        }
+    });
+}
+
+fn collect_comp_vars(comp: &Comp, out: &mut Vec<String>) {
+    comp.walk(&mut |c| match c {
+        Comp::Clause(sv) => {
+            for s in &sv.subs {
+                collect_vars(s, out);
+            }
+            collect_vars(&sv.value, out);
+        }
+        Comp::Guard { cond, .. } => collect_vars(cond, out),
+        Comp::Let { binds, .. } => {
+            for (_, e) in binds {
+                collect_vars(e, out);
+            }
+        }
+        Comp::Gen { range, .. } => {
+            collect_vars(&range.lo, out);
+            collect_vars(&range.hi, out);
+        }
+        Comp::Append(_) => {}
+    });
+}
+
+fn collect_def_vars(d: &ArrayDef, out: &mut Vec<String>) {
+    for (lo, hi) in &d.bounds {
+        collect_vars(lo, out);
+        collect_vars(hi, out);
+    }
+    collect_comp_vars(&d.comp, out);
+    if let ArrayKind::Accumulated { default, .. } = &d.kind {
+        collect_vars(default, out);
+    }
+}
+
+/// The parameters referenced *only* by the binding at `update_idx`
+/// (the trailing `bigupd`): everything declared minus anything any
+/// other binding mentions. A parameter mentioned nowhere at all also
+/// qualifies — sliding it changes nothing, and the delta path serves
+/// that correctly (with zero differing work).
+fn delta_params(program: &Program, update_idx: usize) -> Vec<String> {
+    let mut outside: Vec<String> = Vec::new();
+    for (i, b) in program.bindings.iter().enumerate() {
+        if i == update_idx {
+            continue;
+        }
+        match b {
+            Binding::Input { bounds, .. } => {
+                for (lo, hi) in bounds {
+                    collect_vars(lo, &mut outside);
+                    collect_vars(hi, &mut outside);
+                }
+            }
+            Binding::Let(d) => collect_def_vars(d, &mut outside),
+            Binding::LetrecStar(ds) => {
+                for d in ds {
+                    collect_def_vars(d, &mut outside);
+                }
+            }
+            Binding::Reduce { init, comp, .. } => {
+                collect_vars(init, &mut outside);
+                collect_comp_vars(comp, &mut outside);
+            }
+            Binding::BigUpd { comp, .. } => collect_comp_vars(comp, &mut outside),
+        }
+    }
+    program
+        .params
+        .iter()
+        .filter(|p| !outside.contains(p))
+        .cloned()
+        .collect()
 }
 
 fn fold_bounds_i64(
@@ -357,7 +472,9 @@ pub fn compile(
         Ok(())
     }
 
-    for b in &program.bindings {
+    let mut delta: Option<DeltaPlan> = None;
+    for (bi, b) in program.bindings.iter().enumerate() {
+        let is_last = bi + 1 == program.bindings.len();
         match b {
             Binding::Input { name, bounds } => {
                 check_dup(&mut seen, name)?;
@@ -461,6 +578,24 @@ pub fn compile(
                     name, base, comp, &analysis, &update, &lowered,
                 ));
                 report.stats.absorb(&analysis.stats);
+                // Delta plan: only for the program's sole, trailing
+                // update, and only when the write footprint is exact —
+                // a guard or non-affine write would make the static
+                // count an overestimate of the dirty set.
+                if is_last
+                    && !units.iter().any(|u| matches!(u, Unit::Update { .. }))
+                    && analysis
+                        .refs
+                        .iter()
+                        .all(|r| !r.guarded() && r.write.norm.is_some())
+                {
+                    let writes: i64 = analysis.refs.iter().map(|r| r.instance_count()).sum();
+                    delta = u64::try_from(writes).ok().map(|writes| DeltaPlan {
+                        params: delta_params(&program, bi),
+                        writes,
+                        prefix_bytes: known.shapes.values().map(|b| ArrayBuf::data_bytes(b)).sum(),
+                    });
+                }
                 if lowered.in_place {
                     consumed.push(base.clone());
                 }
@@ -513,6 +648,7 @@ pub fn compile(
         units,
         report,
         cert,
+        delta,
     })
 }
 
@@ -829,12 +965,114 @@ pub fn run_with_meter(
     options: &RunOptions,
     meter: &mut Meter,
 ) -> Result<ExecOutput, RuntimeError> {
-    let threads = options.threads.unwrap_or_else(default_threads);
-    let mut arrays: HashMap<String, ArrayBuf> = HashMap::new();
-    let mut scalars: Vec<(String, f64)> = Vec::new();
-    let mut counters = ExecCounters::default();
+    let mut state = ExecState::default();
+    run_units(
+        compiled,
+        0..compiled.units.len(),
+        &mut state,
+        inputs,
+        funcs,
+        options,
+        meter,
+    )?;
+    Ok(state.into_output(meter))
+}
 
-    for unit in &compiled.units {
+/// Mid-run execution state: every array and scalar bound so far plus
+/// the instrumentation accumulated. [`run_units`] threads one of these
+/// through a range of units; the serving layer snapshots the state
+/// between a program's prefix and its trailing `bigupd` so
+/// sliding-parameter requests can replay just the update (see
+/// [`run_delta`] and [`DeltaPlan`]).
+#[derive(Debug, Clone, Default)]
+pub struct ExecState {
+    pub arrays: HashMap<String, ArrayBuf>,
+    /// Scalar reductions in binding order — later units re-bind these
+    /// as VM globals in exactly this order, so it is a `Vec`, not a
+    /// map.
+    pub scalars: Vec<(String, f64)>,
+    pub counters: ExecCounters,
+}
+
+impl ExecState {
+    /// Package the state as a finished run's output, capturing the
+    /// meter's closing fuel balance.
+    pub fn into_output(self, meter: &Meter) -> ExecOutput {
+        ExecOutput {
+            arrays: self.arrays,
+            scalars: self.scalars.into_iter().collect(),
+            counters: self.counters,
+            fuel_left: meter.fuel_limited().then(|| meter.fuel_left()),
+        }
+    }
+}
+
+/// Replay only the trailing `bigupd` unit over a cached prefix state —
+/// the delta path behind incremental serving. `base` must be the
+/// prefix state of a compilation that differs from `compiled` at most
+/// in the plan's [`delta parameters`](DeltaPlan::params); determinism
+/// then makes the merged output bit-identical to a cold full run of
+/// `compiled`. The base is cloned, never consumed: in-place updates
+/// mutate the clone, so one cached prefix serves any number of deltas.
+///
+/// # Errors
+/// See [`run_with_meter`]; the same failures a cold run's final unit
+/// would hit (limits, collisions, bounds) land here.
+///
+/// # Panics
+/// When `compiled` does not end in an update unit — callers gate on
+/// [`Compiled::delta`] being `Some`.
+pub fn run_delta(
+    compiled: &Compiled,
+    base: &ExecState,
+    funcs: &FuncTable,
+    options: &RunOptions,
+    meter: &mut Meter,
+) -> Result<ExecOutput, RuntimeError> {
+    assert!(
+        matches!(compiled.units.last(), Some(Unit::Update { .. })),
+        "run_delta requires a trailing update unit"
+    );
+    let mut state = base.clone();
+    let last = compiled.units.len() - 1;
+    run_units(
+        compiled,
+        last..compiled.units.len(),
+        &mut state,
+        &HashMap::new(),
+        funcs,
+        options,
+        meter,
+    )?;
+    Ok(state.into_output(meter))
+}
+
+/// Execute `compiled.units[range]`, threading `state` through. This is
+/// the executor's single engine-dispatch loop; [`run_with_meter`] runs
+/// the whole range and the serving layer splits a delta-eligible
+/// program at its trailing update.
+///
+/// # Errors
+/// See [`run_with_meter`].
+pub fn run_units(
+    compiled: &Compiled,
+    range: std::ops::Range<usize>,
+    state: &mut ExecState,
+    inputs: &HashMap<String, ArrayBuf>,
+    funcs: &FuncTable,
+    options: &RunOptions,
+    meter: &mut Meter,
+) -> Result<(), RuntimeError> {
+    let threads = options.threads.unwrap_or_else(default_threads);
+    // The engines consume and return the binding map wholesale
+    // (`Vm::bind_all` / `into_arrays`), so work on owned state and put
+    // it back on success; a failed run's partial state is discarded
+    // with the error.
+    let mut arrays = std::mem::take(&mut state.arrays);
+    let mut scalars = std::mem::take(&mut state.scalars);
+    let mut counters = std::mem::take(&mut state.counters);
+
+    for unit in &compiled.units[range] {
         match unit {
             Unit::Input { name, bounds } => {
                 let buf = inputs
@@ -980,12 +1218,10 @@ pub fn run_with_meter(
             }
         }
     }
-    Ok(ExecOutput {
-        arrays,
-        scalars: scalars.into_iter().collect(),
-        counters,
-        fuel_left: meter.fuel_limited().then(|| meter.fuel_left()),
-    })
+    state.arrays = arrays;
+    state.scalars = scalars;
+    state.counters = counters;
+    Ok(())
 }
 
 fn add_vm(a: VmCounters, b: VmCounters) -> VmCounters {

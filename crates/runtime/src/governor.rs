@@ -445,6 +445,16 @@ impl Meter {
         self.lease.as_ref().is_some_and(|l| l.lazy_fuel)
     }
 
+    /// Whether this meter draws memory from the ceiling by exact byte
+    /// amounts (no local cap under a mem-capped pool). Like lazy fuel,
+    /// such a meter's exhaustion point depends on sibling requests, so
+    /// layers that need outcome purity (the result cache) must treat
+    /// the run as unrepeatable.
+    #[inline]
+    pub fn draws_mem_lazily(&self) -> bool {
+        self.lease.as_ref().is_some_and(|l| l.lazy_mem)
+    }
+
     /// Whether a finite fuel cap is in force.
     #[inline]
     pub fn fuel_limited(&self) -> bool {
@@ -455,6 +465,21 @@ impl Meter {
     #[inline]
     pub fn fuel_left(&self) -> u64 {
         self.fuel_left
+    }
+
+    /// Whether a finite memory cap is in force.
+    #[inline]
+    pub fn mem_limited(&self) -> bool {
+        self.mem_limit != UNLIMITED
+    }
+
+    /// Memory budget remaining in bytes (meaningless when unlimited).
+    /// With [`Meter::mem_limited`], `limit − mem_left` measures the
+    /// bytes a run charged so far — the serving layer's delta path
+    /// prices cached prefixes this way.
+    #[inline]
+    pub fn mem_left(&self) -> u64 {
+        self.mem_left
     }
 
     /// Charge one fuel unit. The unlimited case still decrements —

@@ -28,10 +28,28 @@
 //! with the tape — certificate admission never recompiles or re-derives
 //! bounds on the hot path.
 
+//! ## The materialized-result cache
+//!
+//! [`ResultCache`] lives next to the program cache and shares its
+//! ordinal clock and victim rule, but caches *evaluated outcomes*:
+//! full entries memoize a request's terminal response fields (digests,
+//! fuel left, error class), and family entries snapshot the execution
+//! state of a `bigupd`-rooted program just before its trailing update
+//! so sliding-parameter requests replay only the update (the delta
+//! path). Determinism is preserved by doing every membership change —
+//! install and eviction — on the sequential admission path; execution
+//! threads only *resolve* slots in place (`Pending → Ready/Failed`)
+//! and never alter membership or recency. Family snapshots hold real
+//! arrays, so their bytes are charged to the shared ceiling by the
+//! server at install and refunded on eviction or failure
+//! (`ResultCacheStats::resident_bytes` tracks the residency).
+
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use hac_core::pipeline::Compiled;
+use hac_core::pipeline::{Compiled, ExecState};
+
+use crate::Status;
 
 /// Counters over the cache's whole life. Reconciliation invariants,
 /// enforced by the eviction proptests:
@@ -159,6 +177,413 @@ impl ProgramCache {
     }
 }
 
+/// Counters over the result cache's whole life. `hits + deltas`
+/// counts requests served without a full recomputation;
+/// `hits + deltas + misses` equals the routed requests that reached
+/// execution (bypassed requests never touch the cache).
+/// `resident_bytes` is the memory held by family snapshots — the same
+/// number charged against the shared ceiling.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResultCacheStats {
+    /// Admission-time full-key probes (one per routed request).
+    pub lookups: u64,
+    /// Requests served verbatim from a cached outcome.
+    pub hits: u64,
+    /// Requests served by replaying only the trailing update over a
+    /// family snapshot.
+    pub deltas: u64,
+    /// Requests that ran the full pipeline (including every fallback).
+    pub misses: u64,
+    /// Slots resolved `Ready` by their filler.
+    pub insertions: u64,
+    /// Entries removed by the capacity rule.
+    pub evictions: u64,
+    /// Entries currently resident (full + family, any state).
+    pub live: u64,
+    /// The configured capacity (0 = result caching off).
+    pub cap: u64,
+    /// Bytes held by resident family snapshots.
+    pub resident_bytes: u64,
+}
+
+/// A memoized terminal outcome: every response field that is a pure
+/// function of the full result key. Limits are part of that key, so
+/// error outcomes (exhaustions, runtime failures) cache as readily as
+/// successes — a hit serves them byte-identically with no budget
+/// re-checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedOutcome {
+    pub status: Status,
+    pub answer_digest: Option<String>,
+    pub counters_digest: Option<String>,
+    pub fuel_left: Option<u64>,
+    pub engine_faults: u64,
+    pub error: Option<String>,
+}
+
+/// A family snapshot: the execution state of a delta-eligible program
+/// after every unit but the trailing update, plus what that prefix
+/// charged, so a delta probe can run under `budget − prefix`.
+#[derive(Debug)]
+pub struct FamilyEntry {
+    /// Arrays, scalars, and counters after the prefix (inputs
+    /// included — the update reads them from here, never from the
+    /// request).
+    pub state: ExecState,
+    /// Fuel the prefix charged under the filler's meter; `None` when
+    /// the filler ran fuel-unlimited (unmeasurable — fuel-capped
+    /// requests must then fall back to a full run).
+    pub prefix_fuel: Option<u64>,
+    /// Bytes the prefix charged; `None` when the filler ran
+    /// mem-unlimited.
+    pub prefix_mem: Option<u64>,
+}
+
+#[derive(Debug)]
+enum FullState {
+    Pending,
+    Ready(Arc<CachedOutcome>),
+    Failed,
+}
+
+#[derive(Debug)]
+enum FamState {
+    Pending,
+    Ready(Arc<FamilyEntry>),
+    Failed,
+}
+
+#[derive(Debug)]
+struct FullSlot {
+    state: FullState,
+    /// Install token (the installer's admission ordinal): fills and
+    /// fails only land when their token matches, so a filler whose
+    /// slot was evicted and re-installed cannot resolve the newcomer.
+    token: u64,
+    last_used: u64,
+    cost: u64,
+}
+
+#[derive(Debug)]
+struct FamSlot {
+    state: FamState,
+    token: u64,
+    last_used: u64,
+    cost: u64,
+    /// Ceiling bytes this slot holds (zeroed when a failure refunds
+    /// them early, so eviction never double-refunds).
+    bytes: u64,
+}
+
+/// What an admission-time probe (or an execution-time peek) found.
+#[derive(Debug, Clone)]
+pub enum FullProbe {
+    Absent,
+    /// A filler admitted earlier is still executing; `token`
+    /// identifies that install so waiters never block on a
+    /// later-admitted re-install.
+    Pending {
+        token: u64,
+    },
+    Ready(Arc<CachedOutcome>),
+    Failed,
+}
+
+/// [`FullProbe`] for family slots.
+#[derive(Debug, Clone)]
+pub enum FamilyProbe {
+    Absent,
+    Pending { token: u64 },
+    Ready(Arc<FamilyEntry>),
+    Failed,
+}
+
+/// What an install displaced: evicted entry count plus any family
+/// bytes freed (the server refunds them to the ceiling).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Evicted {
+    pub entries: u64,
+    pub bytes: u64,
+}
+
+/// The materialized-result cache: full outcomes and family snapshots
+/// under one capacity, evicted by the program cache's cost-aware-LRU
+/// rule on the shared admission-ordinal clock. Like [`ProgramCache`]
+/// it is not internally synchronized; the server wraps it in a
+/// `Mutex` paired with a `Condvar` for slot waiters.
+///
+/// Membership and recency change **only** through the admission-path
+/// methods ([`ResultCache::probe_full`], [`ResultCache::install_full`],
+/// [`ResultCache::probe_family`], [`ResultCache::install_family`]) —
+/// eviction is therefore a pure function of the admission sequence.
+/// Execution threads resolve slots with the fill/fail methods, which
+/// change state in place and never touch membership.
+#[derive(Debug)]
+pub struct ResultCache {
+    cap: usize,
+    full: HashMap<u64, FullSlot>,
+    family: HashMap<u64, FamSlot>,
+    stats: ResultCacheStats,
+}
+
+impl ResultCache {
+    /// A cache holding at most `cap` entries (full + family combined).
+    /// `cap == 0` disables result caching — the server bypasses the
+    /// cache entirely, so a zero-cap instance only ever reports stats.
+    pub fn new(cap: usize) -> ResultCache {
+        ResultCache {
+            cap,
+            full: HashMap::new(),
+            family: HashMap::new(),
+            stats: ResultCacheStats {
+                cap: cap as u64,
+                ..ResultCacheStats::default()
+            },
+        }
+    }
+
+    /// Admission-time probe of the full key: counts one lookup and
+    /// stamps recency on `Ready`.
+    pub fn probe_full(&mut self, key: u64, ordinal: u64) -> FullProbe {
+        self.stats.lookups += 1;
+        match self.full.get_mut(&key) {
+            Some(slot) => {
+                if let FullState::Ready(o) = &slot.state {
+                    slot.last_used = ordinal;
+                    return FullProbe::Ready(Arc::clone(o));
+                }
+                match &slot.state {
+                    FullState::Pending => FullProbe::Pending { token: slot.token },
+                    FullState::Failed => FullProbe::Failed,
+                    FullState::Ready(_) => unreachable!(),
+                }
+            }
+            None => FullProbe::Absent,
+        }
+    }
+
+    /// Execution-time peek (no stats, no recency) for waiters parked
+    /// on a `Pending` slot.
+    pub fn peek_full(&self, key: u64) -> FullProbe {
+        match self.full.get(&key) {
+            Some(slot) => match &slot.state {
+                FullState::Pending => FullProbe::Pending { token: slot.token },
+                FullState::Ready(o) => FullProbe::Ready(Arc::clone(o)),
+                FullState::Failed => FullProbe::Failed,
+            },
+            None => FullProbe::Absent,
+        }
+    }
+
+    /// Install a `Pending` full slot: the installing request becomes
+    /// the slot's filler. Replaces a `Failed` tombstone in place;
+    /// inserting a new key first evicts to capacity.
+    pub fn install_full(&mut self, key: u64, ordinal: u64, cost: u64) -> Evicted {
+        let cost = cost.max(1);
+        if let Some(slot) = self.full.get_mut(&key) {
+            slot.state = FullState::Pending;
+            slot.token = ordinal;
+            slot.last_used = ordinal;
+            slot.cost = cost;
+            return Evicted::default();
+        }
+        let evicted = self.evict_to_cap();
+        self.full.insert(
+            key,
+            FullSlot {
+                state: FullState::Pending,
+                token: ordinal,
+                last_used: ordinal,
+                cost,
+            },
+        );
+        self.stats.live += 1;
+        evicted
+    }
+
+    /// Resolve a `Pending` full slot to `Ready`. Lands only when the
+    /// slot still exists, is pending, and carries `token` (otherwise
+    /// the slot was evicted or re-installed and the fill is dropped).
+    /// Returns whether it landed.
+    pub fn fill_full(&mut self, key: u64, token: u64, outcome: Arc<CachedOutcome>) -> bool {
+        match self.full.get_mut(&key) {
+            Some(slot) if slot.token == token && matches!(slot.state, FullState::Pending) => {
+                slot.state = FullState::Ready(outcome);
+                self.stats.insertions += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Resolve a `Pending` full slot to `Failed` (the filler died
+    /// without an outcome). Token-gated like [`ResultCache::fill_full`].
+    pub fn fail_full(&mut self, key: u64, token: u64) {
+        if let Some(slot) = self.full.get_mut(&key) {
+            if slot.token == token && matches!(slot.state, FullState::Pending) {
+                slot.state = FullState::Failed;
+            }
+        }
+    }
+
+    /// Admission-time probe of a family key (no lookup count — the
+    /// full-key probe already counted this request).
+    pub fn probe_family(&mut self, fkey: u64, ordinal: u64) -> FamilyProbe {
+        match self.family.get_mut(&fkey) {
+            Some(slot) => {
+                if let FamState::Ready(f) = &slot.state {
+                    slot.last_used = ordinal;
+                    return FamilyProbe::Ready(Arc::clone(f));
+                }
+                match &slot.state {
+                    FamState::Pending => FamilyProbe::Pending { token: slot.token },
+                    FamState::Failed => FamilyProbe::Failed,
+                    FamState::Ready(_) => unreachable!(),
+                }
+            }
+            None => FamilyProbe::Absent,
+        }
+    }
+
+    /// Execution-time peek for delta waiters.
+    pub fn peek_family(&self, fkey: u64) -> FamilyProbe {
+        match self.family.get(&fkey) {
+            Some(slot) => match &slot.state {
+                FamState::Pending => FamilyProbe::Pending { token: slot.token },
+                FamState::Ready(f) => FamilyProbe::Ready(Arc::clone(f)),
+                FamState::Failed => FamilyProbe::Failed,
+            },
+            None => FamilyProbe::Absent,
+        }
+    }
+
+    /// Install a `Pending` family slot holding `bytes` of (already
+    /// ceiling-reserved) snapshot memory.
+    pub fn install_family(&mut self, fkey: u64, ordinal: u64, cost: u64, bytes: u64) -> Evicted {
+        let cost = cost.max(1);
+        if let Some(slot) = self.family.get_mut(&fkey) {
+            // Replacing a tombstone: its bytes were refunded when it
+            // failed (or it never held any), so only the delta counts.
+            let freed = slot.bytes;
+            self.stats.resident_bytes -= freed;
+            slot.state = FamState::Pending;
+            slot.token = ordinal;
+            slot.last_used = ordinal;
+            slot.cost = cost;
+            slot.bytes = bytes;
+            self.stats.resident_bytes += bytes;
+            return Evicted {
+                entries: 0,
+                bytes: freed,
+            };
+        }
+        let evicted = self.evict_to_cap();
+        self.family.insert(
+            fkey,
+            FamSlot {
+                state: FamState::Pending,
+                token: ordinal,
+                last_used: ordinal,
+                cost,
+                bytes,
+            },
+        );
+        self.stats.live += 1;
+        self.stats.resident_bytes += bytes;
+        evicted
+    }
+
+    /// Resolve a `Pending` family slot to `Ready`. Token-gated;
+    /// returns whether it landed (a dropped fill wastes only the
+    /// snapshot clone — its install's bytes were refunded when the
+    /// slot was evicted).
+    pub fn fill_family(&mut self, fkey: u64, token: u64, entry: Arc<FamilyEntry>) -> bool {
+        match self.family.get_mut(&fkey) {
+            Some(slot) if slot.token == token && matches!(slot.state, FamState::Pending) => {
+                slot.state = FamState::Ready(entry);
+                self.stats.insertions += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Resolve a `Pending` family slot to `Failed`, releasing its
+    /// bytes early. Returns the bytes the caller must refund to the
+    /// ceiling (0 when the fail did not land).
+    pub fn fail_family(&mut self, fkey: u64, token: u64) -> u64 {
+        match self.family.get_mut(&fkey) {
+            Some(slot) if slot.token == token && matches!(slot.state, FamState::Pending) => {
+                let bytes = std::mem::take(&mut slot.bytes);
+                self.stats.resident_bytes -= bytes;
+                slot.state = FamState::Failed;
+                bytes
+            }
+            _ => 0,
+        }
+    }
+
+    /// Count one realized hit (served from a cached outcome).
+    pub fn record_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
+    /// Count one realized delta.
+    pub fn record_delta(&mut self) {
+        self.stats.deltas += 1;
+    }
+
+    /// Count one realized miss (full run, including fallbacks).
+    pub fn record_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// A copy of the life-to-date counters.
+    pub fn result_stats(&self) -> ResultCacheStats {
+        self.stats
+    }
+
+    /// Evict until there is room for one more entry. The victim rule
+    /// is the program cache's, totalized across both maps: minimize
+    /// `(last_used + cost, last_used, map, key)`. Pending slots are
+    /// evicted like any other — membership must stay a pure function
+    /// of the admission sequence, and fillers/waiters tolerate a
+    /// vanished slot (token-gated fills drop; waiters fall back to a
+    /// full run).
+    fn evict_to_cap(&mut self) -> Evicted {
+        let mut out = Evicted::default();
+        if self.cap == 0 {
+            return out;
+        }
+        while self.full.len() + self.family.len() >= self.cap {
+            let full_victim = self
+                .full
+                .iter()
+                .map(|(k, s)| (s.last_used + s.cost, s.last_used, 0u8, *k))
+                .min();
+            let fam_victim = self
+                .family
+                .iter()
+                .map(|(k, s)| (s.last_used + s.cost, s.last_used, 1u8, *k))
+                .min();
+            let Some(victim) = full_victim.min(fam_victim) else {
+                break;
+            };
+            if victim.2 == 0 {
+                self.full.remove(&victim.3);
+            } else {
+                let slot = self.family.remove(&victim.3).expect("victim exists");
+                self.stats.resident_bytes -= slot.bytes;
+                out.bytes += slot.bytes;
+            }
+            self.stats.evictions += 1;
+            self.stats.live -= 1;
+            out.entries += 1;
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,5 +649,107 @@ mod tests {
         assert_eq!(c.insert(1, Arc::clone(&p), 2), 0);
         assert_eq!(c.len(), 2);
         assert_eq!(c.stats().insertions, 2, "refresh is not an insertion");
+    }
+
+    fn outcome() -> Arc<CachedOutcome> {
+        Arc::new(CachedOutcome {
+            status: Status::Ok,
+            answer_digest: Some("d".to_string()),
+            counters_digest: Some("c".to_string()),
+            fuel_left: None,
+            engine_faults: 0,
+            error: None,
+        })
+    }
+
+    fn family() -> Arc<FamilyEntry> {
+        Arc::new(FamilyEntry {
+            state: ExecState::default(),
+            prefix_fuel: Some(3),
+            prefix_mem: None,
+        })
+    }
+
+    #[test]
+    fn result_slots_resolve_through_the_pending_protocol() {
+        let mut c = ResultCache::new(8);
+        assert!(matches!(c.probe_full(7, 0), FullProbe::Absent));
+        c.install_full(7, 0, 2);
+        assert!(matches!(
+            c.probe_full(7, 1),
+            FullProbe::Pending { token: 0 }
+        ));
+        assert!(c.fill_full(7, 0, outcome()));
+        assert!(matches!(c.probe_full(7, 2), FullProbe::Ready(_)));
+        // A second fill with a stale token is dropped.
+        assert!(!c.fill_full(7, 0, outcome()));
+        let s = c.result_stats();
+        assert_eq!((s.lookups, s.insertions, s.live), (3, 1, 1));
+    }
+
+    #[test]
+    fn failed_slots_are_tombstones_until_reinstalled() {
+        let mut c = ResultCache::new(8);
+        c.install_full(7, 0, 1);
+        c.fail_full(7, 0);
+        assert!(matches!(c.probe_full(7, 1), FullProbe::Failed));
+        // Re-install in place: no membership change, fresh token.
+        assert_eq!(c.install_full(7, 2, 1), Evicted::default());
+        assert!(matches!(
+            c.probe_full(7, 3),
+            FullProbe::Pending { token: 2 }
+        ));
+        assert_eq!(c.result_stats().live, 1);
+    }
+
+    #[test]
+    fn family_bytes_are_charged_and_refunded_exactly_once() {
+        let mut c = ResultCache::new(8);
+        c.install_family(9, 0, 1, 640);
+        assert_eq!(c.result_stats().resident_bytes, 640);
+        // Failure refunds early; the tombstone holds nothing.
+        assert_eq!(c.fail_family(9, 0), 640);
+        assert_eq!(c.result_stats().resident_bytes, 0);
+        // A stale fail (wrong token) refunds nothing.
+        assert_eq!(c.fail_family(9, 0), 0);
+        // Re-install charges again; fill keeps the charge resident.
+        c.install_family(9, 1, 1, 640);
+        assert!(c.fill_family(9, 1, family()));
+        assert_eq!(c.result_stats().resident_bytes, 640);
+        assert!(matches!(c.probe_family(9, 2), FamilyProbe::Ready(_)));
+    }
+
+    #[test]
+    fn eviction_spans_both_maps_and_frees_family_bytes() {
+        let mut c = ResultCache::new(2);
+        c.install_full(1, 0, 1);
+        assert!(c.fill_full(1, 0, outcome()));
+        c.install_family(2, 1, 1, 100);
+        assert!(c.fill_family(2, 1, family()));
+        // Touch the family entry so the full entry is the victim.
+        assert!(matches!(c.probe_family(2, 2), FamilyProbe::Ready(_)));
+        let ev = c.install_full(3, 3, 1);
+        assert_eq!(
+            ev,
+            Evicted {
+                entries: 1,
+                bytes: 0
+            }
+        );
+        assert!(matches!(c.probe_full(1, 4), FullProbe::Absent));
+        // Now the family snapshot is the stalest; evicting it frees
+        // its bytes for the caller to refund.
+        assert!(matches!(c.probe_full(3, 5), FullProbe::Pending { .. }));
+        let ev = c.install_full(4, 6, 1);
+        assert_eq!(
+            ev,
+            Evicted {
+                entries: 1,
+                bytes: 100
+            }
+        );
+        assert_eq!(c.result_stats().resident_bytes, 0);
+        let s = c.result_stats();
+        assert_eq!((s.evictions, s.live), (2, 2));
     }
 }

@@ -348,6 +348,21 @@ fn handle_control(shared: &Shared, control: &str, v: &Json, out: &mut TcpStream)
                 ("live".to_string(), Json::Num(s.live as f64)),
                 ("cap".to_string(), Json::Num(s.cap as f64)),
             ]);
+            let r = shared.server.result_cache_stats();
+            let result_cache = Json::Obj(vec![
+                ("lookups".to_string(), Json::Num(r.lookups as f64)),
+                ("hits".to_string(), Json::Num(r.hits as f64)),
+                ("deltas".to_string(), Json::Num(r.deltas as f64)),
+                ("misses".to_string(), Json::Num(r.misses as f64)),
+                ("insertions".to_string(), Json::Num(r.insertions as f64)),
+                ("evictions".to_string(), Json::Num(r.evictions as f64)),
+                ("live".to_string(), Json::Num(r.live as f64)),
+                ("cap".to_string(), Json::Num(r.cap as f64)),
+                (
+                    "resident_bytes".to_string(),
+                    Json::Num(r.resident_bytes as f64),
+                ),
+            ]);
             let mut tenants = shared.tenants.lock().expect("tenant lock").clone();
             tenants.sort();
             let tenants = Json::Obj(
@@ -398,6 +413,7 @@ fn handle_control(shared: &Shared, control: &str, v: &Json, out: &mut TcpStream)
             let reply = Json::Obj(vec![
                 ("control".to_string(), Json::Str("stats".to_string())),
                 ("cache".to_string(), cache),
+                ("result_cache".to_string(), result_cache),
                 ("tenants".to_string(), tenants),
                 ("daemon".to_string(), daemon),
                 ("server".to_string(), server),

@@ -20,11 +20,12 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use hac_core::deadline::DeadlineGovernor;
 use hac_core::pipeline::{
-    compile, run_with_meter, CompileOptions, Compiled, Engine, ExecMode, RunOptions, Unit,
+    compile, run_delta, run_units, run_with_meter, CompileOptions, Compiled, Engine, ExecMode,
+    ExecState, RunOptions, Unit,
 };
 use hac_lang::env::ConstEnv;
 use hac_runtime::error::RuntimeError;
@@ -38,7 +39,10 @@ pub mod daemon;
 pub mod json;
 pub mod sched;
 
-use cache::{CacheStats, ProgramCache};
+use cache::{
+    CacheStats, CachedOutcome, FamilyEntry, FamilyProbe, FullProbe, ProgramCache, ResultCache,
+    ResultCacheStats,
+};
 use json::Json;
 
 /// Server-wide configuration.
@@ -82,10 +86,23 @@ pub struct ServeOptions {
     /// use it to inject faults hermetically. Retries always run the
     /// empty plan (the injected fault is modeled as transient).
     pub faults: Option<FaultPlan>,
+    /// Materialized-result cache capacity in entries (full outcomes +
+    /// family snapshots combined); **0 disables result caching**
+    /// (every request bypasses the cache) — note the asymmetry with
+    /// [`ServeOptions::cache_cap`], where 0 means unbounded.
+    pub result_cache_cap: usize,
+    /// Run the vector-fusion pass when compiling request programs (the
+    /// pipeline's default); `--no-fuse` serving pins the scalar tape,
+    /// so the differential suites can compare fused and unfused
+    /// servers end to end.
+    pub fuse: bool,
 }
 
 /// Default [`ServeOptions::cache_cap`].
 pub const DEFAULT_CACHE_CAP: usize = 256;
+
+/// Default [`ServeOptions::result_cache_cap`].
+pub const DEFAULT_RESULT_CACHE_CAP: usize = 256;
 
 /// Default [`ServeOptions::retry_budget`].
 pub const DEFAULT_RETRY_BUDGET: u32 = 1;
@@ -103,6 +120,8 @@ impl Default for ServeOptions {
             shed_watermark: 0,
             retry_budget: DEFAULT_RETRY_BUDGET,
             faults: None,
+            result_cache_cap: DEFAULT_RESULT_CACHE_CAP,
+            fuse: true,
         }
     }
 }
@@ -353,6 +372,32 @@ impl Status {
     }
 }
 
+/// How the materialized-result cache served a request. Absent (JSON
+/// `null`) when the request bypassed the cache: caching off, an
+/// active fault plan, a lazily-drawing meter, or a failure before
+/// execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResultClass {
+    /// Served verbatim from a cached outcome — zero engine ops spent.
+    Hit,
+    /// Served by replaying only the trailing `bigupd` over a family
+    /// snapshot, metered for exactly the recomputed elements.
+    Delta,
+    /// Full recomputation: cold, or any delta/wait fallback.
+    Miss,
+}
+
+impl ResultClass {
+    /// The wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ResultClass::Hit => "hit",
+            ResultClass::Delta => "delta",
+            ResultClass::Miss => "miss",
+        }
+    }
+}
+
 /// Compilation-report verdict counts, echoed per response so tenants
 /// can see what the scheduler did with their program.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -381,6 +426,14 @@ pub struct Response {
     /// Cache entries evicted to make room for this request's program
     /// (0 on hits and when the cache is under capacity).
     pub evictions: u64,
+    /// How the result cache served this request; `None` when it was
+    /// bypassed. Hit- and delta-served responses are byte-identical
+    /// (digest and error class) to the cold full recomputation — this
+    /// field and `delta_elems` are the only tells.
+    pub result_cache: Option<ResultClass>,
+    /// Elements recomputed by a delta-served response (the update's
+    /// static write count); `None` otherwise.
+    pub delta_elems: Option<u64>,
     /// FNV-1a digest over every output array and scalar (sorted by
     /// name), so equality of answers is checkable without shipping
     /// arrays.
@@ -413,6 +466,8 @@ impl Response {
             admitted: None,
             cache_hit,
             evictions: 0,
+            result_cache: None,
+            delta_elems: None,
             answer_digest: None,
             fuel_left: None,
             engine_faults: 0,
@@ -451,6 +506,15 @@ impl Response {
                 },
             ),
             ("evictions".to_string(), Json::Num(self.evictions as f64)),
+            (
+                "result_cache".to_string(),
+                self.result_cache
+                    .map_or(Json::Null, |c| Json::Str(c.as_str().to_string())),
+            ),
+            (
+                "delta_elems".to_string(),
+                self.delta_elems.map_or(Json::Null, |d| Json::Num(d as f64)),
+            ),
             (
                 "answer_digest".to_string(),
                 self.answer_digest
@@ -593,6 +657,161 @@ fn fill_inputs(compiled: &Compiled, seed: u64) -> HashMap<String, ArrayBuf> {
     out
 }
 
+fn limit_key(h: u64, v: Option<u64>) -> u64 {
+    match v {
+        Some(v) => fnv1a(fnv1a(h, &[1]), &v.to_le_bytes()),
+        None => fnv1a(h, &[0]),
+    }
+}
+
+/// The memoized-result key: every bit of request state the terminal
+/// outcome is a pure function of — source, params, seed, mode,
+/// engine, and the *effective* limits (post deadline conversion and
+/// certificate fill-in). Limits are in the key so error outcomes
+/// (which quote budgets) cache soundly and a hit never needs a budget
+/// re-check. Thread count is deliberately absent: the determinism
+/// contract makes outcomes thread-invariant.
+fn result_key(req: &Request, mode: ExecMode, engine: Engine, limits: Limits) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, req.source.as_bytes());
+    let mut params = req.params.clone();
+    params.sort();
+    for (k, v) in &params {
+        h = fnv1a(h, k.as_bytes());
+        h = fnv1a(h, &v.to_le_bytes());
+    }
+    h = fnv1a(h, &req.seed.to_le_bytes());
+    h = fnv1a(h, &[mode as u8, engine as u8, 0xF1]);
+    h = limit_key(h, limits.fuel);
+    h = limit_key(h, limits.mem_bytes);
+    h
+}
+
+/// The family key shared by every request whose params differ only in
+/// the update's own parameters: like [`result_key`] but excluding
+/// limits and the delta parameters' *values* (their names still key —
+/// the prefix state is identical across the family precisely because
+/// those parameters appear nowhere outside the trailing update).
+fn family_key(req: &Request, delta_params: &[String], mode: ExecMode, engine: Engine) -> u64 {
+    let mut h = fnv1a(FNV_OFFSET, req.source.as_bytes());
+    let mut params: Vec<&(String, i64)> = req
+        .params
+        .iter()
+        .filter(|(k, _)| !delta_params.iter().any(|d| d == k))
+        .collect();
+    params.sort();
+    for (k, v) in params {
+        h = fnv1a(h, k.as_bytes());
+        h = fnv1a(h, &v.to_le_bytes());
+    }
+    let mut names: Vec<&String> = delta_params.iter().collect();
+    names.sort();
+    for n in names {
+        h = fnv1a(h, n.as_bytes());
+        h = fnv1a(h, &[2]);
+    }
+    h = fnv1a(h, &req.seed.to_le_bytes());
+    h = fnv1a(h, &[mode as u8, engine as u8, 0xFA]);
+    h
+}
+
+/// The request's effective limits: its own caps, with a deadline
+/// converted to fuel at the calibrated rate (the *tighter* of the two
+/// fuel numbers wins when both are given). A free function so the
+/// pure classification predictor shares it with admission.
+fn effective_limits(deadline: Option<&DeadlineGovernor>, req: &Request) -> Result<Limits, String> {
+    let mut fuel = req.fuel;
+    if let Some(ms) = req.deadline_ms {
+        let gov = deadline
+            .ok_or("deadline_ms given but the server has no calibrated deadline governor")?;
+        let budget = gov.fuel_for_deadline(ms);
+        fuel = Some(fuel.map_or(budget, |f| f.min(budget)));
+    }
+    Ok(Limits {
+        fuel,
+        mem_bytes: req.mem_bytes,
+    })
+}
+
+/// Whether `options` puts an effective fault plan in force: an
+/// explicit non-empty plan, or (when `faults` is `None`) an ambient
+/// `HAC_FAULT_PLAN`. Fault-injected runs are not pure functions of
+/// the request, so they bypass the result cache.
+fn faults_active(options: &ServeOptions) -> bool {
+    match &options.faults {
+        Some(p) => !p.points.is_empty() || !p.snapshot,
+        None => hac_core::codegen::ambient_fault_plan_active(),
+    }
+}
+
+/// How the result cache serves an admitted request, decided on the
+/// sequential admission path. Every variant but `Bypass` and `Hit`
+/// names `Pending` slots this request must resolve before returning.
+enum ResultRoute {
+    /// Result caching is off for this request.
+    Bypass,
+    /// A cached outcome was `Ready` at admission: serve it verbatim.
+    Hit(Arc<CachedOutcome>),
+    /// An earlier-admitted filler is computing this exact outcome:
+    /// wait for it (safe — waits only ever target earlier ordinals).
+    WaitHit { key: u64, token: u64 },
+    /// A family snapshot was `Ready`: replay only the update.
+    Delta {
+        key: u64,
+        token: u64,
+        fam: Arc<FamilyEntry>,
+    },
+    /// An earlier-admitted filler is snapshotting this family: wait,
+    /// then replay the update against its snapshot.
+    WaitDelta {
+        key: u64,
+        token: u64,
+        fkey: u64,
+        ftoken: u64,
+    },
+    /// Cold: run the full pipeline and fill the result slot — and the
+    /// family slot, when this request was elected the family filler.
+    Miss {
+        key: u64,
+        token: u64,
+        family: Option<FamilyFill>,
+    },
+}
+
+/// The family-filler obligation: snapshot the prefix into `fkey`
+/// (whose bytes were ceiling-reserved at admission).
+struct FamilyFill {
+    fkey: u64,
+    token: u64,
+}
+
+/// Drop guard for a filler's `Pending` slots: any path that returns
+/// (or panics) without resolving them marks the slots `Failed` and
+/// refunds family bytes, so waiters never block on a dead filler.
+/// Disarmed piecewise as each obligation is met.
+struct FillGuard<'a> {
+    server: &'a Server,
+    full: Option<(u64, u64)>,
+    family: Option<(u64, u64)>,
+}
+
+impl Drop for FillGuard<'_> {
+    fn drop(&mut self) {
+        if self.full.is_none() && self.family.is_none() {
+            return;
+        }
+        let mut rc = self.server.results.lock().expect("result cache lock");
+        if let Some((key, token)) = self.full.take() {
+            rc.fail_full(key, token);
+        }
+        if let Some((fkey, token)) = self.family.take() {
+            let bytes = rc.fail_family(fkey, token);
+            self.server.ceiling.refund_mem(bytes);
+        }
+        drop(rc);
+        self.server.results_cv.notify_all();
+    }
+}
+
 /// A multi-tenant server: bounded compiled-program cache + shared
 /// ceiling + weighted fair admission.
 ///
@@ -603,6 +822,13 @@ pub struct Server {
     /// Bounded cache of compiled programs keyed by FNV(source, params,
     /// mode, engine); recency is stamped in admission ordinals.
     cache: Mutex<ProgramCache>,
+    /// Materialized-result cache: memoized outcomes and family
+    /// snapshots. Membership changes only on the admission path;
+    /// execution threads resolve `Pending` slots and wake waiters
+    /// through `results_cv`.
+    results: Mutex<ResultCache>,
+    /// Wakes requests parked on a `Pending` result/family slot.
+    results_cv: Condvar,
     /// Life-to-date requests shed by the overload watermark.
     shed: AtomicU64,
     /// Life-to-date engine-fault retries executed (attempts beyond
@@ -654,6 +880,9 @@ struct Admitted {
     cache_hit: bool,
     evictions: u64,
     seed: u64,
+    /// How the result cache serves this request (decided at
+    /// admission).
+    route: ResultRoute,
 }
 
 impl Server {
@@ -662,10 +891,13 @@ impl Server {
     pub fn new(options: ServeOptions) -> Server {
         let ceiling = SharedCeiling::new(options.ceiling, options.stripes);
         let cache = Mutex::new(ProgramCache::new(options.cache_cap));
+        let results = Mutex::new(ResultCache::new(options.result_cache_cap));
         Server {
             options,
             ceiling,
             cache,
+            results,
+            results_cv: Condvar::new(),
             shed: AtomicU64::new(0),
             retried: AtomicU64::new(0),
             cert_certified: AtomicU64::new(0),
@@ -688,6 +920,16 @@ impl Server {
     /// misses, insertions, evictions, live entries, capacity.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Life-to-date result-cache counters: lookups, realized
+    /// hits/deltas/misses, insertions, evictions, live entries,
+    /// capacity, and family-snapshot residency in bytes.
+    pub fn result_cache_stats(&self) -> ResultCacheStats {
+        self.results
+            .lock()
+            .expect("result cache lock")
+            .result_stats()
     }
 
     /// Life-to-date overload/retry counters.
@@ -733,6 +975,134 @@ impl Server {
         sched::fair_schedule(&arrivals, shed_watermark)
     }
 
+    /// The result-cache classification — `hit`, `delta`, `miss`, or
+    /// `None` (bypass / shed / rejected / compile error) — a server
+    /// built from `options` realizes for each request of `reqs`, in
+    /// input order, as a *pure* function of the request list (the
+    /// result-cache sibling of [`Server::predicted_schedule`]).
+    ///
+    /// The prediction replays the admission sequence against a scratch
+    /// [`ResultCache`] with every filler assumed to succeed instantly,
+    /// so it is exact on a **fresh** server whose ceiling admits every
+    /// request (uncapped or ample) and whose runs all succeed; fillers
+    /// that fail or lose their slot to races shift realized `hit`s to
+    /// `miss`es, never the reverse.
+    pub fn predicted_result_classes(
+        options: &ServeOptions,
+        reqs: &[Request],
+    ) -> Vec<Option<ResultClass>> {
+        let schedule = Self::predicted_schedule(reqs, options.shed_watermark);
+        let mut classes: Vec<Option<ResultClass>> = vec![None; reqs.len()];
+        if options.result_cache_cap == 0 || faults_active(options) {
+            return classes;
+        }
+        let mut rc = ResultCache::new(options.result_cache_cap);
+        let dummy_outcome = Arc::new(CachedOutcome {
+            status: Status::Ok,
+            answer_digest: None,
+            counters_digest: None,
+            fuel_left: None,
+            engine_faults: 0,
+            error: None,
+        });
+        // Only the keys and recency drive classification, so the slot
+        // payloads can be placeholders.
+        let dummy_family = Arc::new(FamilyEntry {
+            state: ExecState::default(),
+            prefix_fuel: None,
+            prefix_mem: None,
+        });
+        // Every scheduled (non-shed) request consumes one admission
+        // ordinal, rejected ones included. Recency comparisons are
+        // offset-invariant, so starting from 0 predicts any fresh
+        // server regardless of its ordinal origin.
+        for (ord, &idx) in (0u64..).zip(schedule.order.iter()) {
+            let req = &reqs[idx];
+            let mode = req.mode.unwrap_or(options.mode);
+            let engine = req.engine.unwrap_or(options.engine);
+            let Ok(mut limits) = effective_limits(options.deadline.as_ref(), req) else {
+                continue;
+            };
+            let Ok(program) = hac_lang::parser::parse_program(&req.source) else {
+                continue;
+            };
+            let mut env = ConstEnv::new();
+            for (k, v) in &req.params {
+                env.bind(k, *v);
+            }
+            let Ok(compiled) = compile(
+                &program,
+                &env,
+                &CompileOptions {
+                    mode,
+                    engine,
+                    fuse: options.fuse,
+                    ..CompileOptions::default()
+                },
+            ) else {
+                continue;
+            };
+            // Mirror certificate admission: exact certs reject
+            // under-budget requests and pin uncapped fuel under a
+            // fuel-capped ceiling.
+            let cert = &compiled.cert;
+            if cert.is_exact() {
+                let cert_fuel = cert.fuel_value().unwrap_or(u64::MAX);
+                let cert_mem = cert.mem_value().unwrap_or(u64::MAX);
+                if limits.fuel.is_some_and(|f| f < cert_fuel)
+                    || limits.mem_bytes.is_some_and(|m| m < cert_mem)
+                {
+                    continue;
+                }
+                if limits.fuel.is_none() && options.ceiling.fuel.is_some() {
+                    limits.fuel = Some(cert_fuel);
+                }
+            }
+            // A capped ceiling with no per-request cap draws the pool
+            // lazily — the realized route is Bypass.
+            if (options.ceiling.fuel.is_some() && limits.fuel.is_none())
+                || (options.ceiling.mem_bytes.is_some() && limits.mem_bytes.is_none())
+            {
+                continue;
+            }
+            let key = result_key(req, mode, engine, limits);
+            let cost = (compiled.units.len() as u64).max(1);
+            match rc.probe_full(key, ord) {
+                FullProbe::Ready(_) | FullProbe::Pending { .. } => {
+                    classes[idx] = Some(ResultClass::Hit);
+                    continue;
+                }
+                FullProbe::Absent | FullProbe::Failed => {}
+            }
+            rc.install_full(key, ord, cost);
+            // The filler is assumed to succeed: resolve its slot
+            // before the next replay step, like the real fill would.
+            rc.fill_full(key, ord, Arc::clone(&dummy_outcome));
+            match &compiled.delta {
+                None => classes[idx] = Some(ResultClass::Miss),
+                Some(plan) => {
+                    let fkey = family_key(req, &plan.params, mode, engine);
+                    match rc.probe_family(fkey, ord) {
+                        FamilyProbe::Ready(_) | FamilyProbe::Pending { .. } => {
+                            classes[idx] = Some(ResultClass::Delta);
+                        }
+                        FamilyProbe::Absent | FamilyProbe::Failed => {
+                            rc.install_family(
+                                fkey,
+                                ord,
+                                cost.saturating_sub(1).max(1),
+                                plan.prefix_bytes,
+                            );
+                            rc.fill_family(fkey, ord, Arc::clone(&dummy_family));
+                            classes[idx] = Some(ResultClass::Miss);
+                        }
+                    }
+                }
+            }
+        }
+        classes
+    }
+
     fn cache_key(&self, req: &Request, mode: ExecMode, engine: Engine) -> u64 {
         let mut h = fnv1a(FNV_OFFSET, req.source.as_bytes());
         let mut params = req.params.clone();
@@ -773,6 +1143,7 @@ impl Server {
             &CompileOptions {
                 mode,
                 engine,
+                fuse: self.options.fuse,
                 ..CompileOptions::default()
             },
         )
@@ -786,23 +1157,101 @@ impl Server {
         Ok((compiled, false, evicted))
     }
 
-    /// The request's effective limits: its own caps, with a deadline
-    /// converted to fuel at the calibrated rate (the *tighter* of the
-    /// two fuel numbers wins when both are given).
-    fn effective_limits(&self, req: &Request) -> Result<Limits, String> {
-        let mut fuel = req.fuel;
-        if let Some(ms) = req.deadline_ms {
-            let gov =
-                self.options.deadline.as_ref().ok_or(
-                    "deadline_ms given but the server has no calibrated deadline governor",
-                )?;
-            let budget = gov.fuel_for_deadline(ms);
-            fuel = Some(fuel.map_or(budget, |f| f.min(budget)));
+    /// Decide how the result cache serves an admitted request. Runs
+    /// on the sequential admission path, so cache membership,
+    /// eviction, and filler election are pure functions of the
+    /// admission sequence — execution threads later only resolve the
+    /// slots installed here.
+    #[allow(clippy::too_many_arguments)]
+    fn route_result(
+        &self,
+        req: &Request,
+        compiled: &Compiled,
+        mode: ExecMode,
+        engine: Engine,
+        limits: Limits,
+        meter: &Meter,
+        ordinal: u64,
+    ) -> ResultRoute {
+        // Bypass gates, all admission-computable: caching off, a fault
+        // plan in force, or a meter that draws the shared pool lazily
+        // (its exhaustion point depends on sibling requests, so its
+        // outcome is not a pure function of the request).
+        if self.options.result_cache_cap == 0
+            || faults_active(&self.options)
+            || meter.draws_lazily()
+            || meter.draws_mem_lazily()
+        {
+            return ResultRoute::Bypass;
         }
-        Ok(Limits {
-            fuel,
-            mem_bytes: req.mem_bytes,
-        })
+        let key = result_key(req, mode, engine, limits);
+        let cost = (compiled.units.len() as u64).max(1);
+        let mut rc = self.results.lock().expect("result cache lock");
+        match rc.probe_full(key, ordinal) {
+            FullProbe::Ready(o) => return ResultRoute::Hit(o),
+            FullProbe::Pending { token } => return ResultRoute::WaitHit { key, token },
+            FullProbe::Absent | FullProbe::Failed => {}
+        }
+        // Cold at the full key: this request becomes its filler.
+        let mut freed = rc.install_full(key, ordinal, cost);
+        let route = match &compiled.delta {
+            None => ResultRoute::Miss {
+                key,
+                token: ordinal,
+                family: None,
+            },
+            Some(plan) => {
+                let fkey = family_key(req, &plan.params, mode, engine);
+                match rc.probe_family(fkey, ordinal) {
+                    FamilyProbe::Ready(fam) => ResultRoute::Delta {
+                        key,
+                        token: ordinal,
+                        fam,
+                    },
+                    FamilyProbe::Pending { token } => ResultRoute::WaitDelta {
+                        key,
+                        token: ordinal,
+                        fkey,
+                        ftoken: token,
+                    },
+                    FamilyProbe::Absent | FamilyProbe::Failed => {
+                        // Elect this request the family filler — if
+                        // the pool covers the snapshot's residency
+                        // (charged now, deterministically, from the
+                        // plan's static byte count).
+                        if self.ceiling.reserve_mem(plan.prefix_bytes) {
+                            let ev = rc.install_family(
+                                fkey,
+                                ordinal,
+                                cost.saturating_sub(1).max(1),
+                                plan.prefix_bytes,
+                            );
+                            freed.entries += ev.entries;
+                            freed.bytes += ev.bytes;
+                            ResultRoute::Miss {
+                                key,
+                                token: ordinal,
+                                family: Some(FamilyFill {
+                                    fkey,
+                                    token: ordinal,
+                                }),
+                            }
+                        } else {
+                            ResultRoute::Miss {
+                                key,
+                                token: ordinal,
+                                family: None,
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        drop(rc);
+        if freed.bytes > 0 {
+            self.ceiling.refund_mem(freed.bytes);
+        }
+        route
     }
 
     /// Compile and admit one request (the sequential admission phase).
@@ -820,8 +1269,7 @@ impl Server {
         };
         let mode = req.mode.unwrap_or(self.options.mode);
         let engine = req.engine.unwrap_or(self.options.engine);
-        let mut limits = self
-            .effective_limits(req)
+        let mut limits = effective_limits(self.options.deadline.as_ref(), req)
             .map_err(|e| stamp(Response::failed(&req.id, Status::Rejected, None, e)))?;
         let (compiled, cache_hit, evictions) = self
             .compile_cached(req, mode, engine, ordinal)
@@ -882,6 +1330,7 @@ impl Server {
             resp.evictions = evictions;
             stamp(resp)
         })?;
+        let route = self.route_result(req, &compiled, mode, engine, limits, &meter, ordinal);
         Ok(Admitted {
             id: req.id.clone(),
             tenant: req.tenant.clone(),
@@ -893,12 +1342,267 @@ impl Server {
             cache_hit,
             evictions,
             seed: req.seed,
+            route,
         })
     }
 
-    /// Execute an admitted request and settle its meter. A run that
-    /// dies with an [`EngineFault`](RuntimeError::EngineFault) the
-    /// engine layer could not absorb is treated as transient: the
+    /// Execute an admitted request along its result route and settle
+    /// its meter. Hit- and delta-served responses are byte-identical
+    /// (digest and error class) to the cold full recomputation — the
+    /// `result_cache`/`delta_elems` fields are the only tells — and
+    /// every fallback lands on the full metered run, which stays the
+    /// authority for outcomes.
+    fn execute(&self, mut adm: Admitted) -> Response {
+        match std::mem::replace(&mut adm.route, ResultRoute::Bypass) {
+            ResultRoute::Bypass => self.execute_full(adm, None, None, false),
+            ResultRoute::Hit(o) => self.serve_cached(adm, &o),
+            ResultRoute::WaitHit { key, token } => match self.await_full(key, token) {
+                Some(o) => self.serve_cached(adm, &o),
+                // The filler died (or its slot was evicted): run full.
+                // No fill — membership changed only at admission.
+                None => self.execute_full(adm, None, None, true),
+            },
+            ResultRoute::Delta { key, token, fam } => self.serve_delta(adm, key, token, &fam),
+            ResultRoute::WaitDelta {
+                key,
+                token,
+                fkey,
+                ftoken,
+            } => match self.await_family(fkey, ftoken) {
+                Some(fam) => self.serve_delta(adm, key, token, &fam),
+                None => self.execute_full(adm, Some((key, token)), None, true),
+            },
+            ResultRoute::Miss { key, token, family } => {
+                self.execute_full(adm, Some((key, token)), family, true)
+            }
+        }
+    }
+
+    /// Block until the `Pending` full slot installed as `(key, token)`
+    /// resolves; `None` means the filler failed or the slot vanished.
+    /// Waits only while that exact install is pending — a re-installed
+    /// slot belongs to a *later* ordinal, and waiting on one could
+    /// deadlock a single-worker batch. The install this waits on was
+    /// admitted earlier, so its filler is already running (workers
+    /// drain in admission order): the wait always makes progress.
+    fn await_full(&self, key: u64, token: u64) -> Option<Arc<CachedOutcome>> {
+        let mut rc = self.results.lock().expect("result cache lock");
+        loop {
+            match rc.peek_full(key) {
+                FullProbe::Ready(o) => return Some(o),
+                FullProbe::Pending { token: t } if t == token => {
+                    rc = self.results_cv.wait(rc).expect("result cache lock");
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// [`Server::await_full`] for family slots.
+    fn await_family(&self, fkey: u64, ftoken: u64) -> Option<Arc<FamilyEntry>> {
+        let mut rc = self.results.lock().expect("result cache lock");
+        loop {
+            match rc.peek_family(fkey) {
+                FamilyProbe::Ready(f) => return Some(f),
+                FamilyProbe::Pending { token: t } if t == ftoken => {
+                    rc = self.results_cv.wait(rc).expect("result cache lock");
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Serve a memoized outcome verbatim. Zero engine ops: the meter
+    /// settles untouched, refunding the whole reservation to the pool.
+    fn serve_cached(&self, mut adm: Admitted, o: &CachedOutcome) -> Response {
+        adm.meter.settle();
+        self.results.lock().expect("result cache lock").record_hit();
+        Response {
+            id: adm.id,
+            status: o.status,
+            tenant: adm.tenant,
+            admitted: Some(adm.ordinal),
+            cache_hit: Some(adm.cache_hit),
+            evictions: adm.evictions,
+            result_cache: Some(ResultClass::Hit),
+            delta_elems: None,
+            answer_digest: o.answer_digest.clone(),
+            fuel_left: o.fuel_left,
+            engine_faults: o.engine_faults,
+            counters_digest: o.counters_digest.clone(),
+            verdicts: Some(verdicts_of(&adm.compiled)),
+            attempts: 1,
+            retry_after_ops: None,
+            error: o.error.clone(),
+        }
+    }
+
+    /// Serve by replaying only the trailing update over a family
+    /// snapshot. The probe runs on a standalone meter priced at
+    /// `budget − prefix`, so exhaustion lands exactly where the cold
+    /// run's would; *any* probe failure is discarded and the full
+    /// metered run on the admitted meter becomes the authority (its
+    /// error text embeds the request's own limits, the probe's would
+    /// not). On success the admitted meter is charged for precisely
+    /// what the cold run would have spent, so the pool's settlement
+    /// is identical.
+    fn serve_delta(&self, mut adm: Admitted, key: u64, token: u64, fam: &FamilyEntry) -> Response {
+        let writes = adm
+            .compiled
+            .delta
+            .as_ref()
+            .expect("delta route requires a plan")
+            .writes;
+        // A budget the snapshot cannot price (unmeasured prefix) or
+        // cannot cover (prefix alone exceeds it) falls back to the
+        // full run, which reproduces cold's outcome — including a
+        // cold prefix exhaustion — exactly.
+        let probe_fuel = match (adm.limits.fuel, fam.prefix_fuel) {
+            (None, _) => None,
+            (Some(f), Some(pf)) if pf <= f => Some(f - pf),
+            _ => return self.execute_full(adm, Some((key, token)), None, true),
+        };
+        let probe_mem = match (adm.limits.mem_bytes, fam.prefix_mem) {
+            (None, _) => None,
+            (Some(m), Some(pm)) if pm <= m => Some(m - pm),
+            _ => return self.execute_full(adm, Some((key, token)), None, true),
+        };
+        let mut probe = Meter::new(Limits {
+            fuel: probe_fuel,
+            mem_bytes: probe_mem,
+        });
+        let funcs = FuncTable::new();
+        let run_opts = RunOptions {
+            threads: Some(self.options.threads),
+            limits: Limits::unlimited(),
+            faults: self.options.faults.clone(),
+            ceiling: None,
+        };
+        match run_delta(&adm.compiled, &fam.state, &funcs, &run_opts, &mut probe) {
+            Ok(out) => {
+                // The probe's closing balance *is* the cold run's:
+                // (budget − prefix) − delta = budget − total. Charge
+                // the admitted meter down to it and settle, so the
+                // pool sees exactly the recomputed work spent.
+                if let (Some(f), Some(left)) = (adm.limits.fuel, out.fuel_left) {
+                    adm.meter.consume_fuel(f - left);
+                }
+                adm.meter.settle();
+                let outcome = Arc::new(CachedOutcome {
+                    status: Status::Ok,
+                    answer_digest: Some(digest_output(&out)),
+                    counters_digest: Some(digest_counters(&out.counters)),
+                    fuel_left: out.fuel_left,
+                    engine_faults: out.counters.vm.engine_faults,
+                    error: None,
+                });
+                {
+                    let mut rc = self.results.lock().expect("result cache lock");
+                    rc.fill_full(key, token, Arc::clone(&outcome));
+                    rc.record_delta();
+                }
+                self.results_cv.notify_all();
+                Response {
+                    id: adm.id,
+                    status: Status::Ok,
+                    tenant: adm.tenant,
+                    admitted: Some(adm.ordinal),
+                    cache_hit: Some(adm.cache_hit),
+                    evictions: adm.evictions,
+                    result_cache: Some(ResultClass::Delta),
+                    delta_elems: Some(writes),
+                    answer_digest: outcome.answer_digest.clone(),
+                    fuel_left: outcome.fuel_left,
+                    engine_faults: outcome.engine_faults,
+                    counters_digest: outcome.counters_digest.clone(),
+                    verdicts: Some(verdicts_of(&adm.compiled)),
+                    attempts: 1,
+                    retry_after_ops: None,
+                    error: None,
+                }
+            }
+            Err(_) => self.execute_full(adm, Some((key, token)), None, true),
+        }
+    }
+
+    /// Run the full pipeline split at the trailing update, publishing
+    /// the family snapshot between the halves. Byte-equivalent to
+    /// [`run_with_meter`] — same units, same state threading, same
+    /// meter — plus a clone of the prefix state (and its measured
+    /// cost) published for the family.
+    #[allow(clippy::too_many_arguments)]
+    fn run_split(
+        &self,
+        compiled: &Compiled,
+        limits: Limits,
+        inputs: &HashMap<String, ArrayBuf>,
+        funcs: &FuncTable,
+        opts: &RunOptions,
+        meter: &mut Meter,
+        guard: &mut FillGuard<'_>,
+    ) -> Result<hac_core::pipeline::ExecOutput, RuntimeError> {
+        let last = compiled.units.len() - 1;
+        let mut state = ExecState::default();
+        run_units(compiled, 0..last, &mut state, inputs, funcs, opts, meter)?;
+        // What the prefix charged — measurable whenever the cap is
+        // finite (routing already excluded lazily-drawing meters).
+        let prefix_fuel = limits.fuel.map(|f| f - meter.fuel_left());
+        let prefix_mem = limits.mem_bytes.map(|m| m - meter.mem_left());
+        if let Some((fkey, token)) = guard.family.take() {
+            let entry = Arc::new(FamilyEntry {
+                state: state.clone(),
+                prefix_fuel,
+                prefix_mem,
+            });
+            // A fill that misses (slot evicted meanwhile) wastes only
+            // the clone; the eviction already refunded its bytes.
+            self.results
+                .lock()
+                .expect("result cache lock")
+                .fill_family(fkey, token, entry);
+            self.results_cv.notify_all();
+        }
+        run_units(
+            compiled,
+            last..compiled.units.len(),
+            &mut state,
+            inputs,
+            funcs,
+            opts,
+            meter,
+        )?;
+        Ok(state.into_output(meter))
+    }
+
+    /// Resolve a routed request's full-slot obligation from its final
+    /// response and count the realized miss.
+    fn finish_routed(&self, guard: &mut FillGuard<'_>, routed: bool, resp: &Response) {
+        if !routed {
+            return;
+        }
+        let mut rc = self.results.lock().expect("result cache lock");
+        if let Some((key, token)) = guard.full.take() {
+            let outcome = Arc::new(CachedOutcome {
+                status: resp.status,
+                answer_digest: resp.answer_digest.clone(),
+                counters_digest: resp.counters_digest.clone(),
+                fuel_left: resp.fuel_left,
+                engine_faults: resp.engine_faults,
+                error: resp.error.clone(),
+            });
+            rc.fill_full(key, token, outcome);
+        }
+        rc.record_miss();
+        drop(rc);
+        self.results_cv.notify_all();
+    }
+
+    /// Execute an admitted request on the full pipeline and settle its
+    /// meter, resolving any fill obligations (`fill` = this request's
+    /// `Pending` full slot, `family` = its family-filler election;
+    /// `routed` marks requests the result cache classifies). A run
+    /// that dies with an [`EngineFault`](RuntimeError::EngineFault)
+    /// the engine layer could not absorb is treated as transient: the
     /// meter is settled (refunding the pool), a fresh one is
     /// re-admitted under the same limits, and the run repeats — up to
     /// `retry_budget` extra attempts. Retries pin the *empty* fault
@@ -906,10 +1610,23 @@ impl Server {
     /// recur at the same coordinates forever, and the retry models the
     /// fault not recurring. A successful retry is therefore
     /// byte-identical to a fault-free run except for `attempts`.
-    fn execute(&self, mut adm: Admitted) -> Response {
+    /// (Routed requests never carry a fault plan, so fills and retries
+    /// cannot co-occur.)
+    fn execute_full(
+        &self,
+        mut adm: Admitted,
+        fill: Option<(u64, u64)>,
+        family: Option<FamilyFill>,
+        routed: bool,
+    ) -> Response {
         let inputs = fill_inputs(&adm.compiled, adm.seed);
         let funcs = FuncTable::new();
         let verdicts = Some(verdicts_of(&adm.compiled));
+        let mut guard = FillGuard {
+            server: self,
+            full: fill,
+            family: family.map(|f| (f.fkey, f.token)),
+        };
         let mut attempts: u64 = 1;
         loop {
             let run_opts = RunOptions {
@@ -923,18 +1640,32 @@ impl Server {
                 },
                 ceiling: None,
             };
-            let out = run_with_meter(&adm.compiled, &inputs, &funcs, &run_opts, &mut adm.meter);
+            let out = if guard.family.is_some() {
+                self.run_split(
+                    &adm.compiled,
+                    adm.limits,
+                    &inputs,
+                    &funcs,
+                    &run_opts,
+                    &mut adm.meter,
+                    &mut guard,
+                )
+            } else {
+                run_with_meter(&adm.compiled, &inputs, &funcs, &run_opts, &mut adm.meter)
+            };
             let fuel_left = adm.meter.fuel_limited().then(|| adm.meter.fuel_left());
             adm.meter.settle();
             match out {
                 Ok(out) => {
-                    return Response {
+                    let resp = Response {
                         id: adm.id,
                         status: Status::Ok,
                         tenant: adm.tenant,
                         admitted: Some(adm.ordinal),
                         cache_hit: Some(adm.cache_hit),
                         evictions: adm.evictions,
+                        result_cache: routed.then_some(ResultClass::Miss),
+                        delta_elems: None,
                         answer_digest: Some(digest_output(&out)),
                         fuel_left: out.fuel_left,
                         engine_faults: out.counters.vm.engine_faults,
@@ -943,7 +1674,9 @@ impl Server {
                         attempts,
                         retry_after_ops: None,
                         error: None,
-                    }
+                    };
+                    self.finish_routed(&mut guard, routed, &resp);
+                    return resp;
                 }
                 Err(e) => {
                     if matches!(e, RuntimeError::EngineFault { .. })
@@ -966,13 +1699,15 @@ impl Server {
                         | RuntimeError::CeilingExhausted { .. } => Status::Limit,
                         _ => Status::RuntimeError,
                     };
-                    return Response {
+                    let resp = Response {
                         id: adm.id,
                         status,
                         tenant: adm.tenant,
                         admitted: Some(adm.ordinal),
                         cache_hit: Some(adm.cache_hit),
                         evictions: adm.evictions,
+                        result_cache: routed.then_some(ResultClass::Miss),
+                        delta_elems: None,
                         answer_digest: None,
                         fuel_left,
                         engine_faults: 0,
@@ -982,6 +1717,8 @@ impl Server {
                         retry_after_ops: None,
                         error: Some(e.to_string()),
                     };
+                    self.finish_routed(&mut guard, routed, &resp);
+                    return resp;
                 }
             }
         }
@@ -1244,8 +1981,12 @@ mod tests {
         assert_eq!(resp.status, Status::Ok, "{:?}", resp.error);
         assert_eq!(resp.fuel_left, Some(0));
         assert_eq!(server.ceiling().fuel_available(), 100 - 15);
-        // The pool has 85 left; a certified 15-op run still fits …
-        assert_eq!(server.handle(&req("u2", 16)).status, Status::Ok);
+        // The pool has 85 left; a certified 15-op run still fits. (A
+        // fresh seed keeps it a result-cache miss — a hit would spend
+        // nothing and leave the pool at 85.)
+        let mut u2 = req("u2", 16);
+        u2.seed = 7;
+        assert_eq!(server.handle(&u2).status, Status::Ok);
         assert_eq!(server.ceiling().fuel_available(), 100 - 30);
         // … and one certified past the remaining pool is rejected by
         // the ceiling at admission, not run partially.
@@ -1383,6 +2124,8 @@ mod tests {
             "admitted",
             "cache",
             "evictions",
+            "result_cache",
+            "delta_elems",
             "answer_digest",
             "fuel_left",
             "engine_faults",
@@ -1398,6 +2141,164 @@ mod tests {
         assert_eq!(j.get("attempts").unwrap().as_u64(), Some(1));
         let v = j.get("verdicts").unwrap();
         assert_eq!(v.get("thunkless").unwrap().as_u64(), Some(1));
+    }
+
+    /// A delta-eligible kernel: `ui`/`uv` touch only the trailing
+    /// `bigupd`, so sliding them reuses the cached prefix.
+    const POKE: &str = "param n; param ui; param uv;\n\
+        input a (1,n);\n\
+        b = bigupd a [ ui := uv / 10 ];\n\
+        result b;\n";
+
+    fn poke(id: &str, n: i64, ui: i64, uv: i64) -> Request {
+        let mut r = Request::new(id, POKE);
+        r.params.push(("n".to_string(), n));
+        r.params.push(("ui".to_string(), ui));
+        r.params.push(("uv".to_string(), uv));
+        r
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_result_cache() {
+        let server = Server::new(ServeOptions::default());
+        let a = server.handle(&req("a", 16));
+        let b = server.handle(&req("b", 16));
+        assert_eq!(a.result_cache, Some(ResultClass::Miss));
+        assert_eq!(b.result_cache, Some(ResultClass::Hit));
+        assert_eq!(b.delta_elems, None);
+        assert_eq!(a.answer_digest, b.answer_digest);
+        assert_eq!(a.counters_digest, b.counters_digest);
+        assert_eq!(a.fuel_left, b.fuel_left);
+        let rs = server.result_cache_stats();
+        assert_eq!((rs.hits, rs.deltas, rs.misses), (1, 0, 1));
+        assert_eq!(rs.live, 1);
+    }
+
+    #[test]
+    fn result_cache_cap_zero_bypasses() {
+        let server = Server::new(ServeOptions {
+            result_cache_cap: 0,
+            ..ServeOptions::default()
+        });
+        let a = server.handle(&req("a", 16));
+        let b = server.handle(&req("b", 16));
+        assert_eq!(a.result_cache, None);
+        assert_eq!(b.result_cache, None);
+        let rs = server.result_cache_stats();
+        assert_eq!((rs.lookups, rs.hits, rs.misses), (0, 0, 0));
+    }
+
+    #[test]
+    fn cached_hits_spend_no_pool_fuel() {
+        let server = Server::new(ServeOptions {
+            ceiling: Limits {
+                fuel: Some(100),
+                mem_bytes: None,
+            },
+            ..ServeOptions::default()
+        });
+        assert_eq!(server.handle(&req("a", 16)).status, Status::Ok);
+        assert_eq!(server.ceiling().fuel_available(), 100 - 15);
+        // The hit settles its untouched reservation back: the pool is
+        // exactly where the first run left it.
+        let b = server.handle(&req("b", 16));
+        assert_eq!(b.result_cache, Some(ResultClass::Hit));
+        assert_eq!(b.fuel_left, Some(0));
+        assert_eq!(server.ceiling().fuel_available(), 100 - 15);
+    }
+
+    #[test]
+    fn sliding_update_params_serve_deltas_byte_identically() {
+        let server = Server::new(ServeOptions::default());
+        let a = server.handle(&poke("a", 8, 3, 55));
+        assert_eq!(a.status, Status::Ok, "{:?}", a.error);
+        assert_eq!(a.result_cache, Some(ResultClass::Miss));
+        let b = server.handle(&poke("b", 8, 5, 99));
+        assert_eq!(b.status, Status::Ok, "{:?}", b.error);
+        assert_eq!(b.result_cache, Some(ResultClass::Delta));
+        assert_eq!(b.delta_elems, Some(1));
+        // Byte-identical to a cold full run of the same request.
+        let cold = Server::new(ServeOptions {
+            result_cache_cap: 0,
+            ..ServeOptions::default()
+        });
+        let c = cold.handle(&poke("c", 8, 5, 99));
+        assert_eq!(c.result_cache, None);
+        assert_eq!(b.answer_digest, c.answer_digest);
+        assert_eq!(b.counters_digest, c.counters_digest);
+        assert_eq!(b.fuel_left, c.fuel_left);
+        let rs = server.result_cache_stats();
+        assert_eq!((rs.hits, rs.deltas, rs.misses), (0, 1, 1));
+    }
+
+    #[test]
+    fn delta_exhaustion_falls_back_to_the_metered_full_run() {
+        // A fuel budget the *prefix alone* fits but the whole run does
+        // not: the probe exhausts mid-delta, and the fallback full run
+        // must reproduce the cold error class and text.
+        let server = Server::new(ServeOptions::default());
+        let mut warm = poke("warm", 8, 3, 55);
+        warm.fuel = Some(1_000);
+        assert_eq!(server.handle(&warm).status, Status::Ok);
+        let mut tight = poke("tight", 8, 5, 99);
+        tight.fuel = Some(8); // the input copy alone spends the budget
+        let t = server.handle(&tight);
+        let cold = Server::new(ServeOptions {
+            result_cache_cap: 0,
+            ..ServeOptions::default()
+        });
+        let mut ctl = poke("ctl", 8, 5, 99);
+        ctl.fuel = Some(8);
+        let c = cold.handle(&ctl);
+        assert_eq!(t.status, c.status);
+        assert_eq!(t.error, c.error);
+        assert_eq!(t.fuel_left, c.fuel_left);
+    }
+
+    #[test]
+    fn realized_classes_match_the_pure_prediction() {
+        let reqs = vec![
+            req("a", 16),
+            poke("p1", 8, 3, 55),
+            req("b", 16),
+            poke("p2", 8, 5, 99),
+            req("c", 17),
+            poke("p3", 8, 3, 55),
+        ];
+        let options = ServeOptions::default();
+        let predicted = Server::predicted_result_classes(&options, &reqs);
+        assert_eq!(
+            predicted,
+            vec![
+                Some(ResultClass::Miss),
+                Some(ResultClass::Miss),
+                Some(ResultClass::Hit),
+                Some(ResultClass::Delta),
+                Some(ResultClass::Miss),
+                Some(ResultClass::Hit),
+            ]
+        );
+        let server = Server::new(options);
+        let realized: Vec<Option<ResultClass>> =
+            reqs.iter().map(|r| server.handle(r).result_cache).collect();
+        assert_eq!(realized, predicted);
+    }
+
+    #[test]
+    fn fault_plans_bypass_the_result_cache() {
+        let mut plan = FaultPlan::default();
+        plan.points.push(hac_runtime::FaultPoint {
+            region: 0,
+            chunk: 0,
+            kind: hac_runtime::FaultKind::Panic,
+        });
+        let server = Server::new(ServeOptions {
+            faults: Some(plan),
+            ..ServeOptions::default()
+        });
+        let resp = server.handle(&req("a", 16));
+        assert_eq!(resp.result_cache, None);
+        assert_eq!(server.result_cache_stats().lookups, 0);
     }
 
     #[test]

@@ -31,6 +31,12 @@
 //!   --stripes N                   ceiling stripe count (default 8)
 //!   --cache-cap N                 compiled-program cache entries (default 256;
 //!                                 0 = unbounded)
+//!   --result-cache-cap N          materialized-result cache entries — memoized
+//!                                 outcomes plus `bigupd` family snapshots for
+//!                                 delta recomputation (default 256;
+//!                                 0 = caching off)
+//!   --no-fuse                     compile request programs without the
+//!                                 vector-fusion pass (scalar tape dispatch)
 //!   --ops-per-ms N                inject the deadline rate (skip calibration)
 //!   --engine / --mode             defaults for requests that don't pick
 //!   --shed-watermark N            batch queue depth past which the lowest-
@@ -116,7 +122,7 @@ fn usage() -> &'static str {
      [--no-run] [--no-fuse] [--quiet] [--print NAME]\n\
      \x20      hacc batch JOBS.json [--workers N] [--threads N] \
      [--ceiling-fuel N] [--ceiling-mem BYTES] [--stripes N] [--cache-cap N] \
-     [--ops-per-ms N]\n\
+     [--result-cache-cap N] [--no-fuse] [--ops-per-ms N]\n\
      [--shed-watermark N] [--retry-budget N]\n\
      \x20      hacc serve [same options as batch]\n\
      \x20      hacc daemon --listen ADDR [--max-conns N] [--io-timeout-ms N] \
@@ -345,6 +351,8 @@ fn parse_serve_args(mut args: std::env::Args) -> Result<ServeCli, String> {
     let mut ceiling = Limits::default();
     let mut stripes = 8usize;
     let mut cache_cap = hac::serve::DEFAULT_CACHE_CAP;
+    let mut result_cache_cap = hac::serve::DEFAULT_RESULT_CACHE_CAP;
+    let mut fuse = true;
     let mut ops_per_ms: Option<u64> = None;
     let mut need_deadline = false;
     let mut jobs_file = None;
@@ -390,6 +398,8 @@ fn parse_serve_args(mut args: std::env::Args) -> Result<ServeCli, String> {
             "--ceiling-mem" => ceiling.mem_bytes = Some(uint("--ceiling-mem")?),
             "--stripes" => stripes = uint("--stripes")?.max(1) as usize,
             "--cache-cap" => cache_cap = uint("--cache-cap")? as usize,
+            "--result-cache-cap" => result_cache_cap = uint("--result-cache-cap")? as usize,
+            "--no-fuse" => fuse = false,
             "--ops-per-ms" => ops_per_ms = Some(uint("--ops-per-ms")?),
             "--deadlines" => need_deadline = true,
             "--listen" => {
@@ -438,6 +448,8 @@ fn parse_serve_args(mut args: std::env::Args) -> Result<ServeCli, String> {
             shed_watermark,
             retry_budget,
             faults: None,
+            result_cache_cap,
+            fuse,
         },
         workers,
         jobs_file,

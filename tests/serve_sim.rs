@@ -122,10 +122,14 @@ fn run_sequential(reqs: &[Request]) -> Vec<String> {
 /// Path (c): daemon over a loopback socket, one connection, requests
 /// written in predicted order. Returns wire lines by request position.
 fn run_daemon(reqs: &[Request]) -> Vec<String> {
+    run_daemon_with(server(), reqs)
+}
+
+fn run_daemon_with(server: Server, reqs: &[Request]) -> Vec<String> {
     let order = Server::predicted_order(reqs);
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let daemon = daemon::spawn(
-        Arc::new(server()),
+        Arc::new(server),
         listener,
         DaemonOptions {
             max_conns: 2,
@@ -276,6 +280,126 @@ proptest! {
             prop_assert_eq!(
                 &realized, &schedule.order,
                 "seed {}: batch@{} realized survivor order vs predicted", seed, workers
+            );
+        }
+    }
+}
+
+/// Sliding-parameter workload over the bigupd-rooted poke kernels:
+/// the first three requests pin a (miss, hit, delta) prelude, then a
+/// random tail mixes exact repeats (hits), slides of the update-only
+/// parameters (deltas), and fresh mesh sizes (misses). Budgets are
+/// ample and the ceiling uncapped, so the realized classification is
+/// exactly `Server::predicted_result_classes`.
+fn sliding_workload(seed: u64, poke_src: &str, band_src: &str) -> Vec<Request> {
+    let mut rng = XorShift::new(seed | 1);
+    let poke = |id: String, n: i64, ui: i64, uj: i64, uv: i64| {
+        let mut r = Request::new(id, poke_src);
+        r.params = vec![
+            ("n".to_string(), n),
+            ("ui".to_string(), ui),
+            ("uj".to_string(), uj),
+            ("uv".to_string(), uv),
+        ];
+        r
+    };
+    let band = |id: String, n: i64, lo: i64, hi: i64, uv: i64| {
+        let mut r = Request::new(id, band_src);
+        r.params = vec![
+            ("n".to_string(), n),
+            ("lo".to_string(), lo),
+            ("hi".to_string(), hi),
+            ("uv".to_string(), uv),
+        ];
+        r
+    };
+    let mut reqs = vec![
+        poke("p0".to_string(), 6, 3, 4, 55), // cold: miss
+        poke("p1".to_string(), 6, 3, 4, 55), // exact repeat: hit
+        poke("p2".to_string(), 6, 2, 5, 99), // slid poke: delta
+    ];
+    let count = 5 + (rng.next_u64() % 8) as usize;
+    for i in 0..count {
+        let r = match rng.next_u64() % 4 {
+            0 => poke(format!("t{i}"), 6, 3, 4, 55), // repeat of the prelude
+            1 => poke(
+                format!("t{i}"),
+                6,
+                1 + (rng.next_u64() % 6) as i64,
+                1 + (rng.next_u64() % 6) as i64,
+                (rng.next_u64() % 100) as i64,
+            ),
+            2 => band(
+                format!("t{i}"),
+                8,
+                1 + (rng.next_u64() % 8) as i64,
+                1 + (rng.next_u64() % 8) as i64,
+                (rng.next_u64() % 100) as i64,
+            ),
+            // A fresh mesh size starts a new family: always a miss.
+            _ => poke(format!("t{i}"), 4 + (rng.next_u64() % 5) as i64, 2, 2, 7),
+        };
+        reqs.push(r);
+    }
+    reqs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Incremental serving rides the same simulator contract: under a
+    /// repeated-and-sliding-parameter workload, sequential `handle`,
+    /// `run_batch` at every worker count, and the loopback daemon all
+    /// speak byte-identical lines (which now carry `result_cache` and
+    /// `delta_elems`), and the classification each request realizes
+    /// equals the pure prediction.
+    #[test]
+    fn sliding_workloads_classify_identically_on_every_path(seed in any::<u64>()) {
+        let poke_src = std::fs::read_to_string("programs/incremental/jacobi_poke.hac").expect("jacobi_poke");
+        let band_src = std::fs::read_to_string("programs/incremental/band_poke.hac").expect("band_poke");
+        let reqs = sliding_workload(seed, &poke_src, &band_src);
+        // Pin the empty fault plan: an ambient HAC_FAULT_PLAN would
+        // route every request around the result cache (by design), and
+        // this test is about the classes.
+        let options = ServeOptions {
+            faults: Some(hac_runtime::governor::FaultPlan::default()),
+            ..ServeOptions::default()
+        };
+
+        let predicted = Server::predicted_result_classes(&options, &reqs);
+        prop_assert_eq!(predicted[0], Some(hac::serve::ResultClass::Miss));
+        prop_assert_eq!(predicted[1], Some(hac::serve::ResultClass::Hit));
+        prop_assert_eq!(predicted[2], Some(hac::serve::ResultClass::Delta));
+
+        // Path (a), collecting classifications alongside wire lines.
+        let order = Server::predicted_order(&reqs);
+        let srv = Server::new(options.clone());
+        let mut want = vec![String::new(); reqs.len()];
+        let mut realized = vec![None; reqs.len()];
+        for &i in &order {
+            let resp = srv.handle(&reqs[i]);
+            realized[i] = resp.result_cache;
+            want[i] = line(&resp);
+        }
+        prop_assert_eq!(&realized, &predicted, "seed {}: realized vs predicted classes", seed);
+
+        for workers in WORKERS {
+            let srv = Server::new(options.clone());
+            let out = srv.run_batch(&reqs, workers);
+            for (i, resp) in out.iter().enumerate() {
+                prop_assert_eq!(
+                    &line(resp), &want[i],
+                    "seed {}: batch@{} request {} diverged from sequential",
+                    seed, workers, reqs[i].id
+                );
+            }
+        }
+
+        let daemon_lines = run_daemon_with(Server::new(options), &reqs);
+        for (i, got) in daemon_lines.iter().enumerate() {
+            prop_assert_eq!(
+                got, &want[i],
+                "seed {}: daemon request {} diverged from sequential", seed, reqs[i].id
             );
         }
     }
